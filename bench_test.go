@@ -1,0 +1,167 @@
+package robustore
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark runs the corresponding
+// experiment at a reduced trial count (benchmarks measure harness
+// cost; cmd/robustore-sim regenerates the full-paper-scale numbers)
+// and reports a few headline metrics through b.ReportMetric so that
+// `go test -bench` output doubles as a quick reproduction check.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOpts keeps the per-iteration cost of the heavy sweeps sane.
+func benchOpts() experiments.Options { return experiments.Options{Trials: 5, Seed: 1} }
+
+func runExperiment(b *testing.B, id string, metrics func(b *testing.B, ds []experiments.Dataset)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ds, err := experiments.Run(id, benchOpts())
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == b.N-1 && metrics != nil {
+			metrics(b, ds)
+		}
+	}
+}
+
+// firstSeriesValue returns series `name` of dataset idx at point x.
+func seriesAt(ds []experiments.Dataset, idx int, name string, x float64) float64 {
+	for i, p := range ds[idx].Points {
+		if p.X == x {
+			return ds[idx].Series(name)[i]
+		}
+	}
+	return 0
+}
+
+func BenchmarkTable51RSCoding(b *testing.B) {
+	runExperiment(b, "table5-1", func(b *testing.B, ds []experiments.Dataset) {
+		b.ReportMetric(seriesAt(ds, 0, "decode MBps", 32), "K32-decode-MBps")
+		b.ReportMetric(seriesAt(ds, 0, "decode MBps", 4), "K4-decode-MBps")
+	})
+}
+
+func BenchmarkFig41Reassembly(b *testing.B) {
+	runExperiment(b, "fig4-1", nil)
+}
+
+func BenchmarkFig51ReceptionOverhead(b *testing.B) {
+	runExperiment(b, "fig5-1", nil)
+}
+
+func BenchmarkFig52DecodeEdges(b *testing.B) {
+	runExperiment(b, "fig5-2", nil)
+}
+
+func BenchmarkFig53DecodeBandwidth(b *testing.B) {
+	runExperiment(b, "fig5-3", func(b *testing.B, ds []experiments.Dataset) {
+		b.ReportMetric(seriesAt(ds, 0, "δ=0.1", 1.0), "decode-MBps-C1-d0.1")
+	})
+}
+
+func BenchmarkTable61DiskCalibration(b *testing.B) {
+	runExperiment(b, "table6-1", func(b *testing.B, ds []experiments.Dataset) {
+		b.ReportMetric(seriesAt(ds, 0, "PSeq=0", 8), "slowest-MBps")
+		b.ReportMetric(seriesAt(ds, 0, "PSeq=1", 1024), "fastest-MBps")
+	})
+}
+
+func BenchmarkFig65Background(b *testing.B) {
+	runExperiment(b, "fig6-5", func(b *testing.B, ds []experiments.Dataset) {
+		b.ReportMetric(seriesAt(ds, 0, "bg utilization", 6), "util-at-6ms")
+	})
+}
+
+func BenchmarkFig66ReadVsDisks(b *testing.B) {
+	runExperiment(b, "fig6-6", func(b *testing.B, ds []experiments.Dataset) {
+		robu := seriesAt(ds, 0, "RobuSTore", 64)
+		raid := seriesAt(ds, 0, "RAID-0", 64)
+		b.ReportMetric(robu, "RobuSTore-64disk-MBps")
+		if raid > 0 {
+			b.ReportMetric(robu/raid, "speedup-vs-RAID0")
+		}
+	})
+}
+
+func BenchmarkFig69ReadVsBlockSize(b *testing.B) {
+	runExperiment(b, "fig6-9", nil)
+}
+
+func BenchmarkFig612ReadVsLatency(b *testing.B) {
+	runExperiment(b, "fig6-12", nil)
+}
+
+func BenchmarkFig615ReadVsRedundancy(b *testing.B) {
+	runExperiment(b, "fig6-15", func(b *testing.B, ds []experiments.Dataset) {
+		b.ReportMetric(seriesAt(ds, 0, "RobuSTore", 3), "RobuSTore-D3-MBps")
+	})
+}
+
+func BenchmarkFig618WriteVsRedundancy(b *testing.B) {
+	runExperiment(b, "fig6-18", func(b *testing.B, ds []experiments.Dataset) {
+		b.ReportMetric(seriesAt(ds, 0, "RobuSTore", 3), "RobuSTore-D3-write-MBps")
+	})
+}
+
+func BenchmarkFig621Unbalanced(b *testing.B) {
+	runExperiment(b, "fig6-21", nil)
+}
+
+func BenchmarkFig624Competitive(b *testing.B) {
+	runExperiment(b, "fig6-24", nil)
+}
+
+func BenchmarkFig626CompetitiveRead(b *testing.B) {
+	runExperiment(b, "fig6-26", nil)
+}
+
+func BenchmarkFig629CompetitiveWrite(b *testing.B) {
+	runExperiment(b, "fig6-29", nil)
+}
+
+func BenchmarkFig632CompetitiveUnbalanced(b *testing.B) {
+	runExperiment(b, "fig6-32", nil)
+}
+
+func BenchmarkFig635Cache(b *testing.B) {
+	runExperiment(b, "fig6-35", nil)
+}
+
+func BenchmarkAblationLT(b *testing.B) {
+	runExperiment(b, "ablation-lt", nil)
+}
+
+func BenchmarkAblationLazyXor(b *testing.B) {
+	runExperiment(b, "ablation-lazy", nil)
+}
+
+func BenchmarkAblationCancel(b *testing.B) {
+	runExperiment(b, "ablation-cancel", nil)
+}
+
+func BenchmarkExtCodesSurvey(b *testing.B) {
+	runExperiment(b, "ext-codes", func(b *testing.B, ds []experiments.Dataset) {
+		b.ReportMetric(seriesAt(ds, 0, "decode MBps", 2), "LT-decode-MBps")
+		b.ReportMetric(seriesAt(ds, 0, "decode MBps", 3), "Raptor-decode-MBps")
+	})
+}
+
+func BenchmarkExtAdmission(b *testing.B) {
+	runExperiment(b, "ext-admission", nil)
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	runExperiment(b, "headline", func(b *testing.B, ds []experiments.Dataset) {
+		read := seriesAt(ds, 0, "read MBps", 3)
+		raid := seriesAt(ds, 0, "read MBps", 0)
+		b.ReportMetric(read, "RobuSTore-read-MBps")
+		if raid > 0 {
+			b.ReportMetric(read/raid, "read-speedup-vs-RAID0")
+		}
+	})
+}

@@ -1,0 +1,61 @@
+// Command robustore-meta runs the RobuSTore metadata server over TCP,
+// optionally persisting its state to a JSON snapshot on shutdown and
+// restoring it on start — the Ch. 4 framework's central metadata
+// service as a standalone daemon.
+//
+// Usage:
+//
+//	robustore-meta -listen :7090 -snapshot /var/lib/robustore/meta.json
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/metadata"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7090", "address to listen on")
+		snapshot = flag.String("snapshot", "", "snapshot path (loaded at start, saved on shutdown)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "robustore-meta: ", log.LstdFlags)
+
+	svc := metadata.NewService()
+	if *snapshot != "" {
+		if err := svc.LoadFile(*snapshot); err != nil && !errors.Is(err, os.ErrNotExist) {
+			logger.Fatalf("loading snapshot: %v", err)
+		}
+	}
+
+	srv := metadata.NewNetworkServer(svc)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("robustore-meta listening on %s (%d segments)\n", ln.Addr(), len(svc.ListSegments()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		logger.Print("shutting down")
+		if *snapshot != "" {
+			if err := svc.SaveFile(*snapshot); err != nil {
+				logger.Printf("saving snapshot: %v", err)
+			}
+		}
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		logger.Fatal(err)
+	}
+}

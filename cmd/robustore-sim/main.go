@@ -1,0 +1,113 @@
+// Command robustore-sim regenerates the RobuSTore evaluation: every
+// table and figure of the paper's Chapters 5 and 6, by experiment id.
+//
+// Usage:
+//
+//	robustore-sim -list
+//	robustore-sim -exp fig6-6 [-trials 100] [-seed 1] [-csv out/]
+//	robustore-sim -exp all -quick
+//
+// Each experiment prints one aligned text table per regenerated
+// dataset; -csv additionally writes <id>.csv files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id to run, or \"all\" (see -list)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		trials = flag.Int("trials", 0, "trials per configuration point (default: paper's 100)")
+		seed   = flag.Int64("seed", 1, "base RNG seed")
+		quick  = flag.Bool("quick", false, "quick mode: few trials per point")
+		csvDir = flag.String("csv", "", "directory to write per-dataset CSV files")
+		light  = flag.Bool("light", false, "with -exp all: skip the heavy simulation sweeps")
+		plot   = flag.Bool("plot", false, "also render each dataset as an ASCII chart")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %-10s %s\n", "ID", "SCALE", "REGENERATES")
+		for _, e := range experiments.Registry {
+			scale := "fast"
+			if e.Heavy {
+				scale = "heavy"
+			}
+			fmt.Printf("%-12s %-10s %s — %s\n", e.ID, scale, e.Figures, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "robustore-sim: -exp required (or -list); e.g. -exp headline")
+		os.Exit(2)
+	}
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *trials > 0 {
+		opts.Trials = *trials
+	}
+	opts.Seed = *seed
+
+	var entries []experiments.Entry
+	if *exp == "all" {
+		for _, e := range experiments.Registry {
+			if *light && e.Heavy {
+				continue
+			}
+			entries = append(entries, e)
+		}
+	} else {
+		e, ok := experiments.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "robustore-sim: unknown experiment %q; try -list\n", *exp)
+			os.Exit(2)
+		}
+		entries = append(entries, e)
+	}
+
+	for _, e := range entries {
+		start := time.Now()
+		fmt.Printf("# %s — %s (%s; %d trials/point)\n", e.ID, e.Title, e.Figures, opts.Trials)
+		datasets, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "robustore-sim: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for i := range datasets {
+			datasets[i].Format(os.Stdout)
+			if *plot {
+				datasets[i].Plot(os.Stdout, 14)
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, &datasets[i]); err != nil {
+					fmt.Fprintf(os.Stderr, "robustore-sim: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("# %s done in %s\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(dir string, d *experiments.Dataset) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, d.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	d.WriteCSV(f)
+	return f.Close()
+}

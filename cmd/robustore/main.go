@@ -1,0 +1,220 @@
+// Command robustore is the RobuSTore client CLI: put, get, stat,
+// list, and remove erasure-coded segments across a set of block
+// servers, with metadata kept in a local JSON snapshot (the paper's
+// metadata server, persisted between invocations).
+//
+// Usage:
+//
+//	robustore -servers localhost:7070,localhost:7071 put name file
+//	robustore -servers ...                         get name [outfile]
+//	robustore -servers ...                         stat name
+//	robustore                                      ls
+//	robustore -servers ...                         rm name
+//
+// Flags -meta (snapshot path), -redundancy, -block tune behaviour.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/robust"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		servers    = flag.String("servers", "", "comma-separated block server addresses")
+		metaPath   = flag.String("meta", "robustore-meta.json", "local metadata snapshot path")
+		metaServer = flag.String("meta-server", "", "networked metadata server address (overrides -meta)")
+		redundancy = flag.Float64("redundancy", 3, "data redundancy D (stored = (1+D) x data)")
+		blockKB    = flag.Int64("block", 1024, "coded block size in KB")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "operation timeout")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	var meta metadata.API
+	var localMeta *metadata.Service
+	if *metaServer != "" {
+		remote, err := metadata.DialRemote(*metaServer)
+		if err != nil {
+			fatal(err)
+		}
+		defer remote.Close()
+		meta = remote
+	} else {
+		localMeta = metadata.NewService()
+		if err := localMeta.LoadFile(*metaPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+			fatal(err)
+		}
+		meta = localMeta
+	}
+	saveMeta := func() {
+		if localMeta == nil {
+			return // the networked metadata server owns persistence
+		}
+		if err := localMeta.SaveFile(*metaPath); err != nil {
+			fatal(err)
+		}
+	}
+	client, err := robust.NewClient(meta, robust.Options{
+		Redundancy: *redundancy,
+		BlockBytes: *blockKB << 10,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	var addrs []string
+	if *servers != "" {
+		for _, a := range strings.Split(*servers, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			store, err := transport.Dial(a, transport.ClientOptions{})
+			if err != nil {
+				fatal(fmt.Errorf("connecting to %s: %w", a, err))
+			}
+			defer store.Close()
+			if err := client.AttachStore(a, store); err != nil {
+				fatal(err)
+			}
+			addrs = append(addrs, a)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		data, err := os.ReadFile(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		stats, err := client.Write(ctx, args[1], data, nil)
+		if err != nil {
+			fatal(err)
+		}
+		saveMeta()
+		fmt.Printf("stored %s: %d bytes, K=%d N=%d, %d blocks committed in %v\n",
+			args[1], len(data), stats.K, stats.N, stats.Committed, stats.Duration.Round(time.Millisecond))
+		printPerServer(stats.PerServer)
+	case "get":
+		if len(args) < 2 || len(args) > 3 {
+			usage()
+		}
+		data, stats, err := client.Read(ctx, args[1])
+		if err != nil {
+			fatal(err)
+		}
+		out := os.Stdout
+		if len(args) == 3 {
+			f, err := os.Create(args[2])
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if _, err := out.Write(data); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "read %s: %d bytes, %d blocks (overhead %.2f) in %v\n",
+			args[1], len(data), stats.Received, stats.Reception, stats.Duration.Round(time.Millisecond))
+	case "stat":
+		if len(args) != 2 {
+			usage()
+		}
+		info, err := client.Stat(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d bytes, K=%d N=%d, block %d B, version %d\n",
+			info.Name, info.Size, info.K, info.N, info.BlockBytes, info.Version)
+		printPerServer(info.Servers)
+	case "ls":
+		for _, name := range meta.ListSegments() {
+			fmt.Println(name)
+		}
+	case "rm":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := client.Delete(ctx, args[1]); err != nil {
+			fatal(err)
+		}
+		saveMeta()
+		fmt.Printf("removed %s\n", args[1])
+	case "health":
+		if len(args) != 2 {
+			usage()
+		}
+		rep, err := client.Health(ctx, args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d/%d blocks reachable, %d missing, decodable=%v\n",
+			rep.Name, rep.Reachable, rep.Reachable+rep.Missing, rep.Missing, rep.Decodable)
+		for _, addr := range rep.DeadAddrs {
+			fmt.Printf("  unreachable holder: %s\n", addr)
+		}
+	case "repair":
+		if len(args) != 2 {
+			usage()
+		}
+		st, err := client.Repair(ctx, args[1])
+		if err != nil {
+			fatal(err)
+		}
+		saveMeta()
+		fmt.Printf("repaired %s: %d blocks regenerated, %d placement entries pruned in %v\n",
+			args[1], st.Regenerated, st.Pruned, st.Duration.Round(time.Millisecond))
+	default:
+		usage()
+	}
+	_ = addrs
+}
+
+func printPerServer(per map[string]int) {
+	keys := make([]string, 0, len(per))
+	for k := range per {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-24s %d blocks\n", k, per[k])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: robustore [flags] <command>
+commands:
+  put <name> <file>     store a file as an erasure-coded segment
+  get <name> [outfile]  reconstruct a segment
+  stat <name>           show segment metadata
+  ls                    list segments
+  rm <name>             delete a segment
+  health <name>         audit block reachability and decodability
+  repair <name>         regenerate unreachable blocks on healthy servers
+flags: -servers -meta -meta-server -redundancy -block -timeout (see -h)`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "robustore: %v\n", err)
+	os.Exit(1)
+}

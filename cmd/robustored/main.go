@@ -1,0 +1,88 @@
+// Command robustored runs a RobuSTore storage server: a block store
+// (in-memory or on-disk) exposed over the block protocol, optionally
+// behind an admission controller.
+//
+// Usage:
+//
+//	robustored -listen :7070 -dir /var/lib/robustore
+//	robustored -listen :7071 -mem -max-concurrent 32 -max-bytes 268435456
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/admission"
+	"repro/internal/blockstore"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", ":7070", "address to listen on")
+		dir           = flag.String("dir", "", "directory for the on-disk store (required unless -mem)")
+		mem           = flag.Bool("mem", false, "serve from an in-memory store")
+		maxConcurrent = flag.Int("max-concurrent", 0, "admission: max concurrent data requests (0 = no controller)")
+		maxBytes      = flag.Int64("max-bytes", 0, "admission: max in-flight bytes (0 = unlimited)")
+		priority      = flag.Bool("priority", false, "admission: use priority-based instead of capacity-based control")
+		checksum      = flag.Bool("checksum", false, "frame blocks with CRC-32C and reject corrupted reads")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "robustored: ", log.LstdFlags)
+
+	var store blockstore.Store
+	switch {
+	case *mem:
+		store = blockstore.NewMemStore()
+	case *dir != "":
+		fs, err := blockstore.NewFileStore(*dir)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		store = fs
+	default:
+		logger.Fatal("either -dir or -mem is required")
+	}
+	if *checksum {
+		store = blockstore.WithChecksums(store)
+	}
+
+	opts := transport.ServerOptions{Logger: logger}
+	if *maxConcurrent > 0 || *maxBytes > 0 {
+		cfg := admission.Config{MaxConcurrent: *maxConcurrent, MaxBytes: *maxBytes}
+		var ctrl admission.Controller
+		var err error
+		if *priority {
+			ctrl, err = admission.NewPriority(cfg)
+		} else {
+			ctrl, err = admission.NewCapacity(cfg)
+		}
+		if err != nil {
+			logger.Fatal(err)
+		}
+		opts.Admission = ctrl
+	}
+
+	srv := transport.NewServer(store, opts)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("robustored listening on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		logger.Print("shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		logger.Fatal(err)
+	}
+}

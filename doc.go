@@ -1,0 +1,24 @@
+// Package robustore is a from-scratch Go implementation of RobuSTore
+// (Xia & Chien): a distributed storage architecture that combines
+// rateless LT erasure codes with speculative parallel access to
+// deliver high and robust (low-variance) latency from heterogeneous
+// distributed disks.
+//
+// The repository contains two cooperating systems:
+//
+//   - A working concurrent storage system: block stores and servers
+//     (internal/blockstore, internal/transport), a metadata service
+//     (internal/metadata), and the RobuSTore client (internal/robust)
+//     whose Write encodes ratelessly and spreads blocks speculatively,
+//     and whose Read fans requests out to every block holder and
+//     cancels the stragglers the moment the incremental LT decoder
+//     completes. This package re-exports its primary entry points.
+//
+//   - A detailed simulation of the paper's evaluation (internal/disk,
+//     internal/cluster, internal/schemes, internal/experiments) that
+//     regenerates every table and figure of the dissertation's
+//     Chapters 5 and 6; see cmd/robustore-sim and bench_test.go.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package robustore

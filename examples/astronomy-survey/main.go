@@ -1,0 +1,77 @@
+// astronomy-survey: the paper's motivating scenario — a scientific
+// collaboration (think BIRN/GriPhyN-scale imaging) reading large data
+// objects from a shared, heterogeneous wide-area disk pool — run
+// through the simulation substrate to compare RobuSTore against the
+// conventional parallel schemes for this workload.
+//
+// Each "image" is a 512 MB object striped over 64 of 128 shared
+// disks; other users' traffic appears as random competitive load.
+// The survey pipeline needs predictable per-image latency to keep its
+// processing stages fed — exactly the robustness RobuSTore targets.
+//
+//	go run ./examples/astronomy-survey
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/schemes"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		imageBytes = 512 << 20
+		trials     = 25 // images fetched per scheme
+	)
+	ccfg := cluster.DefaultConfig() // 128 disks, 16 filers, 1 ms RTT
+	trial := cluster.Trial{
+		Layout:     workload.HeterogeneousLayout(),     // disks laid out by many owners
+		Background: workload.HeterogeneousBackground(), // other collaborations' traffic
+	}
+
+	fmt.Printf("astronomy survey: %d x %dMB image reads on 64 of %d shared disks\n\n",
+		trials, imageBytes>>20, ccfg.TotalDisks)
+	fmt.Printf("%-10s %10s %12s %12s %10s %9s\n",
+		"scheme", "MB/s", "latency(s)", "stddev(s)", "p95(s)", "I/O ovh")
+
+	type row struct {
+		scheme schemes.Scheme
+		bw     float64
+		lat    stats.Summary
+		io     float64
+	}
+	var rows []row
+	for _, s := range schemes.AllSchemes {
+		cfg := schemes.DefaultConfig(s)
+		cfg.DataBytes = imageBytes
+		var lats, bws, ios []float64
+		for tr := 0; tr < trials; tr++ {
+			res, err := schemes.RunReadTrial(ccfg, trial, cfg, int64(9000+tr))
+			if err != nil {
+				log.Fatal(err)
+			}
+			lats = append(lats, res.Latency)
+			bws = append(bws, res.Bandwidth)
+			ios = append(ios, res.IOOverhead)
+		}
+		r := row{scheme: s, bw: stats.Mean(bws), lat: stats.Summarize(lats), io: stats.Mean(ios)}
+		rows = append(rows, r)
+		fmt.Printf("%-10s %10.0f %12.2f %12.2f %10.2f %8.0f%%\n",
+			s, schemes.MBps(r.bw), r.lat.Mean, r.lat.StdDev, r.lat.P95, r.io*100)
+	}
+
+	robu := rows[len(rows)-1]
+	raid := rows[0]
+	fmt.Printf("\nfor the survey pipeline this means:\n")
+	fmt.Printf("  - each image arrives %.1fx faster than with plain striping\n",
+		robu.bw/raid.bw)
+	fmt.Printf("  - per-image latency is predictable to ±%.0f%% (vs ±%.0f%% for RAID-0),\n",
+		100*robu.lat.StdDev/robu.lat.Mean, 100*raid.lat.StdDev/raid.lat.Mean)
+	fmt.Printf("    so downstream processing stages can be scheduled tightly\n")
+	fmt.Printf("  - the price is %.0f%% extra network/disk I/O and %.0fx storage\n",
+		robu.io*100, 1+schemes.DefaultConfig(schemes.RobuSTore).Redundancy)
+}

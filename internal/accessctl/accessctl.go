@@ -1,0 +1,241 @@
+// Package accessctl implements the capability-style credential-chain
+// access control of Appendix C: a resource administrator issues a
+// signed credential to a user; that user can delegate a (possibly
+// narrowed) credential to another user; a storage server verifies the
+// whole chain against only the administrator's public key — no
+// central ACL and no third-party trust, exactly the properties the
+// appendix argues for.
+//
+// Signatures use Ed25519 from the standard library.
+package accessctl
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Rights is a set of access rights, encoded as a string of single-
+// letter flags in canonical order (subset of "RWXD": read, write,
+// execute, delete).
+type Rights string
+
+// Has reports whether r includes every flag of want.
+func (r Rights) Has(want Rights) bool {
+	for _, f := range want {
+		if !strings.ContainsRune(string(r), f) {
+			return false
+		}
+	}
+	return true
+}
+
+// normalize validates and canonicalizes a rights string.
+func (r Rights) normalize() (Rights, error) {
+	const order = "RWXD"
+	var out []byte
+	for _, f := range order {
+		if strings.ContainsRune(string(r), f) {
+			out = append(out, byte(f))
+		}
+	}
+	for _, f := range r {
+		if !strings.ContainsRune(order, f) {
+			return "", fmt.Errorf("accessctl: unknown right %q", f)
+		}
+	}
+	return Rights(out), nil
+}
+
+// Capability is what a credential grants: rights on a resource within
+// a validity window (zero times mean unbounded).
+type Capability struct {
+	Resource  string // e.g. "robustore:segment/climate-2025"
+	Rights    Rights
+	NotBefore time.Time
+	NotAfter  time.Time
+}
+
+// Credential is one signed link: Authorizer grants Licensee the
+// Capability. Chain links are ordered root-first.
+type Credential struct {
+	Authorizer ed25519.PublicKey
+	Licensee   ed25519.PublicKey
+	Cap        Capability
+	Signature  []byte // by Authorizer over the canonical encoding
+}
+
+// Chain is an ordered delegation chain; Chain[0] is signed by the
+// resource administrator.
+type Chain []Credential
+
+// Errors returned by verification.
+var (
+	ErrBadSignature   = errors.New("accessctl: bad signature")
+	ErrBrokenChain    = errors.New("accessctl: chain link licensee/authorizer mismatch")
+	ErrRightsEscalate = errors.New("accessctl: delegation widens rights")
+	ErrWrongResource  = errors.New("accessctl: credential for a different resource")
+	ErrExpired        = errors.New("accessctl: credential outside its validity window")
+	ErrDenied         = errors.New("accessctl: required right not granted")
+	ErrWrongRoot      = errors.New("accessctl: chain not rooted at the administrator")
+)
+
+// signedMessage is the canonical byte encoding a credential signs.
+func signedMessage(authorizer, licensee ed25519.PublicKey, cap Capability) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("robustore-credential-v1\x00")
+	writeBytes(&buf, authorizer)
+	writeBytes(&buf, licensee)
+	writeBytes(&buf, []byte(cap.Resource))
+	writeBytes(&buf, []byte(cap.Rights))
+	writeTime(&buf, cap.NotBefore)
+	writeTime(&buf, cap.NotAfter)
+	return buf.Bytes()
+}
+
+func writeBytes(buf *bytes.Buffer, b []byte) {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+	buf.Write(n[:])
+	buf.Write(b)
+}
+
+func writeTime(buf *bytes.Buffer, t time.Time) {
+	var n [8]byte
+	var v int64
+	if !t.IsZero() {
+		v = t.UnixNano()
+	}
+	binary.BigEndian.PutUint64(n[:], uint64(v))
+	buf.Write(n[:])
+}
+
+// Identity is a keypair participating in delegation.
+type Identity struct {
+	Public  ed25519.PublicKey
+	private ed25519.PrivateKey
+}
+
+// NewIdentity generates a fresh Ed25519 identity.
+func NewIdentity() (*Identity, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Identity{Public: pub, private: priv}, nil
+}
+
+// Issue signs a credential granting cap to licensee.
+func (id *Identity) Issue(licensee ed25519.PublicKey, cap Capability) (Credential, error) {
+	rights, err := cap.Rights.normalize()
+	if err != nil {
+		return Credential{}, err
+	}
+	cap.Rights = rights
+	if cap.Resource == "" {
+		return Credential{}, fmt.Errorf("accessctl: empty resource")
+	}
+	if len(licensee) != ed25519.PublicKeySize {
+		return Credential{}, fmt.Errorf("accessctl: bad licensee key size")
+	}
+	msg := signedMessage(id.Public, licensee, cap)
+	return Credential{
+		Authorizer: id.Public,
+		Licensee:   licensee,
+		Cap:        cap,
+		Signature:  ed25519.Sign(id.private, msg),
+	}, nil
+}
+
+// Delegate extends a chain: the identity (which must be the last
+// link's licensee) grants a possibly-narrowed capability to the next
+// licensee. The new capability must not widen rights, broaden the
+// resource, or extend the validity window.
+func (id *Identity) Delegate(chain Chain, licensee ed25519.PublicKey, cap Capability) (Chain, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("accessctl: cannot delegate from an empty chain")
+	}
+	last := chain[len(chain)-1]
+	if !last.Licensee.Equal(id.Public) {
+		return nil, fmt.Errorf("accessctl: delegator is not the holder of the chain")
+	}
+	if cap.Resource != last.Cap.Resource {
+		return nil, ErrWrongResource
+	}
+	if !last.Cap.Rights.Has(cap.Rights) {
+		return nil, ErrRightsEscalate
+	}
+	if narrowedWindowViolation(last.Cap, cap) {
+		return nil, fmt.Errorf("accessctl: delegation widens validity window")
+	}
+	cred, err := id.Issue(licensee, cap)
+	if err != nil {
+		return nil, err
+	}
+	out := append(Chain(nil), chain...)
+	return append(out, cred), nil
+}
+
+func narrowedWindowViolation(parent, child Capability) bool {
+	if !parent.NotBefore.IsZero() && (child.NotBefore.IsZero() || child.NotBefore.Before(parent.NotBefore)) {
+		return true
+	}
+	if !parent.NotAfter.IsZero() && (child.NotAfter.IsZero() || child.NotAfter.After(parent.NotAfter)) {
+		return true
+	}
+	return false
+}
+
+// Verify checks the whole chain: every signature valid, every link's
+// authorizer equal to the previous link's licensee, rights only ever
+// narrowing, resource constant, all validity windows containing
+// `now`, and the final licensee equal to `holder` (the identity
+// attempting access, which separately proves key possession at the
+// session layer) with the required right granted end to end.
+func Verify(chain Chain, root ed25519.PublicKey, holder ed25519.PublicKey,
+	resource string, need Rights, now time.Time) error {
+	if len(chain) == 0 {
+		return fmt.Errorf("accessctl: empty chain")
+	}
+	if !chain[0].Authorizer.Equal(root) {
+		return ErrWrongRoot
+	}
+	effective := chain[0].Cap.Rights
+	for i, cred := range chain {
+		if cred.Cap.Resource != resource {
+			return ErrWrongResource
+		}
+		msg := signedMessage(cred.Authorizer, cred.Licensee, cred.Cap)
+		if !ed25519.Verify(cred.Authorizer, msg, cred.Signature) {
+			return fmt.Errorf("%w (link %d)", ErrBadSignature, i)
+		}
+		if i > 0 {
+			if !chain[i-1].Licensee.Equal(cred.Authorizer) {
+				return fmt.Errorf("%w (link %d)", ErrBrokenChain, i)
+			}
+			if !effective.Has(cred.Cap.Rights) {
+				return fmt.Errorf("%w (link %d)", ErrRightsEscalate, i)
+			}
+		}
+		if !cred.Cap.NotBefore.IsZero() && now.Before(cred.Cap.NotBefore) {
+			return fmt.Errorf("%w (link %d)", ErrExpired, i)
+		}
+		if !cred.Cap.NotAfter.IsZero() && now.After(cred.Cap.NotAfter) {
+			return fmt.Errorf("%w (link %d)", ErrExpired, i)
+		}
+		effective = cred.Cap.Rights
+	}
+	last := chain[len(chain)-1]
+	if !last.Licensee.Equal(holder) {
+		return fmt.Errorf("accessctl: chain ends at a different licensee")
+	}
+	if !effective.Has(need) {
+		return ErrDenied
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package accessctl
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+const res = "robustore:segment/test"
+
+func ids(t *testing.T, n int) []*Identity {
+	t.Helper()
+	out := make([]*Identity, n)
+	for i := range out {
+		id, err := NewIdentity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = id
+	}
+	return out
+}
+
+func TestRightsHas(t *testing.T) {
+	if !Rights("RWX").Has("R") || !Rights("RWX").Has("WX") || !Rights("RWX").Has("") {
+		t.Fatal("Has false negatives")
+	}
+	if Rights("R").Has("W") || Rights("").Has("R") {
+		t.Fatal("Has false positives")
+	}
+}
+
+func TestRightsNormalize(t *testing.T) {
+	r, err := Rights("XWR").normalize()
+	if err != nil || r != "RWX" {
+		t.Fatalf("normalize = %q, %v", r, err)
+	}
+	if _, err := Rights("RQ").normalize(); err == nil {
+		t.Fatal("unknown right accepted")
+	}
+}
+
+func TestSingleLinkChain(t *testing.T) {
+	people := ids(t, 2)
+	admin, alice := people[0], people[1]
+	cred, err := admin.Issue(alice.Public, Capability{Resource: res, Rights: "RW"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := Chain{cred}
+	now := time.Now()
+	if err := Verify(chain, admin.Public, alice.Public, res, "R", now); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(chain, admin.Public, alice.Public, res, "RW", now); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(chain, admin.Public, alice.Public, res, "X", now); !errors.Is(err, ErrDenied) {
+		t.Fatalf("ungranted right = %v", err)
+	}
+}
+
+func TestTwoLevelDelegation(t *testing.T) {
+	people := ids(t, 3)
+	admin, alice, bob := people[0], people[1], people[2]
+	root, err := admin.Issue(alice.Public, Capability{Resource: res, Rights: "RWX"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := alice.Delegate(Chain{root}, bob.Public, Capability{Resource: res, Rights: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := Verify(chain, admin.Public, bob.Public, res, "R", now); err != nil {
+		t.Fatal(err)
+	}
+	// Bob only got R even though Alice had RWX.
+	if err := Verify(chain, admin.Public, bob.Public, res, "W", now); !errors.Is(err, ErrDenied) {
+		t.Fatalf("escalated right = %v", err)
+	}
+	// Alice can't be verified as the holder of Bob's chain.
+	if err := Verify(chain, admin.Public, alice.Public, res, "R", now); err == nil {
+		t.Fatal("wrong holder accepted")
+	}
+}
+
+func TestDelegationCannotEscalate(t *testing.T) {
+	people := ids(t, 3)
+	admin, alice, bob := people[0], people[1], people[2]
+	root, _ := admin.Issue(alice.Public, Capability{Resource: res, Rights: "R"})
+	if _, err := alice.Delegate(Chain{root}, bob.Public,
+		Capability{Resource: res, Rights: "RW"}); !errors.Is(err, ErrRightsEscalate) {
+		t.Fatalf("escalating delegation = %v", err)
+	}
+	if _, err := alice.Delegate(Chain{root}, bob.Public,
+		Capability{Resource: "other", Rights: "R"}); !errors.Is(err, ErrWrongResource) {
+		t.Fatalf("resource switch = %v", err)
+	}
+	// Bob (not the holder) cannot delegate Alice's chain.
+	if _, err := bob.Delegate(Chain{root}, bob.Public,
+		Capability{Resource: res, Rights: "R"}); err == nil {
+		t.Fatal("non-holder delegation accepted")
+	}
+}
+
+func TestValidityWindows(t *testing.T) {
+	people := ids(t, 2)
+	admin, alice := people[0], people[1]
+	now := time.Now()
+	cred, _ := admin.Issue(alice.Public, Capability{
+		Resource: res, Rights: "R",
+		NotBefore: now.Add(-time.Hour), NotAfter: now.Add(time.Hour),
+	})
+	chain := Chain{cred}
+	if err := Verify(chain, admin.Public, alice.Public, res, "R", now); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(chain, admin.Public, alice.Public, res, "R", now.Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired = %v", err)
+	}
+	if err := Verify(chain, admin.Public, alice.Public, res, "R", now.Add(-2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("premature = %v", err)
+	}
+}
+
+func TestDelegationCannotWidenWindow(t *testing.T) {
+	people := ids(t, 3)
+	admin, alice, bob := people[0], people[1], people[2]
+	now := time.Now()
+	root, _ := admin.Issue(alice.Public, Capability{
+		Resource: res, Rights: "R", NotAfter: now.Add(time.Hour),
+	})
+	if _, err := alice.Delegate(Chain{root}, bob.Public, Capability{
+		Resource: res, Rights: "R", NotAfter: now.Add(48 * time.Hour),
+	}); err == nil {
+		t.Fatal("widened window accepted")
+	}
+	if _, err := alice.Delegate(Chain{root}, bob.Public, Capability{
+		Resource: res, Rights: "R", NotAfter: now.Add(time.Minute),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperedSignature(t *testing.T) {
+	people := ids(t, 2)
+	admin, alice := people[0], people[1]
+	cred, _ := admin.Issue(alice.Public, Capability{Resource: res, Rights: "R"})
+	cred.Cap.Rights = "RWXD" // tamper after signing
+	if err := Verify(Chain{cred}, admin.Public, alice.Public, res, "D", time.Now()); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered credential = %v", err)
+	}
+}
+
+func TestWrongRootRejected(t *testing.T) {
+	people := ids(t, 3)
+	admin, fake, alice := people[0], people[1], people[2]
+	cred, _ := fake.Issue(alice.Public, Capability{Resource: res, Rights: "R"})
+	if err := Verify(Chain{cred}, admin.Public, alice.Public, res, "R", time.Now()); !errors.Is(err, ErrWrongRoot) {
+		t.Fatalf("foreign root = %v", err)
+	}
+}
+
+func TestBrokenChainRejected(t *testing.T) {
+	people := ids(t, 4)
+	admin, alice, bob, eve := people[0], people[1], people[2], people[3]
+	root, _ := admin.Issue(alice.Public, Capability{Resource: res, Rights: "R"})
+	// Eve forges a second link signed by herself instead of Alice.
+	forged, _ := eve.Issue(bob.Public, Capability{Resource: res, Rights: "R"})
+	chain := Chain{root, forged}
+	if err := Verify(chain, admin.Public, bob.Public, res, "R", time.Now()); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("broken chain = %v", err)
+	}
+}
+
+func TestEmptyChain(t *testing.T) {
+	people := ids(t, 1)
+	if err := Verify(nil, people[0].Public, people[0].Public, res, "R", time.Now()); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestIssueValidation(t *testing.T) {
+	people := ids(t, 2)
+	if _, err := people[0].Issue(people[1].Public, Capability{Rights: "R"}); err == nil {
+		t.Fatal("empty resource accepted")
+	}
+	if _, err := people[0].Issue([]byte{1, 2}, Capability{Resource: res, Rights: "R"}); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestThreeLevelChain(t *testing.T) {
+	people := ids(t, 4)
+	admin, a, b, c := people[0], people[1], people[2], people[3]
+	root, _ := admin.Issue(a.Public, Capability{Resource: res, Rights: "RWXD"})
+	chain, err := a.Delegate(Chain{root}, b.Public, Capability{Resource: res, Rights: "RW"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err = b.Delegate(chain, c.Public, Capability{Resource: res, Rights: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(chain, admin.Public, c.Public, res, "R", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(chain, admin.Public, c.Public, res, "W", time.Now()); !errors.Is(err, ErrDenied) {
+		t.Fatalf("narrowing not enforced: %v", err)
+	}
+}

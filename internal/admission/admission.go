@@ -1,0 +1,273 @@
+// Package admission implements the storage-server admission
+// controllers of §5.4: capacity-based control (first-come
+// first-admitted until capacity is exhausted) and priority-based
+// control (higher-priority requests admitted first when capacity
+// frees). Controllers guard a server's concurrent request slots and
+// in-flight bytes so that "exorbitant sharing" cannot collapse disk
+// throughput.
+package admission
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Request describes one access asking for admission.
+type Request struct {
+	// Bytes is the request's transfer size (its share of the byte
+	// budget while admitted).
+	Bytes int64
+	// Priority orders waiters in priority-based controllers; larger is
+	// more important. Ignored by capacity-based control.
+	Priority int
+}
+
+// Controller grants access to a storage server. Admit blocks until
+// capacity is available (or the context ends) and returns a release
+// function that must be called exactly once when the access finishes.
+type Controller interface {
+	Admit(ctx context.Context, req Request) (release func(), err error)
+}
+
+// Errors.
+var (
+	// ErrOverCapacity reports a request that can never be admitted
+	// because it alone exceeds the configured budget.
+	ErrOverCapacity = errors.New("admission: request exceeds controller capacity")
+	// ErrClosed reports use of a closed controller.
+	ErrClosed = errors.New("admission: controller closed")
+)
+
+// Stats are cumulative controller counters.
+type Stats struct {
+	Admitted int64
+	Rejected int64 // context cancellations while waiting
+	Waited   int64 // admissions that had to queue first
+}
+
+// Config bounds what a controller admits concurrently.
+type Config struct {
+	// MaxConcurrent is the number of simultaneously admitted requests
+	// (<=0 means unlimited).
+	MaxConcurrent int
+	// MaxBytes is the total in-flight bytes budget (<=0 unlimited).
+	MaxBytes int64
+}
+
+// Validate reports whether the configuration admits anything.
+func (c Config) Validate() error {
+	if c.MaxConcurrent <= 0 && c.MaxBytes <= 0 {
+		return fmt.Errorf("admission: config admits unlimited load; use no controller instead")
+	}
+	return nil
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	req      Request
+	ready    chan struct{}
+	priority int
+	seq      int64 // FIFO tie-break
+	index    int   // heap position
+	granted  bool
+}
+
+// controller is the shared implementation; the ordering policy is the
+// only difference between the two §5.4 classes.
+type controller struct {
+	cfg        Config
+	byPriority bool
+
+	mu        sync.Mutex
+	inflight  int
+	bytes     int64
+	seq       int64
+	queue     waiterQueue
+	stats     Stats
+	closed    bool
+	closeOnce sync.Once
+	closedCh  chan struct{}
+}
+
+// NewCapacity returns a capacity-based (first-come-first-admitted)
+// controller.
+func NewCapacity(cfg Config) (Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &controller{cfg: cfg, closedCh: make(chan struct{})}, nil
+}
+
+// NewPriority returns a priority-based controller: when capacity
+// frees, the highest-priority waiter is admitted (FIFO among equal
+// priorities).
+func NewPriority(cfg Config) (Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &controller{cfg: cfg, byPriority: true, closedCh: make(chan struct{})}, nil
+}
+
+func (c *controller) fits(req Request) bool {
+	if c.cfg.MaxConcurrent > 0 && c.inflight >= c.cfg.MaxConcurrent {
+		return false
+	}
+	if c.cfg.MaxBytes > 0 && c.bytes+req.Bytes > c.cfg.MaxBytes {
+		return false
+	}
+	return true
+}
+
+// Admit implements Controller.
+func (c *controller) Admit(ctx context.Context, req Request) (func(), error) {
+	if req.Bytes < 0 {
+		return nil, fmt.Errorf("admission: negative request size")
+	}
+	if c.cfg.MaxBytes > 0 && req.Bytes > c.cfg.MaxBytes {
+		return nil, ErrOverCapacity
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Fast path: capacity available and nobody queued ahead.
+	if len(c.queue.ws) == 0 && c.fits(req) {
+		c.admitLocked(req)
+		c.mu.Unlock()
+		return c.releaseFunc(req), nil
+	}
+	// Queue and wait. Capacity-based control ignores priorities
+	// (pure FIFO); priority-based control orders by them.
+	prio := req.Priority
+	if !c.byPriority {
+		prio = 0
+	}
+	w := &waiter{req: req, ready: make(chan struct{}), priority: prio, seq: c.seq}
+	c.seq++
+	c.queue.push(w)
+	c.stats.Waited++
+	c.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return c.releaseFunc(req), nil
+	case <-ctx.Done():
+		return nil, c.abandon(w, req, ctx.Err())
+	case <-c.closedCh:
+		return nil, c.abandon(w, req, ErrClosed)
+	}
+}
+
+// abandon withdraws a queued waiter, returning capacity if the grant
+// raced with the abandonment.
+func (c *controller) abandon(w *waiter, req Request, cause error) error {
+	c.mu.Lock()
+	if w.granted {
+		c.mu.Unlock()
+		c.releaseFunc(req)()
+		return cause
+	}
+	c.queue.remove(w)
+	c.stats.Rejected++
+	c.mu.Unlock()
+	return cause
+}
+
+// admitLocked records an admission (mu held).
+func (c *controller) admitLocked(req Request) {
+	c.inflight++
+	c.bytes += req.Bytes
+	c.stats.Admitted++
+}
+
+// releaseFunc returns the once-only release closure for req.
+func (c *controller) releaseFunc(req Request) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.inflight--
+			c.bytes -= req.Bytes
+			c.wakeLocked()
+			c.mu.Unlock()
+		})
+	}
+}
+
+// wakeLocked admits as many queued waiters as now fit (mu held).
+func (c *controller) wakeLocked() {
+	for len(c.queue.ws) > 0 {
+		w := c.queue.ws[0]
+		if !c.fits(w.req) {
+			return
+		}
+		c.queue.remove(w)
+		c.admitLocked(w.req)
+		w.granted = true // a racing cancel must return the capacity
+		close(w.ready)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close rejects all waiters and future admissions.
+func (c *controller) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.closeOnce.Do(func() { close(c.closedCh) })
+}
+
+// waiterQueue is a priority heap over (priority desc, seq asc). With
+// all priorities forced to zero (capacity mode) the order degenerates
+// to pure FIFO.
+type waiterQueue struct {
+	ws []*waiter
+}
+
+func (q *waiterQueue) push(w *waiter) {
+	heap.Push((*waiterHeap)(q), w)
+}
+
+func (q *waiterQueue) remove(w *waiter) {
+	if w.index < len(q.ws) && q.ws[w.index] == w {
+		heap.Remove((*waiterHeap)(q), w.index)
+	}
+}
+
+// waiterHeap orders by priority desc, then FIFO.
+type waiterHeap waiterQueue
+
+func (h *waiterHeap) Len() int { return len(h.ws) }
+func (h *waiterHeap) Less(i, j int) bool {
+	if h.ws[i].priority != h.ws[j].priority {
+		return h.ws[i].priority > h.ws[j].priority
+	}
+	return h.ws[i].seq < h.ws[j].seq
+}
+func (h *waiterHeap) Swap(i, j int) {
+	h.ws[i], h.ws[j] = h.ws[j], h.ws[i]
+	h.ws[i].index = i
+	h.ws[j].index = j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(h.ws)
+	h.ws = append(h.ws, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := h.ws
+	n := len(old)
+	w := old[n-1]
+	h.ws = old[:n-1]
+	return w
+}

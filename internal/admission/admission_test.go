@@ -1,0 +1,295 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Fatal("unlimited config accepted")
+	}
+	if err := (Config{MaxConcurrent: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{MaxBytes: 100}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityAdmitsUpToLimit(t *testing.T) {
+	c, err := NewCapacity(Config{MaxConcurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	r1, err := c.Admit(ctx, Request{Bytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Admit(ctx, Request{Bytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third must block until a release.
+	done := make(chan struct{})
+	go func() {
+		r3, err := c.Admit(ctx, Request{Bytes: 1})
+		if err != nil {
+			t.Error(err)
+			close(done)
+			return
+		}
+		r3()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("third admit did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	r1()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("third admit never woke")
+	}
+	r2()
+}
+
+func TestByteBudget(t *testing.T) {
+	c, _ := NewCapacity(Config{MaxBytes: 100})
+	ctx := context.Background()
+	r1, err := c.Admit(ctx, Request{Bytes: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 80+30 > 100: must wait.
+	got := make(chan error, 1)
+	go func() {
+		r, err := c.Admit(ctx, Request{Bytes: 30})
+		if err == nil {
+			r()
+		}
+		got <- err
+	}()
+	select {
+	case <-got:
+		t.Fatal("over-budget admit did not block")
+	case <-time.After(30 * time.Millisecond):
+	}
+	r1()
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverCapacityRejectedImmediately(t *testing.T) {
+	c, _ := NewCapacity(Config{MaxBytes: 10})
+	if _, err := c.Admit(context.Background(), Request{Bytes: 11}); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("err = %v, want ErrOverCapacity", err)
+	}
+}
+
+func TestNegativeBytesRejected(t *testing.T) {
+	c, _ := NewCapacity(Config{MaxConcurrent: 1})
+	if _, err := c.Admit(context.Background(), Request{Bytes: -1}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestContextCancelWhileWaiting(t *testing.T) {
+	c, _ := NewCapacity(Config{MaxConcurrent: 1})
+	release, _ := c.Admit(context.Background(), Request{})
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, Request{})
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	release()
+	// Capacity must still be usable after the canceled waiter left.
+	r, err := c.Admit(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	c, _ := NewCapacity(Config{MaxConcurrent: 1})
+	release, _ := c.Admit(context.Background(), Request{})
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			// Stagger arrival to fix the queue order.
+			time.Sleep(time.Duration(i*20) * time.Millisecond)
+			r, err := c.Admit(context.Background(), Request{Priority: -i})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}()
+	}
+	time.Sleep(150 * time.Millisecond)
+	release()
+	wg.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("capacity controller violated FIFO: %v", order)
+		}
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	c, _ := NewPriority(Config{MaxConcurrent: 1})
+	release, _ := c.Admit(context.Background(), Request{})
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	prios := []int{1, 5, 3, 9, 2}
+	for i, p := range prios {
+		wg.Add(1)
+		i, p := i, p
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(i*20) * time.Millisecond)
+			r, err := c.Admit(context.Background(), Request{Priority: p})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, p)
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond) // hold so others stay queued
+			r()
+		}()
+	}
+	time.Sleep(150 * time.Millisecond)
+	release()
+	wg.Wait()
+	want := []int{9, 5, 3, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("priority order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDoubleReleaseSafe(t *testing.T) {
+	c, _ := NewCapacity(Config{MaxConcurrent: 1})
+	r, _ := c.Admit(context.Background(), Request{})
+	r()
+	r() // must be a no-op
+	// If the double release corrupted counters, this would hang or
+	// admit two at once.
+	r2, err := c.Admit(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan struct{})
+	go func() {
+		r3, _ := c.Admit(context.Background(), Request{})
+		if r3 != nil {
+			r3()
+		}
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("second concurrent admit not blocked; counters corrupted")
+	case <-time.After(30 * time.Millisecond):
+	}
+	r2()
+	<-blocked
+}
+
+func TestCloseWakesWaiters(t *testing.T) {
+	cc, _ := NewCapacity(Config{MaxConcurrent: 1})
+	c := cc.(*controller)
+	release, _ := c.Admit(context.Background(), Request{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(context.Background(), Request{})
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("waiter got %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake the waiter")
+	}
+	release()
+	if _, err := c.Admit(context.Background(), Request{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("admit after close = %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	cc, _ := NewCapacity(Config{MaxConcurrent: 1})
+	c := cc.(*controller)
+	r, _ := c.Admit(context.Background(), Request{})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	c.Admit(ctx, Request{}) // will be rejected by timeout
+	r()
+	st := c.Stats()
+	if st.Admitted != 1 || st.Rejected != 1 || st.Waited != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	c, _ := NewCapacity(Config{MaxConcurrent: 4, MaxBytes: 1000})
+	var active, maxActive int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				r, err := c.Admit(context.Background(), Request{Bytes: int64(g%5) * 50})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n := atomic.AddInt64(&active, 1)
+				for {
+					m := atomic.LoadInt64(&maxActive)
+					if n <= m || atomic.CompareAndSwapInt64(&maxActive, m, n) {
+						break
+					}
+				}
+				atomic.AddInt64(&active, -1)
+				r()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if maxActive > 4 {
+		t.Fatalf("concurrency limit violated: %d active", maxActive)
+	}
+}

@@ -1,0 +1,51 @@
+// Package blockstore defines the block-level storage-server interface
+// of the RobuSTore framework (Ch. 4: "Storage Servers provide data
+// storage at block level") and supplies three implementations: an
+// in-memory store, an on-disk store, and a wrapper that injects
+// latency, bandwidth limits, and faults to emulate heterogeneous
+// remote disks in examples and tests.
+//
+// Blocks are addressed by (segment, index): a segment is one erasure-
+// coded data object and the index is the coded-block number within it.
+package blockstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by stores.
+var (
+	// ErrNotFound reports a missing block.
+	ErrNotFound = errors.New("blockstore: block not found")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("blockstore: store closed")
+)
+
+// Store is the block-level storage interface. Implementations must be
+// safe for concurrent use; Get must return data the caller may retain
+// (implementations either copy or treat blocks as immutable).
+type Store interface {
+	// Put stores a block, overwriting any previous content.
+	Put(ctx context.Context, segment string, index int, data []byte) error
+	// Get retrieves a block (ErrNotFound if absent).
+	Get(ctx context.Context, segment string, index int) ([]byte, error)
+	// Delete removes a block; deleting an absent block is not an error.
+	Delete(ctx context.Context, segment string, index int) error
+	// List returns the indices stored for a segment, ascending.
+	List(ctx context.Context, segment string) ([]int, error)
+	// Close releases resources.
+	Close() error
+}
+
+// validate rejects malformed addresses before they reach a backend.
+func validate(segment string, index int) error {
+	if segment == "" {
+		return fmt.Errorf("blockstore: empty segment name")
+	}
+	if index < 0 {
+		return fmt.Errorf("blockstore: negative block index %d", index)
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package blockstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// storeFactories builds each Store implementation for the shared
+// conformance tests.
+func storeFactories(t *testing.T) map[string]func() Store {
+	return map[string]func() Store{
+		"mem": func() Store { return NewMemStore() },
+		"file": func() Store {
+			fs, err := NewFileStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		},
+		"slow": func() Store {
+			return NewSlowStore(NewMemStore(), SlowProfile{BaseLatency: time.Microsecond}, 1)
+		},
+	}
+}
+
+func TestStoreConformance(t *testing.T) {
+	ctx := context.Background()
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+
+			// Missing block.
+			if _, err := s.Get(ctx, "seg", 0); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get missing = %v, want ErrNotFound", err)
+			}
+			// Put / Get round trip.
+			data := []byte("hello block")
+			if err := s.Put(ctx, "seg", 3, data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get(ctx, "seg", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("Get = %q", got)
+			}
+			// Overwrite.
+			if err := s.Put(ctx, "seg", 3, []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = s.Get(ctx, "seg", 3)
+			if string(got) != "v2" {
+				t.Fatalf("overwrite failed: %q", got)
+			}
+			// List is sorted and scoped to the segment.
+			s.Put(ctx, "seg", 1, []byte("a"))
+			s.Put(ctx, "seg", 10, []byte("b"))
+			s.Put(ctx, "other", 5, []byte("c"))
+			idx, err := s.List(ctx, "seg")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(idx) != "[1 3 10]" {
+				t.Fatalf("List = %v", idx)
+			}
+			// Delete (idempotent).
+			if err := s.Delete(ctx, "seg", 3); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete(ctx, "seg", 3); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get(ctx, "seg", 3); !errors.Is(err, ErrNotFound) {
+				t.Fatal("deleted block still present")
+			}
+			// Address validation.
+			if err := s.Put(ctx, "", 0, data); err == nil {
+				t.Fatal("empty segment accepted")
+			}
+			if err := s.Put(ctx, "seg", -1, data); err == nil {
+				t.Fatal("negative index accepted")
+			}
+			// Empty-segment list.
+			if idx, err := s.List(ctx, "nothing"); err != nil || len(idx) != 0 {
+				t.Fatalf("List of absent segment = %v, %v", idx, err)
+			}
+		})
+	}
+}
+
+func TestMemStoreCopiesOnPut(t *testing.T) {
+	ctx := context.Background()
+	s := NewMemStore()
+	buf := []byte("mutable")
+	s.Put(ctx, "seg", 0, buf)
+	buf[0] = 'X'
+	got, _ := s.Get(ctx, "seg", 0)
+	if string(got) != "mutable" {
+		t.Fatal("Put did not copy the caller's buffer")
+	}
+}
+
+func TestMemStoreBytesAccounting(t *testing.T) {
+	ctx := context.Background()
+	s := NewMemStore()
+	s.Put(ctx, "a", 0, make([]byte, 100))
+	s.Put(ctx, "a", 1, make([]byte, 50))
+	s.Put(ctx, "a", 0, make([]byte, 10)) // overwrite shrinks
+	if s.Bytes() != 60 {
+		t.Fatalf("Bytes = %d, want 60", s.Bytes())
+	}
+	s.Delete(ctx, "a", 1)
+	if s.Bytes() != 10 {
+		t.Fatalf("Bytes after delete = %d, want 10", s.Bytes())
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	ctx := context.Background()
+	for name, mk := range storeFactories(t) {
+		if name == "slow" {
+			continue // slow wraps mem; covered there
+		}
+		s := mk()
+		s.Close()
+		if err := s.Put(ctx, "s", 0, []byte("x")); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s: Put after Close = %v", name, err)
+		}
+		if _, err := s.Get(ctx, "s", 0); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s: Get after Close = %v", name, err)
+		}
+	}
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(ctx, "some/segment:name", 7, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.Get(ctx, "some/segment:name", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persisted" {
+		t.Fatalf("reopened Get = %q", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	ctx := context.Background()
+	s := NewMemStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				seg := fmt.Sprintf("seg%d", g%2)
+				s.Put(ctx, seg, i, []byte{byte(g), byte(i)})
+				s.Get(ctx, seg, i)
+				s.List(ctx, seg)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSlowStoreDelays(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	inner.Put(ctx, "s", 0, make([]byte, 1000))
+	s := NewSlowStore(inner, SlowProfile{BaseLatency: 30 * time.Millisecond}, 1)
+	start := time.Now()
+	if _, err := s.Get(ctx, "s", 0); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("SlowStore did not delay")
+	}
+}
+
+func TestSlowStoreContextCancel(t *testing.T) {
+	inner := NewMemStore()
+	inner.Put(context.Background(), "s", 0, []byte("x"))
+	s := NewSlowStore(inner, SlowProfile{BaseLatency: 10 * time.Second}, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.Get(ctx, "s", 0)
+	if err == nil {
+		t.Fatal("canceled Get succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation did not interrupt the delay")
+	}
+}
+
+func TestSlowStoreFailureInjection(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	inner.Put(ctx, "s", 0, []byte("x"))
+	s := NewSlowStore(inner, SlowProfile{FailureRate: 1}, 1)
+	if _, err := s.Get(ctx, "s", 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Get = %v, want ErrInjected", err)
+	}
+	if err := s.Put(ctx, "s", 1, []byte("y")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put = %v, want ErrInjected", err)
+	}
+}
+
+func TestSlowStoreBandwidth(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	inner.Put(ctx, "s", 0, make([]byte, 100_000))
+	s := NewSlowStore(inner, SlowProfile{Bandwidth: 1e6}, 1) // 1 MB/s
+	start := time.Now()
+	if _, err := s.Get(ctx, "s", 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("100KB at 1MB/s took only %v", d)
+	}
+}

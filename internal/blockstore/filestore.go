@@ -1,0 +1,162 @@
+package blockstore
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FileStore persists blocks as files under a root directory:
+// <root>/<hex(segment)>/<index>.blk. Segment names are hex-encoded so
+// arbitrary names cannot escape the root or collide with path syntax.
+type FileStore struct {
+	root string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewFileStore creates (if needed) and opens a file-backed store.
+func NewFileStore(root string) (*FileStore, error) {
+	if root == "" {
+		return nil, fmt.Errorf("blockstore: empty root directory")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("blockstore: creating root: %w", err)
+	}
+	return &FileStore{root: root}, nil
+}
+
+func (s *FileStore) segDir(segment string) string {
+	return filepath.Join(s.root, hex.EncodeToString([]byte(segment)))
+}
+
+func (s *FileStore) blockPath(segment string, index int) string {
+	return filepath.Join(s.segDir(segment), strconv.Itoa(index)+".blk")
+}
+
+func (s *FileStore) checkOpen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Put writes the block atomically (temp file + rename).
+func (s *FileStore) Put(ctx context.Context, segment string, index int, data []byte) error {
+	if err := validate(segment, index); err != nil {
+		return err
+	}
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	dir := s.segDir(segment)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	if err := os.Rename(tmpName, s.blockPath(segment, index)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	return nil
+}
+
+// Get reads a block.
+func (s *FileStore) Get(ctx context.Context, segment string, index int) ([]byte, error) {
+	if err := validate(segment, index); err != nil {
+		return nil, err
+	}
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(s.blockPath(segment, index))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: %w", err)
+	}
+	return b, nil
+}
+
+// Delete removes a block file.
+func (s *FileStore) Delete(ctx context.Context, segment string, index int) error {
+	if err := validate(segment, index); err != nil {
+		return err
+	}
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	err := os.Remove(s.blockPath(segment, index))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	return nil
+}
+
+// List returns the indices stored for a segment.
+func (s *FileStore) List(ctx context.Context, segment string) ([]int, error) {
+	if segment == "" {
+		return nil, validate(segment, 0)
+	}
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(s.segDir(segment))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".blk") {
+			continue
+		}
+		idx, err := strconv.Atoi(strings.TrimSuffix(name, ".blk"))
+		if err != nil {
+			continue
+		}
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Close marks the store closed (files remain on disk).
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

@@ -1,0 +1,122 @@
+package blockstore
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// MemStore is an in-memory Store. The zero value is not usable; call
+// NewMemStore.
+type MemStore struct {
+	mu       sync.RWMutex
+	segments map[string]map[int][]byte
+	closed   bool
+	bytes    int64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{segments: make(map[string]map[int][]byte)}
+}
+
+// Put stores a copy of data.
+func (s *MemStore) Put(ctx context.Context, segment string, index int, data []byte) error {
+	if err := validate(segment, index); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	seg := s.segments[segment]
+	if seg == nil {
+		seg = make(map[int][]byte)
+		s.segments[segment] = seg
+	}
+	if old, ok := seg[index]; ok {
+		s.bytes -= int64(len(old))
+	}
+	seg[index] = cp
+	s.bytes += int64(len(cp))
+	return nil
+}
+
+// Get returns the stored block (the caller must not mutate it).
+func (s *MemStore) Get(ctx context.Context, segment string, index int) ([]byte, error) {
+	if err := validate(segment, index); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if b, ok := s.segments[segment][index]; ok {
+		return b, nil
+	}
+	return nil, ErrNotFound
+}
+
+// Delete removes a block.
+func (s *MemStore) Delete(ctx context.Context, segment string, index int) error {
+	if err := validate(segment, index); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if b, ok := s.segments[segment][index]; ok {
+		s.bytes -= int64(len(b))
+		delete(s.segments[segment], index)
+		if len(s.segments[segment]) == 0 {
+			delete(s.segments, segment)
+		}
+	}
+	return nil
+}
+
+// List returns the stored indices of a segment in ascending order.
+func (s *MemStore) List(ctx context.Context, segment string) ([]int, error) {
+	if segment == "" {
+		return nil, validate(segment, 0)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	seg := s.segments[segment]
+	out := make([]int, 0, len(seg))
+	for idx := range seg {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Bytes returns the total stored payload size.
+func (s *MemStore) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Close marks the store closed.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.segments = nil
+	return nil
+}

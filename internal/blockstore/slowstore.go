@@ -1,0 +1,128 @@
+package blockstore
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// SlowProfile describes the emulated performance of a heterogeneous
+// remote disk wrapped by SlowStore.
+type SlowProfile struct {
+	// BaseLatency is the fixed per-request positioning/network delay.
+	BaseLatency time.Duration
+	// JitterLatency adds a uniform random extra delay in [0, Jitter].
+	JitterLatency time.Duration
+	// Bandwidth throttles transfers, bytes/second (0 = unlimited).
+	Bandwidth float64
+	// FailureRate is the probability a request errors (0..1).
+	FailureRate float64
+	// StallRate is the probability a request stalls for StallTime —
+	// the "slow to respond" disks RobuSTore is designed to tolerate.
+	StallRate float64
+	StallTime time.Duration
+}
+
+// ErrInjected is returned for injected request failures.
+var ErrInjected = errors.New("blockstore: injected failure")
+
+// SlowStore wraps a Store and delays/throttles/fails requests per a
+// SlowProfile, so the real RobuSTore client can be exercised against
+// an emulated heterogeneous disk fleet on one machine. Delays honor
+// context cancellation, which is what lets speculative reads abandon
+// stragglers.
+type SlowStore struct {
+	inner   Store
+	profile SlowProfile
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewSlowStore wraps inner with the given profile and RNG seed.
+func NewSlowStore(inner Store, profile SlowProfile, seed int64) *SlowStore {
+	return &SlowStore{inner: inner, profile: profile, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Profile returns the configured profile.
+func (s *SlowStore) Profile() SlowProfile { return s.profile }
+
+// draw samples the delay and failure decision for one request of n
+// bytes under the store's lock (the RNG is not concurrency-safe).
+func (s *SlowStore) draw(n int) (time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.profile
+	if p.FailureRate > 0 && s.rng.Float64() < p.FailureRate {
+		return 0, ErrInjected
+	}
+	d := p.BaseLatency
+	if p.JitterLatency > 0 {
+		d += time.Duration(s.rng.Float64() * float64(p.JitterLatency))
+	}
+	if p.StallRate > 0 && s.rng.Float64() < p.StallRate {
+		d += p.StallTime
+	}
+	if p.Bandwidth > 0 {
+		d += time.Duration(float64(n) / p.Bandwidth * float64(time.Second))
+	}
+	return d, nil
+}
+
+// sleep waits for d or until the context is canceled.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Put delays then stores.
+func (s *SlowStore) Put(ctx context.Context, segment string, index int, data []byte) error {
+	d, err := s.draw(len(data))
+	if err != nil {
+		return err
+	}
+	if err := sleep(ctx, d); err != nil {
+		return err
+	}
+	return s.inner.Put(ctx, segment, index, data)
+}
+
+// Get delays then fetches.
+func (s *SlowStore) Get(ctx context.Context, segment string, index int) ([]byte, error) {
+	b, err := s.inner.Get(ctx, segment, index)
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.draw(len(b))
+	if err != nil {
+		return nil, err
+	}
+	if err := sleep(ctx, d); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Delete passes through without delay.
+func (s *SlowStore) Delete(ctx context.Context, segment string, index int) error {
+	return s.inner.Delete(ctx, segment, index)
+}
+
+// List passes through without delay.
+func (s *SlowStore) List(ctx context.Context, segment string) ([]int, error) {
+	return s.inner.List(ctx, segment)
+}
+
+// Close closes the wrapped store.
+func (s *SlowStore) Close() error { return s.inner.Close() }

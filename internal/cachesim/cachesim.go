@@ -1,0 +1,154 @@
+// Package cachesim models the filer's filesystem cache of §6.2.5: a
+// set-associative LRU cache with 4 KB lines (default 2 GB, 4-way).
+// Reads populate it; writes are write-through and bypass it, matching
+// the paper's simulator. Addresses are byte offsets in a per-filer
+// address space (each stored block gets a disjoint range).
+package cachesim
+
+import "fmt"
+
+// Cache is a set-associative LRU cache over fixed-size lines. Not safe
+// for concurrent use.
+type Cache struct {
+	lineBytes int64
+	ways      int
+	sets      int64
+	tags      []uint64 // sets*ways entries; 0 = empty, else lineID+1
+	stamps    []uint64
+	tick      uint64
+
+	hits, misses int64
+}
+
+// New builds a cache of totalBytes capacity with the given line size
+// and associativity. totalBytes must hold at least one full set.
+func New(totalBytes int64, lineBytes int64, ways int) (*Cache, error) {
+	if lineBytes <= 0 || ways <= 0 || totalBytes < lineBytes*int64(ways) {
+		return nil, fmt.Errorf("cachesim: invalid geometry total=%d line=%d ways=%d",
+			totalBytes, lineBytes, ways)
+	}
+	sets := totalBytes / (lineBytes * int64(ways))
+	return &Cache{
+		lineBytes: lineBytes,
+		ways:      ways,
+		sets:      sets,
+		tags:      make([]uint64, sets*int64(ways)),
+		stamps:    make([]uint64, sets*int64(ways)),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(totalBytes, lineBytes int64, ways int) *Cache {
+	c, err := New(totalBytes, lineBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Cache) set(line uint64) int64 { return int64(line % uint64(c.sets)) }
+
+// lookupLine reports and touches a single line; returns true on hit.
+func (c *Cache) lookupLine(line uint64) bool {
+	base := c.set(line) * int64(c.ways)
+	tag := line + 1
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+int64(w)] == tag {
+			c.tick++
+			c.stamps[base+int64(w)] = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// insertLine installs a line, evicting the set's LRU entry if needed.
+func (c *Cache) insertLine(line uint64) {
+	base := c.set(line) * int64(c.ways)
+	tag := line + 1
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + int64(w)
+		if c.tags[i] == tag {
+			c.tick++
+			c.stamps[i] = c.tick
+			return
+		}
+		if c.tags[i] == 0 {
+			victim = i
+			oldest = 0
+			continue
+		}
+		if c.stamps[i] < oldest {
+			oldest = c.stamps[i]
+			victim = i
+		}
+	}
+	c.tick++
+	c.tags[victim] = tag
+	c.stamps[victim] = c.tick
+}
+
+func (c *Cache) lineRange(addr, length int64) (first, last uint64) {
+	if addr < 0 || length <= 0 {
+		panic("cachesim: invalid address range")
+	}
+	return uint64(addr / c.lineBytes), uint64((addr + length - 1) / c.lineBytes)
+}
+
+// Lookup returns how many bytes of [addr, addr+length) are currently
+// cached, touching the hit lines (LRU update).
+func (c *Cache) Lookup(addr, length int64) int64 {
+	first, last := c.lineRange(addr, length)
+	var hit int64
+	for line := first; line <= last; line++ {
+		lo := int64(line) * c.lineBytes
+		hi := lo + c.lineBytes
+		if lo < addr {
+			lo = addr
+		}
+		if hi > addr+length {
+			hi = addr + length
+		}
+		if c.lookupLine(line) {
+			hit += hi - lo
+			c.hits++
+		} else {
+			c.misses++
+		}
+	}
+	return hit
+}
+
+// Insert caches every line overlapping [addr, addr+length).
+func (c *Cache) Insert(addr, length int64) {
+	first, last := c.lineRange(addr, length)
+	for line := first; line <= last; line++ {
+		c.insertLine(line)
+	}
+}
+
+// Contains reports whether the whole range is cached without touching
+// LRU state.
+func (c *Cache) Contains(addr, length int64) bool {
+	first, last := c.lineRange(addr, length)
+	for line := first; line <= last; line++ {
+		base := c.set(line) * int64(c.ways)
+		tag := line + 1
+		found := false
+		for w := 0; w < c.ways; w++ {
+			if c.tags[base+int64(w)] == tag {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns cumulative line-level hit/miss counts from Lookup.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }

@@ -1,0 +1,168 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1<<20, 4096, 4); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][3]int64{
+		{0, 4096, 4}, {1 << 20, 0, 4}, {1 << 20, 4096, 0}, {8192, 4096, 4},
+	}
+	for _, b := range bad {
+		if _, err := New(b[0], b[1], int(b[2])); err == nil {
+			t.Errorf("New(%v) accepted", b)
+		}
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := MustNew(1<<20, 4096, 4)
+	if got := c.Lookup(0, 8192); got != 0 {
+		t.Fatalf("empty cache Lookup = %d, want 0", got)
+	}
+	c.Insert(0, 8192)
+	if got := c.Lookup(0, 8192); got != 8192 {
+		t.Fatalf("Lookup after Insert = %d, want 8192", got)
+	}
+	if !c.Contains(0, 8192) {
+		t.Fatal("Contains = false after Insert")
+	}
+	if c.Contains(8192, 4096) {
+		t.Fatal("Contains = true for uncached range")
+	}
+}
+
+func TestPartialHit(t *testing.T) {
+	c := MustNew(1<<20, 4096, 4)
+	c.Insert(0, 4096) // one line
+	// Range covering two lines, one cached.
+	if got := c.Lookup(0, 8192); got != 4096 {
+		t.Fatalf("partial Lookup = %d, want 4096", got)
+	}
+	// Unaligned range within the cached line.
+	c2 := MustNew(1<<20, 4096, 4)
+	c2.Insert(0, 4096)
+	if got := c2.Lookup(100, 200); got != 200 {
+		t.Fatalf("unaligned Lookup = %d, want 200", got)
+	}
+	// Unaligned range straddling cached and uncached lines: only the
+	// bytes in the cached line count.
+	c3 := MustNew(1<<20, 4096, 4)
+	c3.Insert(0, 4096)
+	if got := c3.Lookup(4000, 1000); got != 96 {
+		t.Fatalf("straddling Lookup = %d, want 96", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 4 sets * 2 ways * 64B lines = 512B cache. Lines mapping to the
+	// same set: line, line+4, line+8, ...
+	c := MustNew(512, 64, 2)
+	addr := func(line int64) int64 { return line * 64 }
+	c.Insert(addr(0), 64) // set 0, way A
+	c.Insert(addr(4), 64) // set 0, way B
+	if !c.Contains(addr(0), 64) || !c.Contains(addr(4), 64) {
+		t.Fatal("both lines should fit")
+	}
+	// Touch line 0 so line 4 is LRU, then insert a third line in set 0.
+	c.Lookup(addr(0), 64)
+	c.Insert(addr(8), 64)
+	if !c.Contains(addr(0), 64) {
+		t.Fatal("recently-used line evicted")
+	}
+	if c.Contains(addr(4), 64) {
+		t.Fatal("LRU line survived eviction")
+	}
+	if !c.Contains(addr(8), 64) {
+		t.Fatal("new line not inserted")
+	}
+}
+
+func TestReinsertRefreshes(t *testing.T) {
+	c := MustNew(512, 64, 2)
+	addr := func(line int64) int64 { return line * 64 }
+	c.Insert(addr(0), 64)
+	c.Insert(addr(4), 64)
+	c.Insert(addr(0), 64) // refresh, not duplicate
+	c.Insert(addr(8), 64) // should evict line 4
+	if !c.Contains(addr(0), 64) || c.Contains(addr(4), 64) {
+		t.Fatal("re-insert did not refresh LRU position")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := MustNew(1<<20, 4096, 4)
+	c.Insert(0, 4096)
+	c.Lookup(0, 4096)
+	c.Lookup(4096, 4096)
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestInvalidRangePanics(t *testing.T) {
+	c := MustNew(1<<20, 4096, 4)
+	for _, fn := range []func(){
+		func() { c.Lookup(-1, 10) },
+		func() { c.Lookup(0, 0) },
+		func() { c.Insert(5, -3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid range did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	// Inserting far more than capacity must keep at most capacity
+	// resident.
+	const total = 64 << 10
+	c := MustNew(total, 4096, 4)
+	for i := int64(0); i < 100; i++ {
+		c.Insert(i*4096, 4096)
+	}
+	var resident int64
+	for i := int64(0); i < 100; i++ {
+		if c.Contains(i*4096, 4096) {
+			resident += 4096
+		}
+	}
+	if resident > total {
+		t.Fatalf("resident %d exceeds capacity %d", resident, total)
+	}
+	if resident == 0 {
+		t.Fatal("nothing resident after inserts")
+	}
+}
+
+func TestQuickInsertThenHit(t *testing.T) {
+	// Whatever we just inserted must be immediately resident (it was
+	// the most recently used line in its set).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := MustNew(1<<18, 4096, 4)
+		for i := 0; i < 200; i++ {
+			addr := int64(rng.Intn(1 << 22))
+			length := int64(1 + rng.Intn(16384))
+			c.Insert(addr, length)
+			if c.Lookup(addr, length) != length {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

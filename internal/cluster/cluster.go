@@ -1,0 +1,173 @@
+// Package cluster assembles the simulated wide-area storage system of
+// §6.2.5 / Fig 6-4: a pool of disks attached to filers (each filer
+// with an optional shared filesystem cache), reached from one client
+// over fixed-RTT links through a finite-rate client NIC. A Cluster is
+// instantiated per trial with per-disk layouts and competitive
+// background streams drawn from workload policies, and is consumed by
+// the storage-scheme simulations in internal/schemes.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cachesim"
+	"repro/internal/disk"
+	"repro/internal/netmodel"
+	"repro/internal/workload"
+)
+
+// Config is the hardware configuration of the storage system.
+type Config struct {
+	TotalDisks    int     // disks in the pool (paper: 128)
+	DisksPerFiler int     // disks per filer (paper: 8)
+	RTT           float64 // client↔filer round trip (paper baseline: 1 ms)
+	ClientNIC     float64 // client interface rate, bytes/s (paper: 10 Gbps)
+	ConnectTime   float64 // metadata + connection setup per access (paper: 5 ms)
+
+	FilerCache int64 // filesystem cache per filer; 0 disables (paper: 2 GB)
+	CacheLine  int64 // cache line size (paper: 4 KB)
+	CacheWays  int   // associativity (paper: 4)
+
+	Disk disk.Params
+}
+
+// DefaultConfig returns the paper's baseline system (§6.2.5) with
+// caching disabled (it is enabled only in the §6.3.3 experiments).
+func DefaultConfig() Config {
+	return Config{
+		TotalDisks:    128,
+		DisksPerFiler: 8,
+		RTT:           0.001,
+		ClientNIC:     2.5e9, // paper assumes plentiful bandwidth; 20 Gbps keeps the NIC out of the disk-bound experiments while still bounding cached transfers
+		ConnectTime:   0.005,
+		FilerCache:    0,
+		CacheLine:     4 << 10,
+		CacheWays:     4,
+		Disk:          disk.DefaultParams(),
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.TotalDisks < 1 {
+		return fmt.Errorf("cluster: TotalDisks must be >= 1")
+	}
+	if c.DisksPerFiler < 1 {
+		return fmt.Errorf("cluster: DisksPerFiler must be >= 1")
+	}
+	if c.RTT < 0 || c.ClientNIC < 0 || c.ConnectTime < 0 {
+		return fmt.Errorf("cluster: negative timing parameter")
+	}
+	if c.FilerCache > 0 && (c.CacheLine <= 0 || c.CacheWays <= 0) {
+		return fmt.Errorf("cluster: cache enabled but line/ways invalid")
+	}
+	return c.Disk.Validate()
+}
+
+// Trial is the per-trial variation configuration.
+type Trial struct {
+	Layout     workload.LayoutPolicy
+	Background workload.BackgroundPolicy
+}
+
+// Cluster is one instantiated trial of the storage system.
+type Cluster struct {
+	cfg    Config
+	drives []*disk.Drive
+	caches []*cachesim.Cache // per filer; nil entries when disabled
+	rng    *rand.Rand
+}
+
+// New builds a cluster for one trial: every disk draws its layout,
+// background stream, and zone from the trial seed.
+func New(cfg Config, trial Trial, seed int64) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := trial.Background.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Cluster{cfg: cfg, rng: rng}
+	c.drives = make([]*disk.Drive, cfg.TotalDisks)
+	for i := range c.drives {
+		lay := trial.Layout.Sample(rng)
+		bg := trial.Background.Sample(rng)
+		d, err := disk.NewDrive(cfg.Disk, lay, bg, rng.Int63())
+		if err != nil {
+			return nil, err
+		}
+		c.drives[i] = d
+	}
+	nFilers := (cfg.TotalDisks + cfg.DisksPerFiler - 1) / cfg.DisksPerFiler
+	c.caches = make([]*cachesim.Cache, nFilers)
+	if cfg.FilerCache > 0 {
+		for f := range c.caches {
+			cache, err := cachesim.New(cfg.FilerCache, cfg.CacheLine, cfg.CacheWays)
+			if err != nil {
+				return nil, err
+			}
+			c.caches[f] = cache
+		}
+	}
+	return c, nil
+}
+
+// Config returns the cluster's hardware configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Drive returns disk i's drive model.
+func (c *Cluster) Drive(i int) *disk.Drive { return c.drives[i] }
+
+// FilerOf returns the filer index that disk i attaches to.
+func (c *Cluster) FilerOf(i int) int { return i / c.cfg.DisksPerFiler }
+
+// Cache returns the cache of disk i's filer, or nil when disabled.
+func (c *Cluster) Cache(i int) *cachesim.Cache { return c.caches[c.FilerOf(i)] }
+
+// CacheAddr returns the filer-cache address of the j-th block slot on
+// disk i with the given block size. Slots of different disks behind
+// the same filer occupy disjoint address regions.
+func (c *Cluster) CacheAddr(i, j int, blockBytes int64) int64 {
+	local := int64(i % c.cfg.DisksPerFiler)
+	return local<<42 + int64(j)*blockBytes
+}
+
+// SelectDisks picks n distinct disks uniformly at random in random
+// order, as the paper's access scheduler does per access.
+func (c *Cluster) SelectDisks(n int) ([]int, error) {
+	if n < 1 || n > c.cfg.TotalDisks {
+		return nil, fmt.Errorf("cluster: cannot select %d of %d disks", n, c.cfg.TotalDisks)
+	}
+	return c.rng.Perm(c.cfg.TotalDisks)[:n], nil
+}
+
+// RNG exposes the trial RNG for scheme-level randomness (graph
+// construction, block-order permutations) so one seed reproduces the
+// whole trial.
+func (c *Cluster) RNG() *rand.Rand { return c.rng }
+
+// NewNICSerializer returns a fresh client-NIC serializer for one
+// access direction.
+func (c *Cluster) NewNICSerializer() *netmodel.Serializer {
+	return netmodel.NewSerializer(c.cfg.ClientNIC)
+}
+
+// ReconfigureDrives redraws every drive's layout, background stream,
+// and zone (new seeds from the trial RNG) while keeping filer caches
+// intact — used between consecutive accesses in the §6.3.3 caching
+// experiments, where disk behaviour is dynamic but cache contents
+// persist.
+func (c *Cluster) ReconfigureDrives(trial Trial) error {
+	for i := range c.drives {
+		lay := trial.Layout.Sample(c.rng)
+		bg := trial.Background.Sample(c.rng)
+		d, err := disk.NewDrive(c.cfg.Disk, lay, bg, c.rng.Int63())
+		if err != nil {
+			return err
+		}
+		c.drives[i] = d
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/workload"
+)
+
+func het() Trial {
+	return Trial{Layout: workload.HeterogeneousLayout(), Background: workload.NoBackground()}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	muts := []func(*Config){
+		func(c *Config) { c.TotalDisks = 0 },
+		func(c *Config) { c.DisksPerFiler = 0 },
+		func(c *Config) { c.RTT = -1 },
+		func(c *Config) { c.ClientNIC = -1 },
+		func(c *Config) { c.ConnectTime = -1 },
+		func(c *Config) { c.FilerCache = 1 << 20; c.CacheLine = 0 },
+		func(c *Config) { c.Disk.RPM = -1 },
+	}
+	for i, mut := range muts {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewClusterShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalDisks = 24
+	cfg.DisksPerFiler = 8
+	cl, err := New(cfg, het(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		if cl.Drive(i) == nil {
+			t.Fatalf("drive %d nil", i)
+		}
+		if want := i / 8; cl.FilerOf(i) != want {
+			t.Fatalf("FilerOf(%d) = %d, want %d", i, cl.FilerOf(i), want)
+		}
+		if cl.Cache(i) != nil {
+			t.Fatal("cache present though disabled")
+		}
+	}
+}
+
+func TestCachesPerFiler(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalDisks = 16
+	cfg.FilerCache = 1 << 20
+	cl, err := New(cfg, het(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Cache(0) == nil {
+		t.Fatal("cache missing")
+	}
+	if cl.Cache(0) != cl.Cache(7) {
+		t.Fatal("disks 0 and 7 should share filer 0's cache")
+	}
+	if cl.Cache(0) == cl.Cache(8) {
+		t.Fatal("disks 0 and 8 must not share a cache")
+	}
+}
+
+func TestCacheAddrDisjointAcrossDisks(t *testing.T) {
+	cfg := DefaultConfig()
+	cl, _ := New(cfg, het(), 3)
+	const bb = 1 << 20
+	// Two different disks behind the same filer, same slot index, must
+	// map to different addresses.
+	a := cl.CacheAddr(0, 5, bb)
+	b := cl.CacheAddr(1, 5, bb)
+	if a == b {
+		t.Fatal("cache addresses collide across disks")
+	}
+	// Consecutive slots of one disk must not overlap.
+	if cl.CacheAddr(0, 0, bb)+bb > cl.CacheAddr(0, 1, bb)+1 &&
+		cl.CacheAddr(0, 1, bb) < cl.CacheAddr(0, 0, bb)+bb {
+		t.Fatal("consecutive block addresses overlap")
+	}
+}
+
+func TestSelectDisks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalDisks = 16
+	cl, _ := New(cfg, het(), 4)
+	sel, err := cl.SelectDisks(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 8 {
+		t.Fatalf("selected %d disks", len(sel))
+	}
+	seen := map[int]bool{}
+	for _, d := range sel {
+		if d < 0 || d >= 16 || seen[d] {
+			t.Fatalf("bad selection %v", sel)
+		}
+		seen[d] = true
+	}
+	if _, err := cl.SelectDisks(17); err == nil {
+		t.Fatal("over-selection accepted")
+	}
+	if _, err := cl.SelectDisks(0); err == nil {
+		t.Fatal("zero selection accepted")
+	}
+}
+
+func TestHeterogeneousLayoutsDiffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalDisks = 32
+	cl, _ := New(cfg, het(), 5)
+	layouts := map[disk.Layout]bool{}
+	for i := 0; i < 32; i++ {
+		layouts[cl.Drive(i).Layout()] = true
+	}
+	if len(layouts) < 4 {
+		t.Fatalf("only %d distinct layouts across 32 disks", len(layouts))
+	}
+}
+
+func TestHomogeneousLayoutsEqual(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalDisks = 16
+	fixed := disk.Layout{BlockingFactor: 512, PSeq: 1}
+	trial := Trial{
+		Layout:     workload.HomogeneousLayout(fixed),
+		Background: workload.NoBackground(),
+	}
+	cl, err := New(cfg, trial, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if cl.Drive(i).Layout() != fixed {
+			t.Fatalf("disk %d layout %+v, want fixed", i, cl.Drive(i).Layout())
+		}
+	}
+}
+
+func TestReconfigureKeepsCaches(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalDisks = 8
+	cfg.FilerCache = 1 << 20
+	cl, err := New(cfg, het(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := cl.Cache(0)
+	cache.Insert(0, 4096)
+	old := cl.Drive(0)
+	if err := cl.ReconfigureDrives(het()); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Drive(0) == old {
+		t.Fatal("drive not replaced")
+	}
+	if cl.Cache(0) != cache {
+		t.Fatal("cache replaced")
+	}
+	if !cache.Contains(0, 4096) {
+		t.Fatal("cache contents lost")
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalDisks = 8
+	a, _ := New(cfg, het(), 9)
+	b, _ := New(cfg, het(), 9)
+	for i := 0; i < 8; i++ {
+		if a.Drive(i).Layout() != b.Drive(i).Layout() {
+			t.Fatal("same seed produced different layouts")
+		}
+		if a.Drive(i).MediaRate() != b.Drive(i).MediaRate() {
+			t.Fatal("same seed produced different zones")
+		}
+	}
+}

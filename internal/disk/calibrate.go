@@ -1,0 +1,100 @@
+package disk
+
+// Calibration helpers regenerate Table 6-1 (the average-bandwidth grid
+// over the layout model) and Fig 6-5 (the background-interval sweep).
+
+// GridCell is one entry of the Table 6-1 calibration grid.
+type GridCell struct {
+	Layout        Layout
+	BandwidthMBps float64
+}
+
+// CalibrationGrid measures the average standalone foreground bandwidth
+// for every (blocking factor, PSeq) combination of §6.2.5, averaging
+// `trials` drives (each with a random zone) reading accessBytes each.
+// Rows are PSeq 0 then 1, columns follow BlockingFactors.
+func CalibrationGrid(p Params, trials int, accessBytes int64, seed int64) [2][]GridCell {
+	var out [2][]GridCell
+	for row, pseq := range []float64{0, 1} {
+		cells := make([]GridCell, 0, len(BlockingFactors))
+		for ci, bf := range BlockingFactors {
+			lay := Layout{BlockingFactor: bf, PSeq: pseq}
+			var sum float64
+			for tr := 0; tr < trials; tr++ {
+				s := seed + int64(row*1000000+ci*10000+tr)
+				d := MustDrive(p, lay, Background{}, s)
+				sum += d.StandaloneBandwidth(accessBytes)
+			}
+			cells = append(cells, GridCell{
+				Layout:        lay,
+				BandwidthMBps: sum / float64(trials) / 1e6,
+			})
+		}
+		out[row] = cells
+	}
+	return out
+}
+
+// MeanGridBandwidthMBps returns the average over all grid cells — the
+// paper's "average of disk bandwidth is 14.9 MBps" summary statistic.
+func MeanGridBandwidthMBps(grid [2][]GridCell) float64 {
+	var sum float64
+	var n int
+	for _, row := range grid {
+		for _, c := range row {
+			sum += c.BandwidthMBps
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// BackgroundPoint is one entry of the Fig 6-5 sweep.
+type BackgroundPoint struct {
+	IntervalMS      float64
+	Utilization     float64 // disk time consumed by the background stream alone
+	ForegroundMBps  float64 // foreground bandwidth under that competition
+	ForegroundShare float64 // fraction of disk time the foreground obtained
+}
+
+// BackgroundSweep regenerates Fig 6-5: for each mean arrival interval,
+// it measures (a) the disk utilization of the background stream alone
+// and (b) the foreground bandwidth achieved while competing with it.
+// The foreground uses a fast layout so the contention effect, not the
+// foreground's own layout, dominates — matching the paper's setup.
+func BackgroundSweep(p Params, intervalsMS []float64, trials int, accessBytes int64, seed int64) []BackgroundPoint {
+	fgLayout := Layout{BlockingFactor: 512, PSeq: 1}
+	out := make([]BackgroundPoint, 0, len(intervalsMS))
+	for _, ms := range intervalsMS {
+		bg := Background{Interval: ms / 1000, Sectors: 50}
+		var util, fgBW, share float64
+		for tr := 0; tr < trials; tr++ {
+			// Seeds depend only on the trial so each interval point
+			// sees the same drives (zones); otherwise zone noise can
+			// mask the interval trend.
+			s := seed + int64(tr)*1000
+			// Background-only utilization over a long window.
+			solo := MustDrive(p, fgLayout, bg, s)
+			solo.Idle(60)
+			util += solo.Stats().BgShare
+			// Foreground under competition.
+			d := MustDrive(p, fgLayout, bg, s+7)
+			start, end := d.ServeRequest(0, accessBytes)
+			fgBW += float64(accessBytes) / (end - start)
+			st := d.Stats()
+			if d.Clock() > 0 {
+				share += (st.Busy - st.BgBusy) / d.Clock()
+			}
+		}
+		out = append(out, BackgroundPoint{
+			IntervalMS:      ms,
+			Utilization:     util / float64(trials),
+			ForegroundMBps:  fgBW / float64(trials) / 1e6,
+			ForegroundShare: share / float64(trials),
+		})
+	}
+	return out
+}

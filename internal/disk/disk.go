@@ -1,0 +1,378 @@
+// Package disk models the service-time behaviour of a hard disk drive
+// at the level the RobuSTore evaluation exercises it: zoned media
+// transfer rates, a seek-time curve, rotational latency, per-request
+// controller overhead, the (blocking factor × P(sequential)) in-disk
+// layout model of §6.2.5, and interleaved competitive background
+// request streams (Fig 6-5). It replaces the paper's DiskSim-based
+// virtual disk; the calibration targets are Table 6-1's average
+// bandwidth grid (≈0.5 → ≈50 MBps, a ~100x spread) and Fig 6-5's
+// background-utilization response.
+//
+// A Drive serves foreground block requests sequentially (the virtual
+// filer issues micro-requests closed-loop), interleaving background
+// requests that arrive in the meantime — so foreground throughput
+// degrades to roughly the idle fraction left by the competing stream,
+// exactly the contention behaviour the paper studies.
+package disk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Params describes the physical drive model. DefaultParams is
+// calibrated against Table 6-1 (an IBM Deskstar 7K400-era commodity
+// SATA drive: 7200 rpm, ~60-80 MB/s media).
+type Params struct {
+	SectorSize int     // bytes per sector
+	RPM        float64 // spindle speed
+
+	// Media transfer rate by zone: the outermost zone reads at
+	// MaxMediaRate bytes/s, the innermost at MinMediaRate; a workload
+	// region placed at cylinder fraction z gets a linear interpolation.
+	MinMediaRate float64
+	MaxMediaRate float64
+
+	// Seek curve: seekTime(d) = SeekMin + (SeekMax-SeekMin)*sqrt(d)
+	// for a seek spanning fraction d of the cylinders.
+	SeekMin float64
+	SeekMax float64
+
+	// A workload's data spans a contiguous region of the cylinder
+	// space; random micro-requests seek within it. Each drive draws
+	// its region span uniformly from [RegionFracMin, RegionFracMax] —
+	// poorly laid-out files span more cylinders and seek further,
+	// which is a second source of per-drive performance variation
+	// beyond the zone (media-rate) draw.
+	RegionFracMin float64
+	RegionFracMax float64
+
+	// ControllerOverhead is the fixed command-processing cost charged
+	// to every micro-request (bus, controller, head settle).
+	ControllerOverhead float64
+
+	// TrackBytes and TrackSwitch model head/track switches during long
+	// transfers: every TrackBytes transferred costs one TrackSwitch.
+	TrackBytes  int
+	TrackSwitch float64
+
+	// BgSchedulingGain scales the positioning cost of background
+	// requests (<1 models the on-disk scheduler shortening seeks by
+	// reordering its queued stream).
+	BgSchedulingGain float64
+
+	// BgMaxQueueDelay bounds how long a background request may queue
+	// before its initiator gives up (the arrival is dropped). Real
+	// competing clients keep a bounded number of requests outstanding;
+	// without this bound, a drive whose background service cost
+	// exceeds the arrival interval starves the foreground forever.
+	BgMaxQueueDelay float64
+}
+
+// DefaultParams returns the calibrated drive model.
+func DefaultParams() Params {
+	return Params{
+		SectorSize:         512,
+		RPM:                7200,
+		MinMediaRate:       40e6,
+		MaxMediaRate:       80e6,
+		SeekMin:            0.8e-3,
+		SeekMax:            15e-3,
+		RegionFracMin:      0.005,
+		RegionFracMax:      0.06,
+		ControllerOverhead: 1.0e-3,
+		TrackBytes:         460 << 10,
+		TrackSwitch:        0.8e-3,
+		BgSchedulingGain:   0.7,
+		BgMaxQueueDelay:    0.1,
+	}
+}
+
+// Validate reports whether the parameters are physically sensible.
+func (p Params) Validate() error {
+	switch {
+	case p.SectorSize <= 0:
+		return fmt.Errorf("disk: SectorSize must be positive")
+	case p.RPM <= 0:
+		return fmt.Errorf("disk: RPM must be positive")
+	case p.MinMediaRate <= 0 || p.MaxMediaRate < p.MinMediaRate:
+		return fmt.Errorf("disk: media rates invalid")
+	case p.SeekMin < 0 || p.SeekMax < p.SeekMin:
+		return fmt.Errorf("disk: seek curve invalid")
+	case p.RegionFracMin <= 0 || p.RegionFracMax < p.RegionFracMin || p.RegionFracMax > 1:
+		return fmt.Errorf("disk: region fraction range must satisfy 0 < min <= max <= 1")
+	case p.ControllerOverhead < 0:
+		return fmt.Errorf("disk: ControllerOverhead must be >= 0")
+	case p.TrackBytes <= 0 || p.TrackSwitch < 0:
+		return fmt.Errorf("disk: track model invalid")
+	case p.BgSchedulingGain <= 0 || p.BgSchedulingGain > 1:
+		return fmt.Errorf("disk: BgSchedulingGain must be in (0,1]")
+	case p.BgMaxQueueDelay < 0:
+		return fmt.Errorf("disk: BgMaxQueueDelay must be >= 0")
+	}
+	return nil
+}
+
+// RotationPeriod returns one spindle revolution in seconds.
+func (p Params) RotationPeriod() float64 { return 60 / p.RPM }
+
+// Layout is the per-workload in-disk data layout model of §6.2.5: a
+// macro request is served as micro-requests of BlockingFactor sectors,
+// each sequential to its predecessor with probability PSeq.
+type Layout struct {
+	BlockingFactor int
+	PSeq           float64
+}
+
+// Validate reports whether the layout is usable.
+func (l Layout) Validate() error {
+	if l.BlockingFactor < 1 {
+		return fmt.Errorf("disk: BlockingFactor must be >= 1")
+	}
+	if l.PSeq < 0 || l.PSeq > 1 {
+		return fmt.Errorf("disk: PSeq must be in [0,1]")
+	}
+	return nil
+}
+
+// BlockingFactors are the values swept by Table 6-1.
+var BlockingFactors = []int{8, 16, 32, 64, 128, 256, 512, 1024}
+
+// RandomLayout draws the heterogeneous-layout configuration of §6.2.5:
+// a blocking factor uniformly from BlockingFactors and PSeq ∈ {0, 1}.
+func RandomLayout(rng *rand.Rand) Layout {
+	return Layout{
+		BlockingFactor: BlockingFactors[rng.Intn(len(BlockingFactors))],
+		PSeq:           float64(rng.Intn(2)),
+	}
+}
+
+// Background describes a competitive request stream sharing the drive
+// (§6.2.4): mid-size random requests with exponential inter-arrival.
+type Background struct {
+	Interval float64 // mean inter-arrival in seconds; <=0 disables
+	Sectors  int     // request size in sectors (paper: ~50)
+}
+
+// Enabled reports whether the stream generates requests.
+func (b Background) Enabled() bool { return b.Interval > 0 && b.Sectors > 0 }
+
+// Drive is one simulated disk with its own clock, workload region
+// (zone), layout, and background stream. Not safe for concurrent use.
+type Drive struct {
+	p   Params
+	lay Layout
+	bg  Background
+	rng *rand.Rand
+
+	clock      float64 // drive-local time: when the head is next free
+	nextBg     float64 // next background arrival
+	mediaRate  float64 // bytes/s for this drive's workload region
+	zone       float64 // cylinder fraction of the region
+	regionFrac float64 // cylinder span of this drive's workload region
+
+	busy       float64 // total time spent serving any request
+	bgBusy     float64 // time spent on background requests
+	fgBytes    int64
+	bgBytes    int64
+	fgRequests int64
+	bgRequests int64
+	bgDropped  int64
+}
+
+// NewDrive creates a drive with the given model, layout, background
+// stream, and RNG seed. The workload region (zone) is drawn from the
+// RNG, making the media rate of otherwise-identical drives vary by up
+// to MaxMediaRate/MinMediaRate (§6.3.2: "accesses to different disk
+// zones achieve different performance").
+func NewDrive(p Params, lay Layout, bg Background, seed int64) (*Drive, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := &Drive{p: p, lay: lay, bg: bg, rng: rng}
+	d.zone = rng.Float64()
+	d.mediaRate = p.MaxMediaRate - (p.MaxMediaRate-p.MinMediaRate)*d.zone
+	d.regionFrac = p.RegionFracMin + rng.Float64()*(p.RegionFracMax-p.RegionFracMin)
+	if bg.Enabled() {
+		d.nextBg = d.expInterval()
+	}
+	return d, nil
+}
+
+// MustDrive is NewDrive that panics on error (for tests and internal
+// construction from validated configs).
+func MustDrive(p Params, lay Layout, bg Background, seed int64) *Drive {
+	d, err := NewDrive(p, lay, bg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Layout returns the drive's configured layout.
+func (d *Drive) Layout() Layout { return d.lay }
+
+// MediaRate returns the zone-dependent media transfer rate in bytes/s.
+func (d *Drive) MediaRate() float64 { return d.mediaRate }
+
+// Clock returns the drive-local time at which the head is next free.
+func (d *Drive) Clock() float64 { return d.clock }
+
+func (d *Drive) expInterval() float64 {
+	return d.rng.ExpFloat64() * d.bg.Interval
+}
+
+// seekTime returns the time for a seek spanning cylinder fraction
+// dist.
+func (d *Drive) seekTime(dist float64) float64 {
+	return d.p.SeekMin + (d.p.SeekMax-d.p.SeekMin)*math.Sqrt(dist)
+}
+
+// positioning samples seek + rotational latency for a random
+// micro-request within the workload region.
+func (d *Drive) positioning() float64 {
+	dist := d.rng.Float64() * d.regionFrac
+	return d.seekTime(dist) + d.rng.Float64()*d.p.RotationPeriod()
+}
+
+// transfer returns the media time to move n bytes including amortized
+// track switches.
+func (d *Drive) transfer(bytes int64) float64 {
+	t := float64(bytes) / d.mediaRate
+	t += float64(bytes) / float64(d.p.TrackBytes) * d.p.TrackSwitch
+	return t
+}
+
+// microCost returns the cost of one foreground micro-request.
+func (d *Drive) microCost(bytes int64, sequential bool) float64 {
+	t := d.p.ControllerOverhead
+	if !sequential {
+		t += d.positioning()
+	}
+	return t + d.transfer(bytes)
+}
+
+// bgCost returns the cost of one background request.
+func (d *Drive) bgCost() float64 {
+	pos := (d.p.ControllerOverhead + d.positioning()) * d.p.BgSchedulingGain
+	return pos + d.transfer(int64(d.bg.Sectors)*int64(d.p.SectorSize))
+}
+
+// serveBackgroundUntil serves pending background arrivals strictly
+// before time limit, advancing the drive clock. Arrivals that occur
+// while the head is busy queue and are served in order.
+func (d *Drive) serveBackgroundUntil(limit float64) {
+	if !d.bg.Enabled() {
+		return
+	}
+	for d.nextBg < limit {
+		start := d.clock
+		if d.nextBg > start {
+			start = d.nextBg
+		}
+		// A request queued past the initiator's patience is abandoned.
+		if d.p.BgMaxQueueDelay > 0 && start-d.nextBg > d.p.BgMaxQueueDelay {
+			d.bgDropped++
+			d.nextBg += d.expInterval()
+			continue
+		}
+		cost := d.bgCost()
+		d.clock = start + cost
+		d.busy += cost
+		d.bgBusy += cost
+		d.bgBytes += int64(d.bg.Sectors) * int64(d.p.SectorSize)
+		d.bgRequests++
+		d.nextBg += d.expInterval()
+	}
+}
+
+// ServeRequest serves a foreground request of `bytes` that becomes
+// available to the drive at `arrival` (drive-local time). It returns
+// the start and completion times. Background requests that arrived
+// earlier are served first; further background arrivals interleave
+// between the request's micro-requests (closed-loop issue).
+func (d *Drive) ServeRequest(arrival float64, bytes int64) (start, end float64) {
+	if bytes <= 0 {
+		panic("disk: ServeRequest with non-positive size")
+	}
+	// Drain background work that precedes this request.
+	d.serveBackgroundUntil(arrival)
+	if d.clock < arrival {
+		d.clock = arrival
+	}
+	start = d.clock
+	micro := int64(d.lay.BlockingFactor) * int64(d.p.SectorSize)
+	remaining := bytes
+	first := true
+	for remaining > 0 {
+		// Background requests already due jump the closed-loop
+		// foreground stream.
+		d.serveBackgroundUntil(d.clock)
+		n := micro
+		if n > remaining {
+			n = remaining
+		}
+		sequential := !first && d.rng.Float64() < d.lay.PSeq
+		cost := d.microCost(n, sequential)
+		d.clock += cost
+		d.busy += cost
+		d.fgBytes += n
+		d.fgRequests++
+		remaining -= n
+		first = false
+	}
+	return start, d.clock
+}
+
+// Idle advances the drive to time t serving only background work —
+// used to account utilization when the foreground is absent.
+func (d *Drive) Idle(t float64) {
+	d.serveBackgroundUntil(t)
+	if d.clock < t {
+		d.clock = t
+	}
+}
+
+// Stats reports accumulated drive activity.
+type Stats struct {
+	Busy        float64
+	BgBusy      float64
+	FgBytes     int64
+	BgBytes     int64
+	FgRequests  int64
+	BgRequests  int64
+	BgDropped   int64   // background arrivals abandoned by their initiator
+	Utilization float64 // busy time / clock
+	BgShare     float64 // bg busy / clock
+}
+
+// Stats returns the drive's accumulated counters.
+func (d *Drive) Stats() Stats {
+	s := Stats{
+		Busy: d.busy, BgBusy: d.bgBusy,
+		FgBytes: d.fgBytes, BgBytes: d.bgBytes,
+		FgRequests: d.fgRequests, BgRequests: d.bgRequests,
+		BgDropped: d.bgDropped,
+	}
+	if d.clock > 0 {
+		s.Utilization = d.busy / d.clock
+		s.BgShare = d.bgBusy / d.clock
+	}
+	return s
+}
+
+// StandaloneBandwidth estimates the drive's foreground bandwidth in
+// bytes/s by serving `total` bytes from time 0 with no competing
+// foreground (background still interferes if configured).
+func (d *Drive) StandaloneBandwidth(total int64) float64 {
+	start, end := d.ServeRequest(0, total)
+	if end <= start {
+		return 0
+	}
+	return float64(total) / (end - start)
+}

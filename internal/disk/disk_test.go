@@ -1,0 +1,273 @@
+package disk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.SectorSize = 0 },
+		func(p *Params) { p.RPM = -1 },
+		func(p *Params) { p.MinMediaRate = 0 },
+		func(p *Params) { p.MaxMediaRate = p.MinMediaRate - 1 },
+		func(p *Params) { p.SeekMin = -1 },
+		func(p *Params) { p.SeekMax = p.SeekMin / 2 },
+		func(p *Params) { p.RegionFracMin = 0 },
+		func(p *Params) { p.RegionFracMax = p.RegionFracMin / 2 },
+		func(p *Params) { p.RegionFracMax = 1.5 },
+		func(p *Params) { p.ControllerOverhead = -1 },
+		func(p *Params) { p.TrackBytes = 0 },
+		func(p *Params) { p.BgSchedulingGain = 0 },
+		func(p *Params) { p.BgSchedulingGain = 1.1 },
+	}
+	for i, mut := range bad {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	if err := (Layout{BlockingFactor: 8, PSeq: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []Layout{{0, 0}, {8, -0.1}, {8, 1.1}} {
+		if err := l.Validate(); err == nil {
+			t.Errorf("layout %+v accepted", l)
+		}
+	}
+}
+
+func TestRandomLayoutDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	valid := map[int]bool{}
+	for _, bf := range BlockingFactors {
+		valid[bf] = true
+	}
+	for i := 0; i < 200; i++ {
+		l := RandomLayout(rng)
+		if !valid[l.BlockingFactor] {
+			t.Fatalf("blocking factor %d not in table", l.BlockingFactor)
+		}
+		if l.PSeq != 0 && l.PSeq != 1 {
+			t.Fatalf("PSeq %v not in {0,1}", l.PSeq)
+		}
+	}
+}
+
+func TestServeRequestBasics(t *testing.T) {
+	d := MustDrive(DefaultParams(), Layout{BlockingFactor: 128, PSeq: 0}, Background{}, 1)
+	start, end := d.ServeRequest(0, 1<<20)
+	if start != 0 {
+		t.Fatalf("start = %v, want 0 on idle drive", start)
+	}
+	if end <= start {
+		t.Fatalf("end %v <= start %v", end, start)
+	}
+	// A later request starts no earlier than its arrival.
+	s2, e2 := d.ServeRequest(end+5, 1<<20)
+	if s2 < end+5 {
+		t.Fatalf("second request started at %v before arrival %v", s2, end+5)
+	}
+	if e2 <= s2 {
+		t.Fatal("second request has zero duration")
+	}
+	st := d.Stats()
+	if st.FgBytes != 2<<20 {
+		t.Fatalf("FgBytes = %d, want %d", st.FgBytes, 2<<20)
+	}
+	if st.BgBytes != 0 || st.BgRequests != 0 {
+		t.Fatal("background activity on a drive with no stream")
+	}
+}
+
+func TestServeRequestZeroBytesPanics(t *testing.T) {
+	d := MustDrive(DefaultParams(), Layout{BlockingFactor: 8, PSeq: 0}, Background{}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-byte request did not panic")
+		}
+	}()
+	d.ServeRequest(0, 0)
+}
+
+func TestSequentialFasterThanRandom(t *testing.T) {
+	const size = 8 << 20
+	for _, bf := range BlockingFactors {
+		seq := MustDrive(DefaultParams(), Layout{bf, 1}, Background{}, 42)
+		rnd := MustDrive(DefaultParams(), Layout{bf, 0}, Background{}, 42)
+		bs := seq.StandaloneBandwidth(size)
+		br := rnd.StandaloneBandwidth(size)
+		if bs <= br {
+			t.Errorf("BF=%d: sequential %v not faster than random %v", bf, bs, br)
+		}
+	}
+}
+
+func TestBandwidthMonotoneInBlockingFactor(t *testing.T) {
+	// Table 6-1 shape: within each PSeq row, bandwidth grows with BF.
+	grid := CalibrationGrid(DefaultParams(), 8, 16<<20, 7)
+	for row := 0; row < 2; row++ {
+		for i := 1; i < len(grid[row]); i++ {
+			if grid[row][i].BandwidthMBps <= grid[row][i-1].BandwidthMBps {
+				t.Errorf("row %d: bandwidth not monotone at BF=%d (%v <= %v)",
+					row, grid[row][i].Layout.BlockingFactor,
+					grid[row][i].BandwidthMBps, grid[row][i-1].BandwidthMBps)
+			}
+		}
+	}
+}
+
+func TestCalibrationSpanAndMean(t *testing.T) {
+	// Paper: ~100-fold spread (0.52 .. 53 MBps) and grid mean ~14.9.
+	grid := CalibrationGrid(DefaultParams(), 10, 16<<20, 3)
+	lo := grid[0][0].BandwidthMBps              // random, BF=8
+	hi := grid[1][len(grid[1])-1].BandwidthMBps // sequential, BF=1024
+	if lo > 1.5 || lo < 0.1 {
+		t.Errorf("slowest cell %v MBps; paper has 0.52", lo)
+	}
+	if hi < 25 || hi > 90 {
+		t.Errorf("fastest cell %v MBps; paper has 53", hi)
+	}
+	if hi/lo < 30 {
+		t.Errorf("bandwidth spread %vx; paper has ~100x", hi/lo)
+	}
+	mean := MeanGridBandwidthMBps(grid)
+	if mean < 7 || mean > 30 {
+		t.Errorf("grid mean %v MBps; paper has 14.9", mean)
+	}
+}
+
+func TestZoneVariation(t *testing.T) {
+	// Same layout, different seeds → media rate varies up to ~2x.
+	lay := Layout{BlockingFactor: 1024, PSeq: 1}
+	minR, maxR := 1e18, 0.0
+	for seed := int64(0); seed < 50; seed++ {
+		d := MustDrive(DefaultParams(), lay, Background{}, seed)
+		r := d.MediaRate()
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR/minR < 1.3 {
+		t.Fatalf("zone variation only %vx; expected up to ~2x", maxR/minR)
+	}
+	p := DefaultParams()
+	if maxR > p.MaxMediaRate || minR < p.MinMediaRate {
+		t.Fatal("media rate outside configured zone range")
+	}
+}
+
+func TestBackgroundUtilizationDecreasesWithInterval(t *testing.T) {
+	p := DefaultParams()
+	sweep := BackgroundSweep(p, []float64{6, 20, 50, 100, 200}, 4, 64<<20, 11)
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].Utilization >= sweep[i-1].Utilization {
+			t.Errorf("bg utilization not decreasing: %v then %v",
+				sweep[i-1].Utilization, sweep[i].Utilization)
+		}
+		if sweep[i].ForegroundMBps <= sweep[i-1].ForegroundMBps {
+			t.Errorf("fg bandwidth not increasing with interval: %v then %v",
+				sweep[i-1].ForegroundMBps, sweep[i].ForegroundMBps)
+		}
+	}
+	// Paper calibration: ~93% utilization at 6 ms.
+	if sweep[0].Utilization < 0.75 || sweep[0].Utilization > 1.0 {
+		t.Errorf("utilization at 6ms = %v; paper has ~0.93", sweep[0].Utilization)
+	}
+	last := sweep[len(sweep)-1]
+	if last.Utilization > 0.2 {
+		t.Errorf("utilization at 200ms = %v; expected small", last.Utilization)
+	}
+}
+
+func TestBackgroundInterferesWithForeground(t *testing.T) {
+	lay := Layout{BlockingFactor: 512, PSeq: 1}
+	free := MustDrive(DefaultParams(), lay, Background{}, 5)
+	busy := MustDrive(DefaultParams(), lay, Background{Interval: 0.006, Sectors: 50}, 5)
+	bwFree := free.StandaloneBandwidth(32 << 20)
+	bwBusy := busy.StandaloneBandwidth(32 << 20)
+	if bwBusy >= bwFree/2 {
+		t.Fatalf("heavy background barely slowed foreground: %v vs %v", bwBusy, bwFree)
+	}
+}
+
+func TestIdleServesBackground(t *testing.T) {
+	d := MustDrive(DefaultParams(), Layout{512, 1}, Background{Interval: 0.01, Sectors: 50}, 9)
+	d.Idle(10)
+	st := d.Stats()
+	if st.BgRequests == 0 {
+		t.Fatal("no background requests served while idle")
+	}
+	// ~10s / 10ms = ~1000 arrivals; allow wide tolerance.
+	if st.BgRequests < 500 || st.BgRequests > 2000 {
+		t.Fatalf("BgRequests = %d, want ~1000", st.BgRequests)
+	}
+	if st.Utilization <= 0 || st.Utilization > 1 {
+		t.Fatalf("utilization %v out of range", st.Utilization)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	mk := func() (float64, float64) {
+		d := MustDrive(DefaultParams(), Layout{64, 0}, Background{Interval: 0.02, Sectors: 50}, 77)
+		return d.ServeRequest(0.5, 4<<20)
+	}
+	s1, e1 := mk()
+	s2, e2 := mk()
+	if s1 != s2 || e1 != e2 {
+		t.Fatalf("drive not deterministic: (%v,%v) vs (%v,%v)", s1, e1, s2, e2)
+	}
+}
+
+func TestQuickServeInvariants(t *testing.T) {
+	f := func(seed int64, bfIdx uint8, pseqBit, withBg bool, kb uint16) bool {
+		bf := BlockingFactors[int(bfIdx)%len(BlockingFactors)]
+		pseq := 0.0
+		if pseqBit {
+			pseq = 1
+		}
+		bg := Background{}
+		if withBg {
+			bg = Background{Interval: 0.05, Sectors: 50}
+		}
+		d := MustDrive(DefaultParams(), Layout{bf, pseq}, bg, seed)
+		bytes := int64(kb%2048+1) << 10
+		prevEnd := 0.0
+		for i := 0; i < 5; i++ {
+			arrival := prevEnd + float64(i)*0.001
+			start, end := d.ServeRequest(arrival, bytes)
+			if start < arrival || end <= start {
+				return false
+			}
+			if start < prevEnd { // head can't time travel
+				return false
+			}
+			prevEnd = end
+		}
+		st := d.Stats()
+		return st.FgBytes == 5*bytes && st.Busy > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkServe1MBBlocks(b *testing.B) {
+	d := MustDrive(DefaultParams(), Layout{64, 0}, Background{Interval: 0.05, Sectors: 50}, 1)
+	arrival := 0.0
+	for i := 0; i < b.N; i++ {
+		_, end := d.ServeRequest(arrival, 1<<20)
+		arrival = end
+	}
+}

@@ -1,0 +1,117 @@
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// QueueServer is a discrete-event-driven disk server: multiple
+// simulated clients submit block requests at virtual times, the disk
+// serves them FCFS (interleaved with its background stream), and
+// pending requests can be canceled — the §5.3.3 request-cancellation
+// mechanism "implemented in the file system software", modeled
+// explicitly. It drives a Drive through the shared sim.Kernel and is
+// used by multi-client contention tests and the admission-control
+// studies; the single-client experiments use Drive's faster direct
+// timeline API, which this server's semantics match by construction.
+type QueueServer struct {
+	kernel *sim.Kernel
+	drive  *Drive
+
+	queue   []*QueuedRequest
+	busy    bool
+	served  int64
+	dropped int64
+}
+
+// QueuedRequest is one outstanding request at a QueueServer.
+type QueuedRequest struct {
+	Bytes    int64
+	Arrival  float64
+	Done     func(start, end float64) // completion callback (virtual times)
+	canceled bool
+	started  bool
+}
+
+// Canceled reports whether the request was canceled before service.
+func (r *QueuedRequest) Canceled() bool { return r.canceled }
+
+// Started reports whether service began (started requests cannot be
+// canceled; the in-flight transfer completes, as on real hardware).
+func (r *QueuedRequest) Started() bool { return r.started }
+
+// NewQueueServer builds a server over a drive, driven by the kernel.
+func NewQueueServer(k *sim.Kernel, d *Drive) *QueueServer {
+	return &QueueServer{kernel: k, drive: d}
+}
+
+// Submit enqueues a request at the current virtual time. The Done
+// callback fires (inside the kernel) when service completes.
+func (s *QueueServer) Submit(bytes int64, done func(start, end float64)) (*QueuedRequest, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("disk: queued request must be positive size")
+	}
+	r := &QueuedRequest{Bytes: bytes, Arrival: s.kernel.Now(), Done: done}
+	s.queue = append(s.queue, r)
+	s.kick()
+	return r, nil
+}
+
+// Cancel removes a not-yet-started request from the queue. It reports
+// whether the request was actually removed.
+func (s *QueueServer) Cancel(r *QueuedRequest) bool {
+	if r == nil || r.started || r.canceled {
+		return false
+	}
+	r.canceled = true
+	s.dropped++
+	return true
+}
+
+// kick starts service if the head is idle.
+func (s *QueueServer) kick() {
+	if s.busy {
+		return
+	}
+	// Drop canceled requests at the head.
+	for len(s.queue) > 0 && s.queue[0].canceled {
+		s.queue = s.queue[1:]
+	}
+	if len(s.queue) == 0 {
+		return
+	}
+	r := s.queue[0]
+	s.queue = s.queue[1:]
+	r.started = true
+	s.busy = true
+	// The drive's own clock may lag the kernel clock (idle gaps);
+	// ServeRequest handles the catch-up, including background work.
+	start, end := s.drive.ServeRequest(s.kernel.Now(), r.Bytes)
+	if end < s.kernel.Now() {
+		// Cannot happen: service ends at or after its arrival.
+		panic("disk: queue service ended in the past")
+	}
+	s.served++
+	s.kernel.At(end, func(k *sim.Kernel) {
+		s.busy = false
+		if r.Done != nil {
+			r.Done(start, end)
+		}
+		s.kick()
+	})
+}
+
+// Stats returns served/dropped counters.
+func (s *QueueServer) Stats() (served, dropped int64) { return s.served, s.dropped }
+
+// QueueLen returns the number of waiting (uncanceled) requests.
+func (s *QueueServer) QueueLen() int {
+	n := 0
+	for _, r := range s.queue {
+		if !r.canceled {
+			n++
+		}
+	}
+	return n
+}

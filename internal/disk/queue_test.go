@@ -1,0 +1,171 @@
+package disk
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newQueueFixture(bg Background) (*sim.Kernel, *QueueServer) {
+	k := sim.New()
+	d := MustDrive(DefaultParams(), Layout{BlockingFactor: 256, PSeq: 1}, bg, 1)
+	return k, NewQueueServer(k, d)
+}
+
+func TestQueueServesFCFS(t *testing.T) {
+	k, q := newQueueFixture(Background{})
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if _, err := q.Submit(1<<20, func(start, end float64) {
+			order = append(order, i)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order %v not FCFS", order)
+		}
+	}
+	served, dropped := q.Stats()
+	if served != 5 || dropped != 0 {
+		t.Fatalf("stats = %d/%d", served, dropped)
+	}
+}
+
+func TestQueueCompletionTimesMonotone(t *testing.T) {
+	k, q := newQueueFixture(Background{})
+	var ends []float64
+	for i := 0; i < 8; i++ {
+		q.Submit(512<<10, func(start, end float64) {
+			if end <= start {
+				t.Errorf("end %v <= start %v", end, start)
+			}
+			ends = append(ends, end)
+		})
+	}
+	k.Run()
+	for i := 1; i < len(ends); i++ {
+		if ends[i] <= ends[i-1] {
+			t.Fatalf("completions not monotone: %v", ends)
+		}
+	}
+}
+
+func TestQueueCancellation(t *testing.T) {
+	k, q := newQueueFixture(Background{})
+	var done []int
+	var reqs []*QueuedRequest
+	for i := 0; i < 6; i++ {
+		i := i
+		r, err := q.Submit(1<<20, func(start, end float64) {
+			done = append(done, i)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, r)
+	}
+	// Run one service; then cancel two still-queued requests.
+	k.Step() // completion event of request 0 fires, kicking request 1
+	if !q.Cancel(reqs[3]) || !q.Cancel(reqs[5]) {
+		t.Fatal("cancel of queued requests failed")
+	}
+	if q.Cancel(reqs[3]) {
+		t.Fatal("double cancel succeeded")
+	}
+	if q.Cancel(reqs[0]) {
+		t.Fatal("canceled an already-served request")
+	}
+	k.Run()
+	want := map[int]bool{0: true, 1: true, 2: true, 4: true}
+	if len(done) != len(want) {
+		t.Fatalf("served %v", done)
+	}
+	for _, i := range done {
+		if !want[i] {
+			t.Fatalf("request %d served despite cancel set %v", i, done)
+		}
+	}
+	_, dropped := q.Stats()
+	if dropped != 2 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+}
+
+func TestQueueIdleGapsHandled(t *testing.T) {
+	// Requests arriving after an idle gap start at their arrival, not
+	// at the previous completion.
+	k, q := newQueueFixture(Background{})
+	var firstEnd, secondStart float64
+	q.Submit(1<<20, func(start, end float64) { firstEnd = end })
+	k.Run()
+	k.At(firstEnd+10, func(*sim.Kernel) {
+		q.Submit(1<<20, func(start, end float64) { secondStart = start })
+	})
+	k.Run()
+	if secondStart < firstEnd+10 {
+		t.Fatalf("second request started at %v before its arrival %v", secondStart, firstEnd+10)
+	}
+}
+
+func TestQueueMatchesDriveTimeline(t *testing.T) {
+	// Back-to-back submissions through the queue must reproduce the
+	// Drive's direct sequential timeline (same seed, same requests).
+	direct := MustDrive(DefaultParams(), Layout{BlockingFactor: 128, PSeq: 0}, Background{}, 9)
+	var wantEnds []float64
+	for i := 0; i < 5; i++ {
+		_, end := direct.ServeRequest(0, 1<<20)
+		wantEnds = append(wantEnds, end)
+	}
+	k := sim.New()
+	q := NewQueueServer(k, MustDrive(DefaultParams(), Layout{BlockingFactor: 128, PSeq: 0}, Background{}, 9))
+	var gotEnds []float64
+	for i := 0; i < 5; i++ {
+		q.Submit(1<<20, func(start, end float64) { gotEnds = append(gotEnds, end) })
+	}
+	k.Run()
+	for i := range wantEnds {
+		if gotEnds[i] != wantEnds[i] {
+			t.Fatalf("queue end[%d]=%v, direct=%v", i, gotEnds[i], wantEnds[i])
+		}
+	}
+}
+
+func TestQueueWithBackgroundStream(t *testing.T) {
+	k, q := newQueueFixture(Background{Interval: 0.01, Sectors: 50})
+	var end float64
+	q.Submit(8<<20, func(s, e float64) { end = e })
+	k.Run()
+	kFree, qFree := newQueueFixture(Background{})
+	var endFree float64
+	qFree.Submit(8<<20, func(s, e float64) { endFree = e })
+	kFree.Run()
+	if end <= endFree {
+		t.Fatalf("background stream did not slow queued service: %v vs %v", end, endFree)
+	}
+}
+
+func TestQueueRejectsBadSize(t *testing.T) {
+	_, q := newQueueFixture(Background{})
+	if _, err := q.Submit(0, nil); err == nil {
+		t.Fatal("zero-size request accepted")
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	k, q := newQueueFixture(Background{})
+	for i := 0; i < 4; i++ {
+		q.Submit(1<<20, nil)
+	}
+	// One is in service, three queued.
+	if got := q.QueueLen(); got != 3 {
+		t.Fatalf("QueueLen = %d, want 3", got)
+	}
+	k.Run()
+	if q.QueueLen() != 0 {
+		t.Fatal("queue not drained")
+	}
+}

@@ -1,0 +1,127 @@
+package erasure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ltcode"
+	"repro/internal/rs"
+)
+
+// LT adapts an ltcode.Graph to the Code interface. Because LT codes
+// are rateless, the graph (and hence N) is fixed at construction from
+// the desired redundancy; the writer may construct a larger graph than
+// it intends to store (§4.1.1, adaptive writing).
+type LT struct {
+	graph *ltcode.Graph
+}
+
+// NewLT builds an improved-LT code with n coded blocks using a seeded
+// RNG, so that writer and readers derive the same graph from the
+// metadata (params, n, seed).
+func NewLT(p ltcode.Params, n int, seed int64) (*LT, error) {
+	g, err := ltcode.BuildGraph(p, n, rand.New(rand.NewSource(seed)), ltcode.DefaultGraphOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &LT{graph: g}, nil
+}
+
+// NewLTFromGraph wraps an existing graph.
+func NewLTFromGraph(g *ltcode.Graph) *LT { return &LT{graph: g} }
+
+func (c *LT) K() int { return c.graph.K }
+func (c *LT) N() int { return c.graph.N }
+
+// Graph exposes the underlying coding graph (for update planning and
+// simulation).
+func (c *LT) Graph() *ltcode.Graph { return c.graph }
+
+func (c *LT) Encode(data [][]byte) ([][]byte, error) { return c.graph.Encode(data) }
+
+func (c *LT) NewDecoder() Decoder { return &ltDecoder{d: ltcode.NewDecoder(c.graph)} }
+
+type ltDecoder struct {
+	d *ltcode.Decoder
+}
+
+func (d *ltDecoder) Add(idx int, payload []byte) error {
+	_, err := d.d.AddData(idx, payload)
+	return err
+}
+
+func (d *ltDecoder) Complete() bool          { return d.d.Complete() }
+func (d *ltDecoder) Received() int           { return d.d.Received() }
+func (d *ltDecoder) Data() ([][]byte, error) { return d.d.Data() }
+
+// RS adapts the systematic Reed-Solomon code to the Code interface
+// (optimal erasure code: any K blocks decode).
+type RS struct {
+	code *rs.Code
+}
+
+// NewRS builds a Reed-Solomon code with k data and n-k parity blocks.
+func NewRS(k, n int) (*RS, error) {
+	if n < k {
+		return nil, fmt.Errorf("erasure: RS requires n >= k")
+	}
+	c, err := rs.New(k, n-k)
+	if err != nil {
+		return nil, err
+	}
+	return &RS{code: c}, nil
+}
+
+func (c *RS) K() int { return c.code.K() }
+func (c *RS) N() int { return c.code.N() }
+
+func (c *RS) Encode(data [][]byte) ([][]byte, error) {
+	if _, err := checkBlocks(data, c.K()); err != nil {
+		return nil, err
+	}
+	shards := make([][]byte, c.N())
+	copy(shards, data)
+	if err := c.code.Encode(shards); err != nil {
+		return nil, err
+	}
+	return shards, nil
+}
+
+func (c *RS) NewDecoder() Decoder {
+	return &rsDecoder{code: c.code, shards: make([][]byte, c.code.N())}
+}
+
+type rsDecoder struct {
+	code   *rs.Code
+	shards [][]byte
+	have   int
+	solved bool
+}
+
+func (d *rsDecoder) Add(idx int, payload []byte) error {
+	if idx < 0 || idx >= d.code.N() {
+		return fmt.Errorf("erasure: RS block index %d out of range", idx)
+	}
+	if d.shards[idx] != nil {
+		return nil
+	}
+	d.shards[idx] = payload
+	d.have++
+	return nil
+}
+
+func (d *rsDecoder) Complete() bool { return d.have >= d.code.K() }
+func (d *rsDecoder) Received() int  { return d.have }
+
+func (d *rsDecoder) Data() ([][]byte, error) {
+	if !d.Complete() {
+		return nil, ErrIncomplete
+	}
+	if !d.solved {
+		if err := d.code.Reconstruct(d.shards); err != nil {
+			return nil, err
+		}
+		d.solved = true
+	}
+	return d.shards[:d.code.K()], nil
+}

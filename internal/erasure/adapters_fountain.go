@@ -1,0 +1,79 @@
+package erasure
+
+import (
+	"repro/internal/raptor"
+	"repro/internal/tornado"
+)
+
+// Raptor adapts raptor.Code to the erasure.Code interface.
+type Raptor struct {
+	code *raptor.Code
+}
+
+// NewRaptor builds a Raptor code with k inputs and n coded blocks,
+// deterministic in seed.
+func NewRaptor(k, n int, seed int64) (*Raptor, error) {
+	c, err := raptor.New(raptor.Params{K: k, Seed: seed}, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Raptor{code: c}, nil
+}
+
+func (c *Raptor) K() int { return c.code.K() }
+func (c *Raptor) N() int { return c.code.N() }
+
+func (c *Raptor) Encode(data [][]byte) ([][]byte, error) {
+	if _, err := checkBlocks(data, c.K()); err != nil {
+		return nil, err
+	}
+	return c.code.Encode(data)
+}
+
+func (c *Raptor) NewDecoder() Decoder { return &raptorDecoder{d: c.code.NewDecoder()} }
+
+type raptorDecoder struct {
+	d *raptor.Decoder
+}
+
+func (d *raptorDecoder) Add(idx int, payload []byte) error { return d.d.Add(idx, payload) }
+func (d *raptorDecoder) Complete() bool                    { return d.d.Complete() }
+func (d *raptorDecoder) Received() int                     { return d.d.Received() }
+func (d *raptorDecoder) Data() ([][]byte, error)           { return d.d.Data() }
+
+// Tornado adapts tornado.Code to the erasure.Code interface. N is
+// determined by the code's fixed rate (≈ K/(1-β)).
+type Tornado struct {
+	code *tornado.Code
+}
+
+// NewTornado builds a rate-1/2 Tornado code over k originals,
+// deterministic in seed.
+func NewTornado(k int, seed int64) (*Tornado, error) {
+	c, err := tornado.New(tornado.Params{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Tornado{code: c}, nil
+}
+
+func (c *Tornado) K() int { return c.code.K() }
+func (c *Tornado) N() int { return c.code.N() }
+
+func (c *Tornado) Encode(data [][]byte) ([][]byte, error) {
+	if _, err := checkBlocks(data, c.K()); err != nil {
+		return nil, err
+	}
+	return c.code.Encode(data)
+}
+
+func (c *Tornado) NewDecoder() Decoder { return &tornadoDecoder{d: c.code.NewDecoder()} }
+
+type tornadoDecoder struct {
+	d *tornado.Decoder
+}
+
+func (d *tornadoDecoder) Add(idx int, payload []byte) error { return d.d.Add(idx, payload) }
+func (d *tornadoDecoder) Complete() bool                    { return d.d.Complete() }
+func (d *tornadoDecoder) Received() int                     { return d.d.Received() }
+func (d *tornadoDecoder) Data() ([][]byte, error)           { return d.d.Data() }

@@ -1,0 +1,50 @@
+package erasure
+
+import (
+	"testing"
+)
+
+func TestRaptorAdapterRoundTrip(t *testing.T) {
+	c, err := NewRaptor(32, 128, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 32 || c.N() != 128 {
+		t.Fatalf("K/N = %d/%d", c.K(), c.N())
+	}
+	roundTrip(t, c, 11)
+}
+
+func TestTornadoAdapterRoundTrip(t *testing.T) {
+	c, err := NewTornado(128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 128 || c.N() <= c.K() {
+		t.Fatalf("K/N = %d/%d", c.K(), c.N())
+	}
+	roundTrip(t, c, 12)
+}
+
+func TestFountainAdapterValidation(t *testing.T) {
+	r, err := NewRaptor(16, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Encode(make([][]byte, 3)); err != ErrBlockCount {
+		t.Fatalf("raptor wrong count: %v", err)
+	}
+	tn, err := NewTornado(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.Encode(make([][]byte, 3)); err != ErrBlockCount {
+		t.Fatalf("tornado wrong count: %v", err)
+	}
+	if _, err := NewRaptor(0, 4, 1); err == nil {
+		t.Fatal("raptor K=0 accepted")
+	}
+	if _, err := NewTornado(0, 1); err == nil {
+		t.Fatal("tornado K=0 accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package erasure
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ltcode"
+)
+
+// This file implements the Appendix A analysis: the probability that M
+// randomly drawn blocks suffice to reassemble K original blocks, for
+// (a) plain-text replication and (b) an LT-style code modeled as
+// degree-d dart throwing. The paper evaluates these with alternating
+// inclusion-exclusion sums that are numerically hopeless at K=1024 in
+// floating point; we compute the same quantities with stable all-
+// positive dynamic programs in log space.
+
+// logChoose returns ln C(n, k) (−Inf when k < 0 or k > n).
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	ln2, _ := math.Lgamma(float64(k + 1))
+	ln3, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - ln2 - ln3
+}
+
+// logSumExp returns ln(Σ e^{x_i}) stably.
+func logSumExp(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}
+
+// ReplicationCoverageCurve returns P[m] for m = 0..maxM: the
+// probability that m blocks drawn uniformly at random (without
+// replacement) from the r*k replicated blocks contain at least one
+// copy of every one of the k originals — the exact quantity P(M) of
+// Appendix A.1, computed by a stable positive recurrence
+//
+//	f(c, m) = Σ_{j=1..r} C(r, j) · f(c-1, m-j)
+//
+// where f(c, m) counts m-subsets covering all of the first c colors;
+// P(m) = f(k, m) / C(rk, m).
+func ReplicationCoverageCurve(k, r, maxM int) []float64 {
+	if maxM > r*k {
+		maxM = r * k
+	}
+	// lf[m] = ln f(c, m) for the current color count c.
+	lf := make([]float64, maxM+1)
+	next := make([]float64, maxM+1)
+	for m := range lf {
+		lf[m] = math.Inf(-1)
+	}
+	lf[0] = 0 // f(0,0) = 1
+	lcr := make([]float64, r+1)
+	for j := 1; j <= r; j++ {
+		lcr[j] = logChoose(r, j)
+	}
+	terms := make([]float64, 0, r)
+	for c := 1; c <= k; c++ {
+		for m := 0; m <= maxM; m++ {
+			terms = terms[:0]
+			for j := 1; j <= r && j <= m; j++ {
+				t := lcr[j] + lf[m-j]
+				if !math.IsInf(t, -1) {
+					terms = append(terms, t)
+				}
+			}
+			next[m] = logSumExp(terms)
+		}
+		lf, next = next, lf
+	}
+	out := make([]float64, maxM+1)
+	for m := 0; m <= maxM; m++ {
+		out[m] = math.Exp(lf[m] - logChoose(r*k, m))
+	}
+	return out
+}
+
+// DartCoverageCurve returns P[m] for m = 0..maxM: the probability that
+// m coded blocks, each independently referencing `degree` uniformly
+// random original blocks, jointly reference all k originals — the
+// Appendix A.2 model Pc(M) with average degree d, computed exactly via
+// the coupon-collector Markov chain instead of the alternating sum.
+func DartCoverageCurve(k, degree, maxM int) []float64 {
+	// State: number of distinct originals covered so far.
+	p := make([]float64, k+1)
+	p[0] = 1
+	out := make([]float64, maxM+1)
+	out[0] = p[k]
+	kf := float64(k)
+	for m := 1; m <= maxM; m++ {
+		for dart := 0; dart < degree; dart++ {
+			// One dart: covered count c stays with prob c/k, advances
+			// with prob (k-c)/k. Iterate downward so we read old values.
+			for c := k; c >= 1; c-- {
+				p[c] = p[c]*float64(c)/kf + p[c-1]*(kf-float64(c-1))/kf
+			}
+			p[0] = 0
+		}
+		out[m] = p[k]
+	}
+	return out
+}
+
+// MonteCarloBlocksNeeded runs `trials` empirical experiments drawing
+// coded blocks of the given Code-like process in random order and
+// returns the number of blocks needed to reconstruct in each trial.
+// kind selects the process.
+
+// ReplicationBlocksNeeded samples how many of the r*k replicated
+// blocks must arrive (in uniformly random order) before every original
+// has at least one copy.
+func ReplicationBlocksNeeded(k, r int, rng *rand.Rand) int {
+	n := r * k
+	perm := rng.Perm(n)
+	covered := make([]bool, k)
+	remaining := k
+	for m, b := range perm {
+		o := b % k
+		if !covered[o] {
+			covered[o] = true
+			remaining--
+			if remaining == 0 {
+				return m + 1
+			}
+		}
+	}
+	return n
+}
+
+// LTBlocksNeeded samples how many LT-coded blocks (from a fresh
+// improved-LT graph with n = r*k blocks) must arrive in random order
+// before the peeling decoder completes. Returns -1 if the graph build
+// fails (practically impossible).
+func LTBlocksNeeded(p ltcode.Params, r int, rng *rand.Rand) int {
+	g, err := ltcode.BuildGraph(p, r*p.K, rng, ltcode.DefaultGraphOptions())
+	if err != nil {
+		return -1
+	}
+	d := ltcode.NewSymbolicDecoder(g)
+	for _, idx := range rng.Perm(g.N) {
+		d.Add(idx)
+		if d.Complete() {
+			return d.Received()
+		}
+	}
+	return g.N
+}
+
+// EmpiricalCDF converts a sample of "blocks needed" values into a CDF
+// over m = 0..maxM.
+func EmpiricalCDF(samples []int, maxM int) []float64 {
+	cdf := make([]float64, maxM+1)
+	if len(samples) == 0 {
+		return cdf
+	}
+	counts := make([]int, maxM+2)
+	for _, s := range samples {
+		if s < 0 {
+			continue
+		}
+		if s > maxM {
+			s = maxM + 1
+		}
+		counts[s]++
+	}
+	acc := 0
+	for m := 0; m <= maxM; m++ {
+		acc += counts[m]
+		cdf[m] = float64(acc) / float64(len(samples))
+	}
+	return cdf
+}

@@ -1,0 +1,239 @@
+// Package erasure defines the common coding abstraction used by the
+// RobuSTore client and provides the simple codes the paper discusses
+// alongside LT codes: plain-text replication (§2.2.2, the RRAID
+// baseline's "code") and single parity (RAID-5 style). It also houses
+// the Appendix A analysis comparing replication with erasure coding —
+// the math behind Fig 4-1.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decoder consumes coded blocks (in any order) and reports when the
+// original data can be reconstructed. Implementations are not safe for
+// concurrent use.
+type Decoder interface {
+	// Add feeds coded block idx with its payload. Duplicates are
+	// ignored. It returns an error only for malformed input.
+	Add(idx int, payload []byte) error
+	// Complete reports whether all original blocks are recoverable.
+	Complete() bool
+	// Data returns the K original blocks; errors unless Complete.
+	Data() ([][]byte, error)
+	// Received returns the count of distinct blocks consumed.
+	Received() int
+}
+
+// Code transforms K original blocks into N >= K coded blocks such that
+// (some) subsets of coded blocks suffice to rebuild the originals.
+type Code interface {
+	// K returns the number of original blocks per segment.
+	K() int
+	// N returns the number of coded blocks produced by Encode.
+	N() int
+	// Encode maps K equal-size original blocks to N coded blocks.
+	Encode(data [][]byte) ([][]byte, error)
+	// NewDecoder returns a fresh decoder for one segment.
+	NewDecoder() Decoder
+}
+
+// Errors shared by the built-in codes.
+var (
+	ErrBlockCount = errors.New("erasure: wrong number of original blocks")
+	ErrBlockSize  = errors.New("erasure: original blocks have unequal or zero sizes")
+	ErrIncomplete = errors.New("erasure: decode incomplete")
+)
+
+func checkBlocks(data [][]byte, k int) (int, error) {
+	if len(data) != k {
+		return 0, ErrBlockCount
+	}
+	size := len(data[0])
+	if size == 0 {
+		return 0, ErrBlockSize
+	}
+	for _, b := range data {
+		if len(b) != size {
+			return 0, ErrBlockSize
+		}
+	}
+	return size, nil
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+
+// Replication is plain-text replication: coded block i is a copy of
+// original block i mod K, with replicas rotated (replica r of block b
+// is coded index r*K+b). It is the redundancy scheme of RRAID-S and
+// RRAID-A.
+type Replication struct {
+	k, replicas int
+}
+
+// NewReplication returns a replication code with `replicas` full
+// copies (replicas >= 1; replicas == 1 means no redundancy, RAID-0).
+func NewReplication(k, replicas int) (*Replication, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("erasure: replication k must be >= 1, got %d", k)
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("erasure: replicas must be >= 1, got %d", replicas)
+	}
+	return &Replication{k: k, replicas: replicas}, nil
+}
+
+func (r *Replication) K() int { return r.k }
+func (r *Replication) N() int { return r.k * r.replicas }
+
+// Origin returns the original-block index carried by coded block idx.
+func (r *Replication) Origin(idx int) int { return idx % r.k }
+
+func (r *Replication) Encode(data [][]byte) ([][]byte, error) {
+	if _, err := checkBlocks(data, r.k); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, r.N())
+	for i := range out {
+		out[i] = data[i%r.k] // replicas share storage; callers treat blocks as immutable
+	}
+	return out, nil
+}
+
+func (r *Replication) NewDecoder() Decoder {
+	return &replicationDecoder{code: r, data: make([][]byte, r.k)}
+}
+
+type replicationDecoder struct {
+	code     *Replication
+	data     [][]byte
+	have     int
+	received map[int]bool
+}
+
+func (d *replicationDecoder) Add(idx int, payload []byte) error {
+	if idx < 0 || idx >= d.code.N() {
+		return fmt.Errorf("erasure: replication block index %d out of range", idx)
+	}
+	if d.received == nil {
+		d.received = make(map[int]bool)
+	}
+	if d.received[idx] {
+		return nil
+	}
+	d.received[idx] = true
+	o := d.code.Origin(idx)
+	if d.data[o] == nil {
+		d.data[o] = payload
+		d.have++
+	}
+	return nil
+}
+
+func (d *replicationDecoder) Complete() bool { return d.have == d.code.k }
+func (d *replicationDecoder) Received() int  { return len(d.received) }
+
+func (d *replicationDecoder) Data() ([][]byte, error) {
+	if !d.Complete() {
+		return nil, ErrIncomplete
+	}
+	return d.data, nil
+}
+
+// ---------------------------------------------------------------------------
+// Parity
+
+// Parity is the single-XOR-parity code (N = K+1): any K of the K+1
+// blocks reconstruct the data. It is the simplest erasure code the
+// paper surveys (§2.2.2).
+type Parity struct {
+	k int
+}
+
+// NewParity returns a parity code over k blocks.
+func NewParity(k int) (*Parity, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("erasure: parity k must be >= 1, got %d", k)
+	}
+	return &Parity{k: k}, nil
+}
+
+func (p *Parity) K() int { return p.k }
+func (p *Parity) N() int { return p.k + 1 }
+
+func (p *Parity) Encode(data [][]byte) ([][]byte, error) {
+	size, err := checkBlocks(data, p.k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, p.k+1)
+	copy(out, data)
+	par := make([]byte, size)
+	for _, b := range data {
+		for i := range par {
+			par[i] ^= b[i]
+		}
+	}
+	out[p.k] = par
+	return out, nil
+}
+
+func (p *Parity) NewDecoder() Decoder {
+	return &parityDecoder{code: p, blocks: make([][]byte, p.k+1)}
+}
+
+type parityDecoder struct {
+	code   *Parity
+	blocks [][]byte
+	have   int
+}
+
+func (d *parityDecoder) Add(idx int, payload []byte) error {
+	if idx < 0 || idx > d.code.k {
+		return fmt.Errorf("erasure: parity block index %d out of range", idx)
+	}
+	if d.blocks[idx] != nil {
+		return nil
+	}
+	d.blocks[idx] = payload
+	d.have++
+	return nil
+}
+
+func (d *parityDecoder) Complete() bool { return d.have >= d.code.k }
+func (d *parityDecoder) Received() int  { return d.have }
+
+func (d *parityDecoder) Data() ([][]byte, error) {
+	if !d.Complete() {
+		return nil, ErrIncomplete
+	}
+	// Identify the (single possible) missing data block.
+	missing := -1
+	for i := 0; i < d.code.k; i++ {
+		if d.blocks[i] == nil {
+			missing = i
+			break
+		}
+	}
+	if missing < 0 {
+		return d.blocks[:d.code.k], nil
+	}
+	if d.blocks[d.code.k] == nil {
+		return nil, ErrIncomplete
+	}
+	rec := append([]byte(nil), d.blocks[d.code.k]...)
+	for i := 0; i < d.code.k; i++ {
+		if i == missing {
+			continue
+		}
+		for j := range rec {
+			rec[j] ^= d.blocks[i][j]
+		}
+	}
+	out := make([][]byte, d.code.k)
+	copy(out, d.blocks[:d.code.k])
+	out[missing] = rec
+	return out, nil
+}

@@ -1,0 +1,385 @@
+package erasure
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ltcode"
+)
+
+func randBlocks(rng *rand.Rand, k, size int) [][]byte {
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+// roundTrip checks that feeding a random subset of coded blocks (in
+// random order, until Complete) reproduces the originals.
+func roundTrip(t *testing.T, c Code, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	orig := randBlocks(rng, c.K(), 32)
+	coded, err := c.Encode(orig)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(coded) != c.N() {
+		t.Fatalf("Encode produced %d blocks, want N=%d", len(coded), c.N())
+	}
+	d := c.NewDecoder()
+	for _, idx := range rng.Perm(c.N()) {
+		if err := d.Add(idx, coded[idx]); err != nil {
+			t.Fatalf("Add(%d): %v", idx, err)
+		}
+		if d.Complete() {
+			break
+		}
+	}
+	if !d.Complete() {
+		t.Fatal("decoder did not complete with all blocks")
+	}
+	got, err := d.Data()
+	if err != nil {
+		t.Fatalf("Data: %v", err)
+	}
+	for i := range orig {
+		if !bytes.Equal(got[i], orig[i]) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+}
+
+func TestReplicationRoundTrip(t *testing.T) {
+	for _, r := range []int{1, 2, 4} {
+		c, err := NewReplication(8, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roundTrip(t, c, int64(r))
+	}
+}
+
+func TestParityRoundTrip(t *testing.T) {
+	c, err := NewParity(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, c, 1)
+}
+
+func TestParityRecoversEachMissingBlock(t *testing.T) {
+	c, _ := NewParity(5)
+	rng := rand.New(rand.NewSource(2))
+	orig := randBlocks(rng, 5, 16)
+	coded, _ := c.Encode(orig)
+	for missing := 0; missing < c.N(); missing++ {
+		d := c.NewDecoder()
+		for idx := range coded {
+			if idx == missing {
+				continue
+			}
+			d.Add(idx, coded[idx])
+		}
+		if !d.Complete() {
+			t.Fatalf("parity incomplete with block %d missing", missing)
+		}
+		got, err := d.Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if !bytes.Equal(got[i], orig[i]) {
+				t.Fatalf("missing=%d: block %d wrong", missing, i)
+			}
+		}
+	}
+}
+
+func TestLTRoundTrip(t *testing.T) {
+	c, err := NewLT(ltcode.Params{K: 16, C: 1, Delta: 0.5}, 64, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, c, 3)
+}
+
+func TestLTDeterministicFromSeed(t *testing.T) {
+	// Writer and reader must derive identical graphs from the same
+	// (params, n, seed) metadata.
+	p := ltcode.Params{K: 32, C: 1, Delta: 0.5}
+	a, err := NewLT(p, 128, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLT(p, 128, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N(); i++ {
+		na, nb := a.Graph().Neighbors[i], b.Graph().Neighbors[i]
+		if len(na) != len(nb) {
+			t.Fatalf("graph %d degree differs", i)
+		}
+		for j := range na {
+			if na[j] != nb[j] {
+				t.Fatalf("graph neighbor differs at coded %d", i)
+			}
+		}
+	}
+}
+
+func TestRSAdapterRoundTrip(t *testing.T) {
+	c, err := NewRS(6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, c, 4)
+}
+
+func TestRSAdapterAnyKSubset(t *testing.T) {
+	c, _ := NewRS(4, 8)
+	rng := rand.New(rand.NewSource(5))
+	orig := randBlocks(rng, 4, 20)
+	coded, _ := c.Encode(orig)
+	for trial := 0; trial < 30; trial++ {
+		d := c.NewDecoder()
+		for _, idx := range rng.Perm(8)[:4] {
+			d.Add(idx, coded[idx])
+		}
+		if !d.Complete() {
+			t.Fatal("RS not complete with exactly K blocks")
+		}
+		got, err := d.Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if !bytes.Equal(got[i], orig[i]) {
+				t.Fatalf("trial %d: block %d wrong", trial, i)
+			}
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewReplication(0, 2); err == nil {
+		t.Error("NewReplication(0,2) accepted")
+	}
+	if _, err := NewReplication(4, 0); err == nil {
+		t.Error("NewReplication(4,0) accepted")
+	}
+	if _, err := NewParity(0); err == nil {
+		t.Error("NewParity(0) accepted")
+	}
+	if _, err := NewRS(4, 2); err == nil {
+		t.Error("NewRS(4,2) accepted")
+	}
+	if _, err := NewLT(ltcode.Params{K: 0, C: 1, Delta: 0.5}, 4, 1); err == nil {
+		t.Error("NewLT with K=0 accepted")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c, _ := NewReplication(3, 2)
+	if _, err := c.Encode(make([][]byte, 2)); err != ErrBlockCount {
+		t.Errorf("wrong count: %v", err)
+	}
+	if _, err := c.Encode([][]byte{{1}, {2, 3}, {4}}); err != ErrBlockSize {
+		t.Errorf("unequal sizes: %v", err)
+	}
+	if _, err := c.Encode([][]byte{{}, {}, {}}); err != ErrBlockSize {
+		t.Errorf("zero size: %v", err)
+	}
+}
+
+func TestDecoderOutOfRange(t *testing.T) {
+	for _, c := range []Code{
+		mustCode(NewReplication(3, 2)),
+		mustCode(NewParity(3)),
+		mustCode(NewRS(3, 6)),
+	} {
+		d := c.NewDecoder()
+		if err := d.Add(-1, []byte{1}); err == nil {
+			t.Errorf("%T accepted negative index", c)
+		}
+		if err := d.Add(c.N()+5, []byte{1}); err == nil {
+			t.Errorf("%T accepted out-of-range index", c)
+		}
+		if _, err := d.Data(); err == nil {
+			t.Errorf("%T returned data while incomplete", c)
+		}
+	}
+}
+
+func mustCode(c Code, err error) Code {
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestReplicationNeedsEveryOriginal(t *testing.T) {
+	// All copies of one block withheld: never complete.
+	c, _ := NewReplication(4, 3)
+	rng := rand.New(rand.NewSource(6))
+	orig := randBlocks(rng, 4, 8)
+	coded, _ := c.Encode(orig)
+	d := c.NewDecoder()
+	for idx := range coded {
+		if c.Origin(idx) == 2 {
+			continue
+		}
+		d.Add(idx, coded[idx])
+	}
+	if d.Complete() {
+		t.Fatal("replication complete despite a fully-missing original")
+	}
+}
+
+// --- Appendix A analysis tests ---
+
+func TestReplicationCoverageCurveSmallExact(t *testing.T) {
+	// K=2, R=2 (blocks AABB): P(2) = 1 - P(both picks same color)
+	// = 1 - 2*C(2,2)/C(4,2) = 1 - 2/6 = 2/3.
+	curve := ReplicationCoverageCurve(2, 2, 4)
+	if math.Abs(curve[2]-2.0/3.0) > 1e-9 {
+		t.Fatalf("P(2) = %v, want 2/3", curve[2])
+	}
+	if curve[0] != 0 || curve[1] != 0 {
+		t.Fatalf("P(0)/P(1) should be 0: %v %v", curve[0], curve[1])
+	}
+	if math.Abs(curve[3]-1.0) > 1e-9 || math.Abs(curve[4]-1.0) > 1e-9 {
+		// With 3 of 4 blocks drawn you always have both colors.
+		t.Fatalf("P(3)=%v P(4)=%v, want 1", curve[3], curve[4])
+	}
+}
+
+func TestReplicationCoverageCurveMonotone(t *testing.T) {
+	curve := ReplicationCoverageCurve(64, 4, 256)
+	for m := 1; m < len(curve); m++ {
+		if curve[m] < curve[m-1]-1e-12 {
+			t.Fatalf("coverage curve not monotone at m=%d", m)
+		}
+	}
+	if curve[63] != 0 {
+		t.Fatalf("P(M<K) must be 0, got %v", curve[63])
+	}
+	if math.Abs(curve[256]-1) > 1e-9 {
+		t.Fatalf("P(all blocks) = %v, want 1", curve[256])
+	}
+}
+
+func TestReplicationCoverageMatchesMonteCarlo(t *testing.T) {
+	const k, r = 32, 4
+	curve := ReplicationCoverageCurve(k, r, k*r)
+	rng := rand.New(rand.NewSource(7))
+	const trials = 4000
+	var samples []int
+	for i := 0; i < trials; i++ {
+		samples = append(samples, ReplicationBlocksNeeded(k, r, rng))
+	}
+	cdf := EmpiricalCDF(samples, k*r)
+	for _, m := range []int{k, 2 * k, 3 * k} {
+		if math.Abs(curve[m]-cdf[m]) > 0.05 {
+			t.Fatalf("analytic P(%d)=%v vs empirical %v differ by > 0.05", m, curve[m], cdf[m])
+		}
+	}
+}
+
+func TestDartCoverageCurveProperties(t *testing.T) {
+	curve := DartCoverageCurve(64, 5, 128)
+	for m := 1; m < len(curve); m++ {
+		if curve[m] < curve[m-1]-1e-12 {
+			t.Fatalf("dart curve not monotone at m=%d", m)
+		}
+		if curve[m] < 0 || curve[m] > 1+1e-12 {
+			t.Fatalf("dart curve out of [0,1] at m=%d: %v", m, curve[m])
+		}
+	}
+	if curve[0] != 0 {
+		t.Fatalf("P(0 darts) = %v, want 0", curve[0])
+	}
+	// With 128 blocks x degree 5 = 640 darts over 64 originals,
+	// coverage should be near-certain (coupon collector needs ~K ln K
+	// = 266 darts).
+	if curve[128] < 0.99 {
+		t.Fatalf("P(128 blocks) = %v, want near 1", curve[128])
+	}
+}
+
+func TestErasureBeatsReplicationInBlocksNeeded(t *testing.T) {
+	// The Fig 4-1 headline: erasure-coded reassembly needs far fewer
+	// random blocks than replication (~1.5K vs ~3K at 4x space).
+	const k = 128
+	rng := rand.New(rand.NewSource(8))
+	var repl, lt float64
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		repl += float64(ReplicationBlocksNeeded(k, 4, rng))
+		lt += float64(LTBlocksNeeded(ltcode.Params{K: k, C: 1, Delta: 0.5}, 4, rng))
+	}
+	repl /= trials
+	lt /= trials
+	if lt >= repl {
+		t.Fatalf("LT mean blocks needed %.1f not below replication %.1f", lt, repl)
+	}
+	if lt > 2.2*k {
+		t.Fatalf("LT mean blocks needed %.1f implausibly high", lt)
+	}
+}
+
+func TestEmpiricalCDFEdgeCases(t *testing.T) {
+	if cdf := EmpiricalCDF(nil, 4); cdf[4] != 0 {
+		t.Fatal("empty samples should give zero CDF")
+	}
+	cdf := EmpiricalCDF([]int{1, 2, 2, 9, -1}, 4)
+	if math.Abs(cdf[2]-0.6) > 1e-12 { // 3 of 5 samples <= 2
+		t.Fatalf("cdf[2] = %v, want 0.6", cdf[2])
+	}
+	if cdf[4] != 0.6 { // the 9 lands beyond maxM; -1 skipped
+		t.Fatalf("cdf[4] = %v, want 0.6", cdf[4])
+	}
+}
+
+func TestQuickParityAnyKOfKPlus1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(12)
+		c, err := NewParity(k)
+		if err != nil {
+			return false
+		}
+		orig := randBlocks(rng, k, 1+rng.Intn(16))
+		coded, err := c.Encode(orig)
+		if err != nil {
+			return false
+		}
+		d := c.NewDecoder()
+		skip := rng.Intn(k + 1)
+		for idx := range coded {
+			if idx == skip {
+				continue
+			}
+			d.Add(idx, coded[idx])
+		}
+		got, err := d.Data()
+		if err != nil {
+			return false
+		}
+		for i := range orig {
+			if !bytes.Equal(got[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/ltcode"
+	"repro/internal/schemes"
+	"repro/internal/workload"
+)
+
+// This file contains ablation studies for the design choices §5.2.3
+// and §5.3.3 argue for, beyond what the paper itself plots. They
+// quantify what each improvement buys:
+//
+//   - ablation-lt:     improved LT (guaranteed decodability + uniform
+//                      coverage) vs Luby's original construction.
+//   - ablation-lazy:   lazy-XOR decoding vs greedy substitution.
+//   - ablation-cancel: speculative access with vs without request
+//                      cancellation.
+
+// AblationLT compares the improved LT construction against the
+// original: decode-failure probability when reading exactly the N
+// stored blocks, reception overhead, and original-block coverage
+// spread, across K.
+func AblationLT(opts Options) ([]Dataset, error) {
+	opts = opts.normalized()
+	d := Dataset{
+		ID: "ablation-lt", Title: "Improved vs original LT codes (N = 1.5K)",
+		XLabel: "K", YLabel: "mixed",
+		Order: []string{
+			"orig fail rate", "impr fail rate",
+			"orig overhead", "impr overhead",
+			"orig degree spread", "impr degree spread",
+		},
+		Notes: []string{
+			"fail rate: fraction of graphs whose full N blocks do not decode",
+			"overhead: mean reception overhead among successful decodes",
+			"degree spread: (max-min) original-block degree / mean",
+		},
+	}
+	for _, k := range []int{64, 128, 256, 512, 1024} {
+		p := ltcode.Params{K: k, C: 1, Delta: 0.5}
+		n := k + k/2
+		row := map[string]float64{}
+		for _, improved := range []bool{false, true} {
+			gopts := ltcode.GraphOptions{UniformCoverage: improved, EnsureDecodable: improved}
+			prefix := "orig"
+			if improved {
+				prefix = "impr"
+			}
+			rng := rand.New(rand.NewSource(opts.Seed + int64(k)))
+			fails, successes := 0, 0
+			var ovhSum, spreadSum float64
+			for tr := 0; tr < opts.Trials; tr++ {
+				var g *ltcode.Graph
+				var err error
+				if improved {
+					g, err = ltcode.BuildGraph(p, n, rng, gopts)
+					if err != nil {
+						fails++
+						continue
+					}
+				} else {
+					g, err = ltcode.BuildGraph(p, n, rng, gopts)
+					if err != nil {
+						return nil, err
+					}
+					if !g.FullyDecodable() {
+						fails++
+						spreadSum += degreeSpread(g)
+						continue
+					}
+				}
+				spreadSum += degreeSpread(g)
+				if s, ok := ltcode.MeasureGraphOverhead(g, rng); ok {
+					ovhSum += s.Overhead
+					successes++
+				}
+			}
+			row[prefix+" fail rate"] = float64(fails) / float64(opts.Trials)
+			if successes > 0 {
+				row[prefix+" overhead"] = ovhSum / float64(successes)
+			}
+			row[prefix+" degree spread"] = spreadSum / float64(opts.Trials)
+		}
+		d.Add(float64(k), row)
+	}
+	return []Dataset{d}, nil
+}
+
+func degreeSpread(g *ltcode.Graph) float64 {
+	deg := g.OriginalDegrees()
+	minD, maxD, sum := deg[0], deg[0], 0
+	for _, v := range deg {
+		if v < minD {
+			minD = v
+		}
+		if v > maxD {
+			maxD = v
+		}
+		sum += v
+	}
+	mean := float64(sum) / float64(len(deg))
+	if mean == 0 {
+		return 0
+	}
+	return float64(maxD-minD) / mean
+}
+
+// AblationLazyXor quantifies the lazy-XOR improvement: block-XOR
+// operations actually performed vs the edges a greedy decoder would
+// process, as redundancy (and thus the number of redundant received
+// blocks) grows.
+func AblationLazyXor(opts Options) ([]Dataset, error) {
+	opts = opts.normalized()
+	d := Dataset{
+		ID: "ablation-lazy", Title: "Lazy vs greedy XOR cost (K=1024, C=1, δ=0.5)",
+		XLabel: "fraction of N fed after completion", YLabel: "block XOR ops",
+		Order: []string{"lazy XORs", "greedy XORs (edges received)", "savings x"},
+	}
+	p := ltcode.Params{K: 1024, C: 1, Delta: 0.5}
+	const n = 4096
+	for _, extraFrac := range []float64{0, 0.25, 0.5, 1} {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(extraFrac*100)))
+		var lazy, greedy float64
+		trials := opts.Trials/4 + 1
+		for tr := 0; tr < trials; tr++ {
+			g, err := ltcode.BuildGraph(p, n, rng, ltcode.DefaultGraphOptions())
+			if err != nil {
+				return nil, err
+			}
+			dec := ltcode.NewSymbolicDecoder(g)
+			perm := rng.Perm(n)
+			completedAt := -1
+			for pos, idx := range perm {
+				dec.Add(idx)
+				if dec.Complete() {
+					completedAt = pos
+					break
+				}
+			}
+			if completedAt < 0 {
+				continue
+			}
+			// Feed extra (late, redundant) blocks — e.g. a slow network
+			// delivering everything despite cancellation being late.
+			extra := int(extraFrac * float64(n-completedAt-1))
+			for i := 0; i < extra; i++ {
+				dec.Add(perm[completedAt+1+i])
+			}
+			lazy += float64(dec.XorOps())
+			greedy += float64(dec.EdgesReceived())
+		}
+		lazy /= float64(trials)
+		greedy /= float64(trials)
+		row := map[string]float64{"lazy XORs": lazy, "greedy XORs (edges received)": greedy}
+		if lazy > 0 {
+			row["savings x"] = greedy / lazy
+		}
+		d.Add(extraFrac, row)
+	}
+	return []Dataset{d}, nil
+}
+
+// AblationCancel measures what request cancellation (§5.3.3) saves:
+// I/O overhead of the speculative schemes on the baseline read with
+// and without cancellation.
+func AblationCancel(opts Options) ([]Dataset, error) {
+	opts = opts.normalized()
+	d := Dataset{
+		ID: "ablation-cancel", Title: "Request cancellation: read I/O overhead with vs without",
+		XLabel: "scheme index", YLabel: "I/O overhead",
+		Order: []string{"with cancel", "without cancel"},
+		Notes: []string{"x: 1=RRAID-S 3=RobuSTore (speculative schemes); baseline 1 GB / 64 disks / D=3"},
+	}
+	trial := cluster.Trial{
+		Layout:     workload.HeterogeneousLayout(),
+		Background: workload.NoBackground(),
+	}
+	for _, s := range []schemes.Scheme{schemes.RRAIDS, schemes.RobuSTore} {
+		row := map[string]float64{}
+		for _, noCancel := range []bool{false, true} {
+			cfg := schemes.DefaultConfig(s)
+			cfg.NoCancel = noCancel
+			ps, err := runPoint(opts, int64(s)*10+boolSeed(noCancel), func(seed int64) (schemes.Result, error) {
+				return schemes.RunReadTrial(baselineCluster(), trial, cfg, seed)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ablation-cancel %v: %w", s, err)
+			}
+			name := "with cancel"
+			if noCancel {
+				name = "without cancel"
+			}
+			row[name] = ps.IOOverhead.Mean
+		}
+		d.Add(float64(s), row)
+	}
+	return []Dataset{d}, nil
+}
+
+func boolSeed(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+func TestAblationLT(t *testing.T) {
+	ds, err := AblationLT(Options{Trials: 6, Seed: 1})
+	checkDatasets(t, "ablation-lt", ds, err)
+	d := ds[0]
+	origFail := d.Series("orig fail rate")
+	imprFail := d.Series("impr fail rate")
+	origSpread := d.Series("orig degree spread")
+	imprSpread := d.Series("impr degree spread")
+	var origFailSum, imprFailSum float64
+	for i := range d.Points {
+		origFailSum += origFail[i]
+		imprFailSum += imprFail[i]
+		if imprSpread[i] >= origSpread[i] {
+			t.Errorf("K=%v: uniform coverage spread %.2f not below random %.2f",
+				d.Points[i].X, imprSpread[i], origSpread[i])
+		}
+	}
+	if imprFailSum >= origFailSum {
+		t.Fatalf("improved LT failure %.2f not below original %.2f", imprFailSum, origFailSum)
+	}
+}
+
+func TestAblationLazyXor(t *testing.T) {
+	ds, err := AblationLazyXor(Options{Trials: 4, Seed: 1})
+	checkDatasets(t, "ablation-lazy", ds, err)
+	d := ds[0]
+	lazy := d.Series("lazy XORs")
+	greedy := d.Series("greedy XORs (edges received)")
+	for i := range d.Points {
+		if lazy[i] >= greedy[i] {
+			t.Fatalf("point %d: lazy %.0f not below greedy %.0f", i, lazy[i], greedy[i])
+		}
+	}
+	// Lazy cost must be flat while greedy grows with redundant blocks.
+	if greedy[len(greedy)-1] <= greedy[0] {
+		t.Fatal("greedy cost did not grow with redundant deliveries")
+	}
+	if lazy[len(lazy)-1] > 1.2*lazy[0] {
+		t.Fatalf("lazy cost grew with redundant deliveries: %.0f -> %.0f", lazy[0], lazy[len(lazy)-1])
+	}
+}
+
+func TestAblationCancel(t *testing.T) {
+	ds, err := AblationCancel(Options{Trials: 4, Seed: 1})
+	checkDatasets(t, "ablation-cancel", ds, err)
+	d := ds[0]
+	with := d.Series("with cancel")
+	without := d.Series("without cancel")
+	for i := range d.Points {
+		if with[i] >= without[i] {
+			t.Fatalf("scheme %v: cancellation did not reduce I/O overhead (%.2f vs %.2f)",
+				d.Points[i].X, with[i], without[i])
+		}
+	}
+}

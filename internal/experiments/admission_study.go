@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// AdmissionStudy quantifies §5.4's motivation for admission control:
+// "sharing the same disk by multiple concurrent large accesses
+// usually damages the disk throughput dramatically due to the
+// rotating character of hard disks". M clients each read 64 MB from
+// one shared disk under two policies:
+//
+//   - interleaved: every client's blocks are queued round-robin (no
+//     admission control) — each 1 MB block re-positions the head;
+//   - admitted: a capacity-1 admission controller serializes whole
+//     accesses (first-come-first-admitted), so each access streams
+//     sequentially.
+//
+// Reported per M: aggregate disk throughput and the mean client
+// completion latency under each policy. The §7.3 "multi-user
+// workloads" study, at disk granularity, on the DES kernel.
+func AdmissionStudy(opts Options) ([]Dataset, error) {
+	opts = opts.normalized()
+	d := Dataset{
+		ID: "ext-admission", Title: "Admission control under concurrent large accesses (one disk, 64 MB/client)",
+		XLabel: "concurrent clients", YLabel: "mixed",
+		Order: []string{
+			"interleaved MBps", "admitted MBps",
+			"interleaved mean lat (s)", "admitted mean lat (s)",
+		},
+		Notes: []string{"admitted = capacity-1 FCFS admission (whole accesses serialized)"},
+	}
+	const (
+		accessBytes = 64 << 20
+		blockBytes  = 1 << 20
+	)
+	lay := disk.Layout{BlockingFactor: 512, PSeq: 1}
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		row := map[string]float64{}
+		for _, admitted := range []bool{false, true} {
+			var aggSum, latSum float64
+			trials := opts.Trials/10 + 1
+			for tr := 0; tr < trials; tr++ {
+				seed := opts.Seed + int64(m*1000+tr)
+				agg, meanLat, err := runSharedDiskAccesses(m, accessBytes, blockBytes, lay, admitted, seed)
+				if err != nil {
+					return nil, err
+				}
+				aggSum += agg
+				latSum += meanLat
+			}
+			name := "interleaved"
+			if admitted {
+				name = "admitted"
+			}
+			row[name+" MBps"] = aggSum / float64(trials) / 1e6
+			row[name+" mean lat (s)"] = latSum / float64(trials)
+		}
+		d.Add(float64(m), row)
+	}
+	return []Dataset{d}, nil
+}
+
+// runSharedDiskAccesses simulates m concurrent 64 MB accesses against
+// one drive and returns (aggregate bytes/s over the makespan, mean
+// client completion latency).
+func runSharedDiskAccesses(m int, accessBytes, blockBytes int64, lay disk.Layout, admitted bool, seed int64) (float64, float64, error) {
+	k := sim.New()
+	drive, err := disk.NewDrive(disk.DefaultParams(), lay, disk.Background{}, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	q := disk.NewQueueServer(k, drive)
+	done := make([]float64, m)
+	blocks := int(accessBytes / blockBytes)
+	if admitted {
+		// Whole accesses serialized: one large sequential request per
+		// client, queued FCFS — what a capacity-1 controller yields.
+		for c := 0; c < m; c++ {
+			c := c
+			if _, err := q.Submit(accessBytes, func(start, end float64) {
+				done[c] = end
+			}); err != nil {
+				return 0, 0, err
+			}
+		}
+	} else {
+		// Round-robin interleave of every client's blocks: the head
+		// re-positions at each block boundary (a new 1 MB request).
+		for b := 0; b < blocks; b++ {
+			for c := 0; c < m; c++ {
+				c := c
+				last := b == blocks-1
+				if _, err := q.Submit(blockBytes, func(start, end float64) {
+					if last {
+						done[c] = end
+					}
+				}); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+	}
+	k.Run()
+	var makespan, latSum float64
+	for c := 0; c < m; c++ {
+		if done[c] == 0 {
+			return 0, 0, fmt.Errorf("experiments: client %d never completed", c)
+		}
+		if done[c] > makespan {
+			makespan = done[c]
+		}
+		latSum += done[c]
+	}
+	agg := float64(int64(m)*accessBytes) / makespan
+	return agg, latSum / float64(m), nil
+}

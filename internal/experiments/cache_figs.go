@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/ltcode"
+	"repro/internal/schemes"
+	"repro/internal/workload"
+)
+
+// Fig635 regenerates Figs 6-35/6-36 (§6.3.3): the impact of the 2 GB
+// per-filer filesystem cache on repeated reads of the same data under
+// random competitive workloads. The x axis indexes the scheme
+// (0=RAID-0, 1=RRAID-S, 2=RRAID-A, 3=RobuSTore); the two series
+// compare cache-disabled and cache-enabled runs. With caching, later
+// accesses hit the filers' caches (higher mean bandwidth) while the
+// cold first access does not (higher latency variation) — both paper
+// observations.
+func Fig635(opts Options) ([]Dataset, error) {
+	opts = opts.normalized()
+	trial := cluster.Trial{
+		Layout:     workload.HeterogeneousLayout(),
+		Background: workload.HeterogeneousBackground(),
+	}
+	bw := Dataset{
+		ID: "fig6-35", Title: "Cache Impact on Access Bandwidth",
+		XLabel: "scheme index", YLabel: "bandwidth (MBps)",
+		Order: []string{"no-cache", "cache"},
+		Notes: []string{"x: 0=RAID-0 1=RRAID-S 2=RRAID-A 3=RobuSTore"},
+	}
+	lat := Dataset{
+		ID: "fig6-36", Title: "Cache Impact on Variation of Access Latency",
+		XLabel: "scheme index", YLabel: "stddev of access latency (s)",
+		Order: []string{"no-cache", "cache"},
+		Notes: []string{"x: 0=RAID-0 1=RRAID-S 2=RRAID-A 3=RobuSTore"},
+	}
+	for si, s := range schemes.AllSchemes {
+		bwRow := map[string]float64{}
+		latRow := map[string]float64{}
+		for _, cached := range []bool{false, true} {
+			ps, err := runCachedSequence(opts, trial, s, cached, int64(si))
+			if err != nil {
+				return nil, err
+			}
+			name := "no-cache"
+			if cached {
+				name = "cache"
+			}
+			bwRow[name] = ps.Bandwidth.Mean
+			latRow[name] = ps.Latency.StdDev
+		}
+		bw.Add(float64(si), bwRow)
+		lat.Add(float64(si), latRow)
+	}
+	return []Dataset{bw, lat}, nil
+}
+
+// runCachedSequence reads the same placement opts.Trials times on one
+// cluster, redrawing disk behaviour between accesses while cache
+// contents persist.
+func runCachedSequence(opts Options, trial cluster.Trial, s schemes.Scheme, cached bool, pointSeed int64) (PointStats, error) {
+	ccfg := baselineCluster()
+	if cached {
+		ccfg.FilerCache = 2 << 30
+	}
+	cfg := schemes.DefaultConfig(s)
+	cl, err := cluster.New(ccfg, trial, opts.Seed+pointSeed*7919)
+	if err != nil {
+		return PointStats{}, err
+	}
+	disks, err := cl.SelectDisks(cfg.Disks)
+	if err != nil {
+		return PointStats{}, err
+	}
+	var g *ltcode.Graph
+	if s == schemes.RobuSTore {
+		g, err = schemes.BuildGraphLenient(cfg.LTParams(), cfg.N(), cl.RNG())
+		if err != nil {
+			return PointStats{}, err
+		}
+	}
+	pl := schemes.BalancedPlacement(cfg, disks)
+	results := make([]schemes.Result, 0, opts.Trials)
+	for tr := 0; tr < opts.Trials; tr++ {
+		if tr > 0 {
+			if err := cl.ReconfigureDrives(trial); err != nil {
+				return PointStats{}, err
+			}
+		}
+		res, err := schemes.SimulateRead(cl, cfg, pl, g)
+		if err != nil {
+			return PointStats{}, fmt.Errorf("cached sequence %v trial %d: %w", s, tr, err)
+		}
+		results = append(results, res)
+	}
+	return Collect(results), nil
+}

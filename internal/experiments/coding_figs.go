@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/ltcode"
+	"repro/internal/rs"
+)
+
+// Table51 regenerates Table 5-1: Reed-Solomon encode/decode bandwidth
+// for 16 MB of data at K ∈ {4, 8, 16, 32}, N = 2K. Bandwidths are
+// wall-clock on the host CPU (the paper used a 2.4 GHz Xeon); the
+// defining shape is bandwidth ∝ 1/K.
+func Table51(opts Options) ([]Dataset, error) {
+	opts = opts.normalized()
+	d := Dataset{
+		ID: "table5-1", Title: "Coding Bandwidth of Reed-Solomon Codes (16 MB data, N=2K)",
+		XLabel: "K", YLabel: "MBps",
+		Order: []string{"encode MBps", "decode MBps"},
+	}
+	const total = 16 << 20
+	reps := opts.Trials/10 + 1
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for _, k := range []int{32, 16, 8, 4} {
+		code, err := rs.New(k, k)
+		if err != nil {
+			return nil, err
+		}
+		size := total / k
+		shards := make([][]byte, code.N())
+		for i := 0; i < k; i++ {
+			shards[i] = make([]byte, size)
+			rng.Read(shards[i])
+		}
+		// Encode timing.
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := code.Encode(shards); err != nil {
+				return nil, err
+			}
+		}
+		encMBps := float64(total) * float64(reps) / time.Since(start).Seconds() / 1e6
+		// Decode timing: random K-subsets reconstruct the rest.
+		var decTotal time.Duration
+		for r := 0; r < reps; r++ {
+			work := make([][]byte, len(shards))
+			for _, j := range rng.Perm(code.N())[:k] {
+				work[j] = shards[j]
+			}
+			t0 := time.Now()
+			if err := code.Reconstruct(work); err != nil {
+				return nil, err
+			}
+			decTotal += time.Since(t0)
+		}
+		decMBps := float64(total) * float64(reps) / decTotal.Seconds() / 1e6
+		d.Add(float64(k), map[string]float64{"encode MBps": encMBps, "decode MBps": decMBps})
+	}
+	d.Notes = append(d.Notes, "paper (2.4 GHz Xeon): K=32 enc 13.7 dec 15.9; K=4 enc 112.2 dec 99.5")
+	return []Dataset{d}, nil
+}
+
+// Fig41 regenerates Fig 4-1: the cumulative probability that M random
+// blocks reassemble K=1024 originals at 4x storage, for plain-text
+// replication vs erasure coding. Exact curves use the Appendix A
+// models (stable DP forms); Monte-Carlo curves use the actual
+// improved-LT decoder.
+func Fig41(opts Options) ([]Dataset, error) {
+	opts = opts.normalized()
+	const k, r = 1024, 4
+	maxM := k * r
+	d := Dataset{
+		ID: "fig4-1", Title: "Cumulative Probability of Reassembly (K=1024, 4x storage)",
+		XLabel: "blocks received M", YLabel: "P(reassembly)",
+		Order: []string{"replication (exact)", "LT model (exact)", "replication (MC)", "LT decoder (MC)"},
+	}
+	repl := erasure.ReplicationCoverageCurve(k, r, maxM)
+	dart := erasure.DartCoverageCurve(k, 5, maxM)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var replSamples, ltSamples []int
+	mcTrials := opts.Trials
+	for i := 0; i < mcTrials; i++ {
+		replSamples = append(replSamples, erasure.ReplicationBlocksNeeded(k, r, rng))
+		ltSamples = append(ltSamples, erasure.LTBlocksNeeded(
+			ltcode.Params{K: k, C: 1.1, Delta: 0.5}, r, rng))
+	}
+	replCDF := erasure.EmpiricalCDF(replSamples, maxM)
+	ltCDF := erasure.EmpiricalCDF(ltSamples, maxM)
+	for m := k; m <= maxM; m += 64 {
+		d.Add(float64(m), map[string]float64{
+			"replication (exact)": repl[m],
+			"LT model (exact)":    dart[m],
+			"replication (MC)":    replCDF[m],
+			"LT decoder (MC)":     ltCDF[m],
+		})
+	}
+	d.Notes = append(d.Notes, "paper: ~3K blocks needed with replication vs ~1.5K erasure-coded")
+	return []Dataset{d}, nil
+}
+
+// ltSweepCs and ltSweepDeltas are the parameter grids of Figs 5-1/5-2.
+var (
+	ltSweepCs     = []float64{0.1, 0.3, 0.5, 0.7, 1.0, 1.5, 2.0}
+	ltSweepDeltas = []float64{0.01, 0.1, 0.5, 1.0}
+)
+
+// ltOverheadSweep measures reception overhead and decode-edge
+// statistics over the (C, δ) grid for one K.
+func ltOverheadSweep(opts Options, k int) (meanOvh, relStdOvh, meanEdges, relStdEdges Dataset) {
+	mk := func(id, title, ylabel string) Dataset {
+		d := Dataset{ID: id, Title: title, XLabel: "C", YLabel: ylabel}
+		for _, delta := range ltSweepDeltas {
+			d.Order = append(d.Order, fmt.Sprintf("δ=%g", delta))
+		}
+		return d
+	}
+	meanOvh = mk(fmt.Sprintf("fig5-1-k%d-mean", k),
+		fmt.Sprintf("Reception Overhead of LT Codes, K=%d (mean)", k), "reception overhead")
+	relStdOvh = mk(fmt.Sprintf("fig5-1-k%d-std", k),
+		fmt.Sprintf("Reception Overhead of LT Codes, K=%d (relative stddev)", k), "stddev/(K+received)")
+	meanEdges = mk(fmt.Sprintf("fig5-2-k%d-mean", k),
+		fmt.Sprintf("Edges Used on LT Decoding, K=%d (mean)", k), "XOR block ops")
+	relStdEdges = mk(fmt.Sprintf("fig5-2-k%d-std", k),
+		fmt.Sprintf("Edges Used on LT Decoding, K=%d (relative stddev)", k), "stddev/mean")
+	for _, c := range ltSweepCs {
+		mo := map[string]float64{}
+		so := map[string]float64{}
+		me := map[string]float64{}
+		se := map[string]float64{}
+		for _, delta := range ltSweepDeltas {
+			p := ltcode.Params{K: k, C: c, Delta: delta}
+			rng := rand.New(rand.NewSource(opts.Seed + int64(k)*31 + int64(c*1000) + int64(delta*100000)))
+			st := ltcode.MeasureOverheadStats(p, 4*k, opts.Trials, rng, ltcode.DefaultGraphOptions())
+			name := fmt.Sprintf("δ=%g", delta)
+			if st.Failures == opts.Trials {
+				continue
+			}
+			mo[name] = st.MeanOverhead
+			if st.MeanOverhead > -1 {
+				so[name] = st.StdOverhead / (1 + st.MeanOverhead)
+			}
+			me[name] = st.MeanXorOps
+			if st.MeanXorOps > 0 {
+				se[name] = st.StdXorOps / st.MeanXorOps
+			}
+		}
+		meanOvh.Add(c, mo)
+		relStdOvh.Add(c, so)
+		meanEdges.Add(c, me)
+		relStdEdges.Add(c, se)
+	}
+	return
+}
+
+// Fig51 regenerates Fig 5-1: reception overhead (mean and relative
+// stddev) across the (C, δ) grid for K ∈ {128, 512, 1024}.
+func Fig51(opts Options) ([]Dataset, error) {
+	opts = opts.normalized()
+	var out []Dataset
+	for _, k := range []int{128, 512, 1024} {
+		mo, so, _, _ := ltOverheadSweep(opts, k)
+		out = append(out, mo, so)
+	}
+	return out, nil
+}
+
+// Fig52 regenerates Fig 5-2: the number of XOR edges used during
+// decoding (mean and relative stddev) for K=1024.
+func Fig52(opts Options) ([]Dataset, error) {
+	opts = opts.normalized()
+	_, _, me, se := ltOverheadSweep(opts, 1024)
+	return []Dataset{me, se}, nil
+}
+
+// Fig53 regenerates Fig 5-3: actual decode bandwidth (wall clock) and
+// reception overhead across (C, δ) for K=1024 with 16 KB blocks.
+func Fig53(opts Options) ([]Dataset, error) {
+	opts = opts.normalized()
+	const k = 1024
+	const blockSize = 16 << 10
+	bw := Dataset{ID: "fig5-3-bw", Title: "Decoding Bandwidth of LT Codes (K=1024)",
+		XLabel: "C", YLabel: "MBps"}
+	ovh := Dataset{ID: "fig5-3-ovh", Title: "Reception Overhead of LT Codes (K=1024, same runs)",
+		XLabel: "C", YLabel: "reception overhead"}
+	deltas := []float64{0.01, 0.1, 0.5}
+	for _, delta := range deltas {
+		bw.Order = append(bw.Order, fmt.Sprintf("δ=%g", delta))
+		ovh.Order = append(ovh.Order, fmt.Sprintf("δ=%g", delta))
+	}
+	reps := opts.Trials/10 + 1
+	for _, c := range []float64{0.5, 1.0, 2.0} {
+		bwRow := map[string]float64{}
+		ovhRow := map[string]float64{}
+		for _, delta := range deltas {
+			p := ltcode.Params{K: k, C: c, Delta: delta}
+			rng := rand.New(rand.NewSource(opts.Seed + int64(c*7000) + int64(delta*991)))
+			g, err := ltcode.BuildGraph(p, 3*k, rng, ltcode.DefaultGraphOptions())
+			if err != nil {
+				return nil, err
+			}
+			orig := make([][]byte, k)
+			for i := range orig {
+				orig[i] = make([]byte, blockSize)
+				rng.Read(orig[i])
+			}
+			coded, err := g.Encode(orig)
+			if err != nil {
+				return nil, err
+			}
+			order := rng.Perm(g.N)
+			var elapsed time.Duration
+			var received int
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				dec := ltcode.NewDecoder(g)
+				for _, idx := range order {
+					if _, err := dec.AddData(idx, coded[idx]); err != nil {
+						return nil, err
+					}
+					if dec.Complete() {
+						break
+					}
+				}
+				elapsed += time.Since(t0)
+				received += dec.Received()
+			}
+			name := fmt.Sprintf("δ=%g", delta)
+			bwRow[name] = float64(k*blockSize) * float64(reps) / elapsed.Seconds() / 1e6
+			ovhRow[name] = float64(received)/float64(reps*k) - 1
+		}
+		bw.Add(c, bwRow)
+		ovh.Add(c, ovhRow)
+	}
+	bw.Notes = append(bw.Notes, "paper (2.8 GHz Opteron): ~394 MBps at C=1 δ=0.1; ~550 MBps at C=2 δ=0.01")
+	return []Dataset{bw, ovh}, nil
+}

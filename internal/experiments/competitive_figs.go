@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/schemes"
+	"repro/internal/workload"
+)
+
+// This file defines the §6.3.2 experiments: performance variation from
+// competitive workloads.
+
+// Fig624 regenerates Figs 6-24/6-25: read performance vs the
+// homogeneous competitive-workload interval, with homogeneous layout.
+// This is the environment where RobuSTore's reception overhead makes
+// it slightly *slower* than plain striping (§7.2's "not the best
+// choice in homogeneous storage environments").
+func Fig624(opts Options) ([]Dataset, error) {
+	return runSweep(opts, sweepSpec{
+		ids: [3]string{"fig6-24", "fig6-25", "fig6-24io"},
+		titles: [3]string{
+			"Read Bandwidth vs. Competitive Workloads (homogeneous layout + competition)",
+			"Variation of Read Latency vs. Competitive Workloads (homogeneous)",
+			"I/O Overhead vs. Competitive Workloads (homogeneous; companion data)",
+		},
+		xLabel: "background interval (ms)",
+		xs:     []float64{6, 10, 20, 50, 100, 200},
+		op:     workload.Read,
+		configure: func(s schemes.Scheme, x float64) (cluster.Config, cluster.Trial, schemes.Config, bool) {
+			trial := cluster.Trial{
+				Layout:     workload.HomogeneousLayout(goodLayout()),
+				Background: workload.HomogeneousBackground(x / 1000),
+			}
+			return baselineCluster(), trial, schemes.DefaultConfig(s), true
+		},
+		notes: []string{"paper: RobuSTore trails RRAID-S here by ~18% due to LT reception overhead"},
+	})
+}
+
+// Fig626 regenerates Figs 6-26/6-27/6-28: read performance vs data
+// redundancy under heterogeneous competitive workloads (per-disk
+// random background intervals, good homogeneous layout).
+func Fig626(opts Options) ([]Dataset, error) {
+	return runSweep(opts, sweepSpec{
+		ids: [3]string{"fig6-26", "fig6-27", "fig6-28"},
+		titles: [3]string{
+			"Read Bandwidth vs. Data Redundancy (heterogeneous competitive workloads)",
+			"Variation of Read Latency vs. Data Redundancy (heterogeneous competitive workloads)",
+			"I/O Overhead vs. Data Redundancy (heterogeneous competitive workloads)",
+		},
+		xLabel:    "redundancy D",
+		xs:        []float64{0, 0.5, 1, 1.4, 2, 3, 5},
+		op:        workload.Read,
+		configure: redundancyConfigure(competitiveTrial()),
+		notes:     []string{"paper: best performance reached for D >= ~1.4 (peak/average disk bandwidth ratio)"},
+	})
+}
+
+// Fig629 regenerates Figs 6-29/6-30/6-31: write performance vs data
+// redundancy under heterogeneous competitive workloads.
+func Fig629(opts Options) ([]Dataset, error) {
+	return runSweep(opts, sweepSpec{
+		ids: [3]string{"fig6-29", "fig6-30", "fig6-31"},
+		titles: [3]string{
+			"Write Bandwidth vs. Data Redundancy (heterogeneous competitive workloads)",
+			"Variation of Write Latency vs. Data Redundancy (heterogeneous competitive workloads)",
+			"I/O Overhead vs. Data Redundancy (heterogeneous competitive workloads, writes)",
+		},
+		xLabel:    "redundancy D",
+		xs:        []float64{0, 0.5, 1, 2, 3, 5},
+		op:        workload.Write,
+		configure: redundancyConfigure(competitiveTrial()),
+	})
+}
+
+// Fig632 regenerates Figs 6-32/6-33/6-34: read-after-write (unbalanced
+// striping) vs data redundancy under heterogeneous competitive
+// workloads.
+func Fig632(opts Options) ([]Dataset, error) {
+	return runSweep(opts, sweepSpec{
+		ids: [3]string{"fig6-32", "fig6-33", "fig6-34"},
+		titles: [3]string{
+			"Read Bandwidth vs. Data Redundancy (competitive workloads, unbalanced striping)",
+			"Variation of Read Latency vs. Data Redundancy (competitive workloads, unbalanced striping)",
+			"I/O Overhead vs. Data Redundancy (competitive workloads, unbalanced striping)",
+		},
+		xLabel:    "redundancy D",
+		xs:        []float64{0, 0.5, 1, 2, 3, 5},
+		op:        workload.ReadAfterWrite,
+		configure: redundancyConfigure(competitiveTrial()),
+	})
+}

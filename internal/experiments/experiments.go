@@ -1,0 +1,208 @@
+// Package experiments regenerates every table and figure of the
+// RobuSTore evaluation (Ch. 5 analysis figures and the Ch. 6
+// simulation study). Each experiment is a function from Options to one
+// or more Datasets — tabular series directly comparable to the paper's
+// plots — registered by figure/table id in Registry.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/schemes"
+	"repro/internal/stats"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Trials is the number of accesses simulated per configuration
+	// point (the paper uses 100).
+	Trials int
+	// Seed is the base RNG seed; all randomness derives from it.
+	Seed int64
+}
+
+// DefaultOptions reproduce the paper's scale (100 trials/point).
+func DefaultOptions() Options { return Options{Trials: 100, Seed: 1} }
+
+// QuickOptions run each point with fewer trials for smoke tests and
+// benchmarks.
+func QuickOptions() Options { return Options{Trials: 12, Seed: 1} }
+
+func (o Options) normalized() Options {
+	if o.Trials <= 0 {
+		o.Trials = DefaultOptions().Trials
+	}
+	return o
+}
+
+// Point is one x-position of a dataset with named series values. NaN
+// marks series not defined at that point.
+type Point struct {
+	X      float64
+	Series map[string]float64
+}
+
+// Dataset is one regenerated table or plot.
+type Dataset struct {
+	ID     string // e.g. "fig6-6"
+	Title  string
+	XLabel string
+	YLabel string
+	Order  []string // series display order
+	Points []Point
+	Notes  []string
+}
+
+// Add appends a point.
+func (d *Dataset) Add(x float64, series map[string]float64) {
+	d.Points = append(d.Points, Point{X: x, Series: series})
+}
+
+// Series returns the y values of one series in point order.
+func (d *Dataset) Series(name string) []float64 {
+	out := make([]float64, len(d.Points))
+	for i, p := range d.Points {
+		v, ok := p.Series[name]
+		if !ok {
+			v = math.NaN()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// seriesNames returns the ordered series names (Order first, then any
+// extras alphabetically).
+func (d *Dataset) seriesNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, n := range d.Order {
+		names = append(names, n)
+		seen[n] = true
+	}
+	extra := map[string]bool{}
+	for _, p := range d.Points {
+		for n := range p.Series {
+			if !seen[n] {
+				extra[n] = true
+			}
+		}
+	}
+	var rest []string
+	for n := range extra {
+		rest = append(rest, n)
+	}
+	sort.Strings(rest)
+	return append(names, rest...)
+}
+
+// Format writes the dataset as an aligned text table.
+func (d *Dataset) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", d.ID, d.Title)
+	names := d.seriesNames()
+	fmt.Fprintf(w, "%-14s", d.XLabel)
+	for _, n := range names {
+		fmt.Fprintf(w, " %14s", n)
+	}
+	fmt.Fprintln(w)
+	for _, p := range d.Points {
+		fmt.Fprintf(w, "%-14.4g", p.X)
+		for _, n := range names {
+			v, ok := p.Series[n]
+			if !ok || math.IsNaN(v) {
+				fmt.Fprintf(w, " %14s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %14.4g", v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range d.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV writes the dataset as CSV.
+func (d *Dataset) WriteCSV(w io.Writer) {
+	names := d.seriesNames()
+	fmt.Fprintf(w, "%s,%s\n", csvEscape(d.XLabel), strings.Join(escapeAll(names), ","))
+	for _, p := range d.Points {
+		fmt.Fprintf(w, "%g", p.X)
+		for _, n := range names {
+			v, ok := p.Series[n]
+			if !ok || math.IsNaN(v) {
+				fmt.Fprint(w, ",")
+				continue
+			}
+			fmt.Fprintf(w, ",%g", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func escapeAll(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = csvEscape(s)
+	}
+	return out
+}
+
+// PointStats aggregates the trial results at one configuration point.
+type PointStats struct {
+	Bandwidth  stats.Summary // MBps
+	Latency    stats.Summary // seconds
+	IOOverhead stats.Summary
+	Reception  stats.Summary
+	Failures   int
+}
+
+// Collect aggregates trial results.
+func Collect(results []schemes.Result) PointStats {
+	var bw, lat, io, rc []float64
+	failures := 0
+	for _, r := range results {
+		if r.Failed {
+			failures++
+		}
+		bw = append(bw, schemes.MBps(r.Bandwidth))
+		lat = append(lat, r.Latency)
+		io = append(io, r.IOOverhead)
+		rc = append(rc, r.Reception)
+	}
+	return PointStats{
+		Bandwidth:  stats.Summarize(bw),
+		Latency:    stats.Summarize(lat),
+		IOOverhead: stats.Summarize(io),
+		Reception:  stats.Summarize(rc),
+		Failures:   failures,
+	}
+}
+
+// trialFn runs one access with a seed.
+type trialFn func(seed int64) (schemes.Result, error)
+
+// runPoint executes opts.Trials accesses and aggregates them.
+func runPoint(opts Options, pointSeed int64, fn trialFn) (PointStats, error) {
+	results := make([]schemes.Result, 0, opts.Trials)
+	for tr := 0; tr < opts.Trials; tr++ {
+		res, err := fn(opts.Seed + pointSeed*1_000_003 + int64(tr))
+		if err != nil {
+			return PointStats{}, err
+		}
+		results = append(results, res)
+	}
+	return Collect(results), nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import "testing"
+
+func TestCodesSurvey(t *testing.T) {
+	ds, err := CodesSurvey(Options{Trials: 5, Seed: 1})
+	checkDatasets(t, "ext-codes", ds, err)
+	d := ds[0]
+	if len(d.Points) != 4 {
+		t.Fatalf("survey has %d code rows, want 4", len(d.Points))
+	}
+	ovh := d.Series("reception ovh")
+	enc := d.Series("encode MBps")
+	rateless := d.Series("rateless")
+	// RS: zero overhead, slowest throughput, fixed rate.
+	if ovh[0] != 0 {
+		t.Fatalf("RS reception overhead %v, want 0", ovh[0])
+	}
+	for i := 1; i < 4; i++ {
+		if enc[i] <= enc[0] {
+			t.Fatalf("code %d not faster than RS at long codewords (%v <= %v)", i, enc[i], enc[0])
+		}
+	}
+	// LT and Raptor are the rateless pair (the §5.2.1 requirement).
+	if rateless[0] != 0 || rateless[1] != 0 || rateless[2] != 1 || rateless[3] != 1 {
+		t.Fatalf("rateless flags wrong: %v", rateless)
+	}
+	// Near-optimal codes pay a positive reception overhead.
+	for i := 1; i < 4; i++ {
+		if ovh[i] <= 0 || ovh[i] > 1 {
+			t.Fatalf("code %d overhead %v implausible", i, ovh[i])
+		}
+	}
+}
+
+func TestLTParamsStudy(t *testing.T) {
+	ds, err := LTParamsStudy(Options{Trials: 3, Seed: 1})
+	checkDatasets(t, "ext-ltparams", ds, err)
+	io := ds[1]
+	// §5.2.4: "small δ and large C cause less CPU overhead, but more
+	// communication overhead" — so I/O overhead at C=2/δ=0.01 must
+	// exceed C=0.3/δ=1.
+	cheapComms := io.Series("δ=1")[0]
+	denseComms := io.Series("δ=0.01")[len(io.Points)-1]
+	if denseComms <= cheapComms {
+		t.Fatalf("C/δ communication tradeoff inverted: C=2/δ=0.01 overhead %v not above C=0.3/δ=1 %v",
+			denseComms, cheapComms)
+	}
+	for _, n := range io.Order {
+		for _, v := range io.Series(n) {
+			if v < 0 || v > 2.5 {
+				t.Fatalf("series %s has implausible overhead %v", n, v)
+			}
+		}
+	}
+}
+
+func TestAdmissionStudy(t *testing.T) {
+	ds, err := AdmissionStudy(Options{Trials: 5, Seed: 1})
+	checkDatasets(t, "ext-admission", ds, err)
+	d := ds[0]
+	il := d.Series("interleaved MBps")
+	ad := d.Series("admitted MBps")
+	ilLat := d.Series("interleaved mean lat (s)")
+	adLat := d.Series("admitted mean lat (s)")
+	for i, p := range d.Points {
+		if ad[i] <= il[i] {
+			t.Fatalf("M=%v: admitted throughput %v not above interleaved %v", p.X, ad[i], il[i])
+		}
+		if p.X > 1 && adLat[i] >= ilLat[i] {
+			t.Fatalf("M=%v: admitted mean latency %v not below interleaved %v", p.X, adLat[i], ilLat[i])
+		}
+	}
+	// Interleaved mean latency grows ~linearly with client count;
+	// admission cuts it roughly in half at high M.
+	last := len(d.Points) - 1
+	if ilLat[last] < 1.5*adLat[last] {
+		t.Fatalf("at M=16 admission saved too little: %v vs %v", adLat[last], ilLat[last])
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/schemes"
+)
+
+// Headline regenerates the abstract's summary numbers: 1 GB accesses
+// on 64 disks with heterogeneous (random) layouts — read and write
+// bandwidth, latency standard deviation, and I/O overhead for all four
+// schemes, plus the RobuSTore-vs-RAID-0 ratios the paper quotes
+// (~15x read bandwidth, ~5x robustness, ~5x write bandwidth, ~2-3x
+// storage, ~40-50% I/O overhead).
+func Headline(opts Options) ([]Dataset, error) {
+	opts = opts.normalized()
+	d := Dataset{
+		ID: "headline", Title: "Abstract headline: 1 GB on 64 disks, heterogeneous layout",
+		XLabel: "scheme index", YLabel: "mixed",
+		Order: []string{"read MBps", "read lat s", "read lat std", "read IO ovh",
+			"write MBps", "write lat std", "write IO ovh"},
+		Notes: []string{"x: 0=RAID-0 1=RRAID-S 2=RRAID-A 3=RobuSTore"},
+	}
+	trial := hetLayoutTrial()
+	var raid0Read, robuRead, raid0ReadStd, robuReadStd, raid0Write, robuWrite float64
+	for si, s := range schemes.AllSchemes {
+		cfg := schemes.DefaultConfig(s)
+		read, err := runPoint(opts, int64(si), func(seed int64) (schemes.Result, error) {
+			return schemes.RunReadTrial(baselineCluster(), trial, cfg, seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		write, err := runPoint(opts, int64(100+si), func(seed int64) (schemes.Result, error) {
+			return schemes.RunWriteTrial(baselineCluster(), trial, cfg, seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.Add(float64(si), map[string]float64{
+			"read MBps":     read.Bandwidth.Mean,
+			"read lat s":    read.Latency.Mean,
+			"read lat std":  read.Latency.StdDev,
+			"read IO ovh":   read.IOOverhead.Mean,
+			"write MBps":    write.Bandwidth.Mean,
+			"write lat std": write.Latency.StdDev,
+			"write IO ovh":  write.IOOverhead.Mean,
+		})
+		switch s {
+		case schemes.RAID0:
+			raid0Read, raid0ReadStd, raid0Write = read.Bandwidth.Mean, read.Latency.StdDev, write.Bandwidth.Mean
+		case schemes.RobuSTore:
+			robuRead, robuReadStd, robuWrite = read.Bandwidth.Mean, read.Latency.StdDev, write.Bandwidth.Mean
+		}
+	}
+	d.Notes = append(d.Notes,
+		fmt.Sprintf("RobuSTore/RAID-0 read bandwidth: %.1fx (paper ~15x)", robuRead/raid0Read),
+		fmt.Sprintf("RAID-0/RobuSTore read latency stddev: %.1fx (paper ~5x robustness gain)", raid0ReadStd/robuReadStd),
+		fmt.Sprintf("RobuSTore/RAID-0 write bandwidth: %.1fx (paper ~5-6x)", robuWrite/raid0Write),
+	)
+	return []Dataset{d}, nil
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/schemes"
+	"repro/internal/workload"
+)
+
+// This file defines the §6.3.1 experiments: performance variation from
+// in-disk data layout (heterogeneous random layouts, no competitive
+// load).
+
+// robuSToreMinRedundancy is the lowest redundancy at which an LT read
+// is meaningful (N must exceed (1+ε)K); sweeps skip RobuSTore below
+// it, as the paper's plots effectively do.
+const robuSToreMinRedundancy = 0.4
+
+// Fig66 regenerates Figs 6-6/6-7/6-8: read performance vs number of
+// disks (2..128) with heterogeneous layout.
+func Fig66(opts Options) ([]Dataset, error) {
+	spec := sweepSpec{
+		ids: [3]string{"fig6-6", "fig6-7", "fig6-8"},
+		titles: [3]string{
+			"Read Bandwidth vs. Number of Disks (heterogeneous layout)",
+			"Variation of Read Latency vs. Number of Disks (heterogeneous layout)",
+			"I/O Overhead vs. Number of Disks (heterogeneous layout)",
+		},
+		xLabel: "disks",
+		xs:     []float64{2, 4, 8, 16, 32, 64, 128},
+		op:     workload.Read,
+		configure: func(s schemes.Scheme, x float64) (cluster.Config, cluster.Trial, schemes.Config, bool) {
+			cfg := schemes.DefaultConfig(s)
+			cfg.Disks = int(x)
+			return baselineCluster(), hetLayoutTrial(), cfg, true
+		},
+	}
+	return runSweep(opts, spec)
+}
+
+// Fig69 regenerates Figs 6-9/6-10/6-11: read performance vs coding
+// block size (0.5..64 MB).
+func Fig69(opts Options) ([]Dataset, error) {
+	spec := sweepSpec{
+		ids: [3]string{"fig6-9", "fig6-10", "fig6-11"},
+		titles: [3]string{
+			"Read Bandwidth vs. Block Size (heterogeneous layout)",
+			"Variation of Read Latency vs. Block Size (heterogeneous layout)",
+			"I/O Overhead vs. Block Size (heterogeneous layout)",
+		},
+		xLabel: "block size (MB)",
+		xs:     []float64{0.5, 1, 2, 4, 8, 16, 32, 64},
+		op:     workload.Read,
+		configure: func(s schemes.Scheme, x float64) (cluster.Config, cluster.Trial, schemes.Config, bool) {
+			cfg := schemes.DefaultConfig(s)
+			cfg.BlockBytes = int64(x * (1 << 20))
+			return baselineCluster(), hetLayoutTrial(), cfg, true
+		},
+	}
+	return runSweep(opts, spec)
+}
+
+// Fig612 regenerates Figs 6-12/6-13/6-14: read performance vs network
+// round-trip latency (1..100 ms) for 1 GB accesses, plus the paper's
+// 128 MB companion bandwidth plot (Fig 6-12b).
+func Fig612(opts Options) ([]Dataset, error) {
+	mk := func(bytes int64, ids [3]string, suffix string) sweepSpec {
+		return sweepSpec{
+			ids: ids,
+			titles: [3]string{
+				"Read Bandwidth vs. Network Latency " + suffix,
+				"Variation of Read Latency vs. Network Latency " + suffix,
+				"I/O Overhead vs. Network Latency " + suffix,
+			},
+			xLabel: "RTT (ms)",
+			xs:     []float64{1, 10, 30, 60, 100},
+			op:     workload.Read,
+			configure: func(s schemes.Scheme, x float64) (cluster.Config, cluster.Trial, schemes.Config, bool) {
+				ccfg := baselineCluster()
+				ccfg.RTT = x / 1000
+				cfg := schemes.DefaultConfig(s)
+				cfg.DataBytes = bytes
+				return ccfg, hetLayoutTrial(), cfg, true
+			},
+		}
+	}
+	big, err := runSweep(opts, mk(1<<30, [3]string{"fig6-12a", "fig6-13", "fig6-14"}, "(1 GB access)"))
+	if err != nil {
+		return nil, err
+	}
+	small, err := runSweep(opts, mk(128<<20, [3]string{"fig6-12b", "fig6-13b", "fig6-14b"}, "(128 MB access)"))
+	if err != nil {
+		return nil, err
+	}
+	return append(big, small[0]), nil
+}
+
+// redundancySweep is the D axis shared by the redundancy figures.
+var redundancySweep = []float64{0, 0.5, 1, 2, 3, 5, 7, 9}
+
+func redundancyConfigure(trial cluster.Trial) func(schemes.Scheme, float64) (cluster.Config, cluster.Trial, schemes.Config, bool) {
+	return func(s schemes.Scheme, x float64) (cluster.Config, cluster.Trial, schemes.Config, bool) {
+		cfg := schemes.DefaultConfig(s)
+		switch s {
+		case schemes.RAID0:
+			// RAID-0 is the zero-redundancy reference; it appears only
+			// at D=0 (the paper represents it as that point).
+			if x != 0 {
+				return cluster.Config{}, cluster.Trial{}, schemes.Config{}, false
+			}
+			cfg.Redundancy = 0
+		case schemes.RobuSTore:
+			if x < robuSToreMinRedundancy {
+				return cluster.Config{}, cluster.Trial{}, schemes.Config{}, false
+			}
+			cfg.Redundancy = x
+		default:
+			cfg.Redundancy = x
+		}
+		return baselineCluster(), trial, cfg, true
+	}
+}
+
+// Fig615 regenerates Figs 6-15/6-16/6-17: read performance vs data
+// redundancy with heterogeneous layout.
+func Fig615(opts Options) ([]Dataset, error) {
+	return runSweep(opts, sweepSpec{
+		ids: [3]string{"fig6-15", "fig6-16", "fig6-17"},
+		titles: [3]string{
+			"Read Bandwidth vs. Data Redundancy (heterogeneous layout)",
+			"Variation of Read Latency vs. Data Redundancy (heterogeneous layout)",
+			"I/O Overhead vs. Data Redundancy (heterogeneous layout)",
+		},
+		xLabel:    "redundancy D",
+		xs:        redundancySweep,
+		op:        workload.Read,
+		configure: redundancyConfigure(hetLayoutTrial()),
+		notes:     []string{"RobuSTore requires D >= ~0.4 for LT decodability; RAID-0 is the D=0 point"},
+	})
+}
+
+// Fig618 regenerates Figs 6-18/6-19/6-20: write performance vs data
+// redundancy with heterogeneous layout.
+func Fig618(opts Options) ([]Dataset, error) {
+	return runSweep(opts, sweepSpec{
+		ids: [3]string{"fig6-18", "fig6-19", "fig6-20"},
+		titles: [3]string{
+			"Write Bandwidth vs. Data Redundancy (heterogeneous layout)",
+			"Variation of Write Latency vs. Data Redundancy (heterogeneous layout)",
+			"I/O Overhead vs. Data Redundancy (heterogeneous layout, writes)",
+		},
+		xLabel:    "redundancy D",
+		xs:        redundancySweep,
+		op:        workload.Write,
+		configure: redundancyConfigure(hetLayoutTrial()),
+	})
+}
+
+// Fig621 regenerates Figs 6-21/6-22/6-23: read-after-write performance
+// vs data redundancy — RobuSTore reads the unbalanced striping its
+// speculative write produced; the replicated schemes read balanced
+// stripes on a fresh cluster.
+func Fig621(opts Options) ([]Dataset, error) {
+	return runSweep(opts, sweepSpec{
+		ids: [3]string{"fig6-21", "fig6-22", "fig6-23"},
+		titles: [3]string{
+			"Read Bandwidth vs. Data Redundancy (heterogeneous layout, unbalanced striping)",
+			"Variation of Read Latency vs. Data Redundancy (heterogeneous layout, unbalanced striping)",
+			"I/O Overhead vs. Data Redundancy (heterogeneous layout, unbalanced striping)",
+		},
+		xLabel:    "redundancy D",
+		xs:        redundancySweep,
+		op:        workload.ReadAfterWrite,
+		configure: redundancyConfigure(hetLayoutTrial()),
+	})
+}

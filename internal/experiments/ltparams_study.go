@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/schemes"
+	"repro/internal/workload"
+)
+
+// LTParamsStudy connects the Ch. 5 coding-parameter analysis to the
+// Ch. 6 end-to-end results: the baseline RobuSTore read (1 GB, 64
+// disks, D=3, heterogeneous layout) swept over the LT (C, δ) grid.
+// Reception overhead translates directly into read I/O overhead, and
+// — because extra blocks must also be fetched — into bandwidth. Per
+// §5.2.4, small δ with large C trades communication for CPU: expect
+// the highest I/O overhead at C=2/δ=0.01 and the lowest around
+// small C / large δ.
+func LTParamsStudy(opts Options) ([]Dataset, error) {
+	opts = opts.normalized()
+	bw := Dataset{
+		ID: "ext-ltparams-bw", Title: "RobuSTore read bandwidth vs LT parameters (baseline config)",
+		XLabel: "C", YLabel: "bandwidth (MBps)",
+	}
+	io := Dataset{
+		ID: "ext-ltparams-io", Title: "RobuSTore read I/O overhead vs LT parameters (baseline config)",
+		XLabel: "C", YLabel: "I/O overhead",
+	}
+	deltas := []float64{0.01, 0.1, 0.5, 1.0}
+	for _, delta := range deltas {
+		name := fmt.Sprintf("δ=%g", delta)
+		bw.Order = append(bw.Order, name)
+		io.Order = append(io.Order, name)
+	}
+	trial := cluster.Trial{
+		Layout:     workload.HeterogeneousLayout(),
+		Background: workload.NoBackground(),
+	}
+	for ci, c := range []float64{0.3, 0.5, 1.0, 2.0} {
+		bwRow := map[string]float64{}
+		ioRow := map[string]float64{}
+		for di, delta := range deltas {
+			cfg := schemes.DefaultConfig(schemes.RobuSTore)
+			cfg.LTC = c
+			cfg.LTDelta = delta
+			ps, err := runPoint(opts, int64(ci*17+di+3), func(seed int64) (schemes.Result, error) {
+				return schemes.RunReadTrial(baselineCluster(), trial, cfg, seed)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ext-ltparams C=%v δ=%v: %w", c, delta, err)
+			}
+			name := fmt.Sprintf("δ=%g", delta)
+			bwRow[name] = ps.Bandwidth.Mean
+			ioRow[name] = ps.IOOverhead.Mean
+		}
+		bw.Add(c, bwRow)
+		io.Add(c, ioRow)
+	}
+	bw.Notes = append(bw.Notes,
+		"the simulator's baseline uses C=1, δ=0.5 (the paper's §6.2.5 choice)")
+	return []Dataset{bw, io}, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders the dataset as an ASCII chart: one mark per series per
+// x position, y scaled to the data range. It is a quick visual check
+// on figure shapes next to the numeric tables (use -plot on
+// cmd/robustore-sim).
+func (d *Dataset) Plot(w io.Writer, height int) {
+	if height < 4 {
+		height = 12
+	}
+	names := d.seriesNames()
+	if len(d.Points) == 0 || len(names) == 0 {
+		fmt.Fprintf(w, "(no data to plot for %s)\n", d.ID)
+		return
+	}
+	marks := "*o+x#@%&"
+	// Collect the y range over all series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, n := range names {
+		for _, v := range d.Series(n) {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		fmt.Fprintf(w, "(no finite values to plot for %s)\n", d.ID)
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	cols := len(d.Points)
+	colWidth := 4
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = fill(' ', cols*colWidth)
+	}
+	for si, n := range names {
+		mark := marks[si%len(marks)]
+		for ci, v := range d.Series(n) {
+			if math.IsNaN(v) {
+				continue
+			}
+			row := int(math.Round((v - lo) / (hi - lo) * float64(height-1)))
+			r := height - 1 - row
+			c := ci*colWidth + si%colWidth
+			grid[r][c] = mark
+		}
+	}
+	fmt.Fprintf(w, "-- %s: %s --\n", d.ID, d.Title)
+	for r, line := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%-10.4g", hi)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%-10.4g", lo)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(line))
+	}
+	// X axis labels (first / last).
+	fmt.Fprintf(w, "%10s|%-*.4g%*.4g\n", "", cols*colWidth/2, d.Points[0].X,
+		cols*colWidth-cols*colWidth/2, d.Points[len(d.Points)-1].X)
+	var legend []string
+	for si, n := range names {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], n))
+	}
+	fmt.Fprintf(w, "%10s %s\n\n", "", strings.Join(legend, "  "))
+}
+
+func fill(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}

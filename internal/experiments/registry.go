@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one registered experiment.
+type Entry struct {
+	ID      string
+	Title   string
+	Figures string // paper figures/tables this regenerates
+	Run     func(Options) ([]Dataset, error)
+	Heavy   bool // large simulation sweeps (minutes at full trials)
+}
+
+// Registry lists every experiment in paper order.
+var Registry = []Entry{
+	{ID: "table5-1", Title: "Reed-Solomon coding bandwidth", Figures: "Table 5-1", Run: Table51},
+	{ID: "fig4-1", Title: "Reassembly probability: replication vs erasure", Figures: "Fig 4-1", Run: Fig41},
+	{ID: "fig5-1", Title: "LT reception overhead across (C, δ, K)", Figures: "Fig 5-1", Run: Fig51, Heavy: true},
+	{ID: "fig5-2", Title: "LT decode edges across (C, δ)", Figures: "Fig 5-2", Run: Fig52, Heavy: true},
+	{ID: "fig5-3", Title: "LT decode bandwidth (wall clock)", Figures: "Fig 5-3", Run: Fig53},
+	{ID: "table6-1", Title: "Disk calibration grid", Figures: "Table 6-1", Run: Table61},
+	{ID: "fig6-5", Title: "Background workload impact", Figures: "Fig 6-5", Run: Fig65},
+	{ID: "fig6-6", Title: "Read vs number of disks", Figures: "Figs 6-6/6-7/6-8", Run: Fig66, Heavy: true},
+	{ID: "fig6-9", Title: "Read vs block size", Figures: "Figs 6-9/6-10/6-11", Run: Fig69, Heavy: true},
+	{ID: "fig6-12", Title: "Read vs network latency", Figures: "Figs 6-12/6-13/6-14", Run: Fig612, Heavy: true},
+	{ID: "fig6-15", Title: "Read vs redundancy", Figures: "Figs 6-15/6-16/6-17", Run: Fig615, Heavy: true},
+	{ID: "fig6-18", Title: "Write vs redundancy", Figures: "Figs 6-18/6-19/6-20", Run: Fig618, Heavy: true},
+	{ID: "fig6-21", Title: "Read-after-write (unbalanced) vs redundancy", Figures: "Figs 6-21/6-22/6-23", Run: Fig621, Heavy: true},
+	{ID: "fig6-24", Title: "Read vs homogeneous competition", Figures: "Figs 6-24/6-25", Run: Fig624, Heavy: true},
+	{ID: "fig6-26", Title: "Read vs redundancy under competition", Figures: "Figs 6-26/6-27/6-28", Run: Fig626, Heavy: true},
+	{ID: "fig6-29", Title: "Write vs redundancy under competition", Figures: "Figs 6-29/6-30/6-31", Run: Fig629, Heavy: true},
+	{ID: "fig6-32", Title: "Read-after-write vs redundancy under competition", Figures: "Figs 6-32/6-33/6-34", Run: Fig632, Heavy: true},
+	{ID: "fig6-35", Title: "Filesystem cache impact", Figures: "Figs 6-35/6-36", Run: Fig635, Heavy: true},
+	{ID: "headline", Title: "Abstract headline numbers", Figures: "Abstract / §6.4", Run: Headline, Heavy: true},
+	{ID: "ablation-lt", Title: "Improved vs original LT codes", Figures: "§5.2.3 (ablation)", Run: AblationLT, Heavy: true},
+	{ID: "ablation-lazy", Title: "Lazy vs greedy XOR decoding", Figures: "§5.2.3 (ablation)", Run: AblationLazyXor, Heavy: true},
+	{ID: "ablation-cancel", Title: "Request cancellation savings", Figures: "§5.3.3 (ablation)", Run: AblationCancel, Heavy: true},
+	{ID: "ext-codes", Title: "Erasure-code survey: RS/Tornado/LT/Raptor", Figures: "§2.2 / §5.2.1 (extension)", Run: CodesSurvey},
+	{ID: "ext-admission", Title: "Admission control under concurrent accesses", Figures: "§5.4 / §7.3 (extension)", Run: AdmissionStudy},
+	{ID: "ext-ltparams", Title: "End-to-end read vs LT (C, δ)", Figures: "§5.2.2 x §6.3 (extension)", Run: LTParamsStudy, Heavy: true},
+}
+
+// Find returns the registry entry with the given id.
+func Find(id string) (Entry, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// IDs returns all registered experiment ids (registry order).
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, opts Options) ([]Dataset, error) {
+	e, ok := Find(id)
+	if !ok {
+		known := IDs()
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+	}
+	return e.Run(opts)
+}

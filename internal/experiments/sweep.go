@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/disk"
+	"repro/internal/schemes"
+	"repro/internal/workload"
+)
+
+// sweepSpec declares one scheme-comparison sweep: a set of x values,
+// which schemes participate at each x, and how to configure the
+// cluster and access for (scheme, x).
+type sweepSpec struct {
+	ids    [3]string // dataset ids for bandwidth / latency-stddev / io-overhead
+	titles [3]string
+	xLabel string
+	xs     []float64
+	op     workload.Op
+	// configure returns the cluster config, trial policies, and access
+	// config; ok=false skips the scheme at this x (e.g. RobuSTore at
+	// zero redundancy).
+	configure func(s schemes.Scheme, x float64) (cluster.Config, cluster.Trial, schemes.Config, bool)
+	// extra receives each point's stats for additional datasets.
+	notes []string
+}
+
+// runSweep executes the sweep and emits bandwidth, latency-stddev, and
+// I/O-overhead datasets (the paper's standard figure triple).
+func runSweep(opts Options, spec sweepSpec) ([]Dataset, error) {
+	opts = opts.normalized()
+	bw := Dataset{ID: spec.ids[0], Title: spec.titles[0], XLabel: spec.xLabel,
+		YLabel: "bandwidth (MBps)", Notes: spec.notes}
+	lat := Dataset{ID: spec.ids[1], Title: spec.titles[1], XLabel: spec.xLabel,
+		YLabel: "stddev of access latency (s)"}
+	io := Dataset{ID: spec.ids[2], Title: spec.titles[2], XLabel: spec.xLabel,
+		YLabel: "I/O overhead (fraction of data size)"}
+	for _, d := range []*Dataset{&bw, &lat, &io} {
+		for _, s := range schemes.AllSchemes {
+			d.Order = append(d.Order, s.String())
+		}
+	}
+	for xi, x := range spec.xs {
+		bwRow := map[string]float64{}
+		latRow := map[string]float64{}
+		ioRow := map[string]float64{}
+		for si, s := range schemes.AllSchemes {
+			ccfg, trial, cfg, ok := spec.configure(s, x)
+			if !ok {
+				continue
+			}
+			pointSeed := int64(xi*101 + si*11 + 1)
+			var fn trialFn
+			switch spec.op {
+			case workload.Read:
+				fn = func(seed int64) (schemes.Result, error) {
+					return schemes.RunReadTrial(ccfg, trial, cfg, seed)
+				}
+			case workload.Write:
+				fn = func(seed int64) (schemes.Result, error) {
+					return schemes.RunWriteTrial(ccfg, trial, cfg, seed)
+				}
+			case workload.ReadAfterWrite:
+				fn = func(seed int64) (schemes.Result, error) {
+					return schemes.RunReadAfterWriteTrial(ccfg, trial, cfg, seed)
+				}
+			default:
+				return nil, fmt.Errorf("experiments: unknown op %v", spec.op)
+			}
+			ps, err := runPoint(opts, pointSeed, fn)
+			if err != nil {
+				return nil, fmt.Errorf("%s x=%v %v: %w", spec.ids[0], x, s, err)
+			}
+			bwRow[s.String()] = ps.Bandwidth.Mean
+			latRow[s.String()] = ps.Latency.StdDev
+			ioRow[s.String()] = ps.IOOverhead.Mean
+		}
+		bw.Add(x, bwRow)
+		lat.Add(x, latRow)
+		io.Add(x, ioRow)
+	}
+	return []Dataset{bw, lat, io}, nil
+}
+
+// baselineCluster returns the §6.2.5 system configuration.
+func baselineCluster() cluster.Config { return cluster.DefaultConfig() }
+
+// hetLayoutTrial is the §6.3.1 environment: heterogeneous in-disk
+// layouts, no competitive load.
+func hetLayoutTrial() cluster.Trial {
+	return cluster.Trial{
+		Layout:     workload.HeterogeneousLayout(),
+		Background: workload.NoBackground(),
+	}
+}
+
+// competitiveTrial is the §6.3.2 heterogeneous-competition
+// environment: every disk shares a good fixed layout but draws a
+// random background interval per access.
+func competitiveTrial() cluster.Trial {
+	return cluster.Trial{
+		Layout:     workload.HomogeneousLayout(goodLayout()),
+		Background: workload.HeterogeneousBackground(),
+	}
+}
+
+// goodLayout is the well-laid-out configuration used when the
+// experiment isolates a non-layout variation source.
+func goodLayout() disk.Layout {
+	return disk.Layout{BlockingFactor: 512, PSeq: 1}
+}

@@ -1,0 +1,186 @@
+// Package gf256 implements arithmetic over the Galois field GF(2^8)
+// with the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the
+// field conventionally used by Reed-Solomon storage codes.
+//
+// Addition is XOR. Multiplication and division use log/antilog tables
+// built at init time from the generator element 2. The package also
+// provides slice kernels (MulSlice, AddMulSlice) used by the
+// Reed-Solomon encoder so matrix-vector products run at memory speed.
+package gf256
+
+// Poly is the primitive polynomial defining the field (without the
+// leading x^8 term bit in the table construction loop below).
+const Poly = 0x11D
+
+var (
+	expTable [512]byte // exp[i] = 2^i, doubled so Mul can skip a mod
+	logTable [256]byte // log[exp[i]] = i; log[0] unused
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a + b in GF(2^8) (which equals a - b).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b in GF(2^8). Division by zero panics.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(logTable[a]) - int(logTable[b])
+	if d < 0 {
+		d += 255
+	}
+	return expTable[d]
+}
+
+// Inv returns the multiplicative inverse of a. Inverse of zero panics.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns 2^n for n >= 0 (the generator raised to the n-th power).
+func Exp(n int) byte { return expTable[n%255] }
+
+// Log returns log2(a) in the field; Log(0) panics.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a^n in GF(2^8) for n >= 0 (0^0 = 1 by convention).
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[(int(logTable[a])*n)%255]
+}
+
+// mulTableRow returns the 256-entry multiplication row for coefficient
+// c, lazily cached; row[x] = c*x.
+var mulRows [256]*[256]byte
+
+func rowFor(c byte) *[256]byte {
+	if r := mulRows[c]; r != nil {
+		return r
+	}
+	var r [256]byte
+	for x := 1; x < 256; x++ {
+		r[x] = Mul(c, byte(x))
+	}
+	mulRows[c] = &r
+	return &r
+}
+
+// MulSlice sets dst[i] = c * src[i]. dst and src must have equal
+// length; dst may alias src.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	row := rowFor(c)
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// AddMulSlice sets dst[i] ^= c * src[i] — the fused multiply-accumulate
+// at the heart of Reed-Solomon encoding. dst and src must have equal
+// length and must not alias unless identical.
+func AddMulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: AddMulSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		XorSlice(src, dst)
+		return
+	}
+	row := rowFor(c)
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// XorSlice sets dst[i] ^= src[i], processing 8 bytes at a time via
+// uint64 words. This is the kernel used by LT coding as well; it lives
+// here so both codes share one optimized implementation.
+func XorSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: XorSlice length mismatch")
+	}
+	n := len(dst)
+	i := 0
+	// Word-at-a-time main loop. Go's compiler lowers these explicit
+	// little-endian load/stores to single MOVs on amd64/arm64.
+	for ; i+8 <= n; i += 8 {
+		d := le64(dst[i:])
+		s := le64(src[i:])
+		putLE64(dst[i:], d^s)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

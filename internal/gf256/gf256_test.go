@@ -1,0 +1,280 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulIdentity(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if got := Mul(byte(a), 1); got != byte(a) {
+			t.Fatalf("Mul(%d,1) = %d", a, got)
+		}
+		if got := Mul(byte(a), 0); got != 0 {
+			t.Fatalf("Mul(%d,0) = %d", a, got)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := a; b < 256; b++ {
+			if Mul(byte(a), byte(b)) != Mul(byte(b), byte(a)) {
+				t.Fatalf("Mul not commutative at %d,%d", a, b)
+			}
+		}
+	}
+}
+
+// slowMul is carry-less multiply reduced mod Poly — the definitional
+// reference implementation.
+func slowMul(a, b byte) byte {
+	var p uint16
+	aa, bb := uint16(a), uint16(b)
+	for i := 0; i < 8; i++ {
+		if bb&1 != 0 {
+			p ^= aa
+		}
+		bb >>= 1
+		aa <<= 1
+		if aa&0x100 != 0 {
+			aa ^= Poly
+		}
+	}
+	return byte(p)
+}
+
+func TestMulAgainstReference(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			want := slowMul(byte(a), byte(b))
+			if got := Mul(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			p := Mul(byte(a), byte(b))
+			if got := Div(p, byte(b)); got != byte(a) {
+				t.Fatalf("Div(Mul(%d,%d),%d) = %d", a, b, b, got)
+			}
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := Mul(byte(a), Inv(byte(a))); got != 1 {
+			t.Fatalf("a*Inv(a) = %d for a=%d", got, a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(3, 0)
+}
+
+func TestLogZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log(0) did not panic")
+		}
+	}()
+	Log(0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := Exp(Log(byte(a))); got != byte(a) {
+			t.Fatalf("Exp(Log(%d)) = %d", a, got)
+		}
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	// 2 must generate the full multiplicative group: 2^255 = 1 and no
+	// smaller positive power is 1.
+	seen := make(map[byte]bool)
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		if seen[x] {
+			t.Fatalf("generator cycle shorter than 255 (repeat at step %d)", i)
+		}
+		seen[x] = true
+		x = Mul(x, 2)
+	}
+	if x != 1 {
+		t.Fatalf("2^255 = %d, want 1", x)
+	}
+}
+
+func TestPow(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		want := byte(1)
+		for n := 0; n < 10; n++ {
+			if got := Pow(byte(a), n); got != want {
+				t.Fatalf("Pow(%d,%d) = %d, want %d", a, n, got, want)
+			}
+			want = Mul(want, byte(a))
+		}
+	}
+}
+
+func TestQuickDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(a, b^c) == Mul(a, b)^Mul(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 255, 77}
+	dst := make([]byte, len(src))
+	MulSlice(3, src, dst)
+	for i := range src {
+		if dst[i] != Mul(3, src[i]) {
+			t.Fatalf("MulSlice[%d] = %d, want %d", i, dst[i], Mul(3, src[i]))
+		}
+	}
+	// c=0 zeroes, c=1 copies.
+	MulSlice(0, src, dst)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatal("MulSlice(0) did not zero")
+		}
+	}
+	MulSlice(1, src, dst)
+	if !bytes.Equal(dst, src) {
+		t.Fatal("MulSlice(1) did not copy")
+	}
+}
+
+func TestMulSliceInPlace(t *testing.T) {
+	s := []byte{5, 9, 100}
+	want := make([]byte, 3)
+	MulSlice(7, s, want)
+	MulSlice(7, s, s)
+	if !bytes.Equal(s, want) {
+		t.Fatal("in-place MulSlice differs")
+	}
+}
+
+func TestAddMulSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 100)
+	dst := make([]byte, 100)
+	rng.Read(src)
+	rng.Read(dst)
+	orig := append([]byte(nil), dst...)
+	AddMulSlice(9, src, dst)
+	for i := range dst {
+		if dst[i] != orig[i]^Mul(9, src[i]) {
+			t.Fatalf("AddMulSlice wrong at %d", i)
+		}
+	}
+	// c=0 is a no-op.
+	cp := append([]byte(nil), dst...)
+	AddMulSlice(0, src, dst)
+	if !bytes.Equal(cp, dst) {
+		t.Fatal("AddMulSlice(0) modified dst")
+	}
+}
+
+func TestXorSlice(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 1000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := make([]byte, n)
+		b := make([]byte, n)
+		rng.Read(a)
+		rng.Read(b)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = a[i] ^ b[i]
+		}
+		got := append([]byte(nil), b...)
+		XorSlice(a, got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("XorSlice wrong for n=%d", n)
+		}
+	}
+}
+
+func TestXorSliceSelfZeroes(t *testing.T) {
+	a := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	XorSlice(a, a)
+	for _, v := range a {
+		if v != 0 {
+			t.Fatal("x^x != 0")
+		}
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"AddMulSlice": func() { AddMulSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"XorSlice":    func() { XorSlice(make([]byte, 3), make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s length mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkXorSlice1MB(b *testing.B) {
+	src := make([]byte, 1<<20)
+	dst := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(src)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorSlice(src, dst)
+	}
+}
+
+func BenchmarkAddMulSlice1MB(b *testing.B) {
+	src := make([]byte, 1<<20)
+	dst := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(src)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddMulSlice(7, src, dst)
+	}
+}

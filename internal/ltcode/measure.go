@@ -1,0 +1,94 @@
+package ltcode
+
+import (
+	"math"
+	"math/rand"
+)
+
+// OverheadSample is the result of one simulated reception experiment.
+type OverheadSample struct {
+	Received int     // coded blocks consumed to complete decoding
+	Overhead float64 // Received/K - 1
+	XorOps   int64   // block XORs performed (edges used, Fig 5-2)
+}
+
+// MeasureOverhead builds a graph with the given parameters and feeds
+// coded blocks to a symbolic decoder in a random order until decoding
+// completes, returning the reception statistics. n is the number of
+// generated coded blocks; it must comfortably exceed (1+ε)K or the
+// sample will fail (returns ok=false).
+func MeasureOverhead(p Params, n int, rng *rand.Rand, opts GraphOptions) (OverheadSample, bool) {
+	g, err := BuildGraph(p, n, rng, opts)
+	if err != nil {
+		return OverheadSample{}, false
+	}
+	return MeasureGraphOverhead(g, rng)
+}
+
+// MeasureGraphOverhead feeds the graph's coded blocks in a random
+// order until complete.
+func MeasureGraphOverhead(g *Graph, rng *rand.Rand) (OverheadSample, bool) {
+	d := NewSymbolicDecoder(g)
+	perm := rng.Perm(g.N)
+	for _, idx := range perm {
+		d.Add(idx)
+		if d.Complete() {
+			return OverheadSample{
+				Received: d.Received(),
+				Overhead: d.ReceptionOverhead(),
+				XorOps:   d.XorOps(),
+			}, true
+		}
+	}
+	return OverheadSample{Received: d.Received(), Overhead: d.ReceptionOverhead(), XorOps: d.XorOps()}, false
+}
+
+// OverheadStats aggregates repeated overhead measurements.
+type OverheadStats struct {
+	Trials       int
+	Failures     int // trials where even N blocks did not decode
+	MeanOverhead float64
+	StdOverhead  float64
+	MeanXorOps   float64
+	StdXorOps    float64
+}
+
+// MeasureOverheadStats runs `trials` independent reception experiments
+// (each with a fresh graph) and aggregates them. This regenerates the
+// data behind Figs 5-1 and 5-2.
+func MeasureOverheadStats(p Params, n, trials int, rng *rand.Rand, opts GraphOptions) OverheadStats {
+	var overheads, xors []float64
+	failures := 0
+	for t := 0; t < trials; t++ {
+		s, ok := MeasureOverhead(p, n, rng, opts)
+		if !ok {
+			failures++
+			continue
+		}
+		overheads = append(overheads, s.Overhead)
+		xors = append(xors, float64(s.XorOps))
+	}
+	st := OverheadStats{Trials: trials, Failures: failures}
+	st.MeanOverhead, st.StdOverhead = meanStd(overheads)
+	st.MeanXorOps, st.StdXorOps = meanStd(xors)
+	return st
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}

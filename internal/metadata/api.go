@@ -1,0 +1,24 @@
+package metadata
+
+import "context"
+
+// API is the metadata-service surface the RobuSTore client consumes.
+// It is implemented by the in-process *Service and by *RemoteClient
+// (the same service reached over TCP), so a deployment can embed its
+// metadata server or share one across machines.
+type API interface {
+	CreateSegment(seg Segment) error
+	UpdateSegment(seg Segment) error
+	LookupSegment(name string) (Segment, error)
+	DeleteSegment(name string) error
+	ListSegments() []string
+
+	RegisterServer(info Server) error
+	UnregisterServer(addr string) error
+	Servers() []Server
+
+	LockRead(ctx context.Context, name string) (func(), error)
+	LockWrite(ctx context.Context, name string) (func(), error)
+}
+
+var _ API = (*Service)(nil)

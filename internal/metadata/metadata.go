@@ -1,0 +1,297 @@
+// Package metadata implements the RobuSTore metadata server (Ch. 4):
+// it tracks data information (segment name, size, coding algorithm
+// and parameters, block placements, versions, locks) and storage-
+// server information (address, capacity, expected performance). The
+// service is an in-process component; cmd/robustored and the examples
+// embed it, matching the paper's observation that a single well-built
+// metadata server suffices because it is touched only at open/close.
+package metadata
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Coding records how a segment was erasure coded, sufficient for any
+// client to rebuild the same coding graph (the graph is a
+// deterministic function of these fields).
+type Coding struct {
+	Algorithm  string  // "lt" (the improved LT codes) or "replication"
+	K          int     // original blocks
+	N          int     // stored coded blocks
+	BlockBytes int64   // coded block size
+	C          float64 // LT soliton parameter
+	Delta      float64 // LT soliton parameter
+	GraphSeed  int64   // seed the writer used to build the coding graph
+	GraphN     int     // total graph size (>= N; rateless writes overshoot)
+}
+
+// Validate reports whether the coding record is self-consistent.
+func (c Coding) Validate() error {
+	if c.Algorithm == "" {
+		return fmt.Errorf("metadata: empty coding algorithm")
+	}
+	if c.K < 1 || c.N < c.K || c.BlockBytes < 1 {
+		return fmt.Errorf("metadata: inconsistent coding geometry K=%d N=%d block=%d",
+			c.K, c.N, c.BlockBytes)
+	}
+	if c.GraphN != 0 && c.GraphN < c.N {
+		return fmt.Errorf("metadata: GraphN %d < N %d", c.GraphN, c.N)
+	}
+	return nil
+}
+
+// Segment is the stored description of one data object.
+type Segment struct {
+	Name      string
+	Size      int64 // original data size in bytes
+	Coding    Coding
+	Placement map[string][]int // server address -> coded indices in stored order
+	Version   int64
+}
+
+// blockCount returns the total placed blocks.
+func (s *Segment) blockCount() int {
+	n := 0
+	for _, idx := range s.Placement {
+		n += len(idx)
+	}
+	return n
+}
+
+// Server describes one registered storage server.
+type Server struct {
+	Addr          string
+	CapacityBytes int64
+	ExpectedMBps  float64
+	Zone          string
+}
+
+// Errors.
+var (
+	ErrSegmentExists   = errors.New("metadata: segment already exists")
+	ErrSegmentNotFound = errors.New("metadata: segment not found")
+	ErrServerNotFound  = errors.New("metadata: server not found")
+)
+
+// Service is the in-process metadata server. Safe for concurrent use.
+type Service struct {
+	mu       sync.Mutex
+	segments map[string]*Segment
+	servers  map[string]Server
+	locks    map[string]*rwLock
+}
+
+// NewService returns an empty metadata service.
+func NewService() *Service {
+	return &Service{
+		segments: make(map[string]*Segment),
+		servers:  make(map[string]Server),
+		locks:    make(map[string]*rwLock),
+	}
+}
+
+// RegisterServer adds or updates a storage server record.
+func (s *Service) RegisterServer(info Server) error {
+	if info.Addr == "" {
+		return fmt.Errorf("metadata: server with empty address")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.servers[info.Addr] = info
+	return nil
+}
+
+// UnregisterServer removes a server record.
+func (s *Service) UnregisterServer(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.servers[addr]; !ok {
+		return ErrServerNotFound
+	}
+	delete(s.servers, addr)
+	return nil
+}
+
+// Servers lists registered servers sorted by address.
+func (s *Service) Servers() []Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Server, 0, len(s.servers))
+	for _, v := range s.servers {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// CreateSegment registers a new segment (the close step of a write).
+func (s *Service) CreateSegment(seg Segment) error {
+	if seg.Name == "" {
+		return fmt.Errorf("metadata: empty segment name")
+	}
+	if err := seg.Coding.Validate(); err != nil {
+		return err
+	}
+	if seg.Size < 0 {
+		return fmt.Errorf("metadata: negative segment size")
+	}
+	if got := (&seg).blockCount(); got < seg.Coding.N {
+		return fmt.Errorf("metadata: placement holds %d blocks, coding requires N=%d", got, seg.Coding.N)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.segments[seg.Name]; ok {
+		return ErrSegmentExists
+	}
+	seg.Version = 1
+	cp := seg
+	cp.Placement = clonePlacement(seg.Placement)
+	s.segments[seg.Name] = &cp
+	return nil
+}
+
+// UpdateSegment replaces a segment's record, bumping its version.
+func (s *Service) UpdateSegment(seg Segment) error {
+	if err := seg.Coding.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.segments[seg.Name]
+	if !ok {
+		return ErrSegmentNotFound
+	}
+	seg.Version = old.Version + 1
+	cp := seg
+	cp.Placement = clonePlacement(seg.Placement)
+	s.segments[seg.Name] = &cp
+	return nil
+}
+
+// LookupSegment returns a copy of the segment record.
+func (s *Service) LookupSegment(name string) (Segment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seg, ok := s.segments[name]
+	if !ok {
+		return Segment{}, ErrSegmentNotFound
+	}
+	cp := *seg
+	cp.Placement = clonePlacement(seg.Placement)
+	return cp, nil
+}
+
+// DeleteSegment removes a segment record.
+func (s *Service) DeleteSegment(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.segments[name]; !ok {
+		return ErrSegmentNotFound
+	}
+	delete(s.segments, name)
+	return nil
+}
+
+// ListSegments returns all segment names, sorted.
+func (s *Service) ListSegments() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.segments))
+	for name := range s.segments {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func clonePlacement(p map[string][]int) map[string][]int {
+	if p == nil {
+		return nil
+	}
+	out := make(map[string][]int, len(p))
+	for k, v := range p {
+		out[k] = append([]int(nil), v...)
+	}
+	return out
+}
+
+// --- file locks (Ch. 4: "necessary file locking is applied by the
+// metadata server") ---
+
+func (s *Service) lockFor(name string) *rwLock {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.locks[name]
+	if !ok {
+		l = newRWLock()
+		s.locks[name] = l
+	}
+	return l
+}
+
+// LockRead acquires a shared lock on a segment name, returning the
+// unlock function.
+func (s *Service) LockRead(ctx context.Context, name string) (func(), error) {
+	return s.lockFor(name).lock(ctx, false)
+}
+
+// LockWrite acquires an exclusive lock on a segment name.
+func (s *Service) LockWrite(ctx context.Context, name string) (func(), error) {
+	return s.lockFor(name).lock(ctx, true)
+}
+
+// rwLock is a context-aware readers-writer lock (writer-exclusive, no
+// writer preference — adequate for open/close-frequency locking).
+type rwLock struct {
+	mu      sync.Mutex
+	readers int
+	writer  bool
+	change  chan struct{} // closed and replaced on every state change
+}
+
+func newRWLock() *rwLock {
+	return &rwLock{change: make(chan struct{})}
+}
+
+func (l *rwLock) lock(ctx context.Context, exclusive bool) (func(), error) {
+	for {
+		l.mu.Lock()
+		free := !l.writer && (!exclusive || l.readers == 0)
+		if free {
+			if exclusive {
+				l.writer = true
+			} else {
+				l.readers++
+			}
+			l.mu.Unlock()
+			return func() { l.unlock(exclusive) }, nil
+		}
+		ch := l.change
+		l.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+func (l *rwLock) unlock(exclusive bool) {
+	l.mu.Lock()
+	if exclusive {
+		l.writer = false
+	} else {
+		l.readers--
+		if l.readers < 0 {
+			l.mu.Unlock()
+			panic("metadata: reader lock underflow")
+		}
+	}
+	close(l.change)
+	l.change = make(chan struct{})
+	l.mu.Unlock()
+}

@@ -1,0 +1,94 @@
+package metadata
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshot is the serialized form of a Service.
+type snapshot struct {
+	FormatVersion int       `json:"format_version"`
+	Segments      []Segment `json:"segments"`
+	Servers       []Server  `json:"servers"`
+}
+
+const formatVersion = 1
+
+// Save writes the service state as JSON. Locks are runtime state and
+// are not persisted.
+func (s *Service) Save(w io.Writer) error {
+	s.mu.Lock()
+	snap := snapshot{FormatVersion: formatVersion}
+	for _, seg := range s.segments {
+		cp := *seg
+		cp.Placement = clonePlacement(seg.Placement)
+		snap.Segments = append(snap.Segments, cp)
+	}
+	for _, srv := range s.servers {
+		snap.Servers = append(snap.Servers, srv)
+	}
+	s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Load replaces the service state from a JSON snapshot.
+func (s *Service) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("metadata: decoding snapshot: %w", err)
+	}
+	if snap.FormatVersion != formatVersion {
+		return fmt.Errorf("metadata: unsupported snapshot version %d", snap.FormatVersion)
+	}
+	segments := make(map[string]*Segment, len(snap.Segments))
+	for i := range snap.Segments {
+		seg := snap.Segments[i]
+		if err := seg.Coding.Validate(); err != nil {
+			return fmt.Errorf("metadata: snapshot segment %q: %w", seg.Name, err)
+		}
+		segments[seg.Name] = &seg
+	}
+	servers := make(map[string]Server, len(snap.Servers))
+	for _, srv := range snap.Servers {
+		servers[srv.Addr] = srv
+	}
+	s.mu.Lock()
+	s.segments = segments
+	s.servers = servers
+	s.mu.Unlock()
+	return nil
+}
+
+// SaveFile atomically writes the snapshot to path.
+func (s *Service) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from path; a missing file leaves the
+// service empty and returns os.ErrNotExist.
+func (s *Service) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f)
+}

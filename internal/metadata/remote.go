@@ -1,0 +1,494 @@
+package metadata
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file puts the metadata service on the network: a JSON-over-
+// length-prefixed-frames protocol carrying the API operations, so one
+// metadata server can serve many RobuSTore clients (the Ch. 4
+// framework's central metadata server, as deployed in practice).
+//
+// Locks acquired remotely are identified by server-issued tokens; the
+// unlock closure returned to the caller sends the token back. Lock
+// *waiting* happens server-side, one request per connection, so a
+// client blocked on a lock does not wedge other clients (the client
+// pool opens one connection per outstanding request).
+
+const remoteMaxFrame = 16 << 20
+
+// wire request/response. Exactly one of the op-specific fields is
+// meaningful per op.
+type wireRequest struct {
+	Op      string   `json:"op"`
+	Name    string   `json:"name,omitempty"`
+	Segment *Segment `json:"segment,omitempty"`
+	Server  *Server  `json:"server,omitempty"`
+	Token   string   `json:"token,omitempty"`
+}
+
+type wireResponse struct {
+	OK      bool     `json:"ok"`
+	Error   string   `json:"error,omitempty"`
+	ErrKind string   `json:"err_kind,omitempty"`
+	Segment *Segment `json:"segment,omitempty"`
+	Names   []string `json:"names,omitempty"`
+	Servers []Server `json:"servers,omitempty"`
+	Token   string   `json:"token,omitempty"`
+}
+
+// err kinds preserved across the wire.
+const (
+	errKindExists   = "exists"
+	errKindNoSeg    = "no-segment"
+	errKindNoServer = "no-server"
+)
+
+func kindOf(err error) string {
+	switch {
+	case errors.Is(err, ErrSegmentExists):
+		return errKindExists
+	case errors.Is(err, ErrSegmentNotFound):
+		return errKindNoSeg
+	case errors.Is(err, ErrServerNotFound):
+		return errKindNoServer
+	default:
+		return ""
+	}
+}
+
+func errOfKind(kind, msg string) error {
+	switch kind {
+	case errKindExists:
+		return ErrSegmentExists
+	case errKindNoSeg:
+		return ErrSegmentNotFound
+	case errKindNoServer:
+		return ErrServerNotFound
+	default:
+		return errors.New(msg)
+	}
+}
+
+func writeJSONFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > remoteMaxFrame {
+		return fmt.Errorf("metadata: frame too large (%d bytes)", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readJSONFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > remoteMaxFrame {
+		return fmt.Errorf("metadata: inbound frame too large (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// NetworkServer exposes a Service over TCP.
+type NetworkServer struct {
+	svc *Service
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	locks   map[string]func() // token -> unlock
+	nextTok int64
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewNetworkServer wraps a service for network serving.
+func NewNetworkServer(svc *Service) *NetworkServer {
+	return &NetworkServer{
+		svc:   svc,
+		conns: make(map[net.Conn]struct{}),
+		locks: make(map[string]func()),
+	}
+}
+
+// Serve accepts connections until Close.
+func (s *NetworkServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("metadata: network server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops the server, releasing any locks still held by remote
+// clients.
+func (s *NetworkServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	locks := s.locks
+	s.locks = map[string]func(){}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, unlock := range locks {
+		unlock()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *NetworkServer) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	for {
+		var req wireRequest
+		if err := readJSONFrame(conn, &req); err != nil {
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := writeJSONFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func fail(err error) wireResponse {
+	return wireResponse{Error: err.Error(), ErrKind: kindOf(err)}
+}
+
+func (s *NetworkServer) dispatch(req *wireRequest) wireResponse {
+	switch req.Op {
+	case "ping":
+		return wireResponse{OK: true}
+	case "create":
+		if req.Segment == nil {
+			return fail(errors.New("metadata: create without segment"))
+		}
+		if err := s.svc.CreateSegment(*req.Segment); err != nil {
+			return fail(err)
+		}
+		return wireResponse{OK: true}
+	case "update":
+		if req.Segment == nil {
+			return fail(errors.New("metadata: update without segment"))
+		}
+		if err := s.svc.UpdateSegment(*req.Segment); err != nil {
+			return fail(err)
+		}
+		return wireResponse{OK: true}
+	case "lookup":
+		seg, err := s.svc.LookupSegment(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		return wireResponse{OK: true, Segment: &seg}
+	case "delete":
+		if err := s.svc.DeleteSegment(req.Name); err != nil {
+			return fail(err)
+		}
+		return wireResponse{OK: true}
+	case "list":
+		return wireResponse{OK: true, Names: s.svc.ListSegments()}
+	case "register-server":
+		if req.Server == nil {
+			return fail(errors.New("metadata: register without server"))
+		}
+		if err := s.svc.RegisterServer(*req.Server); err != nil {
+			return fail(err)
+		}
+		return wireResponse{OK: true}
+	case "unregister-server":
+		if err := s.svc.UnregisterServer(req.Name); err != nil {
+			return fail(err)
+		}
+		return wireResponse{OK: true}
+	case "servers":
+		return wireResponse{OK: true, Servers: s.svc.Servers()}
+	case "lock-read", "lock-write":
+		var unlock func()
+		var err error
+		if req.Op == "lock-read" {
+			unlock, err = s.svc.LockRead(context.Background(), req.Name)
+		} else {
+			unlock, err = s.svc.LockWrite(context.Background(), req.Name)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		s.mu.Lock()
+		s.nextTok++
+		token := req.Op + "-" + req.Name + "-" + strconv.FormatInt(s.nextTok, 10)
+		s.locks[token] = unlock
+		s.mu.Unlock()
+		return wireResponse{OK: true, Token: token}
+	case "unlock":
+		s.mu.Lock()
+		unlock, ok := s.locks[req.Token]
+		delete(s.locks, req.Token)
+		s.mu.Unlock()
+		if !ok {
+			return fail(errors.New("metadata: unknown lock token"))
+		}
+		unlock()
+		return wireResponse{OK: true}
+	default:
+		return fail(fmt.Errorf("metadata: unknown op %q", req.Op))
+	}
+}
+
+// RemoteClient is a metadata.API backed by a NetworkServer. Safe for
+// concurrent use; each in-flight request uses its own pooled
+// connection.
+type RemoteClient struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// DialRemote connects to a metadata network server.
+func DialRemote(addr string) (*RemoteClient, error) {
+	c := &RemoteClient{addr: addr, dialTimeout: 5 * time.Second}
+	resp, err := c.roundTrip(&wireRequest{Op: "ping"})
+	if err != nil {
+		return nil, fmt.Errorf("metadata: dialing %s: %w", addr, err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("metadata: ping failed: %s", resp.Error)
+	}
+	return c, nil
+}
+
+var _ API = (*RemoteClient)(nil)
+
+func (c *RemoteClient) acquire() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("metadata: remote client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return net.DialTimeout("tcp", c.addr, c.dialTimeout)
+}
+
+func (c *RemoteClient) release(conn net.Conn) {
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= 8 {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+	c.mu.Unlock()
+}
+
+func (c *RemoteClient) roundTrip(req *wireRequest) (wireResponse, error) {
+	conn, err := c.acquire()
+	if err != nil {
+		return wireResponse{}, err
+	}
+	if err := writeJSONFrame(conn, req); err != nil {
+		conn.Close()
+		return wireResponse{}, err
+	}
+	var resp wireResponse
+	if err := readJSONFrame(conn, &resp); err != nil {
+		conn.Close()
+		return wireResponse{}, err
+	}
+	c.release(conn)
+	return resp, nil
+}
+
+// call runs one op and maps protocol errors back to API errors.
+func (c *RemoteClient) call(req *wireRequest) (wireResponse, error) {
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if !resp.OK {
+		return resp, errOfKind(resp.ErrKind, resp.Error)
+	}
+	return resp, nil
+}
+
+// CreateSegment implements API.
+func (c *RemoteClient) CreateSegment(seg Segment) error {
+	_, err := c.call(&wireRequest{Op: "create", Segment: &seg})
+	return err
+}
+
+// UpdateSegment implements API.
+func (c *RemoteClient) UpdateSegment(seg Segment) error {
+	_, err := c.call(&wireRequest{Op: "update", Segment: &seg})
+	return err
+}
+
+// LookupSegment implements API.
+func (c *RemoteClient) LookupSegment(name string) (Segment, error) {
+	resp, err := c.call(&wireRequest{Op: "lookup", Name: name})
+	if err != nil {
+		return Segment{}, err
+	}
+	if resp.Segment == nil {
+		return Segment{}, errors.New("metadata: lookup response missing segment")
+	}
+	return *resp.Segment, nil
+}
+
+// DeleteSegment implements API.
+func (c *RemoteClient) DeleteSegment(name string) error {
+	_, err := c.call(&wireRequest{Op: "delete", Name: name})
+	return err
+}
+
+// ListSegments implements API (empty on transport errors, matching
+// the in-process signature).
+func (c *RemoteClient) ListSegments() []string {
+	resp, err := c.call(&wireRequest{Op: "list"})
+	if err != nil {
+		return nil
+	}
+	return resp.Names
+}
+
+// RegisterServer implements API.
+func (c *RemoteClient) RegisterServer(info Server) error {
+	_, err := c.call(&wireRequest{Op: "register-server", Server: &info})
+	return err
+}
+
+// UnregisterServer implements API.
+func (c *RemoteClient) UnregisterServer(addr string) error {
+	_, err := c.call(&wireRequest{Op: "unregister-server", Name: addr})
+	return err
+}
+
+// Servers implements API.
+func (c *RemoteClient) Servers() []Server {
+	resp, err := c.call(&wireRequest{Op: "servers"})
+	if err != nil {
+		return nil
+	}
+	return resp.Servers
+}
+
+// lock acquires a remote lock; the ctx bounds only the wait on our
+// side (the request itself blocks server-side until granted).
+func (c *RemoteClient) lock(ctx context.Context, op, name string) (func(), error) {
+	type result struct {
+		resp wireResponse
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := c.call(&wireRequest{Op: op, Name: name})
+		ch <- result{resp, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		token := r.resp.Token
+		return func() { c.call(&wireRequest{Op: "unlock", Token: token}) }, nil
+	case <-ctx.Done():
+		// The server may still grant the lock; release it when it
+		// arrives so it is not leaked.
+		go func() {
+			if r := <-ch; r.err == nil {
+				c.call(&wireRequest{Op: "unlock", Token: r.resp.Token})
+			}
+		}()
+		return nil, ctx.Err()
+	}
+}
+
+// LockRead implements API.
+func (c *RemoteClient) LockRead(ctx context.Context, name string) (func(), error) {
+	return c.lock(ctx, "lock-read", name)
+}
+
+// LockWrite implements API.
+func (c *RemoteClient) LockWrite(ctx context.Context, name string) (func(), error) {
+	return c.lock(ctx, "lock-write", name)
+}
+
+// Close closes pooled connections.
+func (c *RemoteClient) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}

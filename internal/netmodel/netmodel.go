@@ -1,0 +1,89 @@
+// Package netmodel provides the network model of the RobuSTore
+// simulator (§6.2.2): links with plentiful bandwidth modeled as fixed
+// round-trip latencies, plus a serializer that imposes the client
+// NIC's finite aggregate receive/send rate on block transfers (the
+// only bandwidth limit the paper's configuration retains: a 10 Gbps
+// client interface).
+package netmodel
+
+import "fmt"
+
+// Link is a client↔filer network path with a fixed round-trip time
+// and an optional per-transfer rate limit (0 means unlimited, matching
+// the paper's "plentiful bandwidth" assumption for the wide area).
+type Link struct {
+	RTT  float64 // seconds, round trip
+	Rate float64 // bytes/second; 0 = unlimited
+}
+
+// Validate reports whether the link parameters are sensible.
+func (l Link) Validate() error {
+	if l.RTT < 0 {
+		return fmt.Errorf("netmodel: negative RTT")
+	}
+	if l.Rate < 0 {
+		return fmt.Errorf("netmodel: negative rate")
+	}
+	return nil
+}
+
+// OneWay returns the one-way latency.
+func (l Link) OneWay() float64 { return l.RTT / 2 }
+
+// TransferTime returns the serialization time for `bytes` on the link
+// (0 when the link is unlimited).
+func (l Link) TransferTime(bytes int64) float64 {
+	if l.Rate <= 0 {
+		return 0
+	}
+	return float64(bytes) / l.Rate
+}
+
+// Serializer models a single shared interface (the client NIC) as a
+// FIFO server: transfers become available at some time and are then
+// serialized at the interface rate. It is the G/D/1 queue through
+// which every block delivery to (or from) the client passes.
+type Serializer struct {
+	rate  float64
+	clock float64
+	bytes int64
+}
+
+// NewSerializer returns a serializer with the given rate in bytes/s
+// (0 = unlimited: Deliver returns the availability time unchanged).
+func NewSerializer(rate float64) *Serializer {
+	if rate < 0 {
+		panic("netmodel: negative serializer rate")
+	}
+	return &Serializer{rate: rate}
+}
+
+// Deliver schedules a transfer of `bytes` that becomes available at
+// time `available` and returns its completion time. Calls must be made
+// in nondecreasing order of availability for the FIFO semantics to
+// hold; out-of-order availability is tolerated by queueing behind the
+// current clock.
+func (s *Serializer) Deliver(available float64, bytes int64) float64 {
+	if bytes < 0 {
+		panic("netmodel: negative transfer size")
+	}
+	s.bytes += bytes
+	if s.rate <= 0 {
+		if available > s.clock {
+			s.clock = available
+		}
+		return available
+	}
+	start := s.clock
+	if available > start {
+		start = available
+	}
+	s.clock = start + float64(bytes)/s.rate
+	return s.clock
+}
+
+// Clock returns the time the interface becomes free.
+func (s *Serializer) Clock() float64 { return s.clock }
+
+// Bytes returns the total bytes that have passed through.
+func (s *Serializer) Bytes() int64 { return s.bytes }

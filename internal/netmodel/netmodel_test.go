@@ -1,0 +1,120 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinkValidate(t *testing.T) {
+	if err := (Link{RTT: 0.001, Rate: 1e9}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Link{RTT: -1}).Validate(); err == nil {
+		t.Fatal("negative RTT accepted")
+	}
+	if err := (Link{Rate: -1}).Validate(); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestLinkBasics(t *testing.T) {
+	l := Link{RTT: 0.010, Rate: 1e6}
+	if l.OneWay() != 0.005 {
+		t.Fatalf("OneWay = %v", l.OneWay())
+	}
+	if got := l.TransferTime(2e6); got != 2 {
+		t.Fatalf("TransferTime = %v, want 2", got)
+	}
+	unlimited := Link{RTT: 0.001}
+	if unlimited.TransferTime(1<<40) != 0 {
+		t.Fatal("unlimited link has nonzero transfer time")
+	}
+}
+
+func TestSerializerFIFO(t *testing.T) {
+	s := NewSerializer(100) // 100 B/s
+	// First transfer: available at t=0, 50 bytes -> done at 0.5.
+	if got := s.Deliver(0, 50); got != 0.5 {
+		t.Fatalf("first delivery = %v, want 0.5", got)
+	}
+	// Second: available at 0.1 but NIC busy until 0.5 -> done at 1.5.
+	if got := s.Deliver(0.1, 100); got != 1.5 {
+		t.Fatalf("second delivery = %v, want 1.5", got)
+	}
+	// Third: available at 10 (idle gap) -> done at 10.5.
+	if got := s.Deliver(10, 50); got != 10.5 {
+		t.Fatalf("third delivery = %v, want 10.5", got)
+	}
+	if s.Bytes() != 200 {
+		t.Fatalf("Bytes = %d, want 200", s.Bytes())
+	}
+}
+
+func TestSerializerUnlimited(t *testing.T) {
+	s := NewSerializer(0)
+	if got := s.Deliver(3.5, 1<<30); got != 3.5 {
+		t.Fatalf("unlimited delivery = %v, want 3.5", got)
+	}
+	if s.Clock() != 3.5 {
+		t.Fatalf("clock = %v", s.Clock())
+	}
+}
+
+func TestSerializerNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	NewSerializer(10).Deliver(0, -1)
+}
+
+func TestNewSerializerNegativeRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative rate did not panic")
+		}
+	}()
+	NewSerializer(-1)
+}
+
+func TestQuickSerializerMonotone(t *testing.T) {
+	// Deliveries complete in nondecreasing order and never before the
+	// availability time or the minimum serialization time.
+	f := func(raw []uint16) bool {
+		s := NewSerializer(1000)
+		avail := 0.0
+		prev := 0.0
+		for _, r := range raw {
+			avail += float64(r%100) / 1000
+			bytes := int64(r%500) + 1
+			done := s.Deliver(avail, bytes)
+			if done < avail || done < prev {
+				return false
+			}
+			if done-avail < float64(bytes)/1000-1e-12 {
+				return false
+			}
+			prev = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializerThroughputMatchesRate(t *testing.T) {
+	// Saturating offered load: completion time == total bytes / rate.
+	s := NewSerializer(1e6)
+	var total int64
+	for i := 0; i < 1000; i++ {
+		s.Deliver(0, 1000)
+		total += 1000
+	}
+	want := float64(total) / 1e6
+	if math.Abs(s.Clock()-want) > 1e-9 {
+		t.Fatalf("saturated clock = %v, want %v", s.Clock(), want)
+	}
+}

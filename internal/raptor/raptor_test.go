@@ -1,0 +1,241 @@
+package raptor
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ltcode"
+)
+
+func mustNew(t *testing.T, params Params, n int) *Code {
+	t.Helper()
+	c, err := New(params, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randBlocks(rng *rand.Rand, k, size int) [][]byte {
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{K: 100}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{K: 0},
+		{K: 10, PrecodeRate: -0.1},
+		{K: 10, PrecodeRate: 1.5},
+		{K: 10, PrecodeDegree: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+	if _, err := New(Params{K: 10}, 0); err == nil {
+		t.Error("N=0 accepted")
+	}
+}
+
+func TestConstantAverageDegree(t *testing.T) {
+	// The Raptor selling point: average coded degree is O(1) in K,
+	// while plain LT's grows like ln K.
+	var degs []float64
+	for _, k := range []int{256, 1024, 4096} {
+		c, err := New(Params{K: k, Seed: 1}, 2*k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		degs = append(degs, c.AvgDegree())
+	}
+	for _, d := range degs {
+		if d < 3 || d > 8 {
+			t.Fatalf("avg degree %v outside the capped-distribution range", d)
+		}
+	}
+	if degs[2] > degs[0]*1.2 {
+		t.Fatalf("raptor degree grew with K: %v", degs)
+	}
+	// Contrast with LT, whose mean degree grows like ln K.
+	lt256 := ltcode.MeanDegree(ltcode.RobustSoliton(ltcode.Params{K: 256, C: 1, Delta: 0.5}))
+	lt4096 := ltcode.MeanDegree(ltcode.RobustSoliton(ltcode.Params{K: 4096, C: 1, Delta: 0.5}))
+	if lt4096 <= lt256 {
+		t.Fatal("LT degree did not grow with K")
+	}
+	if lt4096 < degs[2]*1.2 {
+		t.Fatalf("LT mean degree %v not above raptor %v at K=4096", lt4096, degs[2])
+	}
+}
+
+func TestRoundTripAllBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{16, 64, 256} {
+		c, err := New(Params{K: k, Seed: int64(k)}, 3*k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := randBlocks(rng, k, 64)
+		coded, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := c.NewDecoder()
+		for _, idx := range rng.Perm(c.N()) {
+			if err := d.Add(idx, coded[idx]); err != nil {
+				t.Fatal(err)
+			}
+			if d.Complete() {
+				break
+			}
+		}
+		if !d.Complete() {
+			t.Fatalf("K=%d: decode incomplete after all blocks", k)
+		}
+		got, err := d.Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if !bytes.Equal(got[i], data[i]) {
+				t.Fatalf("K=%d: block %d mismatch", k, i)
+			}
+		}
+	}
+}
+
+func TestReceptionOverheadSmall(t *testing.T) {
+	// Raptor decoding should complete from a modest overhead most of
+	// the time (the pre-code mops up the LT layer's constant-fraction
+	// residue).
+	rng := rand.New(rand.NewSource(3))
+	const k = 512
+	c, err := New(Params{K: k, Seed: 9}, 3*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(rng, k, 8)
+	coded, _ := c.Encode(data)
+	var totalOvh float64
+	const trials = 10
+	completed := 0
+	for tr := 0; tr < trials; tr++ {
+		d := c.NewDecoder()
+		for _, idx := range rng.Perm(c.N()) {
+			if err := d.Add(idx, coded[idx]); err != nil {
+				t.Fatal(err)
+			}
+			if d.Complete() {
+				break
+			}
+		}
+		if d.Complete() {
+			completed++
+			totalOvh += d.ReceptionOverhead()
+		}
+	}
+	if completed < trials*8/10 {
+		t.Fatalf("only %d/%d trials decoded", completed, trials)
+	}
+	mean := totalOvh / float64(completed)
+	if mean < 0 || mean > 0.6 {
+		t.Fatalf("mean reception overhead %v implausible", mean)
+	}
+}
+
+func TestDecoderValidation(t *testing.T) {
+	c := mustNew(t, Params{K: 16, Seed: 1}, 64)
+	d := c.NewDecoder()
+	if err := d.Add(-1, []byte{1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := d.Add(64, []byte{1}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := d.Add(0, nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if err := d.Add(0, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(1, []byte{1}); err == nil {
+		t.Fatal("size change accepted")
+	}
+	if _, err := d.Data(); err == nil {
+		t.Fatal("Data before completion accepted")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := mustNew(t, Params{K: 16, Seed: 1}, 48)
+	if _, err := c.Encode(make([][]byte, 3)); err == nil {
+		t.Fatal("wrong block count accepted")
+	}
+	bad := randBlocks(rand.New(rand.NewSource(1)), 16, 4)
+	bad[3] = []byte{1, 2}
+	if _, err := c.Encode(bad); err == nil {
+		t.Fatal("ragged blocks accepted")
+	}
+	if _, err := c.EncodeBlock(99, randBlocks(rand.New(rand.NewSource(1)), 16, 4)); err == nil {
+		t.Fatal("out-of-range EncodeBlock accepted")
+	}
+}
+
+func TestDeterministicStructure(t *testing.T) {
+	a := mustNew(t, Params{K: 64, Seed: 5}, 128)
+	b := mustNew(t, Params{K: 64, Seed: 5}, 128)
+	data := randBlocks(rand.New(rand.NewSource(4)), 64, 16)
+	ca, _ := a.Encode(data)
+	cb, _ := b.Encode(data)
+	for i := range ca {
+		if !bytes.Equal(ca[i], cb[i]) {
+			t.Fatalf("same seed produced different coded block %d", i)
+		}
+	}
+}
+
+func benchRaptor(b *testing.B, k int, decode bool) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := New(Params{K: k, Seed: 1}, 2*k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const blockSize = 16 << 10
+	data := randBlocks(rng, k, blockSize)
+	coded, err := c.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order := rng.Perm(c.N())
+	b.SetBytes(int64(k * blockSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if decode {
+			d := c.NewDecoder()
+			for _, idx := range order {
+				d.Add(idx, coded[idx])
+				if d.Complete() {
+					break
+				}
+			}
+			if !d.Complete() {
+				b.Skip("decode incomplete for this order (rare)")
+			}
+		} else {
+			if _, err := c.Encode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRaptorEncodeK1024(b *testing.B) { benchRaptor(b, 1024, false) }
+func BenchmarkRaptorDecodeK1024(b *testing.B) { benchRaptor(b, 1024, true) }

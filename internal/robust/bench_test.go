@@ -1,0 +1,90 @@
+package robust
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/blockstore"
+	"repro/internal/metadata"
+)
+
+// Benchmarks for the real client stack over in-memory stores: these
+// measure the library's own overheads (encode, fan-out, decode,
+// locking) with storage latency at zero.
+
+func benchClient(b *testing.B, servers int) *Client {
+	b.Helper()
+	meta := metadata.NewService()
+	c, err := NewClient(meta, Options{BlockBytes: 256 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < servers; i++ {
+		if err := c.AttachStore(fmt.Sprintf("s%d", i), blockstore.NewMemStore()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+func BenchmarkClientWrite16MB(b *testing.B) {
+	c := benchClient(b, 8)
+	data := randData(16<<20, 1)
+	ctx := context.Background()
+	b.SetBytes(16 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("w%d", i)
+		if _, err := c.Write(ctx, name, data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClientRead16MB(b *testing.B) {
+	c := benchClient(b, 8)
+	data := randData(16<<20, 2)
+	ctx := context.Background()
+	if _, err := c.Write(ctx, "r", data, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(16 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Read(ctx, "r"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClientUpdate256KB(b *testing.B) {
+	c := benchClient(b, 8)
+	data := randData(16<<20, 3)
+	ctx := context.Background()
+	if _, err := c.Write(ctx, "u", data, nil); err != nil {
+		b.Fatal(err)
+	}
+	patch := randData(256<<10, 4)
+	b.SetBytes(256 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Update(ctx, "u", 1<<20, patch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClientHealth(b *testing.B) {
+	c := benchClient(b, 8)
+	ctx := context.Background()
+	if _, err := c.Write(ctx, "h", randData(16<<20, 5), nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Health(ctx, "h"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

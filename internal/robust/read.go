@@ -1,0 +1,249 @@
+package robust
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/ltcode"
+)
+
+// newSeededRand isolates the construction so write.go and read.go
+// derive identical graphs.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Read reconstructs a segment speculatively (§4.3.3): workers fan out
+// block requests to every holder in parallel, each delivered block
+// feeds the incremental peeling decoder, and the moment decoding
+// completes every outstanding request is canceled. Missing blocks and
+// failing servers are tolerated while any decodable subset survives.
+func (c *Client) Read(ctx context.Context, name string) ([]byte, ReadStats, error) {
+	unlock, err := c.meta.LockRead(ctx, name)
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+	defer unlock()
+	return c.readLocked(ctx, name)
+}
+
+// readLocked performs the read while the caller holds a lock (shared
+// by Read and Update).
+func (c *Client) readLocked(ctx context.Context, name string) ([]byte, ReadStats, error) {
+	start := time.Now()
+	seg, err := c.meta.LookupSegment(name)
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+	graph, err := buildGraph(seg.Coding)
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+
+	dec := &lockedDecoder{d: ltcode.NewDecoder(graph)}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		statsMu  sync.Mutex
+		received = map[string]int{}
+		failed   int
+	)
+	for addr, indices := range seg.Placement {
+		store, ok := c.store(addr)
+		if !ok {
+			continue // server gone; speculative access shrugs
+		}
+		// Split the server's block list among its worker pipelines.
+		for w := 0; w < c.opts.PerServerParallel; w++ {
+			wg.Add(1)
+			go func(addr string, store storeGetter, mine []int) {
+				defer wg.Done()
+				for _, idx := range mine {
+					if rctx.Err() != nil {
+						return
+					}
+					if dec.Complete() {
+						cancel()
+						return
+					}
+					payload, err := store.Get(rctx, name, idx)
+					if err != nil {
+						if rctx.Err() != nil {
+							return
+						}
+						statsMu.Lock()
+						failed++
+						statsMu.Unlock()
+						continue
+					}
+					done, err := dec.Add(idx, payload)
+					if err != nil {
+						continue
+					}
+					statsMu.Lock()
+					received[addr]++
+					statsMu.Unlock()
+					if done {
+						cancel()
+						return
+					}
+				}
+			}(addr, store, stripeSlice(indices, w, c.opts.PerServerParallel))
+		}
+	}
+	wg.Wait()
+
+	stats := ReadStats{
+		K:           seg.Coding.K,
+		Received:    dec.Received(),
+		Reception:   dec.ReceptionOverhead(),
+		Duration:    time.Since(start),
+		PerServer:   received,
+		FailedGets:  failed,
+		UsedDecoder: dec.UsedBlocks(),
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	if !dec.Complete() {
+		return nil, stats, ErrUnrecoverable
+	}
+	blocks, err := dec.Data()
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]byte, 0, seg.Size)
+	for _, b := range blocks {
+		need := seg.Size - int64(len(out))
+		if need <= 0 {
+			break
+		}
+		if need > int64(len(b)) {
+			need = int64(len(b))
+		}
+		out = append(out, b[:need]...)
+	}
+	return out, stats, nil
+}
+
+// storeGetter is the read-path slice of blockstore.Store.
+type storeGetter interface {
+	Get(ctx context.Context, segment string, index int) ([]byte, error)
+}
+
+// stripeSlice deals element i of xs to worker i mod workers.
+func stripeSlice(xs []int, worker, workers int) []int {
+	var out []int
+	for i := worker; i < len(xs); i += workers {
+		out = append(out, xs[i])
+	}
+	return out
+}
+
+// lockedDecoder makes the single-threaded LT decoder safe for the
+// read fan-in.
+type lockedDecoder struct {
+	mu sync.Mutex
+	d  *ltcode.Decoder
+}
+
+func (l *lockedDecoder) Add(idx int, payload []byte) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.d.Complete() {
+		return true, nil
+	}
+	if _, err := l.d.AddData(idx, payload); err != nil {
+		return false, err
+	}
+	return l.d.Complete(), nil
+}
+
+func (l *lockedDecoder) Complete() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.d.Complete()
+}
+
+func (l *lockedDecoder) Received() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.d.Received()
+}
+
+func (l *lockedDecoder) ReceptionOverhead() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.d.ReceptionOverhead()
+}
+
+func (l *lockedDecoder) UsedBlocks() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.d.UsedBlocks()
+}
+
+func (l *lockedDecoder) Data() ([][]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.d.Data()
+}
+
+// ReadAt reconstructs length bytes starting at offset. LT codes are
+// non-systematic — any read must decode the whole segment (§6.2: "only
+// whole blocks can be applied to block-XOR operations") — so this is a
+// convenience slice over a full speculative read, not a short-circuit;
+// the stats reflect the full-segment access.
+func (c *Client) ReadAt(ctx context.Context, name string, offset, length int64) ([]byte, ReadStats, error) {
+	if offset < 0 || length < 0 {
+		return nil, ReadStats{}, errOffset
+	}
+	data, stats, err := c.Read(ctx, name)
+	if err != nil {
+		return nil, stats, err
+	}
+	if offset > int64(len(data)) {
+		return nil, stats, errOffset
+	}
+	end := offset + length
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	return data[offset:end], stats, nil
+}
+
+var errOffset = fmt.Errorf("robust: read range out of bounds")
+
+// Stat returns a segment's metadata record.
+func (c *Client) Stat(name string) (SegmentInfo, error) {
+	seg, err := c.meta.LookupSegment(name)
+	if err != nil {
+		return SegmentInfo{}, err
+	}
+	info := SegmentInfo{
+		Name:       seg.Name,
+		Size:       seg.Size,
+		K:          seg.Coding.K,
+		N:          seg.Coding.N,
+		BlockBytes: seg.Coding.BlockBytes,
+		Version:    seg.Version,
+		Servers:    make(map[string]int, len(seg.Placement)),
+	}
+	for addr, idx := range seg.Placement {
+		info.Servers[addr] = len(idx)
+	}
+	return info, nil
+}
+
+// SegmentInfo is the public view of a stored segment.
+type SegmentInfo struct {
+	Name       string
+	Size       int64
+	K, N       int
+	BlockBytes int64
+	Version    int64
+	Servers    map[string]int // address -> blocks held
+}

@@ -1,0 +1,173 @@
+package robust
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ltcode"
+)
+
+// HealthReport describes a segment's redundancy state.
+type HealthReport struct {
+	Name      string
+	K, N      int
+	Reachable int      // blocks on currently attached servers
+	Missing   int      // blocks whose holders are detached or that lost the block
+	Decodable bool     // whether a read would currently succeed
+	DeadAddrs []string // placement holders that are not attached
+	CheckedAt time.Time
+}
+
+// Health audits a segment: which placed blocks are still reachable
+// (holder attached and block present) and whether the survivors
+// decode. It reads no payload data — only block listings.
+func (c *Client) Health(ctx context.Context, name string) (HealthReport, error) {
+	seg, err := c.meta.LookupSegment(name)
+	if err != nil {
+		return HealthReport{}, err
+	}
+	graph, err := buildGraph(seg.Coding)
+	if err != nil {
+		return HealthReport{}, err
+	}
+	rep := HealthReport{Name: name, K: seg.Coding.K, N: seg.Coding.N, CheckedAt: time.Now()}
+	dec := ltcode.NewSymbolicDecoder(graph)
+	for addr, indices := range seg.Placement {
+		store, ok := c.store(addr)
+		if !ok {
+			rep.DeadAddrs = append(rep.DeadAddrs, addr)
+			rep.Missing += len(indices)
+			continue
+		}
+		present, err := store.List(ctx, name)
+		if err != nil {
+			rep.DeadAddrs = append(rep.DeadAddrs, addr)
+			rep.Missing += len(indices)
+			continue
+		}
+		have := make(map[int]bool, len(present))
+		for _, i := range present {
+			have[i] = true
+		}
+		for _, i := range indices {
+			if have[i] {
+				rep.Reachable++
+				dec.Add(i)
+			} else {
+				rep.Missing++
+			}
+		}
+	}
+	sort.Strings(rep.DeadAddrs)
+	rep.Decodable = dec.Complete()
+	return rep, nil
+}
+
+// RepairStats reports one repair pass.
+type RepairStats struct {
+	Regenerated int // blocks re-created on healthy servers
+	Pruned      int // placement entries dropped (dead holders)
+	Duration    time.Duration
+}
+
+// Repair restores a segment's redundancy after server loss or block
+// corruption: it reconstructs the data from the surviving blocks,
+// regenerates the unreachable coded blocks (same graph indices), and
+// re-places them on healthy attached servers, updating the placement.
+// The segment must still be decodable; Repair fails with
+// ErrUnrecoverable otherwise.
+func (c *Client) Repair(ctx context.Context, name string) (RepairStats, error) {
+	start := time.Now()
+	unlock, err := c.meta.LockWrite(ctx, name)
+	if err != nil {
+		return RepairStats{}, err
+	}
+	defer unlock()
+	seg, err := c.meta.LookupSegment(name)
+	if err != nil {
+		return RepairStats{}, err
+	}
+	data, _, err := c.readLocked(ctx, name)
+	if err != nil {
+		return RepairStats{}, fmt.Errorf("robust: repair read: %w", err)
+	}
+	graph, err := buildGraph(seg.Coding)
+	if err != nil {
+		return RepairStats{}, err
+	}
+	blocks := splitBlocks(data, seg.Coding.BlockBytes)
+
+	// Determine which placed blocks are gone and which remain.
+	var stats RepairStats
+	newPlacement := make(map[string][]int)
+	var lost []int
+	for addr, indices := range seg.Placement {
+		store, ok := c.store(addr)
+		if !ok {
+			lost = append(lost, indices...)
+			stats.Pruned += len(indices)
+			continue
+		}
+		present, err := store.List(ctx, name)
+		if err != nil {
+			lost = append(lost, indices...)
+			stats.Pruned += len(indices)
+			continue
+		}
+		have := make(map[int]bool, len(present))
+		for _, i := range present {
+			have[i] = true
+		}
+		for _, i := range indices {
+			if have[i] {
+				newPlacement[addr] = append(newPlacement[addr], i)
+			} else {
+				lost = append(lost, i)
+				stats.Pruned++
+			}
+		}
+	}
+	sort.Ints(lost)
+
+	// Re-place lost blocks round-robin on healthy servers that do not
+	// already hold them.
+	healthy := c.Servers()
+	if len(healthy) == 0 {
+		return stats, ErrNoServers
+	}
+	hi := 0
+	for _, idx := range lost {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		coded := graph.EncodeBlock(idx, blocks)
+		placed := false
+		for attempts := 0; attempts < len(healthy); attempts++ {
+			addr := healthy[hi%len(healthy)]
+			hi++
+			store, ok := c.store(addr)
+			if !ok {
+				continue
+			}
+			if err := store.Put(ctx, name, idx, coded); err != nil {
+				continue
+			}
+			newPlacement[addr] = append(newPlacement[addr], idx)
+			stats.Regenerated++
+			placed = true
+			break
+		}
+		if !placed {
+			return stats, fmt.Errorf("robust: repair could not re-place block %d", idx)
+		}
+	}
+
+	seg.Placement = newPlacement
+	if err := c.meta.UpdateSegment(seg); err != nil {
+		return stats, err
+	}
+	stats.Duration = time.Since(start)
+	return stats, nil
+}

@@ -1,0 +1,191 @@
+package robust
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestHealthOnIntactSegment(t *testing.T) {
+	c, _ := newTestClient(t, 6, Options{BlockBytes: 4 << 10, MaxServerShare: 0.25})
+	ctx := context.Background()
+	data := randData(128<<10, 20)
+	ws, err := c.Write(ctx, "h", data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Health(ctx, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Decodable {
+		t.Fatal("fresh segment not decodable")
+	}
+	if rep.Missing != 0 || rep.Reachable != ws.Committed {
+		t.Fatalf("health = %+v, committed %d", rep, ws.Committed)
+	}
+	if len(rep.DeadAddrs) != 0 {
+		t.Fatalf("dead addrs on healthy cluster: %v", rep.DeadAddrs)
+	}
+}
+
+func TestHealthAfterLoss(t *testing.T) {
+	c, _ := newTestClient(t, 6, Options{BlockBytes: 4 << 10, MaxServerShare: 0.25})
+	ctx := context.Background()
+	data := randData(128<<10, 21)
+	if _, err := c.Write(ctx, "h2", data, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.DetachStore("mem-00")
+	rep, err := c.Health(ctx, "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missing == 0 {
+		t.Fatal("loss not detected")
+	}
+	if len(rep.DeadAddrs) != 1 || rep.DeadAddrs[0] != "mem-00" {
+		t.Fatalf("dead addrs = %v", rep.DeadAddrs)
+	}
+	if !rep.Decodable {
+		t.Fatal("segment should survive one server loss at D=3")
+	}
+}
+
+func TestRepairRestoresRedundancy(t *testing.T) {
+	c, stores := newTestClient(t, 6, Options{BlockBytes: 4 << 10, MaxServerShare: 0.25})
+	ctx := context.Background()
+	data := randData(128<<10, 22)
+	ws, err := c.Write(ctx, "r", data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = stores
+	// Lose two servers.
+	c.DetachStore("mem-00")
+	c.DetachStore("mem-01")
+	before, _ := c.Health(ctx, "r")
+	if before.Missing == 0 {
+		t.Fatal("test needs actual loss")
+	}
+	rst, err := c.Repair(ctx, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.Regenerated != before.Missing {
+		t.Fatalf("regenerated %d, missing was %d", rst.Regenerated, before.Missing)
+	}
+	after, err := c.Health(ctx, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Missing != 0 || len(after.DeadAddrs) != 0 {
+		t.Fatalf("post-repair health = %+v", after)
+	}
+	if after.Reachable < ws.N {
+		t.Fatalf("post-repair reachable %d < N %d", after.Reachable, ws.N)
+	}
+	// Data still reads correctly, and a version bump happened.
+	got, _, err := c.Read(ctx, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after repair")
+	}
+	info, _ := c.Stat("r")
+	if info.Version != 2 {
+		t.Fatalf("version = %d, want 2", info.Version)
+	}
+	// Now lose the *new* biggest holder and read again — the repaired
+	// redundancy must carry it.
+	biggest, max1 := "", -1
+	for addr, n := range info.Servers {
+		if n > max1 {
+			biggest, max1 = addr, n
+		}
+	}
+	c.DetachStore(biggest)
+	got, _, err = c.Read(ctx, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after second loss")
+	}
+}
+
+func TestRepairFailsWhenUnrecoverable(t *testing.T) {
+	c, _ := newTestClient(t, 6, Options{
+		BlockBytes: 4 << 10, Redundancy: 1, MaxServerShare: 0.2,
+	})
+	ctx := context.Background()
+	data := randData(128<<10, 23)
+	if _, err := c.Write(ctx, "gone", data, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.DetachStore(fmt.Sprintf("mem-%02d", i))
+	}
+	if _, err := c.Repair(ctx, "gone"); !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("repair of unrecoverable segment = %v", err)
+	}
+}
+
+func TestRepairAfterBlockCorruptionLoss(t *testing.T) {
+	// Blocks deleted out from under the client (bit rot, operator
+	// error) are detected by Health and restored by Repair.
+	c, stores := newTestClient(t, 5, Options{BlockBytes: 4 << 10, MaxServerShare: 0.3})
+	ctx := context.Background()
+	data := randData(96<<10, 24)
+	if _, err := c.Write(ctx, "rot", data, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Delete a few blocks directly from a store that actually holds
+	// some (the instant in-memory servers make placement uneven).
+	deleted := 0
+	for _, s := range stores {
+		idx, _ := s.List(ctx, "rot")
+		if len(idx) < 2 {
+			continue
+		}
+		for _, i := range idx[:len(idx)/2] {
+			s.Delete(ctx, "rot", i)
+			deleted++
+		}
+		break
+	}
+	if deleted == 0 {
+		t.Fatal("no store held enough blocks to corrupt")
+	}
+	rep, _ := c.Health(ctx, "rot")
+	if rep.Missing == 0 {
+		t.Fatal("deleted blocks not detected")
+	}
+	if _, err := c.Repair(ctx, "rot"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c.Health(ctx, "rot")
+	if after.Missing != 0 {
+		t.Fatalf("still missing %d after repair", after.Missing)
+	}
+	got, _, err := c.Read(ctx, "rot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after rot repair")
+	}
+}
+
+func TestHealthMissingSegment(t *testing.T) {
+	c, _ := newTestClient(t, 2, Options{})
+	if _, err := c.Health(context.Background(), "ghost"); err == nil {
+		t.Fatal("health of missing segment succeeded")
+	}
+	if _, err := c.Repair(context.Background(), "ghost"); err == nil {
+		t.Fatal("repair of missing segment succeeded")
+	}
+}

@@ -1,0 +1,228 @@
+// Package robust implements the RobuSTore client (Ch. 4): the
+// component that encodes data with improved LT codes, speculatively
+// spreads coded blocks across heterogeneous storage servers, and
+// reconstructs data from whichever blocks return first.
+//
+// Write is rateless and adaptive (§4.3.2): one worker pipeline per
+// server keeps pushing freshly generated coded blocks at that
+// server's own pace until N blocks have committed globally, then the
+// remaining work is canceled — fast servers naturally absorb more
+// blocks. Read is speculative (§4.3.3): workers fan out GETs to every
+// holder in parallel and the access is complete the moment the
+// incremental peeling decoder recovers all K originals; outstanding
+// requests are canceled through context propagation. Individual
+// server failures, stalls, and missing blocks are tolerated as long
+// as enough blocks survive — that is the point of the architecture.
+package robust
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/ltcode"
+	"repro/internal/metadata"
+)
+
+// Options configure a Client.
+type Options struct {
+	// Redundancy is D: stored redundant blocks per original block
+	// (default 3, the paper's baseline).
+	Redundancy float64
+	// BlockBytes is the coded block size (default 1 MB).
+	BlockBytes int64
+	// LTC and LTDelta are the robust-soliton parameters (default 1.0
+	// and 0.1: ~0.3-0.5 reception overhead, per §5.2.4).
+	LTC, LTDelta float64
+	// PerServerParallel is the number of outstanding requests kept per
+	// server during reads and writes (default 2: one in flight, one
+	// queued — a disk pipeline).
+	PerServerParallel int
+	// GraphSlack is the number of extra coded blocks generated per
+	// server beyond N, bounding rateless-write overshoot (default 4).
+	GraphSlack int
+	// MaxServerShare, when positive, caps the fraction of a segment's
+	// blocks any single server may absorb during a rateless write
+	// (§5.3.1: placement diversity for disaster recovery). With very
+	// fast uniform servers an uncapped speculative write can
+	// concentrate blocks on whichever server wins the race; a cap of
+	// e.g. 0.25 forces at least four holders. Zero disables the cap
+	// (the paper's pure speculative semantics).
+	MaxServerShare float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Redundancy == 0 {
+		o.Redundancy = 3
+	}
+	if o.BlockBytes == 0 {
+		o.BlockBytes = 1 << 20
+	}
+	if o.LTC == 0 {
+		o.LTC = 1.0
+	}
+	if o.LTDelta == 0 {
+		o.LTDelta = 0.1
+	}
+	if o.PerServerParallel <= 0 {
+		o.PerServerParallel = 2
+	}
+	if o.GraphSlack <= 0 {
+		o.GraphSlack = 4
+	}
+	return o
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.Redundancy < 0.25 {
+		return fmt.Errorf("robust: redundancy %v too low for LT decodability", o.Redundancy)
+	}
+	if o.BlockBytes < 1 {
+		return fmt.Errorf("robust: non-positive block size")
+	}
+	p := ltcode.Params{K: 2, C: o.LTC, Delta: o.LTDelta}
+	return p.Validate()
+}
+
+// Errors.
+var (
+	// ErrNoServers reports a write with no attached storage servers.
+	ErrNoServers = errors.New("robust: no storage servers attached")
+	// ErrUnrecoverable reports a read that exhausted every stored
+	// block without completing the decode.
+	ErrUnrecoverable = errors.New("robust: data unrecoverable from surviving blocks")
+	// ErrShortWrite reports a write that could not commit N blocks.
+	ErrShortWrite = errors.New("robust: not enough blocks committed")
+)
+
+// Client is a RobuSTore client bound to a metadata service and a set
+// of storage backends. Safe for concurrent use.
+type Client struct {
+	meta metadata.API
+	opts Options
+
+	mu     sync.RWMutex
+	stores map[string]blockstore.Store
+}
+
+// NewClient creates a client over a metadata service — the embedded
+// *metadata.Service or a *metadata.RemoteClient for a shared
+// networked one. Backends are attached with AttachStore.
+func NewClient(meta metadata.API, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Client{meta: meta, opts: opts, stores: make(map[string]blockstore.Store)}, nil
+}
+
+// Meta returns the client's metadata service.
+func (c *Client) Meta() metadata.API { return c.meta }
+
+// AttachStore registers a storage backend under an address. The
+// backend may be a local store or a transport.Client for a remote
+// server.
+func (c *Client) AttachStore(addr string, store blockstore.Store) error {
+	if addr == "" || store == nil {
+		return fmt.Errorf("robust: AttachStore needs an address and a store")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stores[addr] = store
+	return nil
+}
+
+// DetachStore removes a backend (its blocks become unreachable; reads
+// tolerate this as long as enough blocks survive elsewhere).
+func (c *Client) DetachStore(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.stores, addr)
+}
+
+// Servers returns the attached backend addresses, sorted.
+func (c *Client) Servers() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.stores))
+	for a := range c.stores {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Client) store(addr string) (blockstore.Store, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.stores[addr]
+	return s, ok
+}
+
+// graphSeed derives a deterministic coding-graph seed from the
+// segment identity, so the seed recorded in metadata is reproducible.
+func graphSeed(name string, size int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(size >> (8 * i))
+	}
+	h.Write(buf[:])
+	return int64(h.Sum64() & 0x7FFFFFFFFFFFFFFF)
+}
+
+// splitBlocks cuts data into K zero-padded blocks of BlockBytes.
+func splitBlocks(data []byte, blockBytes int64) [][]byte {
+	k := int((int64(len(data)) + blockBytes - 1) / blockBytes)
+	if k == 0 {
+		k = 1
+	}
+	out := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		b := make([]byte, blockBytes)
+		start := int64(i) * blockBytes
+		if start < int64(len(data)) {
+			copy(b, data[start:])
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// buildGraph reconstructs a segment's coding graph from its metadata.
+func buildGraph(coding metadata.Coding) (*ltcode.Graph, error) {
+	p := ltcode.Params{K: coding.K, C: coding.C, Delta: coding.Delta}
+	n := coding.GraphN
+	if n == 0 {
+		n = coding.N
+	}
+	return ltcode.BuildGraph(p, n, rand.New(rand.NewSource(coding.GraphSeed)), ltcode.DefaultGraphOptions())
+}
+
+// WriteStats reports one write access.
+type WriteStats struct {
+	K, N       int
+	Committed  int // blocks on servers (>= N on success; overshoot included)
+	BytesSent  int64
+	Duration   time.Duration
+	PerServer  map[string]int
+	FailedPuts int
+}
+
+// ReadStats reports one read access.
+type ReadStats struct {
+	K           int
+	Received    int // blocks delivered before completion
+	Reception   float64
+	Duration    time.Duration
+	PerServer   map[string]int
+	FailedGets  int
+	UsedDecoder int // blocks that contributed a decoded original
+}

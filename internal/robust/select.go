@@ -1,0 +1,102 @@
+package robust
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/metadata"
+)
+
+// QoS expresses the Appendix B open-options that matter to placement:
+// how many servers to spread across and whether to force zone
+// diversity (§5.3.1: "it is important to have each file striped across
+// multiple distributed sites" / "a mixed selection ... is
+// recommended").
+type QoS struct {
+	// Servers is the number of storage servers to use (0 = all
+	// attached). §5.3.1: at least expected-bandwidth / per-server
+	// bandwidth.
+	Servers int
+	// SpreadZones, when true, selects round-robin across metadata
+	// zones so no single site failure can take out a large share.
+	SpreadZones bool
+	// PreferFast, when true, favors servers with higher ExpectedMBps
+	// in the metadata registry (the §5.3.1 "lightly-loaded disks"
+	// heuristic, using the registry's performance hints).
+	PreferFast bool
+	// Seed randomizes ties deterministically (0 = unseeded default).
+	Seed int64
+}
+
+// SelectServers picks a server subset per the QoS policy, drawing on
+// the metadata registry for zone and performance hints; attached
+// servers missing from the registry are still eligible (unknown zone,
+// zero expected bandwidth).
+func (c *Client) SelectServers(q QoS) ([]string, error) {
+	attached := c.Servers()
+	if len(attached) == 0 {
+		return nil, ErrNoServers
+	}
+	n := q.Servers
+	if n <= 0 || n > len(attached) {
+		n = len(attached)
+	}
+	// Gather registry hints.
+	info := map[string]metadata.Server{}
+	for _, srv := range c.meta.Servers() {
+		info[srv.Addr] = srv
+	}
+	rng := rand.New(rand.NewSource(q.Seed + 0x5ee1ec7))
+	// Shuffle first so ties break randomly but deterministically.
+	rng.Shuffle(len(attached), func(i, j int) { attached[i], attached[j] = attached[j], attached[i] })
+	if q.PreferFast {
+		sort.SliceStable(attached, func(i, j int) bool {
+			return info[attached[i]].ExpectedMBps > info[attached[j]].ExpectedMBps
+		})
+	}
+	if !q.SpreadZones {
+		return attached[:n], nil
+	}
+	// Round-robin across zones, preserving the (possibly
+	// performance-sorted) order within each zone.
+	zones := map[string][]string{}
+	var zoneOrder []string
+	for _, addr := range attached {
+		z := info[addr].Zone
+		if _, ok := zones[z]; !ok {
+			zoneOrder = append(zoneOrder, z)
+		}
+		zones[z] = append(zones[z], addr)
+	}
+	var out []string
+	for len(out) < n {
+		progressed := false
+		for _, z := range zoneOrder {
+			if len(zones[z]) == 0 {
+				continue
+			}
+			out = append(out, zones[z][0])
+			zones[z] = zones[z][1:]
+			progressed = true
+			if len(out) == n {
+				break
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("robust: zone spread exhausted at %d of %d servers", len(out), n)
+		}
+	}
+	return out, nil
+}
+
+// WriteWithQoS is Write with placement driven by a QoS policy instead
+// of an explicit server list (the Appendix B open-with-QoS path).
+func (c *Client) WriteWithQoS(ctx context.Context, name string, data []byte, q QoS) (WriteStats, error) {
+	servers, err := c.SelectServers(q)
+	if err != nil {
+		return WriteStats{}, err
+	}
+	return c.Write(ctx, name, data, servers)
+}

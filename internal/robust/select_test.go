@@ -1,0 +1,175 @@
+package robust
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/blockstore"
+	"repro/internal/metadata"
+)
+
+// newZonedClient builds a client with servers registered across zones
+// and with varying expected performance.
+func newZonedClient(t *testing.T) *Client {
+	t.Helper()
+	meta := metadata.NewService()
+	c, err := NewClient(meta, Options{BlockBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 zones x 3 servers; performance grows with index.
+	for i := 0; i < 9; i++ {
+		addr := fmt.Sprintf("srv-%d", i)
+		c.AttachStore(addr, blockstore.NewMemStore())
+		meta.RegisterServer(metadata.Server{
+			Addr:         addr,
+			Zone:         fmt.Sprintf("zone-%d", i%3),
+			ExpectedMBps: float64(10 * (i + 1)),
+		})
+	}
+	return c
+}
+
+func TestSelectServersCount(t *testing.T) {
+	c := newZonedClient(t)
+	sel, err := c.SelectServers(QoS{Servers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 4 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	seen := map[string]bool{}
+	for _, a := range sel {
+		if seen[a] {
+			t.Fatalf("duplicate selection %v", sel)
+		}
+		seen[a] = true
+	}
+	// 0 or oversized means all.
+	sel, _ = c.SelectServers(QoS{})
+	if len(sel) != 9 {
+		t.Fatalf("default selection %d, want all 9", len(sel))
+	}
+	sel, _ = c.SelectServers(QoS{Servers: 99})
+	if len(sel) != 9 {
+		t.Fatalf("oversized selection %d, want all 9", len(sel))
+	}
+}
+
+func TestSelectServersZoneSpread(t *testing.T) {
+	c := newZonedClient(t)
+	sel, err := c.SelectServers(QoS{Servers: 3, SpreadZones: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := map[string]string{}
+	for _, srv := range c.Meta().Servers() {
+		meta[srv.Addr] = srv.Zone
+	}
+	zones := map[string]bool{}
+	for _, a := range sel {
+		zones[meta[a]] = true
+	}
+	if len(zones) != 3 {
+		t.Fatalf("3 servers landed in %d zones: %v", len(zones), sel)
+	}
+	// 6 servers over 3 zones: exactly 2 per zone.
+	sel, _ = c.SelectServers(QoS{Servers: 6, SpreadZones: true, Seed: 5})
+	perZone := map[string]int{}
+	for _, a := range sel {
+		perZone[meta[a]]++
+	}
+	for z, n := range perZone {
+		if n != 2 {
+			t.Fatalf("zone %s got %d servers: %v", z, n, sel)
+		}
+	}
+}
+
+func TestSelectServersPreferFast(t *testing.T) {
+	c := newZonedClient(t)
+	sel, err := c.SelectServers(QoS{Servers: 3, PreferFast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three fastest are srv-8, srv-7, srv-6 (90/80/70 MBps).
+	want := map[string]bool{"srv-8": true, "srv-7": true, "srv-6": true}
+	for _, a := range sel {
+		if !want[a] {
+			t.Fatalf("PreferFast selected %v", sel)
+		}
+	}
+}
+
+func TestSelectServersDeterministicSeed(t *testing.T) {
+	c := newZonedClient(t)
+	a, _ := c.SelectServers(QoS{Servers: 5, Seed: 42})
+	b, _ := c.SelectServers(QoS{Servers: 5, Seed: 42})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different selections: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSelectServersNoServers(t *testing.T) {
+	meta := metadata.NewService()
+	c, _ := NewClient(meta, Options{})
+	if _, err := c.SelectServers(QoS{}); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteWithQoSRoundTrip(t *testing.T) {
+	c := newZonedClient(t)
+	ctx := context.Background()
+	data := randData(100<<10, 42)
+	ws, err := c.WriteWithQoS(ctx, "qos-obj", data, QoS{Servers: 6, SpreadZones: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.PerServer) > 6 {
+		t.Fatalf("wrote to %d servers, QoS asked for 6", len(ws.PerServer))
+	}
+	got, _, err := c.Read(ctx, "qos-obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestReadAtBounds(t *testing.T) {
+	c := newZonedClient(t)
+	ctx := context.Background()
+	data := randData(50<<10, 43)
+	if _, err := c.Write(ctx, "ra", data, nil); err != nil {
+		t.Fatal(err)
+	}
+	part, _, err := c.ReadAt(ctx, "ra", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(part, data[100:300]) {
+		t.Fatal("ReadAt slice wrong")
+	}
+	// Clamped tail read.
+	tail, _, err := c.ReadAt(ctx, "ra", int64(len(data))-10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tail, data[len(data)-10:]) {
+		t.Fatal("tail ReadAt wrong")
+	}
+	if _, _, err := c.ReadAt(ctx, "ra", -1, 10); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, _, err := c.ReadAt(ctx, "ra", int64(len(data))+5, 1); err == nil {
+		t.Fatal("past-end offset accepted")
+	}
+}

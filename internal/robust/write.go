@@ -1,0 +1,234 @@
+package robust
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ltcode"
+	"repro/internal/metadata"
+)
+
+// Write stores data as an erasure-coded segment, speculatively and
+// ratelessly (§4.3.2): every server absorbs freshly generated coded
+// blocks at its own pace until N = (1+D)·K blocks have committed
+// globally, at which point remaining work is canceled. servers
+// selects the target set; nil means all attached backends.
+func (c *Client) Write(ctx context.Context, name string, data []byte, servers []string) (WriteStats, error) {
+	start := time.Now()
+	if name == "" {
+		return WriteStats{}, fmt.Errorf("robust: empty segment name")
+	}
+	if len(data) == 0 {
+		return WriteStats{}, fmt.Errorf("robust: empty data")
+	}
+	if servers == nil {
+		servers = c.Servers()
+	}
+	if len(servers) == 0 {
+		return WriteStats{}, ErrNoServers
+	}
+	for _, addr := range servers {
+		if _, ok := c.store(addr); !ok {
+			return WriteStats{}, fmt.Errorf("robust: server %q not attached", addr)
+		}
+	}
+	unlock, err := c.meta.LockWrite(ctx, name)
+	if err != nil {
+		return WriteStats{}, err
+	}
+	defer unlock()
+	if _, err := c.meta.LookupSegment(name); err == nil {
+		return WriteStats{}, metadata.ErrSegmentExists
+	}
+
+	// Plan the code.
+	blocks := splitBlocks(data, c.opts.BlockBytes)
+	k := len(blocks)
+	n := int(math.Ceil((1 + c.opts.Redundancy) * float64(k)))
+	graphN := n + c.opts.GraphSlack*len(servers)
+	seed := graphSeed(name, int64(len(data)))
+	params := ltcode.Params{K: k, C: c.opts.LTC, Delta: c.opts.LTDelta}
+	graph, err := ltcode.BuildGraph(params, graphN, newSeededRand(seed), ltcode.DefaultGraphOptions())
+	if err != nil {
+		return WriteStats{}, err
+	}
+
+	// Rateless speculative spread. Fresh block indices come from an
+	// atomic cursor; an index whose put fails goes to a shared retry
+	// queue so another (healthier) server picks it up. A global
+	// failure budget bounds the retry churn when everything is down.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next      int64 = -1 // atomically incremented block cursor
+		committed int64
+		bytesSent int64
+		failed    int64
+	)
+	failureBudget := int64(4*graphN + 64)
+	retry := make(chan int, graphN)
+	// takeIndex prefers retries, then fresh indices, then blocks until
+	// a retry appears or the write ends.
+	takeIndex := func() (int, bool) {
+		select {
+		case i := <-retry:
+			return i, true
+		default:
+		}
+		if i := int(atomic.AddInt64(&next, 1)); i < graphN {
+			return i, true
+		}
+		select {
+		case i := <-retry:
+			return i, true
+		case <-wctx.Done():
+			return 0, false
+		}
+	}
+	perServerCap := graphN
+	if c.opts.MaxServerShare > 0 {
+		perServerCap = int(math.Ceil(c.opts.MaxServerShare * float64(graphN)))
+		if perServerCap < 1 {
+			perServerCap = 1
+		}
+	}
+	placeMu := sync.Mutex{}
+	placement := make(map[string][]int, len(servers))
+	serverCount := make(map[string]*int64, len(servers))
+	for _, addr := range servers {
+		var zero int64
+		serverCount[addr] = &zero
+	}
+	var wg sync.WaitGroup
+	for _, addr := range servers {
+		store, _ := c.store(addr)
+		count := serverCount[addr]
+		for w := 0; w < c.opts.PerServerParallel; w++ {
+			wg.Add(1)
+			go func(addr string, store storePutter) {
+				defer wg.Done()
+				for {
+					if wctx.Err() != nil {
+						return
+					}
+					if int(atomic.LoadInt64(count)) >= perServerCap {
+						return // this server has its share
+					}
+					i, ok := takeIndex()
+					if !ok {
+						return
+					}
+					coded := graph.EncodeBlock(i, blocks)
+					if err := store.Put(wctx, name, i, coded); err != nil {
+						if wctx.Err() != nil {
+							return
+						}
+						if atomic.AddInt64(&failed, 1) > failureBudget {
+							cancel()
+							return
+						}
+						retry <- i // hand the index to a healthier worker
+						continue
+					}
+					atomic.AddInt64(count, 1)
+					atomic.AddInt64(&bytesSent, int64(len(coded)))
+					placeMu.Lock()
+					placement[addr] = append(placement[addr], i)
+					placeMu.Unlock()
+					if atomic.AddInt64(&committed, 1) >= int64(n) {
+						cancel() // enough blocks on disk: stop the rest
+						return
+					}
+				}
+			}(addr, store)
+		}
+	}
+	wg.Wait()
+
+	stats := WriteStats{
+		K: k, N: n,
+		Committed:  int(atomic.LoadInt64(&committed)),
+		BytesSent:  atomic.LoadInt64(&bytesSent),
+		Duration:   time.Since(start),
+		PerServer:  countPlacement(placement),
+		FailedPuts: int(atomic.LoadInt64(&failed)),
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+	if stats.Committed < n {
+		return stats, fmt.Errorf("%w: %d of %d (%d puts failed)",
+			ErrShortWrite, stats.Committed, n, stats.FailedPuts)
+	}
+
+	seg := metadata.Segment{
+		Name: name,
+		Size: int64(len(data)),
+		Coding: metadata.Coding{
+			Algorithm:  "lt",
+			K:          k,
+			N:          n,
+			BlockBytes: c.opts.BlockBytes,
+			C:          c.opts.LTC,
+			Delta:      c.opts.LTDelta,
+			GraphSeed:  seed,
+			GraphN:     graphN,
+		},
+		Placement: placement,
+	}
+	if err := c.meta.CreateSegment(seg); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// storePutter is the write-path slice of blockstore.Store.
+type storePutter interface {
+	Put(ctx context.Context, segment string, index int, data []byte) error
+}
+
+func countPlacement(p map[string][]int) map[string]int {
+	out := make(map[string]int, len(p))
+	for addr, idx := range p {
+		out[addr] = len(idx)
+	}
+	return out
+}
+
+// Delete removes a segment's blocks from every holder and drops its
+// metadata. Block deletions on unreachable servers are reported but
+// do not abort the operation.
+func (c *Client) Delete(ctx context.Context, name string) error {
+	unlock, err := c.meta.LockWrite(ctx, name)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	seg, err := c.meta.LookupSegment(name)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for addr, indices := range seg.Placement {
+		store, ok := c.store(addr)
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("robust: server %q unreachable during delete", addr)
+			}
+			continue
+		}
+		for _, i := range indices {
+			if err := store.Delete(ctx, name, i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := c.meta.DeleteSegment(name); err != nil {
+		return err
+	}
+	return firstErr
+}

@@ -1,0 +1,10 @@
+package rs
+
+import "repro/internal/gf256"
+
+// addMul is the fused multiply-accumulate dst ^= coeff*src shared by
+// the encode and decode paths. It is a thin indirection point so the
+// package's hot loop is easy to swap in benchmarks.
+func addMul(coeff byte, src, dst []byte) {
+	gf256.AddMulSlice(coeff, src, dst)
+}

@@ -1,0 +1,155 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// Matrix is a dense byte matrix over GF(2^8), stored row-major.
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte // len Rows*Cols
+}
+
+// NewMatrix returns a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("rs: invalid matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns row r as a slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Mul returns the matrix product m * other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic("rs: matrix dimension mismatch in Mul")
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for r := 0; r < m.Rows; r++ {
+		orow := out.Row(r)
+		mrow := m.Row(r)
+		for k := 0; k < m.Cols; k++ {
+			c := mrow[k]
+			if c == 0 {
+				continue
+			}
+			gf256.AddMulSlice(c, other.Row(k), orow)
+		}
+	}
+	return out
+}
+
+// SubMatrix returns a new matrix from the given rows (copied).
+func (m *Matrix) SubMatrix(rows []int) *Matrix {
+	out := NewMatrix(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// ErrSingular is returned when a matrix inversion encounters a
+// non-invertible matrix (should not happen for MDS code submatrices;
+// its presence indicates corrupted shard indices).
+var ErrSingular = errors.New("rs: matrix is singular")
+
+// Invert returns the inverse of a square matrix via Gauss-Jordan
+// elimination over GF(2^8).
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		panic("rs: cannot invert non-square matrix")
+	}
+	n := m.Rows
+	work := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Scale pivot row to make the pivot 1.
+		p := work.At(col, col)
+		if p != 1 {
+			invP := gf256.Inv(p)
+			gf256.MulSlice(invP, work.Row(col), work.Row(col))
+			gf256.MulSlice(invP, inv.Row(col), inv.Row(col))
+		}
+		// Eliminate column in all other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			gf256.AddMulSlice(f, work.Row(col), work.Row(r))
+			gf256.AddMulSlice(f, inv.Row(col), inv.Row(r))
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// cauchy builds an mRows x nCols Cauchy matrix with entries
+// 1/(x_i + y_j), x_i = i + nCols, y_j = j. Every square submatrix of a
+// Cauchy matrix is invertible, which makes identity-stacked-on-Cauchy
+// an MDS generator matrix.
+func cauchy(mRows, nCols int) *Matrix {
+	if mRows+nCols > 256 {
+		panic("rs: cauchy matrix requires m+n <= 256")
+	}
+	out := NewMatrix(mRows, nCols)
+	for r := 0; r < mRows; r++ {
+		x := byte(r + nCols)
+		for c := 0; c < nCols; c++ {
+			y := byte(c)
+			out.Set(r, c, gf256.Inv(x^y))
+		}
+	}
+	return out
+}

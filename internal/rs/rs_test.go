@@ -1,0 +1,333 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randShards(t testing.TB, c *Code, size int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	shards := make([][]byte, c.N())
+	for i := 0; i < c.K(); i++ {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return shards
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		k, m int
+		ok   bool
+	}{
+		{1, 0, true}, {1, 255, true}, {4, 4, true}, {0, 1, false},
+		{-1, 2, false}, {3, -1, false}, {200, 100, false}, {128, 128, true},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.k, tc.m)
+		if (err == nil) != tc.ok {
+			t.Errorf("New(%d,%d) err=%v, want ok=%v", tc.k, tc.m, err, tc.ok)
+		}
+	}
+}
+
+func TestEncodeVerify(t *testing.T) {
+	c, _ := New(5, 3)
+	shards := randShards(t, c, 1024, 1)
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("Verify = %v, %v; want true, nil", ok, err)
+	}
+	// Corrupt one parity byte.
+	shards[6][10] ^= 1
+	ok, err = c.Verify(shards)
+	if err != nil || ok {
+		t.Fatalf("Verify after corruption = %v, %v; want false, nil", ok, err)
+	}
+}
+
+func TestReconstructAnyK(t *testing.T) {
+	// The MDS property: every K-subset of shards reconstructs.
+	c, _ := New(4, 4)
+	shards := randShards(t, c, 64, 2)
+	orig := make([][]byte, len(shards))
+	for i, s := range shards {
+		orig[i] = append([]byte(nil), s...)
+	}
+	// Enumerate all subsets of size exactly K = 4 out of 8.
+	n := c.N()
+	var subsets [][]int
+	var build func(start int, cur []int)
+	build = func(start int, cur []int) {
+		if len(cur) == c.K() {
+			subsets = append(subsets, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			build(i+1, append(cur, i))
+		}
+	}
+	build(0, nil)
+	if len(subsets) != 70 {
+		t.Fatalf("expected C(8,4)=70 subsets, got %d", len(subsets))
+	}
+	for _, keep := range subsets {
+		work := make([][]byte, n)
+		for _, i := range keep {
+			work[i] = append([]byte(nil), orig[i]...)
+		}
+		if err := c.Reconstruct(work); err != nil {
+			t.Fatalf("Reconstruct with %v: %v", keep, err)
+		}
+		for i := range work {
+			if !bytes.Equal(work[i], orig[i]) {
+				t.Fatalf("subset %v: shard %d differs after reconstruct", keep, i)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFew(t *testing.T) {
+	c, _ := New(4, 2)
+	shards := randShards(t, c, 32, 3)
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if err := c.Reconstruct(shards); err != ErrTooFew {
+		t.Fatalf("Reconstruct with 3/4 present = %v, want ErrTooFew", err)
+	}
+}
+
+func TestReconstructNoMissingIsNoop(t *testing.T) {
+	c, _ := New(3, 2)
+	shards := randShards(t, c, 16, 4)
+	cp := make([][]byte, len(shards))
+	for i, s := range shards {
+		cp[i] = append([]byte(nil), s...)
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], cp[i]) {
+			t.Fatal("no-op reconstruct modified shards")
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	c, _ := New(3, 2)
+	if err := c.Encode(make([][]byte, 4)); err != ErrShardCount {
+		t.Fatalf("wrong shard count: %v", err)
+	}
+	shards := [][]byte{make([]byte, 4), nil, make([]byte, 4), nil, nil}
+	if err := c.Encode(shards); err != ErrShardSize {
+		t.Fatalf("nil data shard: %v", err)
+	}
+	shards = [][]byte{make([]byte, 4), make([]byte, 5), make([]byte, 4), nil, nil}
+	if err := c.Encode(shards); err != ErrShardSize {
+		t.Fatalf("mismatched shard sizes: %v", err)
+	}
+}
+
+func TestZeroParity(t *testing.T) {
+	// m=0 is a degenerate but legal code: encode is a no-op.
+	c, _ := New(3, 0)
+	shards := [][]byte{{1}, {2}, {3}}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Verify(shards); err != nil || !ok {
+		t.Fatalf("Verify m=0: %v %v", ok, err)
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	c, _ := New(7, 3)
+	for _, size := range []int{1, 6, 7, 8, 100, 701} {
+		data := make([]byte, size)
+		rand.New(rand.NewSource(int64(size))).Read(data)
+		shards := c.Split(data)
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Join(shards, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("Split/Join round trip failed for size %d", size)
+		}
+	}
+}
+
+func TestSplitEmpty(t *testing.T) {
+	c, _ := New(2, 1)
+	shards := c.Split(nil)
+	if len(shards) != 3 || shards[0] == nil || shards[1] == nil {
+		t.Fatal("Split(nil) did not produce data shards")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	c, _ := New(3, 1)
+	if _, err := c.Join([][]byte{{1}}, 1); err != ErrShardCount {
+		t.Fatalf("short join: %v", err)
+	}
+	if _, err := c.Join([][]byte{{1}, nil, {3}, {0}}, 3); err != ErrTooFew {
+		t.Fatalf("nil shard join: %v", err)
+	}
+	if _, err := c.Join([][]byte{{1}, {2}, {3}, {0}}, 99); err == nil {
+		t.Fatal("oversized join did not error")
+	}
+}
+
+func TestMatrixInvertIdentity(t *testing.T) {
+	id := Identity(5)
+	inv, err := id.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(inv.Data, id.Data) {
+		t.Fatal("inverse of identity is not identity")
+	}
+}
+
+func TestMatrixInvertSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 1)
+	if _, err := m.Invert(); err != ErrSingular {
+		t.Fatalf("singular invert = %v, want ErrSingular", err)
+	}
+}
+
+func TestMatrixInvertRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		m := NewMatrix(n, n)
+		rng.Read(m.Data)
+		inv, err := m.Invert()
+		if err != nil {
+			continue // singular random matrices happen; skip
+		}
+		prod := m.Mul(inv)
+		if !bytes.Equal(prod.Data, Identity(n).Data) {
+			t.Fatalf("M * M^-1 != I for n=%d", n)
+		}
+	}
+}
+
+func TestCauchySubmatricesInvertible(t *testing.T) {
+	// Spot-check the MDS-critical property on the generator: random
+	// K-row submatrices must be invertible.
+	c, _ := New(8, 8)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		perm := rng.Perm(c.N())[:c.K()]
+		sub := c.gen.SubMatrix(perm)
+		if _, err := sub.Invert(); err != nil {
+			t.Fatalf("submatrix rows %v singular", perm)
+		}
+	}
+}
+
+func TestQuickReconstructRandomErasures(t *testing.T) {
+	type params struct {
+		Seed int64
+	}
+	f := func(p params) bool {
+		rng := rand.New(rand.NewSource(p.Seed))
+		k := 1 + rng.Intn(10)
+		m := rng.Intn(10)
+		c, err := New(k, m)
+		if err != nil {
+			return false
+		}
+		size := 1 + rng.Intn(200)
+		shards := make([][]byte, c.N())
+		for i := 0; i < k; i++ {
+			shards[i] = make([]byte, size)
+			rng.Read(shards[i])
+		}
+		if err := c.Encode(shards); err != nil {
+			return false
+		}
+		orig := make([][]byte, len(shards))
+		for i, s := range shards {
+			orig[i] = append([]byte(nil), s...)
+		}
+		// Erase up to m random shards.
+		erase := rng.Perm(c.N())[:rng.Intn(m+1)]
+		for _, i := range erase {
+			shards[i] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchCoding(b *testing.B, k int, decode bool) {
+	// Mirrors Table 5-1: 16 MB of data, N = 2K coded blocks.
+	const total = 16 << 20
+	c, err := New(k, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := total / k
+	shards := make([][]byte, c.N())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < k; i++ {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	if err := c.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if decode {
+			b.StopTimer()
+			work := make([][]byte, len(shards))
+			perm := rng.Perm(c.N())[:k]
+			for _, j := range perm {
+				work[j] = shards[j]
+			}
+			b.StartTimer()
+			if err := c.Reconstruct(work); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := c.Encode(shards); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkEncodeK4(b *testing.B)  { benchCoding(b, 4, false) }
+func BenchmarkEncodeK8(b *testing.B)  { benchCoding(b, 8, false) }
+func BenchmarkEncodeK16(b *testing.B) { benchCoding(b, 16, false) }
+func BenchmarkEncodeK32(b *testing.B) { benchCoding(b, 32, false) }
+func BenchmarkDecodeK4(b *testing.B)  { benchCoding(b, 4, true) }
+func BenchmarkDecodeK8(b *testing.B)  { benchCoding(b, 8, true) }
+func BenchmarkDecodeK16(b *testing.B) { benchCoding(b, 16, true) }
+func BenchmarkDecodeK32(b *testing.B) { benchCoding(b, 32, true) }

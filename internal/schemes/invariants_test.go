@@ -1,0 +1,122 @@
+package schemes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// TestQuickReadResultInvariants drives random configurations through
+// every scheme's read path and checks the physical invariants every
+// Result must satisfy.
+func TestQuickReadResultInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := AllSchemes[rng.Intn(len(AllSchemes))]
+		cfg := DefaultConfig(s)
+		cfg.DataBytes = int64(16+rng.Intn(112)) << 20
+		cfg.BlockBytes = 1 << 20
+		cfg.Disks = 2 + rng.Intn(30)
+		if s != RAID0 {
+			cfg.Redundancy = []float64{0.5, 1, 2, 3}[rng.Intn(4)]
+		}
+		ccfg := cluster.DefaultConfig()
+		ccfg.TotalDisks = 32
+		ccfg.RTT = []float64{0.001, 0.01, 0.05}[rng.Intn(3)]
+		trial := cluster.Trial{
+			Layout:     workload.HeterogeneousLayout(),
+			Background: workload.NoBackground(),
+		}
+		if rng.Intn(2) == 0 {
+			trial.Background = workload.HeterogeneousBackground()
+		}
+		res, err := RunReadTrial(ccfg, trial, cfg, seed)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Physical invariants.
+		if res.Latency <= 0 || math.IsNaN(res.Latency) || math.IsInf(res.Latency, 0) {
+			t.Logf("seed %d %v: bad latency %v", seed, s, res.Latency)
+			return false
+		}
+		if res.Bandwidth <= 0 {
+			return false
+		}
+		// Network bytes at least the data read (one copy of everything
+		// needed), and never more than all stored blocks plus slack.
+		if !res.Failed && res.NetBytes < cfg.DataBytes {
+			t.Logf("seed %d %v: net bytes %d below data size", seed, s, res.NetBytes)
+			return false
+		}
+		if res.NetBytes > int64(cfg.N()+cfg.Disks*4)*cfg.BlockBytes {
+			t.Logf("seed %d %v: net bytes %d above stored volume", seed, s, res.NetBytes)
+			return false
+		}
+		// Delivered blocks: at least K for a successful read; reception
+		// consistent with the count.
+		if !res.Failed && res.Delivered < cfg.K() {
+			t.Logf("seed %d %v: delivered %d < K %d", seed, s, res.Delivered, cfg.K())
+			return false
+		}
+		wantReception := float64(res.Delivered)/float64(cfg.K()) - 1
+		if math.Abs(res.Reception-wantReception) > 1e-9 {
+			return false
+		}
+		// RAID-0 never over-fetches.
+		if s == RAID0 && res.IOOverhead != 0 {
+			t.Logf("seed %d: RAID-0 overhead %v", seed, res.IOOverhead)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWriteResultInvariants does the same for writes.
+func TestQuickWriteResultInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := AllSchemes[rng.Intn(len(AllSchemes))]
+		cfg := DefaultConfig(s)
+		cfg.DataBytes = int64(16+rng.Intn(48)) << 20
+		cfg.Disks = 2 + rng.Intn(14)
+		if s != RAID0 {
+			cfg.Redundancy = []float64{0.5, 1, 3}[rng.Intn(3)]
+		}
+		ccfg := cluster.DefaultConfig()
+		ccfg.TotalDisks = 16
+		trial := cluster.Trial{
+			Layout:     workload.HeterogeneousLayout(),
+			Background: workload.NoBackground(),
+		}
+		res, err := RunWriteTrial(ccfg, trial, cfg, seed)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.Latency <= 0 || res.Bandwidth <= 0 {
+			return false
+		}
+		// A write must push at least the stored volume over the network.
+		if res.NetBytes < int64(cfg.N())*cfg.BlockBytes {
+			t.Logf("seed %d %v: wrote %d bytes < N*block", seed, s, res.NetBytes)
+			return false
+		}
+		// I/O overhead for writes is at least the redundancy.
+		if res.IOOverhead < cfg.Redundancy-1e-9 {
+			t.Logf("seed %d %v: write overhead %v below D %v", seed, s, res.IOOverhead, cfg.Redundancy)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package schemes
+
+import "fmt"
+
+// Placement records which coded/replicated blocks live on which disks,
+// in intra-disk storage order (the order a speculative read streams
+// them). For replicated schemes a block id encodes (replica, original):
+// id = replica*K + original. For RobuSTore a block id is the LT coded
+// block index.
+type Placement struct {
+	Disks  []int     // cluster disk indices
+	Blocks [][]int32 // parallel to Disks; intra-disk order
+	N      int       // total blocks stored
+}
+
+// Validate checks structural consistency.
+func (p Placement) Validate() error {
+	if len(p.Disks) != len(p.Blocks) {
+		return fmt.Errorf("schemes: placement disks/blocks length mismatch")
+	}
+	total := 0
+	for _, b := range p.Blocks {
+		total += len(b)
+	}
+	if total != p.N {
+		return fmt.Errorf("schemes: placement holds %d blocks, N=%d", total, p.N)
+	}
+	return nil
+}
+
+// BlocksOn returns the number of blocks stored on placement slot di.
+func (p Placement) BlocksOn(di int) int { return len(p.Blocks[di]) }
+
+// BalancedReplicated builds the rotated replicated striping of
+// Fig 6-1(c)/(d): replica r of original block b goes to disk slot
+// (b + r) mod H; intra-disk order is replica-major (all of replica 0,
+// then replica 1, ...), which is the fixed order RRAID-S streams.
+// RAID-0 is the replicas==1 special case. Fractional redundancy yields
+// a final partial replica.
+func BalancedReplicated(cfg Config, disks []int) Placement {
+	k, n, h := cfg.K(), cfg.N(), len(disks)
+	pl := Placement{Disks: disks, Blocks: make([][]int32, h), N: n}
+	for c := 0; c < n; c++ {
+		r := c / k
+		b := c % k
+		slot := (b + r) % h
+		pl.Blocks[slot] = append(pl.Blocks[slot], int32(c))
+	}
+	return pl
+}
+
+// BalancedCoded stripes the N LT-coded blocks round-robin across the
+// disks (Fig 6-1(e)): coded block i goes to slot i mod H.
+func BalancedCoded(cfg Config, disks []int) Placement {
+	n, h := cfg.N(), len(disks)
+	pl := Placement{Disks: disks, Blocks: make([][]int32, h), N: n}
+	for c := 0; c < n; c++ {
+		pl.Blocks[c%h] = append(pl.Blocks[c%h], int32(c))
+	}
+	return pl
+}
+
+// BalancedPlacement dispatches on the scheme's layout family.
+func BalancedPlacement(cfg Config, disks []int) Placement {
+	if cfg.Scheme == RobuSTore {
+		return BalancedCoded(cfg, disks)
+	}
+	return BalancedReplicated(cfg, disks)
+}
+
+// replicated-block helpers
+
+// origOf returns the original block index encoded in a replicated
+// block id.
+func origOf(id int32, k int) int { return int(id) % k }
+
+// replicaOf returns the replica number encoded in a replicated block
+// id.
+func replicaOf(id int32, k int) int { return int(id) / k }
+
+// hasCopy reports whether a copy of original block b exists on disk
+// slot `slot` under rotated replication with n total blocks across h
+// slots. Replica r of b lives on slot (b+r) mod h and exists iff
+// r*k + b < n.
+func hasCopy(b, slot, k, n, h int) bool {
+	for r := 0; r*k+b < n; r++ {
+		if (b+r)%h == slot {
+			return true
+		}
+	}
+	return false
+}

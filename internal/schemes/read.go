@@ -1,0 +1,201 @@
+package schemes
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/ltcode"
+)
+
+// tracker decides when a read access is complete.
+type tracker interface {
+	// deliver consumes one block and reports whether the access is now
+	// complete.
+	deliver(block int32) bool
+	// complete reports completion (idempotent).
+	complete() bool
+}
+
+// coverageTracker completes when at least one copy of every original
+// block has arrived (RAID-0 and RRAID-S semantics).
+type coverageTracker struct {
+	k         int
+	seen      []bool
+	remaining int
+}
+
+func newCoverageTracker(k int) *coverageTracker {
+	return &coverageTracker{k: k, seen: make([]bool, k), remaining: k}
+}
+
+func (t *coverageTracker) deliver(block int32) bool {
+	o := origOf(block, t.k)
+	if !t.seen[o] {
+		t.seen[o] = true
+		t.remaining--
+	}
+	return t.remaining == 0
+}
+
+func (t *coverageTracker) complete() bool { return t.remaining == 0 }
+
+// decoderTracker completes when the LT peeling decoder recovers all
+// originals (RobuSTore semantics).
+type decoderTracker struct {
+	d *ltcode.Decoder
+}
+
+func newDecoderTracker(g *ltcode.Graph) *decoderTracker {
+	return &decoderTracker{d: ltcode.NewSymbolicDecoder(g)}
+}
+
+func (t *decoderTracker) deliver(block int32) bool {
+	t.d.Add(int(block))
+	return t.d.Complete()
+}
+
+func (t *decoderTracker) complete() bool { return t.d.Complete() }
+
+// readEvent is one block becoming available at its filer.
+type readEvent struct {
+	avail  float64 // time the block is ready to leave the filer
+	start  float64 // disk service start (== avail for cache hits)
+	slot   int     // placement slot
+	pos    int     // position within the slot's block list
+	block  int32
+	cached bool
+}
+
+type readHeap []readEvent
+
+func (h readHeap) Len() int           { return len(h) }
+func (h readHeap) Less(i, j int) bool { return h[i].avail < h[j].avail }
+func (h readHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *readHeap) Push(x any)        { *h = append(*h, x.(readEvent)) }
+func (h *readHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// SimulateRead runs one read access of cfg against the cluster using
+// the given placement. For RobuSTore the coding graph that produced
+// the placement's block indices must be supplied; replicated schemes
+// pass nil. RRAID-A dispatches to its adaptive engine.
+func SimulateRead(cl *cluster.Cluster, cfg Config, pl Placement, g *ltcode.Graph) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Scheme == RRAIDA {
+		return simulateAdaptiveRead(cl, cfg, pl)
+	}
+	var trk tracker
+	switch cfg.Scheme {
+	case RAID0, RRAIDS:
+		trk = newCoverageTracker(cfg.K())
+	case RobuSTore:
+		if g == nil {
+			return Result{}, fmt.Errorf("schemes: RobuSTore read requires the coding graph")
+		}
+		trk = newDecoderTracker(g)
+	default:
+		return Result{}, fmt.Errorf("schemes: unknown scheme %v", cfg.Scheme)
+	}
+	return simulateSpeculativeRead(cl, cfg, pl, trk), nil
+}
+
+// simulateSpeculativeRead implements the "request everything, cancel
+// at completion" access of Fig 6-2(a), shared by RAID-0 (which simply
+// never over-requests), RRAID-S, and RobuSTore.
+func simulateSpeculativeRead(cl *cluster.Cluster, cfg Config, pl Placement, trk tracker) Result {
+	ccfg := cl.Config()
+	ow := ccfg.RTT / 2
+	t0 := ccfg.ConnectTime + ow // requests reach the filers
+	bb := cfg.BlockBytes
+	nic := cl.NewNICSerializer()
+
+	// gen produces the availability event for slot's pos-th block,
+	// advancing that disk's service timeline.
+	gen := func(slot, pos int) (readEvent, bool) {
+		if pos >= len(pl.Blocks[slot]) {
+			return readEvent{}, false
+		}
+		block := pl.Blocks[slot][pos]
+		diskIdx := pl.Disks[slot]
+		if cache := cl.Cache(diskIdx); cache != nil {
+			addr := cl.CacheAddr(diskIdx, pos, bb)
+			hit := cache.Lookup(addr, bb)
+			if hit >= bb {
+				return readEvent{avail: t0, start: t0, slot: slot, pos: pos, block: block, cached: true}, true
+			}
+			// Partial hit: only the missing bytes touch the disk.
+			start, end := cl.Drive(diskIdx).ServeRequest(t0, bb-hit)
+			cache.Insert(addr, bb)
+			return readEvent{avail: end, start: start, slot: slot, pos: pos, block: block}, true
+		}
+		start, end := cl.Drive(diskIdx).ServeRequest(t0, bb)
+		return readEvent{avail: end, start: start, slot: slot, pos: pos, block: block}, true
+	}
+
+	h := &readHeap{}
+	for slot := range pl.Blocks {
+		if ev, ok := gen(slot, 0); ok {
+			heap.Push(h, ev)
+		}
+	}
+
+	var (
+		delivered int
+		netBytes  int64
+		doneAt    = math.NaN()
+		failed    bool
+	)
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(readEvent)
+		deliveredAt := nic.Deliver(ev.avail+ow, bb)
+		delivered++
+		netBytes += bb
+		if trk.deliver(ev.block) {
+			doneAt = deliveredAt
+			break
+		}
+		if next, ok := gen(ev.slot, ev.pos+1); ok {
+			heap.Push(h, next)
+		}
+	}
+	if math.IsNaN(doneAt) {
+		// The stored blocks do not reconstruct the data (possible only
+		// for degenerate configurations). Charge the full stream time.
+		failed = true
+		doneAt = nic.Clock()
+	}
+
+	// Cancellation: the cancel reaches filers at doneAt + ow. Disk
+	// service that started before then completes and its block crosses
+	// the network; queued requests are dropped. Cached blocks are
+	// pulled on demand, so undelivered ones cost nothing. The NoCancel
+	// ablation lets every request run to completion instead.
+	cancelAt := doneAt + ow
+	if cfg.NoCancel {
+		cancelAt = math.Inf(1)
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(readEvent)
+		if ev.cached {
+			continue
+		}
+		if ev.start < cancelAt {
+			netBytes += bb
+			if next, ok := gen(ev.slot, ev.pos+1); ok {
+				heap.Push(h, next)
+			}
+		}
+	}
+
+	latency := doneAt
+	if cfg.Scheme == RobuSTore {
+		latency += float64(cfg.BlockBytes) / cfg.DecodeRate // pipelined decode tail
+	}
+	return cfg.newResult(latency, netBytes, delivered, failed)
+}

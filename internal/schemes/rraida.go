@@ -1,0 +1,251 @@
+package schemes
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// simulateAdaptiveRead implements RRAID-A (Fig 6-2(b)): the client
+// initially requests only the first replica of each block from its
+// home disk; whenever a disk drains its queue, the client identifies
+// the disk with the most outstanding blocks that the drained disk also
+// holds copies of, cancels the later half of that backlog, and
+// re-requests it from the drained disk. Each steal costs an extra
+// round trip, which is what makes RRAID-A latency-sensitive
+// (Fig 6-12).
+func simulateAdaptiveRead(cl *cluster.Cluster, cfg Config, pl Placement) (Result, error) {
+	ccfg := cl.Config()
+	ow := ccfg.RTT / 2
+	bb := cfg.BlockBytes
+	k, n, h := cfg.K(), cfg.N(), len(pl.Disks)
+	nic := cl.NewNICSerializer()
+
+	// posIndex maps a coded block id to its storage position on each
+	// slot, so reads hit the same filer-cache addresses the block was
+	// stored (and previously read) at.
+	posIndex := make([]map[int32]int, h)
+	for slot, blocks := range pl.Blocks {
+		posIndex[slot] = make(map[int32]int, len(blocks))
+		for pos, id := range blocks {
+			posIndex[slot][id] = pos
+		}
+	}
+
+	// replicaOn returns the coded id of a copy of original b stored on
+	// `slot`, or -1.
+	replicaOn := func(b, slot int) int32 {
+		for r := 0; r*k+b < n; r++ {
+			if (b+r)%h == slot {
+				return int32(r*k + b)
+			}
+		}
+		return -1
+	}
+
+	// Initial queues: replica 0 of each original from its home slot.
+	queues := make([][]int32, h)
+	for b := 0; b < k; b++ {
+		queues[b%h] = append(queues[b%h], int32(b))
+	}
+
+	hp := &adaptHeap{}
+	received := make([]bool, k)
+	remaining := k
+	var delivered int
+	var netBytes int64
+
+	// nextArrival[slot] is the earliest time the slot's next request
+	// may start service (pushed out after a steal to account for the
+	// extra round trip).
+	nextArrival := make([]float64, h)
+	for i := range nextArrival {
+		nextArrival[i] = ccfg.ConnectTime + ow
+	}
+
+	// inService[slot] is the coded block currently being served by the
+	// slot's disk (-1 when idle); started requests cannot be canceled
+	// or moved, but their originals can be *duplicated* from another
+	// holder when everything else has drained.
+	inService := make([]int32, h)
+	for i := range inService {
+		inService[i] = -1
+	}
+	// duplicating[orig] limits each straggling original to one extra
+	// in-flight copy at a time.
+	duplicating := make([]bool, k)
+
+	// launch issues the head of a slot's queue, via the filer cache
+	// when the block is resident.
+	launch := func(slot int) {
+		if len(queues[slot]) == 0 {
+			return
+		}
+		coded := queues[slot][0]
+		queues[slot] = queues[slot][1:]
+		inService[slot] = coded
+		diskIdx := pl.Disks[slot]
+		if cache := cl.Cache(diskIdx); cache != nil {
+			if pos, ok := posIndex[slot][coded]; ok {
+				addr := cl.CacheAddr(diskIdx, pos, bb)
+				hit := cache.Lookup(addr, bb)
+				if hit >= bb {
+					heap.Push(hp, pending{avail: nextArrival[slot], start: nextArrival[slot],
+						slot: slot, block: coded, cached: true})
+					return
+				}
+				start, end := cl.Drive(diskIdx).ServeRequest(nextArrival[slot], bb-hit)
+				cache.Insert(addr, bb)
+				heap.Push(hp, pending{avail: end, start: start, slot: slot, block: coded})
+				return
+			}
+		}
+		start, end := cl.Drive(diskIdx).ServeRequest(nextArrival[slot], bb)
+		heap.Push(hp, pending{avail: end, start: start, slot: slot, block: coded})
+	}
+
+	// steal reassigns the later half of the best victim's transferable
+	// backlog to the drained slot at client-time t.
+	steal := func(slot int, t float64) bool {
+		best, bestCount := -1, 0
+		for v := 0; v < h; v++ {
+			if v == slot || len(queues[v]) == 0 {
+				continue
+			}
+			count := 0
+			for _, coded := range queues[v] {
+				if replicaOn(origOf(coded, k), slot) >= 0 {
+					count++
+				}
+			}
+			if count > bestCount {
+				best, bestCount = v, count
+			}
+		}
+		if best < 0 || bestCount == 0 {
+			return false
+		}
+		take := bestCount / 2
+		if take == 0 {
+			take = 1
+		}
+		var keep, moved []int32
+		seen := 0
+		for _, coded := range queues[best] {
+			b := origOf(coded, k)
+			if replicaOn(b, slot) >= 0 {
+				seen++
+				if seen > bestCount-take {
+					moved = append(moved, replicaOn(b, slot))
+					continue
+				}
+			}
+			keep = append(keep, coded)
+		}
+		queues[best] = keep
+		queues[slot] = append(queues[slot], moved...)
+		// The client decides at t and the re-request travels another
+		// round: the drained disk sees it a full RTT later.
+		nextArrival[slot] = t + 2*ow
+		launch(slot)
+		return true
+	}
+
+	// duplicateInService is the tail-latency rescue: when every queue
+	// is empty, the unreceived blocks are all in service at (slow)
+	// disks — requests that cannot be canceled or moved. The drained
+	// disk fetches a *copy* of one such block from its own replica
+	// set; whichever arrives first wins, the other is the small I/O
+	// overhead the paper attributes to RRAID-A.
+	duplicateInService := func(slot int, t float64) bool {
+		for v := 0; v < h; v++ {
+			if v == slot || inService[v] < 0 {
+				continue
+			}
+			b := origOf(inService[v], k)
+			if received[b] || duplicating[b] {
+				continue
+			}
+			copyID := replicaOn(b, slot)
+			if copyID < 0 || copyID == inService[v] {
+				continue
+			}
+			duplicating[b] = true
+			queues[slot] = append(queues[slot], copyID)
+			nextArrival[slot] = t + 2*ow
+			launch(slot)
+			return true
+		}
+		return false
+	}
+
+	for slot := 0; slot < h; slot++ {
+		launch(slot)
+	}
+
+	doneAt := math.NaN()
+	for hp.Len() > 0 {
+		ev := heap.Pop(hp).(pending)
+		deliveredAt := nic.Deliver(ev.avail+ow, bb)
+		delivered++
+		netBytes += bb
+		if inService[ev.slot] == ev.block {
+			inService[ev.slot] = -1
+		}
+		b := origOf(ev.block, k)
+		duplicating[b] = false
+		if !received[b] {
+			received[b] = true
+			remaining--
+		}
+		if remaining == 0 {
+			doneAt = deliveredAt
+			break
+		}
+		if len(queues[ev.slot]) > 0 {
+			launch(ev.slot)
+		} else if !steal(ev.slot, deliveredAt) {
+			duplicateInService(ev.slot, deliveredAt)
+		}
+	}
+	failed := false
+	if math.IsNaN(doneAt) {
+		failed = true
+		doneAt = nic.Clock()
+	}
+
+	// In-flight accounting at cancel time.
+	cancelAt := doneAt + ow
+	for hp.Len() > 0 {
+		ev := heap.Pop(hp).(pending)
+		if !ev.cached && ev.start < cancelAt {
+			netBytes += bb
+		}
+	}
+	return cfg.newResult(doneAt, netBytes, delivered, failed), nil
+}
+
+// pending is one RRAID-A block awaiting delivery.
+type pending struct {
+	avail, start float64
+	slot         int
+	block        int32
+	cached       bool
+}
+
+// adaptHeap is a min-heap of pending deliveries ordered by filer
+// availability.
+type adaptHeap []pending
+
+func (h adaptHeap) Len() int           { return len(h) }
+func (h adaptHeap) Less(i, j int) bool { return h[i].avail < h[j].avail }
+func (h adaptHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *adaptHeap) Push(x any)        { *h = append(*h, x.(pending)) }
+func (h *adaptHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

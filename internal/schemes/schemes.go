@@ -1,0 +1,165 @@
+// Package schemes implements the four parallel storage schemes the
+// RobuSTore evaluation compares (§6.2.1) on top of the simulated
+// cluster:
+//
+//   - RAID-0: plain striping, zero redundancy, parallel read of all
+//     blocks; the access completes when the slowest disk finishes.
+//   - RRAID-S: rotated replicated striping with speculative access
+//     ("request everything, cancel at completion").
+//   - RRAID-A: the same replicated layout with adaptive multi-round
+//     access that steals work from the slowest disks.
+//   - RobuSTore: LT-coded blocks with speculative access; completion is
+//     decided by the actual incremental peeling decoder.
+//
+// Reads and writes produce a Result carrying the three §6.2.3 metrics:
+// access latency (bandwidth), which the harness aggregates into
+// latency standard deviations, and I/O overhead.
+package schemes
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ltcode"
+)
+
+// Scheme identifies a storage scheme.
+type Scheme int
+
+// The four schemes of §6.2.1.
+const (
+	RAID0 Scheme = iota
+	RRAIDS
+	RRAIDA
+	RobuSTore
+)
+
+// String returns the scheme name as used in the paper.
+func (s Scheme) String() string {
+	switch s {
+	case RAID0:
+		return "RAID-0"
+	case RRAIDS:
+		return "RRAID-S"
+	case RRAIDA:
+		return "RRAID-A"
+	case RobuSTore:
+		return "RobuSTore"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// AllSchemes lists the schemes in the paper's presentation order.
+var AllSchemes = []Scheme{RAID0, RRAIDS, RRAIDA, RobuSTore}
+
+// Config describes one access configuration (§6.2.5 baseline:
+// 1 GB data, 1 MB blocks, 64 disks, 3x redundancy, LT C=1 δ=0.5,
+// 500 MB/s decode).
+type Config struct {
+	Scheme     Scheme
+	DataBytes  int64
+	BlockBytes int64
+	Redundancy float64 // D = redundant/original; RAID-0 forces 0
+	Disks      int     // number of disks used by the access
+	LTC        float64 // LT code parameter C
+	LTDelta    float64 // LT code parameter δ
+	DecodeRate float64 // bytes/s; pipelined, charged for the last block
+
+	// NoCancel disables request cancellation (§5.3.3) for ablation:
+	// every requested block is eventually transferred, so speculative
+	// schemes pay their full requested volume in I/O overhead.
+	NoCancel bool
+}
+
+// DefaultConfig returns the paper's baseline configuration for a
+// scheme.
+func DefaultConfig(s Scheme) Config {
+	c := Config{
+		Scheme:     s,
+		DataBytes:  1 << 30,
+		BlockBytes: 1 << 20,
+		Redundancy: 3,
+		Disks:      64,
+		LTC:        1.0,
+		LTDelta:    0.5,
+		DecodeRate: 500e6,
+	}
+	if s == RAID0 {
+		c.Redundancy = 0
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.DataBytes <= 0 || c.BlockBytes <= 0 || c.DataBytes%c.BlockBytes != 0 {
+		return fmt.Errorf("schemes: data size must be a positive multiple of block size")
+	}
+	if c.Scheme == RAID0 && c.Redundancy != 0 {
+		return fmt.Errorf("schemes: RAID-0 requires zero redundancy")
+	}
+	if c.Redundancy < 0 {
+		return fmt.Errorf("schemes: negative redundancy")
+	}
+	if c.Disks < 1 {
+		return fmt.Errorf("schemes: need at least one disk")
+	}
+	if c.Scheme == RobuSTore {
+		p := ltcode.Params{K: c.K(), C: c.LTC, Delta: c.LTDelta}
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if c.DecodeRate <= 0 {
+			return fmt.Errorf("schemes: RobuSTore needs a positive decode rate")
+		}
+	}
+	return nil
+}
+
+// K returns the number of original blocks.
+func (c Config) K() int { return int(c.DataBytes / c.BlockBytes) }
+
+// N returns the number of stored coded/replicated blocks,
+// round((1+D)·K).
+func (c Config) N() int {
+	n := int(math.Round((1 + c.Redundancy) * float64(c.K())))
+	if n < c.K() {
+		n = c.K()
+	}
+	return n
+}
+
+// LTParams returns the LT code parameters for the configuration.
+func (c Config) LTParams() ltcode.Params {
+	return ltcode.Params{K: c.K(), C: c.LTC, Delta: c.LTDelta}
+}
+
+// Result is one access measurement.
+type Result struct {
+	Latency    float64 // end-to-end access latency (s)
+	Bandwidth  float64 // DataBytes / Latency (bytes/s)
+	NetBytes   int64   // bytes that crossed the network
+	IOOverhead float64 // (NetBytes - DataBytes) / DataBytes
+	Delivered  int     // blocks delivered to the client before completion
+	Reception  float64 // Delivered/K - 1
+	Failed     bool    // data not reconstructible from the stored blocks
+}
+
+func (c Config) newResult(latency float64, netBytes int64, delivered int, failed bool) Result {
+	r := Result{
+		Latency:   latency,
+		NetBytes:  netBytes,
+		Delivered: delivered,
+		Failed:    failed,
+	}
+	if latency > 0 {
+		r.Bandwidth = float64(c.DataBytes) / latency
+	}
+	r.IOOverhead = float64(netBytes-c.DataBytes) / float64(c.DataBytes)
+	r.Reception = float64(delivered)/float64(c.K()) - 1
+	return r
+}
+
+// MBps converts bytes/s to the paper's MBps (1e6 bytes per second).
+func MBps(bytesPerSec float64) float64 { return bytesPerSec / 1e6 }

@@ -1,0 +1,500 @@
+package schemes
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// testConfig returns a small-but-representative access configuration:
+// 128 MB in 1 MB blocks over 16 disks.
+func testConfig(s Scheme) Config {
+	c := DefaultConfig(s)
+	c.DataBytes = 128 << 20
+	c.Disks = 16
+	return c
+}
+
+func testCluster() cluster.Config {
+	c := cluster.DefaultConfig()
+	c.TotalDisks = 32
+	return c
+}
+
+func hetTrial() cluster.Trial {
+	return cluster.Trial{
+		Layout:     workload.HeterogeneousLayout(),
+		Background: workload.NoBackground(),
+	}
+}
+
+func readMany(t *testing.T, ccfg cluster.Config, trial cluster.Trial, cfg Config, trials int) []Result {
+	t.Helper()
+	out := make([]Result, 0, trials)
+	for tr := 0; tr < trials; tr++ {
+		res, err := RunReadTrial(ccfg, trial, cfg, int64(100+tr))
+		if err != nil {
+			t.Fatalf("%v trial %d: %v", cfg.Scheme, tr, err)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func meanBW(rs []Result) float64 {
+	var xs []float64
+	for _, r := range rs {
+		xs = append(xs, r.Bandwidth)
+	}
+	return stats.Mean(xs)
+}
+
+func latencies(rs []Result) []float64 {
+	var xs []float64
+	for _, r := range rs {
+		xs = append(xs, r.Latency)
+	}
+	return xs
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, s := range AllSchemes {
+		if err := DefaultConfig(s).Validate(); err != nil {
+			t.Errorf("%v default config invalid: %v", s, err)
+		}
+	}
+	c := DefaultConfig(RAID0)
+	c.Redundancy = 1
+	if err := c.Validate(); err == nil {
+		t.Error("RAID-0 with redundancy accepted")
+	}
+	c = DefaultConfig(RobuSTore)
+	c.DataBytes = 100
+	c.BlockBytes = 64
+	if err := c.Validate(); err == nil {
+		t.Error("non-multiple data size accepted")
+	}
+	c = DefaultConfig(RRAIDS)
+	c.Redundancy = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative redundancy accepted")
+	}
+	c = DefaultConfig(RobuSTore)
+	c.DecodeRate = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero decode rate accepted")
+	}
+	c = DefaultConfig(RRAIDA)
+	c.Disks = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero disks accepted")
+	}
+}
+
+func TestConfigKN(t *testing.T) {
+	c := DefaultConfig(RobuSTore)
+	if c.K() != 1024 {
+		t.Fatalf("K = %d, want 1024", c.K())
+	}
+	if c.N() != 4096 {
+		t.Fatalf("N = %d, want 4096", c.N())
+	}
+	c.Redundancy = 0.5
+	if c.N() != 1536 {
+		t.Fatalf("N at D=0.5 = %d, want 1536", c.N())
+	}
+}
+
+func TestBalancedReplicatedPlacement(t *testing.T) {
+	cfg := testConfig(RRAIDS) // K=128, D=3 -> N=512
+	disks := []int{3, 7, 11, 19}
+	pl := BalancedReplicated(cfg, disks)
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	k, n, h := cfg.K(), cfg.N(), len(disks)
+	// Every coded id appears exactly once, on the rotated slot.
+	seen := make([]bool, n)
+	for slot, blocks := range pl.Blocks {
+		for _, id := range blocks {
+			if seen[id] {
+				t.Fatalf("block %d placed twice", id)
+			}
+			seen[id] = true
+			want := (origOf(id, k) + replicaOf(id, k)) % h
+			if slot != want {
+				t.Fatalf("block %d on slot %d, want %d", id, slot, want)
+			}
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("block %d never placed", id)
+		}
+	}
+	// Balanced: per-disk counts within 1 of each other.
+	min, max := len(pl.Blocks[0]), len(pl.Blocks[0])
+	for _, b := range pl.Blocks {
+		if len(b) < min {
+			min = len(b)
+		}
+		if len(b) > max {
+			max = len(b)
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("unbalanced replicated placement: %d..%d", min, max)
+	}
+}
+
+func TestBalancedCodedPlacement(t *testing.T) {
+	cfg := testConfig(RobuSTore)
+	disks := []int{1, 2, 3, 4, 5}
+	pl := BalancedCoded(cfg, disks)
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for slot, blocks := range pl.Blocks {
+		for i, id := range blocks {
+			if int(id) != slot+i*len(disks) {
+				t.Fatalf("coded placement wrong at slot %d pos %d: %d", slot, i, id)
+			}
+		}
+	}
+}
+
+func TestHasCopyMatchesPlacement(t *testing.T) {
+	cfg := testConfig(RRAIDS)
+	k, n := cfg.K(), cfg.N()
+	for _, h := range []int{4, 7, 16} {
+		disks := make([]int, h)
+		for i := range disks {
+			disks[i] = i
+		}
+		pl := BalancedReplicated(cfg, disks)
+		onSlot := make(map[[2]int]bool) // (orig, slot)
+		for slot, blocks := range pl.Blocks {
+			for _, id := range blocks {
+				onSlot[[2]int{origOf(id, k), slot}] = true
+			}
+		}
+		for b := 0; b < k; b++ {
+			for slot := 0; slot < h; slot++ {
+				if hasCopy(b, slot, k, n, h) != onSlot[[2]int{b, slot}] {
+					t.Fatalf("hasCopy(%d,%d) disagrees with placement (h=%d)", b, slot, h)
+				}
+			}
+		}
+	}
+}
+
+func TestReadBandwidthOrdering(t *testing.T) {
+	// The paper's central result at scale (Fig 6-6): RobuSTore >
+	// RRAID-A > RRAID-S > RAID-0 under heterogeneous layouts.
+	ccfg := testCluster()
+	trial := hetTrial()
+	bw := map[Scheme]float64{}
+	for _, s := range AllSchemes {
+		bw[s] = meanBW(readMany(t, ccfg, trial, testConfig(s), 8))
+	}
+	if !(bw[RobuSTore] > bw[RRAIDA] && bw[RRAIDA] > bw[RRAIDS] && bw[RRAIDS] > bw[RAID0]) {
+		t.Fatalf("bandwidth ordering violated: %v", bw)
+	}
+	if bw[RobuSTore] < 5*bw[RAID0] {
+		t.Fatalf("RobuSTore %.1f not >> RAID-0 %.1f", MBps(bw[RobuSTore]), MBps(bw[RAID0]))
+	}
+}
+
+func TestRobuSToreLowestLatencyVariation(t *testing.T) {
+	ccfg := testCluster()
+	trial := hetTrial()
+	std := map[Scheme]float64{}
+	for _, s := range AllSchemes {
+		std[s] = stats.StdDev(latencies(readMany(t, ccfg, trial, testConfig(s), 12)))
+	}
+	for _, s := range []Scheme{RAID0, RRAIDS, RRAIDA} {
+		if std[RobuSTore] >= std[s] {
+			t.Fatalf("RobuSTore latency stddev %.3f not below %v's %.3f", std[RobuSTore], s, std[s])
+		}
+	}
+}
+
+func TestIOOverheadShapes(t *testing.T) {
+	ccfg := testCluster()
+	trial := hetTrial()
+	for _, s := range AllSchemes {
+		rs := readMany(t, ccfg, trial, testConfig(s), 6)
+		var ios []float64
+		for _, r := range rs {
+			ios = append(ios, r.IOOverhead)
+		}
+		io := stats.Mean(ios)
+		switch s {
+		case RAID0:
+			if io != 0 {
+				t.Errorf("RAID-0 I/O overhead %.3f, want 0", io)
+			}
+		case RRAIDA:
+			if io < 0 || io > 0.3 {
+				t.Errorf("RRAID-A I/O overhead %.3f, want near 0", io)
+			}
+		case RRAIDS:
+			if io < 1 {
+				t.Errorf("RRAID-S I/O overhead %.3f, want > 1 at D=3", io)
+			}
+		case RobuSTore:
+			if io < 0.2 || io > 1.2 {
+				t.Errorf("RobuSTore I/O overhead %.3f, want ~0.4-0.6", io)
+			}
+		}
+	}
+}
+
+func TestRobuSToreBandwidthScalesWithDisks(t *testing.T) {
+	ccfg := testCluster()
+	trial := hetTrial()
+	cfg := testConfig(RobuSTore)
+	var prev float64
+	for _, disks := range []int{4, 8, 16, 32} {
+		cfg.Disks = disks
+		bw := meanBW(readMany(t, ccfg, trial, cfg, 6))
+		if bw <= prev {
+			t.Fatalf("RobuSTore bandwidth not increasing with disks at %d (%.1f <= %.1f MBps)",
+				disks, MBps(bw), MBps(prev))
+		}
+		prev = bw
+	}
+}
+
+func TestRRAIDASensitiveToLatencyRobuSToreNot(t *testing.T) {
+	// Fig 6-12: multi-round adaptive access pays per-round RTTs;
+	// single-round speculative access does not.
+	trial := hetTrial()
+	measure := func(s Scheme, rtt float64) float64 {
+		ccfg := testCluster()
+		ccfg.RTT = rtt
+		return stats.Mean(latencies(readMany(t, ccfg, trial, testConfig(s), 10)))
+	}
+	const slowRTT = 0.100
+	extraA := measure(RRAIDA, slowRTT) - measure(RRAIDA, 0.001)
+	extraR := measure(RobuSTore, slowRTT) - measure(RobuSTore, 0.001)
+	// Speculative access pays about one extra round trip; adaptive
+	// access pays one per steal round.
+	if extraR > 2*slowRTT {
+		t.Fatalf("RobuSTore paid %.2fs extra latency (> 2 RTT) going to 100ms RTT", extraR)
+	}
+	if extraA < 2*slowRTT {
+		t.Fatalf("RRAID-A paid only %.2fs extra latency; expected several RTTs of adaptive rounds", extraA)
+	}
+	if extraA < 1.5*extraR {
+		t.Fatalf("RRAID-A extra latency %.2fs not clearly above RobuSTore's %.2fs", extraA, extraR)
+	}
+}
+
+func TestWriteShapes(t *testing.T) {
+	ccfg := testCluster()
+	trial := hetTrial()
+	bw := map[Scheme]float64{}
+	for _, s := range AllSchemes {
+		cfg := testConfig(s)
+		var bws []float64
+		for tr := 0; tr < 6; tr++ {
+			res, err := RunWriteTrial(ccfg, trial, cfg, int64(300+tr))
+			if err != nil {
+				t.Fatalf("%v write: %v", s, err)
+			}
+			bws = append(bws, res.Bandwidth)
+			wantIO := cfg.Redundancy
+			if res.IOOverhead < wantIO-0.01 || res.IOOverhead > wantIO+0.5 {
+				t.Errorf("%v write I/O overhead %.2f, want ~%.2f", s, res.IOOverhead, wantIO)
+			}
+		}
+		bw[s] = stats.Mean(bws)
+	}
+	// Speculative rateless writing beats slowest-disk-bound writing.
+	if bw[RobuSTore] < 3*bw[RAID0] {
+		t.Fatalf("RobuSTore write %.1f MBps not >> RAID-0 %.1f", MBps(bw[RobuSTore]), MBps(bw[RAID0]))
+	}
+	if bw[RobuSTore] < 10*bw[RRAIDS] {
+		t.Fatalf("RobuSTore write %.1f MBps not >> RRAID-S %.1f at same redundancy",
+			MBps(bw[RobuSTore]), MBps(bw[RRAIDS]))
+	}
+}
+
+func TestRobuSToreWritePlacementUnbalanced(t *testing.T) {
+	ccfg := testCluster()
+	cl, err := cluster.New(ccfg, hetTrial(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(RobuSTore)
+	_, pl, g, err := SelectAndWrite(cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == nil {
+		t.Fatal("RobuSTore write returned nil graph")
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.N < cfg.N() {
+		t.Fatalf("placement stores %d < N=%d blocks", pl.N, cfg.N())
+	}
+	// Heterogeneous disks must produce visibly different block counts.
+	min, max := pl.BlocksOn(0), pl.BlocksOn(0)
+	for i := range pl.Blocks {
+		if pl.BlocksOn(i) < min {
+			min = pl.BlocksOn(i)
+		}
+		if pl.BlocksOn(i) > max {
+			max = pl.BlocksOn(i)
+		}
+	}
+	if max < 2*min {
+		t.Fatalf("speculative write placement suspiciously balanced: %d..%d", min, max)
+	}
+	// No block id repeats.
+	seen := map[int32]bool{}
+	for _, blocks := range pl.Blocks {
+		for _, id := range blocks {
+			if seen[id] {
+				t.Fatalf("block %d placed twice", id)
+			}
+			seen[id] = true
+			if int(id) >= g.N {
+				t.Fatalf("block id %d outside graph N=%d", id, g.N)
+			}
+		}
+	}
+}
+
+func TestReadAfterWriteAllSchemes(t *testing.T) {
+	ccfg := testCluster()
+	trial := hetTrial()
+	for _, s := range AllSchemes {
+		cfg := testConfig(s)
+		res, err := RunReadAfterWriteTrial(ccfg, trial, cfg, 500)
+		if err != nil {
+			t.Fatalf("%v read-after-write: %v", s, err)
+		}
+		if res.Failed {
+			t.Fatalf("%v read-after-write failed to reconstruct", s)
+		}
+		if res.Bandwidth <= 0 || res.Latency <= 0 {
+			t.Fatalf("%v read-after-write nonsense result %+v", s, res)
+		}
+	}
+}
+
+func TestDeterministicTrials(t *testing.T) {
+	ccfg := testCluster()
+	trial := hetTrial()
+	for _, s := range AllSchemes {
+		cfg := testConfig(s)
+		a, err := RunReadTrial(ccfg, trial, cfg, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunReadTrial(ccfg, trial, cfg, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%v trial not deterministic: %+v vs %+v", s, a, b)
+		}
+	}
+}
+
+func TestRobuSToreZeroRedundancyFailsGracefully(t *testing.T) {
+	ccfg := testCluster()
+	cfg := testConfig(RobuSTore)
+	cfg.Redundancy = 0 // N == K: LT decoding from exactly K blocks almost surely fails
+	res, err := RunReadTrial(ccfg, hetTrial(), cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Log("note: K-block decode happened to succeed (rare but legal)")
+	}
+	if res.Latency <= 0 {
+		t.Fatal("failed read must still report a latency")
+	}
+}
+
+func TestCacheAcceleratesRepeatedReads(t *testing.T) {
+	ccfg := testCluster()
+	ccfg.FilerCache = 2 << 30
+	cl, err := cluster.New(ccfg, hetTrial(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(RRAIDS)
+	disks, err := cl.SelectDisks(cfg.Disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := BalancedPlacement(cfg, disks)
+	first, err := SimulateRead(cl, cfg, pl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second read of the same placement: blocks are now cached at the
+	// filers (drives reset so only the cache differs).
+	if err := cl.ReconfigureDrives(hetTrial()); err != nil {
+		t.Fatal(err)
+	}
+	second, err := SimulateRead(cl, cfg, pl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Latency >= first.Latency/2 {
+		t.Fatalf("cached read %.3fs not much faster than cold read %.3fs",
+			second.Latency, first.Latency)
+	}
+}
+
+func TestSimulateReadValidation(t *testing.T) {
+	ccfg := testCluster()
+	cl, _ := cluster.New(ccfg, hetTrial(), 1)
+	cfg := testConfig(RobuSTore)
+	disks, _ := cl.SelectDisks(cfg.Disks)
+	pl := BalancedCoded(cfg, disks)
+	if _, err := SimulateRead(cl, cfg, pl, nil); err == nil {
+		t.Fatal("RobuSTore read without graph accepted")
+	}
+	bad := pl
+	bad.N++
+	if _, err := SimulateRead(cl, testConfig(RAID0), bad, nil); err == nil {
+		t.Fatal("inconsistent placement accepted")
+	}
+}
+
+func TestShufflePlacementOrder(t *testing.T) {
+	cfg := testConfig(RobuSTore)
+	pl := BalancedCoded(cfg, []int{0, 1, 2, 3})
+	want := map[int32]bool{}
+	for _, blocks := range pl.Blocks {
+		for _, id := range blocks {
+			want[id] = true
+		}
+	}
+	ShufflePlacementOrder(pl, rand.New(rand.NewSource(1)))
+	got := map[int32]bool{}
+	for _, blocks := range pl.Blocks {
+		for _, id := range blocks {
+			got[id] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatal("shuffle changed the block set")
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("block %d lost in shuffle", id)
+		}
+	}
+}

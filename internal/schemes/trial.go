@@ -1,0 +1,93 @@
+package schemes
+
+import (
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/ltcode"
+)
+
+// This file provides the per-trial entry points the experiment harness
+// iterates: each builds a fresh cluster from a trial seed, selects
+// disks, lays out data, and runs one access — reproducing the paper's
+// "100 accesses per configuration, disks randomly selected each time"
+// methodology (§6.2.5).
+
+// rawSeedOffset separates the write-time and read-time cluster seeds in
+// read-after-write trials, so the disks exhibit different dynamic
+// behaviour between the two accesses (§6.3.1, unbalanced striping).
+const rawSeedOffset = 0x5f3759df
+
+// buildReadGraph constructs the coding graph for a balanced RobuSTore
+// read using the lenient policy.
+func buildReadGraph(cfg Config, cl *cluster.Cluster) (*ltcode.Graph, error) {
+	return BuildGraphLenient(cfg.LTParams(), cfg.N(), cl.RNG())
+}
+
+// BuildGraphLenient builds an LT coding graph with the decodability
+// guarantee when the redundancy plausibly affords it, falling back to
+// an unchecked graph otherwise. Near the decodability edge (N around
+// (1+ε)K) a guaranteed graph may simply not exist in reasonable time;
+// reads over an unchecked graph may then report Failed, which is the
+// honest behaviour of an under-provisioned RobuSTore configuration.
+func BuildGraphLenient(p ltcode.Params, n int, rng *rand.Rand) (*ltcode.Graph, error) {
+	if n >= p.K+p.K/8 {
+		opts := ltcode.DefaultGraphOptions()
+		opts.MaxAttempts = 16
+		if g, err := ltcode.BuildGraph(p, n, rng, opts); err == nil {
+			return g, nil
+		}
+	}
+	opts := ltcode.DefaultGraphOptions()
+	opts.EnsureDecodable = false
+	return ltcode.BuildGraph(p, n, rng, opts)
+}
+
+// RunReadTrial performs one read access on a freshly drawn cluster.
+func RunReadTrial(ccfg cluster.Config, trial cluster.Trial, cfg Config, seed int64) (Result, error) {
+	cl, err := cluster.New(ccfg, trial, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	disks, err := cl.SelectDisks(cfg.Disks)
+	if err != nil {
+		return Result{}, err
+	}
+	var g *ltcode.Graph
+	if cfg.Scheme == RobuSTore {
+		if g, err = buildReadGraph(cfg, cl); err != nil {
+			return Result{}, err
+		}
+	}
+	return SimulateRead(cl, cfg, BalancedPlacement(cfg, disks), g)
+}
+
+// RunWriteTrial performs one write access on a freshly drawn cluster.
+func RunWriteTrial(ccfg cluster.Config, trial cluster.Trial, cfg Config, seed int64) (Result, error) {
+	cl, err := cluster.New(ccfg, trial, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	res, _, _, err := SelectAndWrite(cl, cfg)
+	return res, err
+}
+
+// RunReadAfterWriteTrial writes on one cluster instantiation and reads
+// the resulting placement on another (same hardware, fresh per-disk
+// layouts and loads), measuring the read. For RobuSTore this exercises
+// the unbalanced striping left behind by the speculative write.
+func RunReadAfterWriteTrial(ccfg cluster.Config, trial cluster.Trial, cfg Config, seed int64) (Result, error) {
+	wcl, err := cluster.New(ccfg, trial, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	_, pl, g, err := SelectAndWrite(wcl, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	rcl, err := cluster.New(ccfg, trial, seed+rawSeedOffset)
+	if err != nil {
+		return Result{}, err
+	}
+	return SimulateRead(rcl, cfg, pl, g)
+}

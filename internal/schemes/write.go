@@ -1,0 +1,196 @@
+package schemes
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/ltcode"
+)
+
+// SimulateWrite runs one write access and returns the measurement plus
+// the resulting placement (which read-after-write experiments feed to
+// SimulateRead on a fresh trial cluster). For RobuSTore it also
+// returns the coding graph used, so the subsequent read decodes the
+// same code; replicated schemes return a nil graph.
+//
+// RAID-0, RRAID-S, and RRAID-A write uniformly: every disk receives
+// the same number of blocks and the access completes when the slowest
+// disk commits its last block (§6.3.1). RobuSTore writes speculatively
+// and ratelessly: every disk keeps committing coded blocks at its own
+// pace until N blocks have committed globally, then outstanding writes
+// are cancelled — producing the unbalanced striping studied in
+// Figs 6-21..6-23.
+func SimulateWrite(cl *cluster.Cluster, cfg Config, disks []int) (Result, Placement, *ltcode.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, Placement{}, nil, err
+	}
+	if len(disks) == 0 {
+		return Result{}, Placement{}, nil, fmt.Errorf("schemes: write needs at least one disk")
+	}
+	if cfg.Scheme == RobuSTore {
+		return simulateRatelessWrite(cl, cfg, disks)
+	}
+	res, pl := simulateUniformWrite(cl, cfg, disks)
+	return res, pl, nil, nil
+}
+
+// simulateUniformWrite writes the balanced placement; completion is
+// bound by the slowest disk.
+func simulateUniformWrite(cl *cluster.Cluster, cfg Config, disks []int) (Result, Placement) {
+	ccfg := cl.Config()
+	ow := ccfg.RTT / 2
+	bb := cfg.BlockBytes
+	pl := BalancedPlacement(cfg, disks)
+	nic := cl.NewNICSerializer()
+
+	// The client streams blocks in global stripe order through its
+	// uplink; each lands at its filer one-way later and the drive
+	// commits them in arrival order.
+	var latest float64
+	var netBytes int64
+	// Send order: round-robin over slots, matching stripe order.
+	maxLen := 0
+	for _, b := range pl.Blocks {
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+	}
+	for pos := 0; pos < maxLen; pos++ {
+		for slot := range pl.Blocks {
+			if pos >= len(pl.Blocks[slot]) {
+				continue
+			}
+			sendDone := nic.Deliver(ccfg.ConnectTime, bb)
+			netBytes += bb
+			_, end := cl.Drive(pl.Disks[slot]).ServeRequest(sendDone+ow, bb)
+			if commit := end + ow; commit > latest {
+				latest = commit
+			}
+		}
+	}
+	return cfg.newResult(latest, netBytes, pl.N, false), pl
+}
+
+// ratelessSlack is how many extra coded blocks the writer's graph
+// carries beyond N, bounding the speculative overshoot (at most a
+// couple of in-flight blocks per disk).
+const ratelessSlack = 4
+
+// simulateRatelessWrite implements the RobuSTore speculative write.
+func simulateRatelessWrite(cl *cluster.Cluster, cfg Config, disks []int) (Result, Placement, *ltcode.Graph, error) {
+	ccfg := cl.Config()
+	ow := ccfg.RTT / 2
+	bb := cfg.BlockBytes
+	n := cfg.N()
+	h := len(disks)
+	nPrime := n + ratelessSlack*h
+	g, err := BuildGraphLenient(cfg.LTParams(), nPrime, cl.RNG())
+	if err != nil {
+		return Result{}, Placement{}, nil, err
+	}
+	nic := cl.NewNICSerializer()
+	pl := Placement{Disks: disks, Blocks: make([][]int32, h)}
+
+	hp := &commitHeap{}
+	nextIdx := 0
+	var netBytes int64
+
+	issue := func(slot int) bool {
+		if nextIdx >= nPrime {
+			return false
+		}
+		block := int32(nextIdx)
+		nextIdx++
+		sendDone := nic.Deliver(ccfg.ConnectTime, bb)
+		netBytes += bb
+		start, end := cl.Drive(disks[slot]).ServeRequest(sendDone+ow, bb)
+		heap.Push(hp, commitEvent{end: end, start: start, slot: slot, block: block})
+		return true
+	}
+
+	for slot := 0; slot < h; slot++ {
+		issue(slot)
+	}
+	commits := 0
+	var doneAt float64
+	type landed struct {
+		slot  int
+		block int32
+		start float64
+	}
+	var placed []landed
+	for hp.Len() > 0 {
+		ev := heap.Pop(hp).(commitEvent)
+		commits++
+		placed = append(placed, landed{slot: ev.slot, block: ev.block, start: ev.start})
+		if commits >= n {
+			doneAt = ev.end + ow // N-th commit acknowledgment
+			break
+		}
+		issue(ev.slot)
+	}
+	if commits < n {
+		return Result{}, Placement{}, nil, fmt.Errorf(
+			"schemes: rateless write exhausted %d blocks before %d commits", nPrime, n)
+	}
+	// Writes already in service when the cancel arrives complete and
+	// land on disk; queued ones are dropped (their bytes still crossed
+	// the network, which issue() already counted).
+	cancelAt := doneAt + ow
+	for hp.Len() > 0 {
+		ev := heap.Pop(hp).(commitEvent)
+		if ev.start < cancelAt {
+			placed = append(placed, landed{slot: ev.slot, block: ev.block, start: ev.start})
+		}
+	}
+	for _, l := range placed {
+		pl.Blocks[l.slot] = append(pl.Blocks[l.slot], l.block)
+	}
+	pl.N = len(placed)
+	res := cfg.newResult(doneAt, netBytes, pl.N, false)
+	return res, pl, g, nil
+}
+
+// commitEvent is one in-flight RobuSTore write.
+type commitEvent struct {
+	end   float64
+	start float64
+	slot  int
+	block int32
+}
+
+type commitHeap []commitEvent
+
+func (h commitHeap) Len() int           { return len(h) }
+func (h commitHeap) Less(i, j int) bool { return h[i].end < h[j].end }
+func (h commitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *commitHeap) Push(x any)        { *h = append(*h, x.(commitEvent)) }
+func (h *commitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// SelectAndWrite is a convenience helper used by the harness: pick
+// cfg.Disks disks on the cluster, run the write, and return everything
+// the read-after-write path needs.
+func SelectAndWrite(cl *cluster.Cluster, cfg Config) (Result, Placement, *ltcode.Graph, error) {
+	disks, err := cl.SelectDisks(cfg.Disks)
+	if err != nil {
+		return Result{}, Placement{}, nil, err
+	}
+	return SimulateWrite(cl, cfg, disks)
+}
+
+// ShufflePlacementOrder randomly permutes the intra-disk block order
+// of a placement (used to model re-reading data whose on-disk order is
+// unrelated to the write order).
+func ShufflePlacementOrder(pl Placement, rng *rand.Rand) {
+	for _, blocks := range pl.Blocks {
+		rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	}
+}

@@ -1,0 +1,189 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of timed
+// events. Components schedule callbacks at absolute or relative virtual
+// times; Run drains the queue in time order (FIFO among equal
+// timestamps) until it is empty, a deadline passes, or the simulation is
+// stopped. All times are float64 seconds of virtual time.
+//
+// The kernel is intentionally single-threaded: determinism matters more
+// than parallelism for the experiments built on top of it, and the
+// per-disk timelines in the RobuSTore evaluation are merged outside the
+// kernel anyway (see internal/schemes).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. The callback receives the kernel so it
+// can schedule follow-up events.
+type Event struct {
+	// Time is the absolute virtual time at which the event fires.
+	Time float64
+	// Fn is invoked when the event fires. A nil Fn event is a no-op
+	// (useful as a pure time marker with WaitUntil-style logic).
+	Fn func(*Kernel)
+
+	seq      uint64 // tie-break: FIFO among equal timestamps
+	index    int    // heap index; -1 when not queued
+	canceled bool
+}
+
+// Canceled reports whether the event was canceled before firing.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is ready
+// to use at virtual time 0.
+type Kernel struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// New returns a kernel with the clock at virtual time 0.
+func New() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of events currently queued (including
+// canceled events that have not yet been popped).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: it would silently reorder causality.
+func (k *Kernel) At(t float64, fn func(*Kernel)) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN time")
+	}
+	e := &Event{Time: t, Fn: fn, seq: k.seq}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn at Now()+d. Negative d panics.
+func (k *Kernel) After(d float64, fn func(*Kernel)) *Event {
+	return k.At(k.now+d, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op. It reports whether the event was
+// actually removed from the queue.
+func (k *Kernel) Cancel(e *Event) bool {
+	if e == nil || e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	heap.Remove(&k.queue, e.index)
+	return true
+}
+
+// Reschedule moves a pending event to a new absolute time, keeping its
+// callback. It reports whether the event was pending (and thus moved).
+func (k *Kernel) Reschedule(e *Event, t float64) bool {
+	if e == nil || e.canceled || e.index < 0 {
+		return false
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, k.now))
+	}
+	e.Time = t
+	heap.Fix(&k.queue, e.index)
+	return true
+}
+
+// Stop halts Run after the current event completes. Pending events stay
+// queued; a subsequent Run resumes them.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in time order until the queue is empty or Stop is
+// called. It returns the final virtual time.
+func (k *Kernel) Run() float64 { return k.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with Time <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is advanced to the
+// deadline if it is finite and the queue drained early, so repeated
+// RunUntil calls see monotone time.
+func (k *Kernel) RunUntil(deadline float64) float64 {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		next := k.queue[0]
+		if next.Time > deadline {
+			break
+		}
+		heap.Pop(&k.queue)
+		k.now = next.Time
+		k.fired++
+		if next.Fn != nil {
+			next.Fn(k)
+		}
+	}
+	if !math.IsInf(deadline, 1) && k.now < deadline && len(k.queue) == 0 {
+		k.now = deadline
+	}
+	return k.now
+}
+
+// Step executes exactly one event if any is queued, returning true if
+// an event fired.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&k.queue).(*Event)
+	k.now = next.Time
+	k.fired++
+	if next.Fn != nil {
+		next.Fn(k)
+	}
+	return true
+}
+
+// PeekTime returns the time of the next queued event, or +Inf if none.
+func (k *Kernel) PeekTime() float64 {
+	if len(k.queue) == 0 {
+		return math.Inf(1)
+	}
+	return k.queue[0].Time
+}

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRun(t *testing.T) {
+	k := New()
+	if got := k.Run(); got != 0 {
+		t.Fatalf("Run on empty kernel = %v, want 0", got)
+	}
+	if k.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", k.Fired())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := New()
+	var order []int
+	k.At(3, func(*Kernel) { order = append(order, 3) })
+	k.At(1, func(*Kernel) { order = append(order, 1) })
+	k.At(2, func(*Kernel) { order = append(order, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func(*Kernel) { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	k := New()
+	var at1, at2 float64
+	k.At(1.5, func(k *Kernel) { at1 = k.Now() })
+	k.At(4.25, func(k *Kernel) { at2 = k.Now() })
+	end := k.Run()
+	if at1 != 1.5 || at2 != 4.25 || end != 4.25 {
+		t.Fatalf("clock wrong: at1=%v at2=%v end=%v", at1, at2, end)
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	k := New()
+	var fireTime float64
+	k.At(2, func(k *Kernel) {
+		k.After(3, func(k *Kernel) { fireTime = k.Now() })
+	})
+	k.Run()
+	if fireTime != 5 {
+		t.Fatalf("After fired at %v, want 5", fireTime)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := New()
+	k.At(10, func(k *Kernel) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, nil)
+	})
+	k.Run()
+}
+
+func TestNaNTimePanics(t *testing.T) {
+	k := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN time did not panic")
+		}
+	}()
+	k.At(math.NaN(), nil)
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	fired := false
+	e := k.At(1, func(*Kernel) { fired = true })
+	if !k.Cancel(e) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if k.Cancel(e) {
+		t.Fatal("double Cancel returned true")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after cancel")
+	}
+}
+
+func TestCancelFiredEventIsNoop(t *testing.T) {
+	k := New()
+	e := k.At(1, nil)
+	k.Run()
+	if k.Cancel(e) {
+		t.Fatal("Cancel of fired event returned true")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	k := New()
+	if k.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	k := New()
+	var times []float64
+	e := k.At(10, func(k *Kernel) { times = append(times, k.Now()) })
+	k.At(1, func(k *Kernel) {
+		if !k.Reschedule(e, 3) {
+			t.Error("Reschedule returned false")
+		}
+	})
+	k.Run()
+	if len(times) != 1 || times[0] != 3 {
+		t.Fatalf("rescheduled event fired at %v, want [3]", times)
+	}
+}
+
+func TestRescheduleCanceled(t *testing.T) {
+	k := New()
+	e := k.At(10, nil)
+	k.Cancel(e)
+	if k.Reschedule(e, 20) {
+		t.Fatal("Reschedule of canceled event returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 4, 5} {
+		tm := tm
+		k.At(tm, func(*Kernel) { fired = append(fired, tm) })
+	}
+	k.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3", len(fired))
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", k.Pending())
+	}
+	k.Run()
+	if len(fired) != 5 {
+		t.Fatalf("resumed Run fired %d total, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
+	k := New()
+	k.At(1, nil)
+	end := k.RunUntil(10)
+	if end != 10 {
+		t.Fatalf("RunUntil advanced clock to %v, want 10", end)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		k.At(float64(i), func(k *Kernel) {
+			count++
+			if count == 2 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 2 {
+		t.Fatalf("Stop: fired %d, want 2", count)
+	}
+	k.Run() // resumes
+	if count != 5 {
+		t.Fatalf("resume after Stop: fired %d, want 5", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	k := New()
+	n := 0
+	k.At(1, func(*Kernel) { n++ })
+	k.At(2, func(*Kernel) { n++ })
+	if !k.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !k.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if k.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	k := New()
+	if !math.IsInf(k.PeekTime(), 1) {
+		t.Fatal("PeekTime on empty queue not +Inf")
+	}
+	k.At(7, nil)
+	if k.PeekTime() != 7 {
+		t.Fatalf("PeekTime = %v, want 7", k.PeekTime())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event chain where each event schedules the next; checks the
+	// kernel handles dynamically growing queues.
+	k := New()
+	const depth = 10000
+	n := 0
+	var chain func(*Kernel)
+	chain = func(k *Kernel) {
+		n++
+		if n < depth {
+			k.After(0.001, chain)
+		}
+	}
+	k.At(0, chain)
+	k.Run()
+	if n != depth {
+		t.Fatalf("chain fired %d, want %d", n, depth)
+	}
+}
+
+// Property: for any set of event times, events fire in nondecreasing
+// time order and the final clock equals the max time.
+func TestQuickOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := New()
+		var fired []float64
+		for _, r := range raw {
+			tm := float64(r) / 16.0
+			k.At(tm, func(k *Kernel) { fired = append(fired, k.Now()) })
+		}
+		k.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		want := make([]float64, len(raw))
+		for i, r := range raw {
+			want[i] = float64(r) / 16.0
+		}
+		sort.Float64s(want)
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling a random subset leaves exactly the others fired.
+func TestQuickCancelSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		k := New()
+		n := 1 + rng.Intn(100)
+		events := make([]*Event, n)
+		firedSet := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			i := i
+			events[i] = k.At(rng.Float64()*100, func(*Kernel) { firedSet[i] = true })
+		}
+		canceled := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				k.Cancel(events[i])
+				canceled[i] = true
+			}
+		}
+		k.Run()
+		for i := 0; i < n; i++ {
+			if canceled[i] && firedSet[i] {
+				t.Fatalf("trial %d: canceled event %d fired", trial, i)
+			}
+			if !canceled[i] && !firedSet[i] {
+				t.Fatalf("trial %d: live event %d did not fire", trial, i)
+			}
+		}
+	}
+}
+
+func BenchmarkKernelThroughput(b *testing.B) {
+	// Schedule/fire cycles; measures raw event throughput.
+	k := New()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.At(k.Now()+rng.Float64(), nil)
+		if k.Pending() > 1024 {
+			k.RunUntil(k.PeekTime() + 0.5)
+		}
+	}
+	k.Run()
+}

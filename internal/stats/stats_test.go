@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev(nil) != 0 || StdDev([]float64{5}) != 0 {
+		t.Fatal("StdDev of short samples should be 0")
+	}
+	// Sample stddev of {2,4,4,4,5,5,7,9} is sqrt(32/7).
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(got, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if StdDev([]float64{3, 3, 3}) != 0 {
+		t.Fatal("constant sample should have zero stddev")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty Min/Max should be infinities")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if !almostEq(Percentile(xs, 0), 10) || !almostEq(Percentile(xs, 100), 50) {
+		t.Fatal("extreme percentiles wrong")
+	}
+	if !almostEq(Percentile(xs, 50), 30) {
+		t.Fatal("median wrong")
+	}
+	if !almostEq(Percentile(xs, 25), 20) {
+		t.Fatalf("P25 = %v, want 20", Percentile(xs, 25))
+	}
+	if !almostEq(Percentile(xs, 10), 14) { // interpolated
+		t.Fatalf("P10 = %v, want 14", Percentile(xs, 10))
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almostEq(s.Mean, 3) || !almostEq(s.P50, 3) ||
+		s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatal("empty summary wrong")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if CoefficientOfVariation([]float64{0, 0}) != 0 {
+		t.Fatal("CV of zero-mean sample should be 0")
+	}
+	cv := CoefficientOfVariation([]float64{9, 10, 11})
+	if !almostEq(cv, StdDev([]float64{9, 10, 11})/10) {
+		t.Fatalf("CV = %v", cv)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{1.5, 2.25, -3, 8, 0.125, 7}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Fatal("Welford N wrong")
+	}
+	if !almostEq(w.Mean(), Mean(xs)) {
+		t.Fatalf("Welford mean %v != %v", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.StdDev(), StdDev(xs)) {
+		t.Fatalf("Welford stddev %v != %v", w.StdDev(), StdDev(xs))
+	}
+	var empty Welford
+	if empty.StdDev() != 0 {
+		t.Fatal("empty Welford stddev != 0")
+	}
+}
+
+func TestQuickWelfordEquivalence(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		for i, r := range raw {
+			xs[i] = float64(r) / 7
+			w.Add(xs[i])
+		}
+		return math.Abs(w.Mean()-Mean(xs)) < 1e-6 &&
+			math.Abs(w.StdDev()-StdDev(xs)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStdDevNonNegativeAndShiftInvariant(t *testing.T) {
+	f := func(raw []int16, shift int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+			ys[i] = float64(r) + float64(shift)
+		}
+		sx, sy := StdDev(xs), StdDev(ys)
+		return sx >= 0 && math.Abs(sx-sy) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

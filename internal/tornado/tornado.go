@@ -1,0 +1,399 @@
+// Package tornado implements Tornado codes (§2.2.3): a cascade of
+// sparse bipartite check layers B0..Bm-1 capped by a conventional
+// optimal erasure code, giving linear-time encoding and decoding at a
+// *fixed* rate 1-β. Each layer i maps its k·βⁱ input symbols to
+// ⌈k·βⁱ⁺¹⌉ XOR check symbols; the last layer's checks are protected
+// by a Reed-Solomon code of rate 1-β. The codeword is the original
+// symbols plus every check layer plus the RS parities.
+//
+// Tornado codes are the fixed-rate ancestor of LT codes; RobuSTore
+// rejects them precisely because their redundancy is fixed at design
+// time (§5.2.1 requires ratelessness). They are implemented here to
+// complete the erasure-code survey and the codes-comparison
+// experiment. The layer graphs use a regular right-degree rather than
+// the carefully optimized irregular distributions of the original
+// paper — reception overhead is accordingly a little higher, which
+// the comparison reports honestly.
+package tornado
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/gf256"
+	"repro/internal/rs"
+)
+
+// Params configure a Tornado code.
+type Params struct {
+	// K is the number of original symbols.
+	K int
+	// Beta is the per-layer shrink factor; the overall code rate is
+	// 1-Beta (default 0.5, i.e. 2x expansion).
+	Beta float64
+	// CheckDegree is each check symbol's input degree (default 8).
+	CheckDegree int
+	// TailSize stops the cascade once a layer is this small; the tail
+	// is then protected by Reed-Solomon (default 64).
+	TailSize int
+	// Seed derives the deterministic layer graphs.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Beta == 0 {
+		p.Beta = 0.5
+	}
+	if p.CheckDegree == 0 {
+		p.CheckDegree = 8
+	}
+	if p.TailSize == 0 {
+		p.TailSize = 64
+	}
+	return p
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	p = p.withDefaults()
+	if p.K < 1 {
+		return fmt.Errorf("tornado: K must be >= 1")
+	}
+	if p.Beta <= 0 || p.Beta >= 1 {
+		return fmt.Errorf("tornado: Beta must be in (0,1)")
+	}
+	if p.CheckDegree < 1 {
+		return fmt.Errorf("tornado: CheckDegree must be >= 1")
+	}
+	if p.TailSize < 2 {
+		return fmt.Errorf("tornado: TailSize must be >= 2")
+	}
+	return nil
+}
+
+// layer is one bipartite check stage: checks[j] lists the indices (in
+// the previous stage) XORed into check j.
+type layer struct {
+	in     int // symbols in the previous stage
+	checks [][]int32
+}
+
+// Code is a constructed Tornado code. Symbols are globally indexed:
+// [0,K) originals, then each layer's checks in order, then the RS
+// parities.
+type Code struct {
+	params  Params
+	layers  []layer
+	rsCode  *rs.Code
+	sizes   []int // symbol count per stage: K, |L1|, ..., |Lm|, |RS parity|
+	offsets []int // global index of each stage's first symbol
+	n       int   // total codeword symbols
+}
+
+// New constructs a Tornado code.
+func New(params Params) (*Code, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	params = params.withDefaults()
+	rng := rand.New(rand.NewSource(params.Seed))
+	c := &Code{params: params}
+	size := params.K
+	c.sizes = append(c.sizes, size)
+	for size > params.TailSize {
+		next := int(math.Ceil(float64(size) * params.Beta))
+		if next < 1 {
+			next = 1
+		}
+		c.layers = append(c.layers, buildLayer(size, next, params.CheckDegree, rng))
+		c.sizes = append(c.sizes, next)
+		size = next
+	}
+	// RS tail of rate 1-Beta over the last stage (or over the
+	// originals directly when K <= TailSize).
+	parity := int(math.Ceil(float64(size) * params.Beta / (1 - params.Beta)))
+	if parity < 1 {
+		parity = 1
+	}
+	if size+parity > 256 {
+		return nil, fmt.Errorf("tornado: tail %d+%d exceeds the RS field; lower TailSize", size, parity)
+	}
+	rsCode, err := rs.New(size, parity)
+	if err != nil {
+		return nil, err
+	}
+	c.rsCode = rsCode
+	c.sizes = append(c.sizes, parity)
+	c.offsets = make([]int, len(c.sizes))
+	total := 0
+	for i, s := range c.sizes {
+		c.offsets[i] = total
+		total += s
+	}
+	c.n = total
+	return c, nil
+}
+
+// buildLayer generates one check stage: each check XORs CheckDegree
+// distinct random inputs, with inputs covered uniformly (permutation
+// stream, as in the improved LT codes).
+func buildLayer(in, out, degree int, rng *rand.Rand) layer {
+	l := layer{in: in, checks: make([][]int32, out)}
+	perm := rng.Perm(in)
+	pos := 0
+	nextInput := func() int32 {
+		if pos >= len(perm) {
+			perm = rng.Perm(in)
+			pos = 0
+		}
+		v := perm[pos]
+		pos++
+		return int32(v)
+	}
+	for j := 0; j < out; j++ {
+		d := degree
+		if d > in {
+			d = in
+		}
+		nb := make([]int32, 0, d)
+		seen := map[int32]bool{}
+		for len(nb) < d {
+			cand := nextInput()
+			if seen[cand] {
+				continue
+			}
+			seen[cand] = true
+			nb = append(nb, cand)
+		}
+		l.checks[j] = nb
+	}
+	return l
+}
+
+// K returns the original symbol count.
+func (c *Code) K() int { return c.params.K }
+
+// N returns the total codeword symbols.
+func (c *Code) N() int { return c.n }
+
+// Rate returns K/N.
+func (c *Code) Rate() float64 { return float64(c.params.K) / float64(c.n) }
+
+// Levels returns the number of check layers (excluding the RS tail).
+func (c *Code) Levels() int { return len(c.layers) }
+
+// Encode produces the full codeword: originals, check layers, RS
+// parities.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.params.K {
+		return nil, fmt.Errorf("tornado: got %d blocks, K=%d", len(data), c.params.K)
+	}
+	size := len(data[0])
+	for _, b := range data {
+		if len(b) != size || size == 0 {
+			return nil, fmt.Errorf("tornado: blocks must be equal-size and non-empty")
+		}
+	}
+	out := make([][]byte, 0, c.n)
+	out = append(out, data...)
+	stage := data
+	for _, l := range c.layers {
+		next := make([][]byte, len(l.checks))
+		for j, nb := range l.checks {
+			chk := make([]byte, size)
+			for _, i := range nb {
+				gf256.XorSlice(stage[i], chk)
+			}
+			next[j] = chk
+		}
+		out = append(out, next...)
+		stage = next
+	}
+	// RS over the last stage.
+	shards := make([][]byte, c.rsCode.N())
+	copy(shards, stage)
+	if err := c.rsCode.Encode(shards); err != nil {
+		return nil, err
+	}
+	out = append(out, shards[c.rsCode.K():]...)
+	if len(out) != c.n {
+		return nil, fmt.Errorf("tornado: internal size mismatch %d != %d", len(out), c.n)
+	}
+	return out, nil
+}
+
+// Decoder reconstructs the originals from a subset of codeword
+// symbols.
+type Decoder struct {
+	code     *Code
+	stages   [][][]byte // per stage, per symbol (nil = unknown)
+	received int
+	size     int
+	solved   bool
+}
+
+// NewDecoder returns a fresh decoder.
+func (c *Code) NewDecoder() *Decoder {
+	d := &Decoder{code: c, stages: make([][][]byte, len(c.sizes))}
+	for i, s := range c.sizes {
+		d.stages[i] = make([][]byte, s)
+	}
+	return d
+}
+
+// stageOf maps a global symbol index to (stage, offset).
+func (c *Code) stageOf(idx int) (int, int, error) {
+	if idx < 0 || idx >= c.n {
+		return 0, 0, fmt.Errorf("tornado: symbol index %d out of range", idx)
+	}
+	for s := len(c.offsets) - 1; s >= 0; s-- {
+		if idx >= c.offsets[s] {
+			return s, idx - c.offsets[s], nil
+		}
+	}
+	return 0, 0, fmt.Errorf("tornado: unreachable index %d", idx)
+}
+
+// Add feeds one codeword symbol. Duplicates are ignored.
+func (d *Decoder) Add(idx int, payload []byte) error {
+	stage, off, err := d.code.stageOf(idx)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return fmt.Errorf("tornado: empty payload")
+	}
+	if d.size == 0 {
+		d.size = len(payload)
+	} else if len(payload) != d.size {
+		return fmt.Errorf("tornado: payload size %d != %d", len(payload), d.size)
+	}
+	if d.stages[stage][off] != nil {
+		return nil
+	}
+	d.stages[stage][off] = payload
+	d.received++
+	d.solved = false
+	return nil
+}
+
+// Received returns the number of distinct symbols consumed.
+func (d *Decoder) Received() int { return d.received }
+
+// solve runs the cascade recovery to a fixpoint: RS repairs the tail,
+// known checks with one unknown input recover it (peeling), and fully
+// known inputs regenerate erased checks for the next layer down.
+func (d *Decoder) solve() {
+	if d.solved || d.size == 0 {
+		return
+	}
+	d.solved = true
+	for changed := true; changed; {
+		changed = false
+		// RS tail: stages[m] inputs + stages[m+1] parities.
+		m := len(d.stages) - 2
+		known := 0
+		for _, b := range d.stages[m] {
+			if b != nil {
+				known++
+			}
+		}
+		if known < len(d.stages[m]) {
+			shards := make([][]byte, d.code.rsCode.N())
+			avail := 0
+			for i, b := range d.stages[m] {
+				shards[i] = b
+				if b != nil {
+					avail++
+				}
+			}
+			for i, b := range d.stages[m+1] {
+				shards[d.code.rsCode.K()+i] = b
+				if b != nil {
+					avail++
+				}
+			}
+			if avail >= d.code.rsCode.K() {
+				if err := d.code.rsCode.Reconstruct(shards); err == nil {
+					for i := range d.stages[m] {
+						if d.stages[m][i] == nil {
+							d.stages[m][i] = shards[i]
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		// Check layers, bottom-up and top-down peeling.
+		for li := len(d.code.layers) - 1; li >= 0; li-- {
+			if d.peelLayer(li) {
+				changed = true
+			}
+		}
+	}
+}
+
+// peelLayer runs one peeling pass over layer li (inputs = stage li,
+// checks = stage li+1). Returns whether anything was recovered.
+func (d *Decoder) peelLayer(li int) bool {
+	l := d.code.layers[li]
+	in := d.stages[li]
+	out := d.stages[li+1]
+	changed := false
+	for j, nb := range l.checks {
+		unknown := -1
+		nUnknown := 0
+		for _, i := range nb {
+			if in[i] == nil {
+				unknown = int(i)
+				nUnknown++
+				if nUnknown > 1 {
+					break
+				}
+			}
+		}
+		switch {
+		case nUnknown == 0 && out[j] == nil:
+			// Regenerate an erased check from its known inputs (feeds
+			// the layer below).
+			chk := make([]byte, d.size)
+			for _, i := range nb {
+				gf256.XorSlice(in[i], chk)
+			}
+			out[j] = chk
+			changed = true
+		case nUnknown == 1 && out[j] != nil:
+			// Recover the single missing input.
+			rec := make([]byte, d.size)
+			copy(rec, out[j])
+			for _, i := range nb {
+				if int(i) != unknown {
+					gf256.XorSlice(in[i], rec)
+				}
+			}
+			in[unknown] = rec
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Complete reports whether all K originals are recovered.
+func (d *Decoder) Complete() bool {
+	d.solve()
+	for _, b := range d.stages[0] {
+		if b == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Data returns the K original blocks; errors unless Complete.
+func (d *Decoder) Data() ([][]byte, error) {
+	if !d.Complete() {
+		return nil, fmt.Errorf("tornado: decode incomplete")
+	}
+	return d.stages[0], nil
+}

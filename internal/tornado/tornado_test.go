@@ -1,0 +1,243 @@
+package tornado
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func mustNew(t *testing.T, p Params) *Code {
+	t.Helper()
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randBlocks(rng *rand.Rand, k, size int) [][]byte {
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{K: 100}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{K: 0},
+		{K: 10, Beta: -0.5},
+		{K: 10, Beta: 1},
+		{K: 10, CheckDegree: -2},
+		{K: 10, TailSize: 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestStructure(t *testing.T) {
+	c := mustNew(t, Params{K: 1024, Seed: 1})
+	// Rate should be close to 1-Beta = 0.5 (the cascade sums to
+	// K·β/(1-β) checks plus the RS parities).
+	if c.Rate() < 0.45 || c.Rate() > 0.55 {
+		t.Fatalf("rate = %v, want ~0.5", c.Rate())
+	}
+	if c.Levels() < 3 {
+		t.Fatalf("cascade has only %d levels for K=1024", c.Levels())
+	}
+	if c.N() <= c.K() {
+		t.Fatal("no redundancy")
+	}
+}
+
+func TestTinyKUsesRSOnly(t *testing.T) {
+	c := mustNew(t, Params{K: 32, Seed: 1})
+	if c.Levels() != 0 {
+		t.Fatalf("K below TailSize should cascade 0 levels, got %d", c.Levels())
+	}
+	rng := rand.New(rand.NewSource(2))
+	data := randBlocks(rng, 32, 16)
+	coded, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any K symbols suffice for the pure-RS case.
+	d := c.NewDecoder()
+	for _, idx := range rng.Perm(c.N())[:c.K()] {
+		if err := d.Add(idx, coded[idx]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.Complete() {
+		t.Fatal("pure-RS tornado did not decode from K symbols")
+	}
+}
+
+func TestRoundTripFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := mustNew(t, Params{K: 256, Seed: 4})
+	data := randBlocks(rng, 256, 32)
+	coded, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.NewDecoder()
+	for i, b := range coded {
+		if err := d.Add(i, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.Complete() {
+		t.Fatal("decode incomplete with every symbol")
+	}
+	got, err := d.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+}
+
+func TestRecoversFromRandomSubset(t *testing.T) {
+	// A tornado code at rate 1/2 should usually decode from ~(1+ε)K of
+	// the 2K symbols; feed symbols in random order and record the
+	// completion point.
+	rng := rand.New(rand.NewSource(5))
+	c := mustNew(t, Params{K: 512, Seed: 6})
+	data := randBlocks(rng, 512, 8)
+	coded, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	var totalOvh float64
+	const trials = 8
+	for tr := 0; tr < trials; tr++ {
+		d := c.NewDecoder()
+		for _, idx := range rng.Perm(c.N()) {
+			if err := d.Add(idx, coded[idx]); err != nil {
+				t.Fatal(err)
+			}
+			// Completeness checks are expensive mid-stream; probe
+			// periodically.
+			if d.Received()%64 == 0 && d.Complete() {
+				break
+			}
+		}
+		if d.Complete() {
+			completed++
+			totalOvh += float64(d.Received())/float64(c.K()) - 1
+			got, err := d.Data()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range data {
+				if !bytes.Equal(got[i], data[i]) {
+					t.Fatalf("trial %d: block %d mismatch", tr, i)
+				}
+			}
+		}
+	}
+	if completed < trials/2 {
+		t.Fatalf("only %d/%d random-order trials decoded", completed, trials)
+	}
+	mean := totalOvh / float64(completed)
+	if mean < 0 || mean > 1.0 {
+		t.Fatalf("reception overhead %v implausible", mean)
+	}
+}
+
+func TestToleratesErasedChecks(t *testing.T) {
+	// Drop an entire check layer region: the cascade regenerates
+	// checks from known inputs, so originals plus the RS tail decode.
+	rng := rand.New(rand.NewSource(7))
+	c := mustNew(t, Params{K: 256, Seed: 8})
+	data := randBlocks(rng, 256, 8)
+	coded, _ := c.Encode(data)
+	d := c.NewDecoder()
+	for i := 0; i < c.K(); i++ { // originals only
+		d.Add(i, coded[i])
+	}
+	if !d.Complete() {
+		t.Fatal("all originals present but decode incomplete")
+	}
+}
+
+func TestDecoderValidation(t *testing.T) {
+	c := mustNew(t, Params{K: 64, Seed: 1})
+	d := c.NewDecoder()
+	if err := d.Add(-1, []byte{1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := d.Add(c.N(), []byte{1}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := d.Add(0, nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if err := d.Add(0, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(1, []byte{9}); err == nil {
+		t.Fatal("size change accepted")
+	}
+	if err := d.Add(0, []byte{3, 4}); err != nil {
+		t.Fatal("duplicate add errored")
+	}
+	if _, err := d.Data(); err == nil {
+		t.Fatal("Data before completion accepted")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := mustNew(t, Params{K: 16, Seed: 1})
+	if _, err := c.Encode(make([][]byte, 3)); err == nil {
+		t.Fatal("wrong count accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	bad := randBlocks(rng, 16, 8)
+	bad[5] = []byte{1}
+	if _, err := c.Encode(bad); err == nil {
+		t.Fatal("ragged blocks accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := mustNew(t, Params{K: 128, Seed: 9})
+	b := mustNew(t, Params{K: 128, Seed: 9})
+	rng := rand.New(rand.NewSource(10))
+	data := randBlocks(rng, 128, 8)
+	ca, _ := a.Encode(data)
+	cb, _ := b.Encode(data)
+	for i := range ca {
+		if !bytes.Equal(ca[i], cb[i]) {
+			t.Fatalf("symbol %d differs across same-seed codes", i)
+		}
+	}
+}
+
+func BenchmarkTornadoEncodeK1024(b *testing.B) {
+	c, err := New(Params{K: 1024, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := randBlocks(rng, 1024, 16<<10)
+	b.SetBytes(int64(1024 * 16 << 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

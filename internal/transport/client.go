@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/blockstore"
+)
+
+// Client talks the block protocol to one server. It implements
+// blockstore.Store, so the RobuSTore client library treats remote
+// servers and local stores uniformly. A Client multiplexes concurrent
+// requests over a pool of TCP connections (one outstanding request
+// per connection), which is exactly what the speculative read path
+// needs: many parallel GETs, individually cancelable.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+	maxConns    int
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	nconns int
+	closed bool
+	cond   *sync.Cond
+}
+
+// ClientOptions configure a client.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// MaxConns caps the connection pool (default 16).
+	MaxConns int
+}
+
+// Dial creates a client for the server at addr and verifies
+// reachability with a ping.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.MaxConns <= 0 {
+		opts.MaxConns = 16
+	}
+	c := &Client{addr: addr, dialTimeout: opts.DialTimeout, maxConns: opts.MaxConns}
+	c.cond = sync.NewCond(&c.mu)
+	if err := c.Ping(context.Background()); err != nil {
+		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Addr returns the server address.
+func (c *Client) Addr() string { return c.addr }
+
+var errClientClosed = errors.New("transport: client closed")
+
+// acquire returns a pooled or fresh connection, waiting if the pool is
+// at its cap with nothing idle.
+func (c *Client) acquire(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, errClientClosed
+		}
+		if n := len(c.idle); n > 0 {
+			conn := c.idle[n-1]
+			c.idle = c.idle[:n-1]
+			c.mu.Unlock()
+			return conn, nil
+		}
+		if c.nconns < c.maxConns {
+			c.nconns++
+			c.mu.Unlock()
+			conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+			if err != nil {
+				c.mu.Lock()
+				c.nconns--
+				c.cond.Signal()
+				c.mu.Unlock()
+				return nil, err
+			}
+			return conn, nil
+		}
+		// Pool exhausted: wait for a release, but honor ctx.
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		waitDone := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.mu.Lock()
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			case <-waitDone:
+			}
+		}()
+		c.cond.Wait()
+		close(waitDone)
+	}
+}
+
+// release returns a healthy connection to the pool.
+func (c *Client) release(conn net.Conn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+	c.cond.Signal()
+	c.mu.Unlock()
+}
+
+// discard drops a poisoned connection.
+func (c *Client) discard(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	c.nconns--
+	c.cond.Signal()
+	c.mu.Unlock()
+}
+
+// roundTrip performs one request/response exchange. Cancellation is
+// implemented by closing the connection out from under the exchange —
+// the server's per-connection context then cancels the queued work
+// (RobuSTore request cancellation over the wire).
+func (c *Client) roundTrip(ctx context.Context, op byte, segment string, index int, payload []byte) (byte, []byte, error) {
+	body, err := encodeRequest(op, segment, index, payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	conn, err := c.acquire(ctx)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Watch for cancellation during the exchange.
+	done := make(chan struct{})
+	var canceled bool
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		select {
+		case <-ctx.Done():
+			canceled = true
+			conn.SetDeadline(time.Unix(1, 0)) // unblock reads/writes immediately
+		case <-done:
+		}
+	}()
+	finish := func() {
+		close(done)
+		watch.Wait()
+	}
+	if err := writeFrame(conn, body); err != nil {
+		finish()
+		c.discard(conn)
+		return 0, nil, wrapCancel(err, canceled, ctx)
+	}
+	resp, err := readFrame(conn)
+	finish()
+	if err != nil {
+		c.discard(conn)
+		return 0, nil, wrapCancel(err, canceled, ctx)
+	}
+	if canceled {
+		// Response raced with cancellation; the connection is fine but
+		// had its deadline poisoned.
+		conn.SetDeadline(time.Time{})
+	}
+	c.release(conn)
+	if len(resp) < 1 {
+		return 0, nil, fmt.Errorf("transport: empty response")
+	}
+	return resp[0], resp[1:], nil
+}
+
+func wrapCancel(err error, canceled bool, ctx context.Context) error {
+	if canceled && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// statusToError maps protocol statuses onto blockstore errors.
+func statusToError(status byte, payload []byte) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusNotFound:
+		return blockstore.ErrNotFound
+	case statusBusy:
+		return fmt.Errorf("transport: server busy: %s", payload)
+	default:
+		return fmt.Errorf("transport: server error: %s", payload)
+	}
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping(ctx context.Context) error {
+	status, payload, err := c.roundTrip(ctx, opPing, "-", 0, nil)
+	if err != nil {
+		return err
+	}
+	return statusToError(status, payload)
+}
+
+// Put implements blockstore.Store.
+func (c *Client) Put(ctx context.Context, segment string, index int, data []byte) error {
+	status, payload, err := c.roundTrip(ctx, opPut, segment, index, data)
+	if err != nil {
+		return err
+	}
+	return statusToError(status, payload)
+}
+
+// Get implements blockstore.Store.
+func (c *Client) Get(ctx context.Context, segment string, index int) ([]byte, error) {
+	status, payload, err := c.roundTrip(ctx, opGet, segment, index, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToError(status, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Delete implements blockstore.Store.
+func (c *Client) Delete(ctx context.Context, segment string, index int) error {
+	status, payload, err := c.roundTrip(ctx, opDelete, segment, index, nil)
+	if err != nil {
+		return err
+	}
+	return statusToError(status, payload)
+}
+
+// List implements blockstore.Store.
+func (c *Client) List(ctx context.Context, segment string) ([]int, error) {
+	status, payload, err := c.roundTrip(ctx, opList, segment, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToError(status, payload); err != nil {
+		return nil, err
+	}
+	return decodeIndices(payload)
+}
+
+// Close closes all pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}

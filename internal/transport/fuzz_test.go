@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDecodeRequestNeverPanics throws random frame bodies at the
+// request decoder: it must reject or accept, never panic or over-read.
+func TestQuickDecodeRequestNeverPanics(t *testing.T) {
+	f := func(body []byte) bool {
+		req, err := decodeRequest(body)
+		if err != nil {
+			return true
+		}
+		// On success the parsed fields must be consistent with the
+		// frame: the declared segment fits and payload is the rest.
+		return len(req.segment) <= len(body) &&
+			len(req.payload) <= len(body) &&
+			req.index >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRequestRoundTrip checks encode→decode is the identity for
+// all valid inputs.
+func TestQuickRequestRoundTrip(t *testing.T) {
+	f := func(op byte, segRaw []byte, index uint16, payload []byte) bool {
+		seg := string(segRaw)
+		if len(seg) > 0xFFFF {
+			return true
+		}
+		body, err := encodeRequest(op, seg, int(index), payload)
+		if err != nil {
+			return false
+		}
+		req, err := decodeRequest(body)
+		if err != nil {
+			return false
+		}
+		return req.op == op && req.segment == seg &&
+			req.index == int(index) && bytes.Equal(req.payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIndicesRoundTrip checks the LIST payload codec.
+func TestQuickIndicesRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		in := make([]int, len(raw))
+		for i, r := range raw {
+			in[i] = int(r)
+		}
+		out, err := decodeIndices(encodeIndices(in))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReadFrameBoundedAllocation checks that a hostile header
+// cannot force a huge allocation.
+func TestQuickReadFrameBoundedAllocation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		hdr := make([]byte, 4+rng.Intn(64))
+		rng.Read(hdr)
+		r := bytes.NewReader(hdr)
+		// Must either error or return a body no larger than the
+		// remaining input.
+		body, err := readFrame(r)
+		if err == nil && len(body) > len(hdr) {
+			t.Fatalf("readFrame conjured %d bytes from %d", len(body), len(hdr))
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package transport implements the RobuSTore block protocol: a
+// length-prefixed binary request/response protocol over TCP between
+// clients and storage servers. The Client implements
+// blockstore.Store, so the RobuSTore client library treats local and
+// remote stores uniformly; the Server exposes any blockstore.Store on
+// the network, optionally behind an admission controller (§5.4).
+//
+// Frame layout (all integers big-endian):
+//
+//	request:  [4B frame length][1B op][2B segment length][segment]
+//	          [4B block index][payload...]
+//	response: [4B frame length][1B status][payload...]
+//
+// A GET response payload is the block; a LIST response payload is a
+// sequence of 4-byte indices; an error response payload is the
+// message text.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Operation codes.
+const (
+	opPut    = byte(1)
+	opGet    = byte(2)
+	opDelete = byte(3)
+	opList   = byte(4)
+	opPing   = byte(5)
+)
+
+// Response status codes.
+const (
+	statusOK       = byte(0)
+	statusErr      = byte(1)
+	statusNotFound = byte(2)
+	statusBusy     = byte(3) // admission controller refused the request
+)
+
+// MaxFrame bounds a frame's size (op + header + payload); it limits
+// both allocation on malformed input and the largest storable block.
+const MaxFrame = 64 << 20
+
+// request is a decoded request frame.
+type request struct {
+	op      byte
+	segment string
+	index   int
+	payload []byte
+}
+
+// writeFrame writes one length-prefixed frame built from the given
+// chunks.
+func writeFrame(w io.Writer, chunks ...[]byte) error {
+	var total int
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(total))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, c := range chunks {
+		if _, err := w.Write(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed frame body.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// encodeRequest serializes a request frame body.
+func encodeRequest(op byte, segment string, index int, payload []byte) ([]byte, error) {
+	if len(segment) > 0xFFFF {
+		return nil, fmt.Errorf("transport: segment name too long (%d bytes)", len(segment))
+	}
+	if index < 0 {
+		return nil, fmt.Errorf("transport: negative block index")
+	}
+	body := make([]byte, 1+2+len(segment)+4, 1+2+len(segment)+4+len(payload))
+	body[0] = op
+	binary.BigEndian.PutUint16(body[1:3], uint16(len(segment)))
+	copy(body[3:], segment)
+	binary.BigEndian.PutUint32(body[3+len(segment):], uint32(index))
+	return append(body, payload...), nil
+}
+
+// decodeRequest parses a request frame body.
+func decodeRequest(body []byte) (request, error) {
+	if len(body) < 7 {
+		return request{}, fmt.Errorf("transport: short request frame (%d bytes)", len(body))
+	}
+	op := body[0]
+	segLen := int(binary.BigEndian.Uint16(body[1:3]))
+	if len(body) < 3+segLen+4 {
+		return request{}, fmt.Errorf("transport: truncated request frame")
+	}
+	seg := string(body[3 : 3+segLen])
+	idx := int(binary.BigEndian.Uint32(body[3+segLen : 3+segLen+4]))
+	payload := body[3+segLen+4:]
+	return request{op: op, segment: seg, index: idx, payload: payload}, nil
+}
+
+// encodeIndices packs a LIST response payload.
+func encodeIndices(indices []int) []byte {
+	out := make([]byte, 4*len(indices))
+	for i, idx := range indices {
+		binary.BigEndian.PutUint32(out[4*i:], uint32(idx))
+	}
+	return out
+}
+
+// decodeIndices unpacks a LIST response payload.
+func decodeIndices(payload []byte) ([]int, error) {
+	if len(payload)%4 != 0 {
+		return nil, fmt.Errorf("transport: malformed index list (%d bytes)", len(payload))
+	}
+	out := make([]int, len(payload)/4)
+	for i := range out {
+		out[i] = int(binary.BigEndian.Uint32(payload[4*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/admission"
+	"repro/internal/blockstore"
+)
+
+// ServerOptions configure a block server.
+type ServerOptions struct {
+	// Admission optionally gates GET/PUT requests (§5.4). A refused
+	// request is answered with a BUSY status rather than queued
+	// forever when AdmissionWait is false.
+	Admission admission.Controller
+	// Logger receives connection-level errors; nil discards them.
+	Logger *log.Logger
+}
+
+// Server exposes a blockstore.Store over the block protocol.
+type Server struct {
+	store blockstore.Store
+	opts  ServerOptions
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a store. Call Serve (usually in a goroutine) with a
+// listener, or ListenAndServe.
+func NewServer(store blockstore.Store, opts ServerOptions) *Server {
+	return &Server{store: store, opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// ListenAndServe listens on addr ("host:port", ":0" for ephemeral)
+// and serves until Close. It returns the bound address on a channel
+// usable before blocking? — instead use Listen + Serve for that.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("transport: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes all connections, and waits for the
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf(format, args...)
+	}
+}
+
+// handle serves one connection: a sequence of request/response
+// exchanges. The per-connection context is canceled when the
+// connection drops, which aborts in-flight store operations — the
+// server side of RobuSTore's request cancellation (§5.3.3): a client
+// that hangs up cancels its queued work.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken connection
+		}
+		req, err := decodeRequest(body)
+		if err != nil {
+			s.logf("transport: bad request from %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+		status, payload := s.dispatch(ctx, req)
+		if err := writeFrame(conn, []byte{status}, payload); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the store.
+func (s *Server) dispatch(ctx context.Context, req request) (byte, []byte) {
+	// Admission control guards the data-path operations.
+	if s.opts.Admission != nil && (req.op == opGet || req.op == opPut) {
+		release, err := s.opts.Admission.Admit(ctx, admission.Request{Bytes: int64(len(req.payload))})
+		if err != nil {
+			return statusBusy, []byte(err.Error())
+		}
+		defer release()
+	}
+	switch req.op {
+	case opPing:
+		return statusOK, nil
+	case opPut:
+		if err := s.store.Put(ctx, req.segment, req.index, req.payload); err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		return statusOK, nil
+	case opGet:
+		b, err := s.store.Get(ctx, req.segment, req.index)
+		if errors.Is(err, blockstore.ErrNotFound) {
+			return statusNotFound, nil
+		}
+		if err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		return statusOK, b
+	case opDelete:
+		if err := s.store.Delete(ctx, req.segment, req.index); err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		return statusOK, nil
+	case opList:
+		idx, err := s.store.List(ctx, req.segment)
+		if err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		return statusOK, encodeIndices(idx)
+	default:
+		return statusErr, []byte(fmt.Sprintf("unknown op %d", req.op))
+	}
+}

@@ -1,0 +1,170 @@
+// Package workload defines the synthetic workloads of §6.2.4: large
+// sequential foreground accesses (128 MB – 1 GB reads and writes) and
+// the per-disk variation policies the evaluation sweeps — in-disk data
+// layout (heterogeneous random vs homogeneous) and competitive
+// background request streams (none, homogeneous interval, or
+// heterogeneous random intervals).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/disk"
+)
+
+// Op is the foreground operation type.
+type Op int
+
+// Foreground operations.
+const (
+	Read Op = iota
+	Write
+	ReadAfterWrite // write once (unbalanced striping), then measure reads
+)
+
+// String returns the operation name.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case ReadAfterWrite:
+		return "read-after-write"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Access is one foreground access specification.
+type Access struct {
+	Op         Op
+	Bytes      int64 // total data size (original, pre-redundancy)
+	BlockBytes int64 // coding/striping block size
+}
+
+// Validate reports whether the access is well formed.
+func (a Access) Validate() error {
+	if a.Bytes <= 0 || a.BlockBytes <= 0 {
+		return fmt.Errorf("workload: access sizes must be positive")
+	}
+	if a.Bytes%a.BlockBytes != 0 {
+		return fmt.Errorf("workload: access size %d not a multiple of block size %d",
+			a.Bytes, a.BlockBytes)
+	}
+	return nil
+}
+
+// Blocks returns the number of original blocks (K).
+func (a Access) Blocks() int { return int(a.Bytes / a.BlockBytes) }
+
+// StandardSizes are the access sizes studied in §6.2.4.
+var StandardSizes = []int64{128 << 20, 256 << 20, 512 << 20, 1 << 30}
+
+// LayoutMode selects how per-disk in-disk layouts are drawn each trial.
+type LayoutMode int
+
+// Layout modes.
+const (
+	// LayoutHeterogeneous draws a random (blocking factor, PSeq) per
+	// disk per trial — the §6.3.1 "heterogeneous layout".
+	LayoutHeterogeneous LayoutMode = iota
+	// LayoutHomogeneous gives every disk the same fixed layout — the
+	// §6.3.2 "homogeneous layout" configuration.
+	LayoutHomogeneous
+)
+
+// LayoutPolicy samples per-disk layouts.
+type LayoutPolicy struct {
+	Mode  LayoutMode
+	Fixed disk.Layout // used in LayoutHomogeneous mode
+}
+
+// HeterogeneousLayout is the default §6.3.1 policy.
+func HeterogeneousLayout() LayoutPolicy {
+	return LayoutPolicy{Mode: LayoutHeterogeneous}
+}
+
+// HomogeneousLayout fixes every disk to the given layout.
+func HomogeneousLayout(l disk.Layout) LayoutPolicy {
+	return LayoutPolicy{Mode: LayoutHomogeneous, Fixed: l}
+}
+
+// Sample draws one disk's layout.
+func (p LayoutPolicy) Sample(rng *rand.Rand) disk.Layout {
+	if p.Mode == LayoutHomogeneous {
+		return p.Fixed
+	}
+	return disk.RandomLayout(rng)
+}
+
+// BackgroundMode selects how competitive streams are drawn.
+type BackgroundMode int
+
+// Background modes.
+const (
+	// BgNone disables competitive workloads.
+	BgNone BackgroundMode = iota
+	// BgHomogeneous gives every disk the same mean arrival interval.
+	BgHomogeneous
+	// BgHeterogeneous draws each disk's interval uniformly from
+	// [MinInterval, MaxInterval] per trial — the §6.3.2 "random
+	// competitive workloads".
+	BgHeterogeneous
+)
+
+// BackgroundPolicy samples per-disk competitive streams.
+type BackgroundPolicy struct {
+	Mode        BackgroundMode
+	Interval    float64 // homogeneous mean inter-arrival (s)
+	MinInterval float64 // heterogeneous bounds (s)
+	MaxInterval float64
+	Sectors     int // request size; paper uses ~50 sectors
+}
+
+// NoBackground disables competition.
+func NoBackground() BackgroundPolicy { return BackgroundPolicy{Mode: BgNone} }
+
+// HomogeneousBackground gives every disk the same interval.
+func HomogeneousBackground(interval float64) BackgroundPolicy {
+	return BackgroundPolicy{Mode: BgHomogeneous, Interval: interval, Sectors: 50}
+}
+
+// HeterogeneousBackground draws per-disk intervals from the paper's
+// 6–200 ms range.
+func HeterogeneousBackground() BackgroundPolicy {
+	return BackgroundPolicy{Mode: BgHeterogeneous, MinInterval: 0.006, MaxInterval: 0.200, Sectors: 50}
+}
+
+// Sample draws one disk's background stream.
+func (p BackgroundPolicy) Sample(rng *rand.Rand) disk.Background {
+	switch p.Mode {
+	case BgHomogeneous:
+		return disk.Background{Interval: p.Interval, Sectors: p.Sectors}
+	case BgHeterogeneous:
+		iv := p.MinInterval + rng.Float64()*(p.MaxInterval-p.MinInterval)
+		return disk.Background{Interval: iv, Sectors: p.Sectors}
+	default:
+		return disk.Background{}
+	}
+}
+
+// Validate reports whether the policy is well formed.
+func (p BackgroundPolicy) Validate() error {
+	switch p.Mode {
+	case BgNone:
+		return nil
+	case BgHomogeneous:
+		if p.Interval <= 0 || p.Sectors <= 0 {
+			return fmt.Errorf("workload: homogeneous background needs positive interval and sectors")
+		}
+	case BgHeterogeneous:
+		if p.MinInterval <= 0 || p.MaxInterval < p.MinInterval || p.Sectors <= 0 {
+			return fmt.Errorf("workload: heterogeneous background bounds invalid")
+		}
+	default:
+		return fmt.Errorf("workload: unknown background mode %d", p.Mode)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+)
+
+func TestAccessValidate(t *testing.T) {
+	ok := Access{Op: Read, Bytes: 1 << 30, BlockBytes: 1 << 20}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Blocks() != 1024 {
+		t.Fatalf("Blocks = %d", ok.Blocks())
+	}
+	bad := []Access{
+		{Bytes: 0, BlockBytes: 1},
+		{Bytes: 10, BlockBytes: 0},
+		{Bytes: 10, BlockBytes: 3},
+	}
+	for _, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("access %+v accepted", a)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" ||
+		ReadAfterWrite.String() != "read-after-write" {
+		t.Fatal("op names wrong")
+	}
+	if Op(99).String() == "" {
+		t.Fatal("unknown op has empty name")
+	}
+}
+
+func TestStandardSizesMultiplesOf1MB(t *testing.T) {
+	for _, s := range StandardSizes {
+		if s%(1<<20) != 0 {
+			t.Fatalf("size %d not a 1MB multiple", s)
+		}
+	}
+}
+
+func TestLayoutPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fixed := disk.Layout{BlockingFactor: 256, PSeq: 1}
+	hp := HomogeneousLayout(fixed)
+	for i := 0; i < 10; i++ {
+		if hp.Sample(rng) != fixed {
+			t.Fatal("homogeneous policy returned varying layouts")
+		}
+	}
+	het := HeterogeneousLayout()
+	seen := map[disk.Layout]bool{}
+	for i := 0; i < 100; i++ {
+		seen[het.Sample(rng)] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("heterogeneous policy produced only %d layouts", len(seen))
+	}
+}
+
+func TestBackgroundPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if bg := NoBackground().Sample(rng); bg.Enabled() {
+		t.Fatal("NoBackground enabled a stream")
+	}
+	hb := HomogeneousBackground(0.020)
+	bg := hb.Sample(rng)
+	if !bg.Enabled() || bg.Interval != 0.020 || bg.Sectors != 50 {
+		t.Fatalf("homogeneous background wrong: %+v", bg)
+	}
+	het := HeterogeneousBackground()
+	lo, hi := 1.0, 0.0
+	for i := 0; i < 200; i++ {
+		iv := het.Sample(rng).Interval
+		if iv < het.MinInterval || iv > het.MaxInterval {
+			t.Fatalf("interval %v outside [%v,%v]", iv, het.MinInterval, het.MaxInterval)
+		}
+		if iv < lo {
+			lo = iv
+		}
+		if iv > hi {
+			hi = iv
+		}
+	}
+	if hi-lo < 0.1 {
+		t.Fatalf("heterogeneous intervals barely vary: [%v,%v]", lo, hi)
+	}
+}
+
+func TestBackgroundPolicyValidate(t *testing.T) {
+	if err := NoBackground().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := HomogeneousBackground(0.01).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := HeterogeneousBackground().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []BackgroundPolicy{
+		{Mode: BgHomogeneous, Interval: 0, Sectors: 50},
+		{Mode: BgHomogeneous, Interval: 0.01, Sectors: 0},
+		{Mode: BgHeterogeneous, MinInterval: 0, MaxInterval: 1, Sectors: 50},
+		{Mode: BgHeterogeneous, MinInterval: 0.2, MaxInterval: 0.1, Sectors: 50},
+		{Mode: BackgroundMode(42)},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("policy %+v accepted", p)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package robustore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+)
+
+// TestFacadeInMemoryRoundTrip exercises the public API end to end
+// over in-memory stores.
+func TestFacadeInMemoryRoundTrip(t *testing.T) {
+	meta := NewMetadataService()
+	client, err := NewClient(meta, Options{BlockBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := client.AttachStore(fmt.Sprintf("s%d", i), NewMemStore()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	if _, err := client.Write(ctx, "facade", data, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := client.Read(ctx, "facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch")
+	}
+	if stats.Received < stats.K {
+		t.Fatal("impossible reception count")
+	}
+}
+
+// TestFacadeNetworkedRoundTrip runs the facade against real TCP block
+// servers.
+func TestFacadeNetworkedRoundTrip(t *testing.T) {
+	meta := NewMetadataService()
+	client, err := NewClient(meta, Options{BlockBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		srv := NewBlockServer(NewMemStore())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		store, err := DialStore(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		client.AttachStore(ln.Addr().String(), store)
+	}
+	ctx := context.Background()
+	data := make([]byte, 300<<10)
+	rand.New(rand.NewSource(2)).Read(data)
+	if _, err := client.Write(ctx, "net-facade", data, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := client.Read(ctx, "net-facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch over TCP")
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	meta := NewMetadataService()
+	client, err := NewClient(meta, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(context.Background(), "x", []byte("d"), nil); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("err = %v, want ErrNoServers", err)
+	}
+	store := NewMemStore()
+	if _, err := store.Get(context.Background(), "seg", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	ds, err := RunExperiment("table6-1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) == 0 || len(ds[0].Points) == 0 {
+		t.Fatal("empty experiment result")
+	}
+	if _, err := RunExperiment("bogus", 3); err == nil {
+		t.Fatal("bogus experiment id accepted")
+	}
+}
