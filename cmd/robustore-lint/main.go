@@ -1,0 +1,142 @@
+// Command robustore-lint runs the project's static analyzers
+// (internal/lint) over package directories and reports findings with
+// file:line:col positions. It exits non-zero when any finding is
+// reported, so it can gate CI.
+//
+// Usage:
+//
+//	robustore-lint [./...|dir ...]
+//
+// The pattern ./... (the default) walks the module for every package
+// directory, skipping testdata, vendor, and hidden trees. _test.go
+// files are not analyzed: the determinism and join discipline applies
+// to library code.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dirs, modRoot, modPath, err := resolveDirs(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robustore-lint:", err)
+		os.Exit(2)
+	}
+	loader := lint.NewLoader()
+	var findings []lint.Finding
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir, importPath(modRoot, modPath, dir))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "robustore-lint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		if pkg == nil {
+			continue
+		}
+		findings = append(findings, lint.Run(pkg)...)
+	}
+	lint.SortFindings(findings)
+	for _, f := range findings {
+		rel, err := filepath.Rel(modRoot, f.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			rel = f.Pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "robustore-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// resolveDirs expands the argument patterns into package directories
+// and locates the module root and path for import-path derivation.
+func resolveDirs(args []string) (dirs []string, modRoot, modPath string, err error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, "", "", err
+	}
+	modRoot, modPath, err = findModule(cwd)
+	if err != nil {
+		return nil, "", "", err
+	}
+	seen := map[string]bool{}
+	for _, a := range args {
+		switch {
+		case a == "./..." || a == "...":
+			walked, err := lint.PackageDirs(modRoot)
+			if err != nil {
+				return nil, "", "", err
+			}
+			for _, d := range walked {
+				if !seen[d] {
+					seen[d] = true
+					dirs = append(dirs, d)
+				}
+			}
+		case strings.HasSuffix(a, "/..."):
+			root := filepath.Join(cwd, strings.TrimSuffix(a, "/..."))
+			walked, err := lint.PackageDirs(root)
+			if err != nil {
+				return nil, "", "", err
+			}
+			for _, d := range walked {
+				if !seen[d] {
+					seen[d] = true
+					dirs = append(dirs, d)
+				}
+			}
+		default:
+			d := a
+			if !filepath.IsAbs(d) {
+				d = filepath.Join(cwd, d)
+			}
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, modRoot, modPath, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns
+// the module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// importPath derives a package's import path from its directory.
+func importPath(modRoot, modPath, dir string) string {
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq forbids ==/!= between floating-point expressions in the
+// deterministic-simulation packages. Virtual time in the kernel is
+// float64 arithmetic; two schedules that are "the same instant" can
+// differ in the last ulp depending on summation order, so exact
+// equality is a latent scheduling bug. Order comparisons (<, <=) or
+// an explicit epsilon are the sanctioned forms.
+//
+// One exemption: comparison against the exact constant 0 — the
+// zero-value sentinel ("unset") test, which is exact by construction.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= between floats in deterministic sim packages",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Package) []Finding {
+	if !IsSimPackage(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p, be.X) || !isFloat(p, be.Y) {
+				return true
+			}
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+				return true
+			}
+			out = append(out, p.finding(floatEqName, be.OpPos,
+				"float %s comparison is schedule-dependent in virtual-time arithmetic: compare with an epsilon or restructure", be.Op))
+			return true
+		})
+	}
+	return out
+}
+
+func isFloat(p *Package, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant exactly
+// equal to zero.
+func isZeroConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	return v.Kind() == constant.Float && constant.Sign(v) == 0
+}

@@ -1,0 +1,21 @@
+package lint
+
+import "testing"
+
+func TestFloatEqFixture(t *testing.T) {
+	dir := fixtureDir("floateq")
+	// Under a sim path, all ==/!= float comparisons in bad.go must be
+	// flagged; the epsilon / zero-sentinel / ordered idioms in good.go
+	// must stay clean.
+	p := loadFixture(t, dir, "repro/internal/disk")
+	checkAgainstMarkers(t, FloatEq, p, dir)
+}
+
+func TestFloatEqScopedToSimPackages(t *testing.T) {
+	// Exact float comparison outside the deterministic sim packages is
+	// not this analyzer's business.
+	p := loadFixture(t, fixtureDir("floateq"), "repro/internal/metadata")
+	if got := FloatEq.Run(p); len(got) != 0 {
+		t.Fatalf("non-sim package flagged: %v", got)
+	}
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineHygiene polices `go` statements in library code (non-main
+// packages). Two patterns behind real fan-out bugs in the
+// read/write/repair paths are rejected:
+//
+//  1. A goroutine that is never joined: the enclosing function shows
+//     no sync.WaitGroup use (Add/Wait) and no channel receive, so the
+//     goroutine can outlive the call, racing with returned values and
+//     leaking under error paths.
+//  2. A goroutine function literal that captures an enclosing loop
+//     variable by reference instead of receiving it as an argument —
+//     the classic stale-iteration capture.
+//
+// Tests and package main are exempt: short-lived commands and test
+// helpers legitimately fire daemon goroutines.
+var GoroutineHygiene = &Analyzer{
+	Name: "goroutinehygiene",
+	Doc:  "flag unjoined goroutines and by-reference loop-variable capture in library code",
+	Run:  runGoroutineHygiene,
+}
+
+func runGoroutineHygiene(p *Package) []Finding {
+	if p.Types != nil && p.Types.Name() == "main" {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			out = append(out, checkGoStmts(p, fd)...)
+			return true
+		})
+	}
+	return out
+}
+
+func checkGoStmts(p *Package, fd *ast.FuncDecl) []Finding {
+	var gos []*ast.GoStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			gos = append(gos, g)
+		}
+		return true
+	})
+	if len(gos) == 0 {
+		return nil
+	}
+	joined := hasJoinSignal(fd.Body)
+	var out []Finding
+	for _, g := range gos {
+		if !joined {
+			out = append(out, p.finding(goroutineHygieneName, g.Pos(),
+				"goroutine in %s has no join: pair it with a sync.WaitGroup or a done-channel receive before returning", fd.Name.Name))
+		}
+		out = append(out, checkLoopCapture(p, fd, g)...)
+	}
+	return out
+}
+
+// hasJoinSignal reports whether the function body contains evidence
+// of goroutine lifecycle management: a WaitGroup Add/Wait call, a
+// channel receive, or a range over a channel. This is deliberately
+// an approximation — the analyzer demands visible join structure in
+// the same function, not a whole-program happens-before proof.
+func hasJoinSignal(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if name := sel.Sel.Name; name == "Wait" || name == "Add" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkLoopCapture flags loop variables referenced inside the go
+// statement's function literal body. Even with Go 1.22 per-iteration
+// loop variables this hides an ordering dependency on the loop from
+// the reader; the project style is to pass iteration state as
+// arguments (as the write/read fan-outs do).
+func checkLoopCapture(p *Package, fd *ast.FuncDecl, g *ast.GoStmt) []Finding {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	loopVars := enclosingLoopVars(p, fd, g)
+	if len(loopVars) == 0 {
+		return nil
+	}
+	var out []Finding
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || !loopVars[obj] || reported[obj] {
+			return true
+		}
+		reported[obj] = true
+		out = append(out, p.finding(goroutineHygieneName, id.Pos(),
+			"goroutine captures loop variable %q by reference: pass it as an argument to the function literal", id.Name))
+		return true
+	})
+	return out
+}
+
+// enclosingLoopVars collects the loop variables of every for/range
+// statement between fd and the go statement g.
+func enclosingLoopVars(p *Package, fd *ast.FuncDecl, g *ast.GoStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	addDef := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		// Descend only through nodes that enclose the go statement.
+		if g.Pos() < n.Pos() || n.End() <= g.Pos() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				addDef(n.Key)
+				addDef(n.Value)
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					addDef(lhs)
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}

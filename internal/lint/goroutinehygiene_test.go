@@ -1,0 +1,20 @@
+package lint
+
+import "testing"
+
+func TestGoroutineHygieneFixture(t *testing.T) {
+	dir := fixtureDir("goroutinehygiene")
+	// bad.go seeds unjoined goroutines and a by-reference loop-var
+	// capture; good.go holds the WaitGroup-joined pass-as-argument
+	// fan-out (the write/read path shape) and a done-channel join.
+	p := loadFixture(t, dir, "repro/internal/anything")
+	checkAgainstMarkers(t, GoroutineHygiene, p, dir)
+}
+
+func TestGoroutineHygieneExemptsMain(t *testing.T) {
+	// package main may fire daemon goroutines without a join.
+	p := loadFixture(t, fixtureDir("goroutinehygiene/mainpkg"), "repro/cmd/fixture")
+	if got := GoroutineHygiene.Run(p); len(got) != 0 {
+		t.Fatalf("package main flagged: %v", got)
+	}
+}

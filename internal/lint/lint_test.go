@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture parses and type-checks a testdata directory under the
+// given import path (the path controls sim-package scoping).
+func loadFixture(t *testing.T, dir, path string) *Package {
+	t.Helper()
+	pkg, err := NewLoader().LoadDir(dir, path)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("load %s: no Go files", dir)
+	}
+	return pkg
+}
+
+// wantKey identifies an expected finding by file base name and line.
+type wantKey struct {
+	file string
+	line int
+}
+
+// expectedFindings scans the fixture sources for "WANT(analyzer)"
+// markers and returns the expected finding positions.
+func expectedFindings(t *testing.T, dir, analyzer string) map[wantKey]bool {
+	t.Helper()
+	marker := "WANT(" + analyzer + ")"
+	want := map[wantKey]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if strings.Contains(sc.Text(), marker) {
+				want[wantKey{e.Name(), line}] = true
+			}
+		}
+		f.Close()
+	}
+	return want
+}
+
+func pos(file string, line, col int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: col}
+}
+
+// checkAgainstMarkers asserts that the analyzer reports exactly the
+// marked positions: every WANT line is flagged and nothing else is.
+func checkAgainstMarkers(t *testing.T, a *Analyzer, p *Package, dir string) {
+	t.Helper()
+	want := expectedFindings(t, dir, a.Name)
+	if len(want) == 0 {
+		t.Fatalf("fixture %s has no WANT(%s) markers", dir, a.Name)
+	}
+	got := a.Run(p)
+	seen := map[wantKey]bool{}
+	for _, f := range got {
+		k := wantKey{filepath.Base(f.Pos.Filename), f.Pos.Line}
+		if !want[k] {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		seen[k] = true
+	}
+	for k := range want {
+		if !seen[k] {
+			t.Errorf("missing finding at %s:%d (marked WANT(%s))", k.file, k.line, a.Name)
+		}
+	}
+}
+
+func fixtureDir(name string) string {
+	return filepath.Join("testdata", name)
+}
+
+func TestAnalyzersRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("incomplete analyzer: %+v", a)
+		}
+		if names[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"simdeterminism", "locksafe", "goroutinehygiene", "floateq"} {
+		if !names[want] {
+			t.Fatalf("analyzer %q not registered", want)
+		}
+	}
+}
+
+func TestIsSimPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/sim", true},
+		{"repro/internal/disk", true},
+		{"repro/internal/ltcode", true},
+		{"repro/internal/robust", false},
+		{"repro/internal/transport", false},
+		{"internal/sim", true},
+		{"other/internal/simx", false},
+	}
+	for _, c := range cases {
+		if got := IsSimPackage(c.path); got != c.want {
+			t.Errorf("IsSimPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestSortFindingsOrders(t *testing.T) {
+	fs := []Finding{
+		{Analyzer: "b", Pos: pos("b.go", 3, 1)},
+		{Analyzer: "a", Pos: pos("a.go", 9, 1)},
+		{Analyzer: "a", Pos: pos("b.go", 3, 1)},
+	}
+	SortFindings(fs)
+	order := fmt.Sprintf("%s/%d/%s %s/%d/%s %s/%d/%s",
+		fs[0].Pos.Filename, fs[0].Pos.Line, fs[0].Analyzer,
+		fs[1].Pos.Filename, fs[1].Pos.Line, fs[1].Analyzer,
+		fs[2].Pos.Filename, fs[2].Pos.Line, fs[2].Analyzer)
+	want := "a.go/9/a b.go/3/a b.go/3/b"
+	if order != want {
+		t.Fatalf("sort order = %s, want %s", order, want)
+	}
+}

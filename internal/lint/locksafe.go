@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafe flags sync primitives copied by value and defers of
+// Unlock inside loop bodies. A copied Mutex/RWMutex/WaitGroup is a
+// distinct lock that silently stops guarding the original state —
+// the class of bug behind scheduling-dependent corruption that only
+// the race detector surfaces. A `defer mu.Unlock()` inside a loop
+// runs at function exit, not iteration exit, so the second iteration
+// self-deadlocks.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flag sync.Mutex/RWMutex/WaitGroup copied by value and defer Unlock in loops",
+	Run:  runLockSafe,
+}
+
+// syncLockTypes are the sync types that must never be copied after
+// first use.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// containsLock reports whether a value of type t embeds a sync lock
+// by value (directly, via struct fields, or via array elements).
+// Pointers, slices, maps, channels, and interfaces hide the lock
+// behind a reference and are fine to copy.
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, map[types.Type]bool{})
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+		return containsLockRec(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// unlockMethods end a critical section; deferring them inside a loop
+// body is the latent-deadlock pattern locksafe rejects.
+var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+func runLockSafe(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				out = append(out, lockValueParams(p, n.Recv)...)
+				out = append(out, lockValueParams(p, n.Type.Params)...)
+				out = append(out, lockValueParams(p, n.Type.Results)...)
+			case *ast.FuncLit:
+				out = append(out, lockValueParams(p, n.Type.Params)...)
+				out = append(out, lockValueParams(p, n.Type.Results)...)
+			case *ast.AssignStmt:
+				out = append(out, lockCopyAssign(p, n)...)
+			case *ast.RangeStmt:
+				out = append(out, lockRangeCopy(p, n)...)
+				out = append(out, deferUnlockInLoop(p, n.Body)...)
+			case *ast.ForStmt:
+				out = append(out, deferUnlockInLoop(p, n.Body)...)
+			case *ast.CallExpr:
+				out = append(out, lockValueArgs(p, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockValueParams flags by-value parameters, results, and receivers
+// whose type carries a lock.
+func lockValueParams(p *Package, fl *ast.FieldList) []Finding {
+	if fl == nil {
+		return nil
+	}
+	var out []Finding
+	for _, field := range fl.List {
+		if _, isPtr := field.Type.(*ast.StarExpr); isPtr {
+			continue
+		}
+		t := p.TypeOf(field.Type)
+		if t == nil || !containsLock(t) {
+			continue
+		}
+		out = append(out, p.finding(lockSafeName, field.Type.Pos(),
+			"%s passed by value copies its lock: use a pointer", types.TypeString(t, types.RelativeTo(p.Types))))
+	}
+	return out
+}
+
+// copyableExpr reports whether e is an expression whose evaluation
+// yields an existing value (so assigning it copies that value).
+// Fresh composite literals and function-call results are new values,
+// not copies of live locks.
+func copyableExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copyableExpr(e.X)
+	}
+	return false
+}
+
+// lockCopyAssign flags x := y and x = y where y is a live value whose
+// type carries a lock.
+func lockCopyAssign(p *Package, n *ast.AssignStmt) []Finding {
+	var out []Finding
+	for i, rhs := range n.Rhs {
+		if !copyableExpr(rhs) {
+			continue
+		}
+		// Discarding to blank does not create a live copy.
+		if len(n.Lhs) == len(n.Rhs) {
+			if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+		}
+		t := p.TypeOf(rhs)
+		if t == nil || !containsLock(t) {
+			continue
+		}
+		out = append(out, p.finding(lockSafeName, rhs.Pos(),
+			"assignment copies %s and its lock: use a pointer", types.TypeString(t, types.RelativeTo(p.Types))))
+	}
+	return out
+}
+
+// lockValueArgs flags call arguments that pass a live lock-carrying
+// value by value.
+func lockValueArgs(p *Package, call *ast.CallExpr) []Finding {
+	var out []Finding
+	for _, arg := range call.Args {
+		if !copyableExpr(arg) {
+			continue
+		}
+		t := p.TypeOf(arg)
+		if t == nil || !containsLock(t) {
+			continue
+		}
+		out = append(out, p.finding(lockSafeName, arg.Pos(),
+			"call passes %s by value, copying its lock: use a pointer", types.TypeString(t, types.RelativeTo(p.Types))))
+	}
+	return out
+}
+
+// lockRangeCopy flags `for _, v := range xs` where v copies a
+// lock-carrying element.
+func lockRangeCopy(p *Package, n *ast.RangeStmt) []Finding {
+	var out []Finding
+	for _, e := range []ast.Expr{n.Key, n.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		var t types.Type
+		if n.Tok == token.DEFINE {
+			if obj := p.Info.Defs[id]; obj != nil {
+				t = obj.Type()
+			}
+		} else {
+			t = p.TypeOf(id)
+		}
+		if t == nil || !containsLock(t) {
+			continue
+		}
+		out = append(out, p.finding(lockSafeName, id.Pos(),
+			"range copies %s and its lock each iteration: range over indices or pointers", types.TypeString(t, types.RelativeTo(p.Types))))
+	}
+	return out
+}
+
+// deferUnlockInLoop flags defer X.Unlock()/X.RUnlock() statements
+// directly inside a loop body (a defer in a nested function literal
+// runs at that function's return and is fine).
+func deferUnlockInLoop(p *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its defers are scoped to the literal
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false // nested loop: reported when visited itself
+		case *ast.DeferStmt:
+			sel, ok := n.Call.Fun.(*ast.SelectorExpr)
+			if !ok || !unlockMethods[sel.Sel.Name] {
+				return true
+			}
+			recv := p.TypeOf(sel.X)
+			if recv == nil {
+				return true // unresolved type: stay conservative
+			}
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			if !containsLock(recv) {
+				return true
+			}
+			out = append(out, p.finding(lockSafeName, n.Pos(),
+				"defer %s.%s() inside a loop runs at function exit, not iteration exit: unlock explicitly or extract the body", exprString(sel.X), sel.Sel.Name))
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return out
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "lock"
+}

@@ -1,0 +1,13 @@
+package lint
+
+import "testing"
+
+func TestLockSafeFixture(t *testing.T) {
+	dir := fixtureDir("locksafe")
+	// locksafe applies to every package; the import path does not
+	// matter. bad.go seeds by-value lock params, range copies, value
+	// assignment of a lock-carrying struct, and defer-Unlock-in-loop;
+	// good.go holds the pointer-based idioms that must stay clean.
+	p := loadFixture(t, dir, "repro/internal/anything")
+	checkAgainstMarkers(t, LockSafe, p, dir)
+}

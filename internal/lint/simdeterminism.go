@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SimDeterminism forbids wall-clock reads and the global math/rand
+// source inside the deterministic-simulation packages. The simulation
+// kernel replays bit-identically from a seed: every random draw must
+// come from an injected *rand.Rand and every timestamp from the
+// kernel's virtual clock. time.Now/time.Since and the package-level
+// rand functions (rand.Intn, rand.Float64, ...) silently break that
+// contract — results stop being reproducible and seed-addressable.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc:  "forbid time.Now/time.Since and global math/rand in deterministic sim packages",
+	Run:  runSimDeterminism,
+}
+
+// forbiddenTimeFuncs read the wall clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// forbiddenRandFuncs are the package-level math/rand functions backed
+// by the shared global source. Constructors (New, NewSource, NewZipf)
+// and types (Rand, Source) are allowed — they are how the injected
+// RNG is built.
+var forbiddenRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+func runSimDeterminism(p *Package) []Finding {
+	if !IsSimPackage(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := p.PkgFunc(sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time" && forbiddenTimeFuncs[name]:
+				out = append(out, p.finding(simDeterminismName, sel.Pos(),
+					"time.%s reads the wall clock: deterministic sim packages must use the kernel's virtual clock", name))
+			case path == "math/rand" && forbiddenRandFuncs[name]:
+				out = append(out, p.finding(simDeterminismName, sel.Pos(),
+					"rand.%s draws from the global math/rand source: pass the injected *rand.Rand instead", name))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+package lint
+
+import "testing"
+
+func TestSimDeterminismFixture(t *testing.T) {
+	dir := fixtureDir("simdeterminism")
+	// Loaded under a sim-package path the wall-clock and global-rand
+	// uses in bad.go must all be flagged; the injected-RNG and
+	// virtual-clock idioms in good.go must stay clean.
+	p := loadFixture(t, dir, "repro/internal/sim")
+	checkAgainstMarkers(t, SimDeterminism, p, dir)
+}
+
+func TestSimDeterminismScopedToSimPackages(t *testing.T) {
+	// The same sources under a non-sim import path are out of scope:
+	// wall clocks are fine in, say, the transport layer.
+	p := loadFixture(t, fixtureDir("simdeterminism"), "repro/internal/transport")
+	if got := SimDeterminism.Run(p); len(got) != 0 {
+		t.Fatalf("non-sim package flagged: %v", got)
+	}
+}

@@ -1,0 +1,17 @@
+package fixture
+
+func equalTimes(a, b float64) bool {
+	return a == b // WANT(floateq)
+}
+
+func notEqualShifted(a, b float64) bool {
+	return a != b+1.0 // WANT(floateq)
+}
+
+func mixedConst(t float64) bool {
+	return t == 1.5 // WANT(floateq)
+}
+
+func float32Eq(a, b float32) bool {
+	return a == b // WANT(floateq)
+}

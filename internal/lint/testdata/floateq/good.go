@@ -1,0 +1,27 @@
+package fixture
+
+// epsilonCompare is the sanctioned equality test for virtual time.
+func epsilonCompare(a, b float64) bool {
+	const eps = 1e-9
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// zeroSentinel: comparison against the exact zero value ("unset") is
+// exact by construction and allowed.
+func zeroSentinel(a float64) bool {
+	return a == 0
+}
+
+// ordered comparisons are fine.
+func before(a, b float64) bool {
+	return a < b
+}
+
+// integer equality is exact.
+func intEqual(a, b int) bool {
+	return a == b
+}

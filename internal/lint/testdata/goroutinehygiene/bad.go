@@ -1,0 +1,27 @@
+package fixture
+
+import "sync"
+
+func process(int) {}
+
+func unjoined(xs []int) {
+	for i := 0; i < len(xs); i++ {
+		go process(xs[i]) // WANT(goroutinehygiene)
+	}
+}
+
+func fireAndForget(f func()) {
+	go f() // WANT(goroutinehygiene)
+}
+
+func capturedLoopVar(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(x) // WANT(goroutinehygiene)
+		}()
+	}
+	wg.Wait()
+}

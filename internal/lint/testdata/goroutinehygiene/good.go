@@ -1,0 +1,26 @@
+package fixture
+
+import "sync"
+
+// joinedWithArgs is the sanctioned fan-out shape: iteration state
+// passed as arguments, WaitGroup joined before return.
+func joinedWithArgs(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			process(x)
+		}(x)
+	}
+	wg.Wait()
+}
+
+// doneChannel joins through a channel receive.
+func doneChannel() int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}

@@ -1,0 +1,10 @@
+package main
+
+// Commands are exempt: a short-lived process may fire daemon
+// goroutines without joining them.
+func main() {
+	go work()
+	select {}
+}
+
+func work() {}

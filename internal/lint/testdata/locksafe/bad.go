@@ -1,0 +1,39 @@
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(g guarded) int { // WANT(locksafe)
+	return g.n
+}
+
+func waitGroupByValue(wg sync.WaitGroup) { // WANT(locksafe)
+	wg.Wait()
+}
+
+func rangeCopy(xs []guarded) int {
+	total := 0
+	for _, g := range xs { // WANT(locksafe)
+		total += g.n
+	}
+	return total
+}
+
+func assignCopy(g *guarded) {
+	h := *g // WANT(locksafe)
+	_ = h
+}
+
+func deferUnlockInLoop(g *guarded, xs []int) int {
+	t := 0
+	for _, x := range xs {
+		g.mu.Lock()
+		defer g.mu.Unlock() // WANT(locksafe)
+		t += x
+	}
+	return t
+}

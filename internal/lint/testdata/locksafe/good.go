@@ -1,0 +1,42 @@
+package fixture
+
+func byPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func rangeByIndex(xs []guarded) int {
+	total := 0
+	for i := range xs {
+		xs[i].mu.Lock()
+		total += xs[i].n
+		xs[i].mu.Unlock()
+	}
+	return total
+}
+
+func rangeByPointer(xs []*guarded) int {
+	total := 0
+	for _, g := range xs {
+		total += g.n
+	}
+	return total
+}
+
+func unlockPerIteration(g *guarded, xs []int) int {
+	t := 0
+	for _, x := range xs {
+		func() {
+			g.mu.Lock()
+			defer g.mu.Unlock() // scoped to the literal: runs every iteration
+			t += x
+		}()
+	}
+	return t
+}
+
+func freshZeroValue() *guarded {
+	g := guarded{n: 1} // composite literal: a new lock, not a copy
+	return &g
+}

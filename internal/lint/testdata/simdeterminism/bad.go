@@ -1,0 +1,21 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // WANT(simdeterminism)
+	return time.Since(start) // WANT(simdeterminism)
+}
+
+func globalRand() int {
+	x := rand.Intn(10)        // WANT(simdeterminism)
+	if rand.Float64() < 0.5 { // WANT(simdeterminism)
+		x++
+	}
+	rand.Shuffle(3, func(i, j int) {}) // WANT(simdeterminism)
+	rand.Seed(42)                      // WANT(simdeterminism)
+	return x
+}

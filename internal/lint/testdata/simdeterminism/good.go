@@ -1,0 +1,29 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// virtualClock is the sanctioned time source: advanced by the kernel,
+// never read from the wall.
+type virtualClock struct{ now float64 }
+
+// injected draws only from the supplied RNG and the virtual clock.
+func injected(rng *rand.Rand, c *virtualClock) float64 {
+	if rng.Intn(10) > 5 {
+		return c.now + rng.Float64()
+	}
+	return c.now
+}
+
+// construction of a seeded RNG is how the injected source is built —
+// rand.New and rand.NewSource are allowed.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// duration constants and arithmetic do not read the wall clock.
+func tick() time.Duration {
+	return 5 * time.Millisecond
+}

@@ -5,7 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"testing"
+
+	"repro/internal/blockstore"
 )
 
 func TestHealthOnIntactSegment(t *testing.T) {
@@ -177,6 +181,124 @@ func TestRepairAfterBlockCorruptionLoss(t *testing.T) {
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("data mismatch after rot repair")
+	}
+}
+
+func TestWriteShareCapBoundsWorstCaseLoss(t *testing.T) {
+	// Regression: the per-server share cap must be a fraction of the
+	// commit target N, not of the larger generation budget graphN.
+	// Under -race-like skewed scheduling a few fast servers run to
+	// their cap before the rest start, so a graphN-based cap let two
+	// of six servers absorb ~60% of a MaxServerShare=0.25 segment and
+	// their loss made the data unrecoverable.
+	c, _ := newTestClient(t, 6, Options{BlockBytes: 4 << 10, MaxServerShare: 0.25})
+	ctx := context.Background()
+	data := randData(128<<10, 40)
+	ws, err := c.Write(ctx, "cap", data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := (ws.N + 3) / 4 // ceil(0.25 * N)
+	for addr, got := range ws.PerServer {
+		if got > cap {
+			t.Fatalf("server %s holds %d blocks, share cap is %d (N=%d)", addr, got, cap, ws.N)
+		}
+	}
+	// Losing the two biggest holders must leave a decodable segment.
+	type holder struct {
+		addr string
+		n    int
+	}
+	var holders []holder
+	for addr, n := range ws.PerServer {
+		holders = append(holders, holder{addr, n})
+	}
+	sort.Slice(holders, func(i, j int) bool { return holders[i].n > holders[j].n })
+	c.DetachStore(holders[0].addr)
+	c.DetachStore(holders[1].addr)
+	got, _, err := c.Read(ctx, "cap")
+	if err != nil {
+		t.Fatalf("read after losing two biggest holders (%d+%d of %d blocks): %v",
+			holders[0].n, holders[1].n, ws.Committed, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after two-server loss")
+	}
+}
+
+func TestRepairRoundsWithConcurrentReads(t *testing.T) {
+	// Regression for the scheduling-dependent repair failure: hammer
+	// the repair path through repeated loss/repair rounds while
+	// concurrent readers keep the store and metadata paths busy, the
+	// interleaving the race detector's scheduler provokes.
+	c, _ := newTestClient(t, 6, Options{BlockBytes: 4 << 10, MaxServerShare: 0.25})
+	ctx := context.Background()
+	data := randData(128<<10, 41)
+	if _, err := c.Write(ctx, "churn", data, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	readErr := make(chan error, 1)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, _, err := c.Read(ctx, "churn")
+				if err != nil {
+					select {
+					case readErr <- err:
+					default:
+					}
+					return
+				}
+				if !bytes.Equal(got, data) {
+					select {
+					case readErr <- fmt.Errorf("concurrent read returned wrong data"):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	for round := 0; round < 4; round++ {
+		victim := fmt.Sprintf("mem-%02d", round%6)
+		c.DetachStore(victim)
+		if _, err := c.Repair(ctx, "churn"); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("repair round %d after losing %s: %v", round, victim, err)
+		}
+		// The victim rejoins empty, like a wiped replacement disk.
+		if err := c.AttachStore(victim, blockstore.NewMemStore()); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-readErr:
+		t.Fatalf("concurrent reader: %v", err)
+	default:
+	}
+
+	got, _, err := c.Read(ctx, "churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after repair churn")
 	}
 }
 

@@ -89,9 +89,15 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 			return 0, false
 		}
 	}
-	perServerCap := graphN
+	// The share cap is a fraction of the commit target n, not of the
+	// (larger) graph: capping against graphN lets a fast server absorb
+	// share·graphN of the n committed blocks, which under adversarial
+	// scheduling concentrates the segment on fewer holders than the
+	// placement-diversity option promises and can make the loss of two
+	// servers unrecoverable.
+	perServerCap := int64(graphN)
 	if c.opts.MaxServerShare > 0 {
-		perServerCap = int(math.Ceil(c.opts.MaxServerShare * float64(graphN)))
+		perServerCap = int64(math.Ceil(c.opts.MaxServerShare * float64(n)))
 		if perServerCap < 1 {
 			perServerCap = 1
 		}
@@ -115,15 +121,21 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 					if wctx.Err() != nil {
 						return
 					}
-					if int(atomic.LoadInt64(count)) >= perServerCap {
+					// Reserve a slot in this server's share before taking
+					// an index: a plain load-then-put check lets two
+					// pipeline workers race past the cap together.
+					if atomic.AddInt64(count, 1) > perServerCap {
+						atomic.AddInt64(count, -1)
 						return // this server has its share
 					}
 					i, ok := takeIndex()
 					if !ok {
+						atomic.AddInt64(count, -1)
 						return
 					}
 					coded := graph.EncodeBlock(i, blocks)
 					if err := store.Put(wctx, name, i, coded); err != nil {
+						atomic.AddInt64(count, -1)
 						if wctx.Err() != nil {
 							return
 						}
@@ -134,7 +146,6 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 						retry <- i // hand the index to a healthier worker
 						continue
 					}
-					atomic.AddInt64(count, 1)
 					atomic.AddInt64(&bytesSent, int64(len(coded)))
 					placeMu.Lock()
 					placement[addr] = append(placement[addr], i)

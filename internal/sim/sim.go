@@ -39,8 +39,13 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+	// Ordered comparisons only: exact float equality on virtual time
+	// is schedule-dependent (floateq). Ties fall through to seq.
+	if h[i].Time < h[j].Time {
+		return true
+	}
+	if h[j].Time < h[i].Time {
+		return false
 	}
 	return h[i].seq < h[j].seq
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# check.sh — the full local hygiene gate, identical to CI.
+#
+# Usage: ./scripts/check.sh
+#
+# Runs, in order:
+#   1. go build ./...
+#   2. gofmt -l (fails on any unformatted file)
+#   3. go vet ./...
+#   4. robustore-lint ./...      (project analyzers: determinism,
+#      lock copies, goroutine hygiene, float equality — internal/lint)
+#   5. go test ./...
+#   6. go test -race on the concurrency-heavy packages
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> robustore-lint ./..."
+go run ./cmd/robustore-lint ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (concurrency-heavy packages)"
+go test -race -count=1 \
+    ./internal/robust/ \
+    ./internal/transport/ \
+    ./internal/accessctl/ \
+    ./internal/admission/ \
+    ./internal/blockstore/ \
+    ./internal/cluster/
+
+echo "==> all checks passed"
