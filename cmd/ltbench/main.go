@@ -18,27 +18,44 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/ltcode"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "coding experiment id: table5-1, fig4-1, fig5-1, fig5-2, fig5-3, ext-codes")
-		trials = flag.Int("trials", 0, "trials per point")
-		seed   = flag.Int64("seed", 1, "RNG seed")
-		raw    = flag.Bool("raw", false, "raw LT throughput measurement mode")
-		k      = flag.Int("k", 1024, "raw: original blocks")
-		n      = flag.Int("n", 3072, "raw: coded blocks")
-		c      = flag.Float64("c", 1.0, "raw: soliton parameter C")
-		delta  = flag.Float64("delta", 0.1, "raw: soliton parameter δ")
-		block  = flag.Int("block", 16<<10, "raw: block size in bytes")
+		exp     = flag.String("exp", "", "coding experiment id: table5-1, fig4-1, fig5-1, fig5-2, fig5-3, ext-codes")
+		trials  = flag.Int("trials", 0, "trials per point")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		raw     = flag.Bool("raw", false, "raw LT throughput measurement mode")
+		k       = flag.Int("k", 1024, "raw: original blocks")
+		n       = flag.Int("n", 3072, "raw: coded blocks")
+		c       = flag.Float64("c", 1.0, "raw: soliton parameter C")
+		delta   = flag.Float64("delta", 0.1, "raw: soliton parameter δ")
+		block   = flag.Int("block", 16<<10, "raw: block size in bytes")
+		metrics = flag.String("metrics", "", "write an observability JSON dump to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 
-	if *raw {
-		if err := rawBench(*k, *n, *c, *delta, *block, *seed); err != nil {
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+	}
+	dump := func() {
+		if *metrics == "" {
+			return
+		}
+		if err := writeMetricsDump(*metrics, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "ltbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *raw {
+		if err := rawBench(*k, *n, *c, *delta, *block, *seed, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "ltbench: %v\n", err)
+			os.Exit(1)
+		}
+		dump()
 		return
 	}
 	switch *exp {
@@ -55,17 +72,37 @@ func main() {
 		opts.Trials = *trials
 	}
 	opts.Seed = *seed
+	start := time.Now()
 	datasets, err := experiments.Run(*exp, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ltbench: %v\n", err)
 		os.Exit(1)
 	}
+	reg.Gauge("ltbench_" + *exp + "_seconds").Set(time.Since(start).Seconds())
 	for i := range datasets {
 		datasets[i].Format(os.Stdout)
 	}
+	dump()
 }
 
-func rawBench(k, n int, c, delta float64, block int, seed int64) error {
+// writeMetricsDump writes the registry's JSON snapshot to path ("-"
+// for stdout).
+func writeMetricsDump(path string, reg *obs.Registry) error {
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func rawBench(k, n int, c, delta float64, block int, seed int64, reg *obs.Registry) error {
 	p := ltcode.Params{K: k, C: c, Delta: delta}
 	rng := rand.New(rand.NewSource(seed))
 	t0 := time.Now()
@@ -101,10 +138,17 @@ func rawBench(k, n int, c, delta float64, block int, seed int64) error {
 		return fmt.Errorf("decode incomplete after all %d blocks", n)
 	}
 	data := float64(k * block)
+	encMBps := data / encTime.Seconds() / 1e6 * float64(n) / float64(k)
+	decMBps := data / decTime.Seconds() / 1e6
+	reg.Gauge("ltbench_graph_build_seconds").Set(buildTime.Seconds())
+	reg.Gauge("ltbench_encode_mbps").Set(encMBps)
+	reg.Gauge("ltbench_decode_mbps").Set(decMBps)
+	reg.Gauge("ltbench_reception_overhead").Set(dec.ReceptionOverhead())
+	reg.Counter("ltbench_xor_ops_total").Add(int64(dec.XorOps()))
 	fmt.Printf("K=%d N=%d C=%g δ=%g block=%dB\n", k, n, c, delta, block)
 	fmt.Printf("graph build:   %v (avg coded degree %.2f)\n", buildTime.Round(time.Microsecond), g.AvgCodedDegree())
-	fmt.Printf("encode:        %.1f MBps (%v)\n", data/encTime.Seconds()/1e6*float64(n)/float64(k), encTime.Round(time.Microsecond))
-	fmt.Printf("decode:        %.1f MBps (%v)\n", data/decTime.Seconds()/1e6, decTime.Round(time.Microsecond))
+	fmt.Printf("encode:        %.1f MBps (%v)\n", encMBps, encTime.Round(time.Microsecond))
+	fmt.Printf("decode:        %.1f MBps (%v)\n", decMBps, decTime.Round(time.Microsecond))
 	fmt.Printf("reception ovh: %.3f (%d of K=%d needed)\n", dec.ReceptionOverhead(), dec.Received(), k)
 	fmt.Printf("xor ops:       %d (lazy; %d blocks used)\n", dec.XorOps(), dec.UsedBlocks())
 	return nil

@@ -18,21 +18,33 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id to run, or \"all\" (see -list)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		trials = flag.Int("trials", 0, "trials per configuration point (default: paper's 100)")
-		seed   = flag.Int64("seed", 1, "base RNG seed")
-		quick  = flag.Bool("quick", false, "quick mode: few trials per point")
-		csvDir = flag.String("csv", "", "directory to write per-dataset CSV files")
-		light  = flag.Bool("light", false, "with -exp all: skip the heavy simulation sweeps")
-		plot   = flag.Bool("plot", false, "also render each dataset as an ASCII chart")
+		exp     = flag.String("exp", "", "experiment id to run, or \"all\" (see -list)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		trials  = flag.Int("trials", 0, "trials per configuration point (default: paper's 100)")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+		quick   = flag.Bool("quick", false, "quick mode: few trials per point")
+		csvDir  = flag.String("csv", "", "directory to write per-dataset CSV files")
+		light   = flag.Bool("light", false, "with -exp all: skip the heavy simulation sweeps")
+		plot    = flag.Bool("plot", false, "also render each dataset as an ASCII chart")
+		metrics = flag.String("metrics", "", "write an observability JSON dump to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
+
+	// -metrics attaches a registry to the cluster model (trial/drive
+	// churn counters) and records per-experiment wall time; the dump is
+	// written after all experiments complete.
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		cluster.Observe(reg)
+	}
 
 	if *list {
 		fmt.Printf("%-12s %-10s %s\n", "ID", "SCALE", "REGENERATES")
@@ -96,8 +108,33 @@ func main() {
 				}
 			}
 		}
+		reg.Gauge("sim_" + e.ID + "_seconds").Set(time.Since(start).Seconds())
+		reg.Counter("sim_experiments_total").Inc()
 		fmt.Printf("# %s done in %s\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	if *metrics != "" {
+		if err := writeMetricsDump(*metrics, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "robustore-sim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetricsDump writes the registry's JSON snapshot to path ("-"
+// for stdout).
+func writeMetricsDump(path string, reg *obs.Registry) error {
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSV(dir string, d *experiments.Dataset) error {

@@ -1,11 +1,18 @@
 // Command robustored runs a RobuSTore storage server: a block store
 // (in-memory or on-disk) exposed over the block protocol, optionally
-// behind an admission controller.
+// behind an admission controller and an observability debug endpoint.
 //
 // Usage:
 //
 //	robustored -listen :7070 -dir /var/lib/robustore
 //	robustored -listen :7071 -mem -max-concurrent 32 -max-bytes 268435456
+//	robustored -listen :7070 -mem -debug-listen :9090   # loopback debug HTTP
+//
+// With -debug-listen, an HTTP endpoint serves /metrics (plain-text
+// counters, gauges, and latency histograms with mean/stddev/p50/p99),
+// /metrics.json, and /debug/trace (the last completed per-request
+// traces). The endpoint has no authentication: a bare ":port" binds
+// 127.0.0.1 only; an explicit host is required to expose it wider.
 package main
 
 import (
@@ -13,12 +20,15 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/admission"
 	"repro/internal/blockstore"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -31,6 +41,7 @@ func main() {
 		maxBytes      = flag.Int64("max-bytes", 0, "admission: max in-flight bytes (0 = unlimited)")
 		priority      = flag.Bool("priority", false, "admission: use priority-based instead of capacity-based control")
 		checksum      = flag.Bool("checksum", false, "frame blocks with CRC-32C and reject corrupted reads")
+		debugListen   = flag.String("debug-listen", "", "serve /metrics and /debug/trace on this HTTP address (\":port\" binds loopback; empty disables)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "robustored: ", log.LstdFlags)
@@ -52,7 +63,31 @@ func main() {
 		store = blockstore.WithChecksums(store)
 	}
 
-	opts := transport.ServerOptions{Logger: logger}
+	// Observability: opt-in debug HTTP endpoint. The registry is only
+	// created when enabled, so the serving path stays uninstrumented
+	// (nil-registry no-ops) otherwise.
+	var reg *obs.Registry
+	var debugLn net.Listener
+	if *debugListen != "" {
+		reg = obs.NewRegistry()
+		addr := *debugListen
+		if strings.HasPrefix(addr, ":") {
+			addr = "127.0.0.1" + addr // loopback by default: no auth on this endpoint
+		}
+		var err error
+		debugLn, err = net.Listen("tcp", addr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		go func() {
+			if err := http.Serve(debugLn, obs.Handler(reg)); err != nil {
+				logger.Printf("debug endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("debug endpoint on http://%s/metrics\n", debugLn.Addr())
+	}
+
+	opts := transport.ServerOptions{Logger: logger, Obs: reg}
 	if *maxConcurrent > 0 || *maxBytes > 0 {
 		cfg := admission.Config{MaxConcurrent: *maxConcurrent, MaxBytes: *maxBytes}
 		var ctrl admission.Controller
@@ -80,6 +115,9 @@ func main() {
 	go func() {
 		<-sig
 		logger.Print("shutting down")
+		if debugLn != nil {
+			debugLn.Close()
+		}
 		srv.Close()
 	}()
 	if err := srv.Serve(ln); err != nil {

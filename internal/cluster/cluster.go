@@ -10,12 +10,46 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/cachesim"
 	"repro/internal/disk"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
+
+// clusterMetrics count cluster-model churn: how many trial clusters
+// and drive models the simulation harness instantiates, and how often
+// the access scheduler draws disk subsets. They make the cost of a
+// simulation sweep visible from the -metrics dump without touching
+// the deterministic trial state (counters only — no RNG, no clock).
+type clusterMetrics struct {
+	clusters     *obs.Counter
+	drives       *obs.Counter
+	selections   *obs.Counter
+	reconfigures *obs.Counter
+}
+
+// observed holds the active metrics, swapped atomically so Observe is
+// safe against concurrently running trials.
+var observed atomic.Pointer[clusterMetrics]
+
+// Observe routes the package's counters to r (nil disables). Counter
+// names: cluster_trials_total, cluster_drives_built_total,
+// cluster_disk_selections_total, cluster_reconfigures_total.
+func Observe(r *obs.Registry) {
+	if r == nil {
+		observed.Store(nil)
+		return
+	}
+	observed.Store(&clusterMetrics{
+		clusters:     r.Counter("cluster_trials_total"),
+		drives:       r.Counter("cluster_drives_built_total"),
+		selections:   r.Counter("cluster_disk_selections_total"),
+		reconfigures: r.Counter("cluster_reconfigures_total"),
+	})
+}
 
 // Config is the hardware configuration of the storage system.
 type Config struct {
@@ -90,6 +124,10 @@ func New(cfg Config, trial Trial, seed int64) (*Cluster, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	c := &Cluster{cfg: cfg, rng: rng}
+	if m := observed.Load(); m != nil {
+		m.clusters.Inc()
+		m.drives.Add(int64(cfg.TotalDisks))
+	}
 	c.drives = make([]*disk.Drive, cfg.TotalDisks)
 	for i := range c.drives {
 		lay := trial.Layout.Sample(rng)
@@ -140,6 +178,9 @@ func (c *Cluster) SelectDisks(n int) ([]int, error) {
 	if n < 1 || n > c.cfg.TotalDisks {
 		return nil, fmt.Errorf("cluster: cannot select %d of %d disks", n, c.cfg.TotalDisks)
 	}
+	if m := observed.Load(); m != nil {
+		m.selections.Inc()
+	}
 	return c.rng.Perm(c.cfg.TotalDisks)[:n], nil
 }
 
@@ -160,6 +201,10 @@ func (c *Cluster) NewNICSerializer() *netmodel.Serializer {
 // experiments, where disk behaviour is dynamic but cache contents
 // persist.
 func (c *Cluster) ReconfigureDrives(trial Trial) error {
+	if m := observed.Load(); m != nil {
+		m.reconfigures.Inc()
+		m.drives.Add(int64(len(c.drives)))
+	}
 	for i := range c.drives {
 		lay := trial.Layout.Sample(c.rng)
 		bg := trial.Background.Sample(c.rng)

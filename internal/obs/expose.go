@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// WriteMetrics writes every metric as expvar-style plain text, one
+// `name value` line, sorted by name. Histograms expand into _count,
+// _sum, _mean, _stddev, _p50, _p99 lines plus cumulative
+// `name_bucket{le="BOUND"}` lines for non-empty buckets. No-op on a
+// nil registry.
+func (r *Registry) WriteMetrics(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g.Value()
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h.Snapshot()
+	}
+	r.mu.Unlock()
+
+	for _, k := range sortedKeys(counters) {
+		fmt.Fprintf(w, "%s %d\n", k, counters[k])
+	}
+	for _, k := range sortedKeys(gauges) {
+		fmt.Fprintf(w, "%s %s\n", k, formatFloat(gauges[k]))
+	}
+	for _, k := range sortedKeys(hists) {
+		s := hists[k]
+		fmt.Fprintf(w, "%s_count %d\n", k, s.Count)
+		fmt.Fprintf(w, "%s_sum %s\n", k, formatFloat(s.Sum))
+		fmt.Fprintf(w, "%s_mean %s\n", k, formatFloat(s.Mean))
+		fmt.Fprintf(w, "%s_stddev %s\n", k, formatFloat(s.StdDev))
+		fmt.Fprintf(w, "%s_p50 %s\n", k, formatFloat(s.P50))
+		fmt.Fprintf(w, "%s_p99 %s\n", k, formatFloat(s.P99))
+		var prev int64
+		for _, b := range s.Buckets {
+			if b.Count == prev {
+				continue // empty bucket; cumulative count unchanged
+			}
+			prev = b.Count
+			le := "+Inf"
+			if b.LE != nil {
+				le = formatFloat(*b.LE)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", k, le, b.Count)
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTraces writes up to n most-recent completed traces (all when
+// n <= 0) as indented plain text, newest first. No-op on a nil
+// registry.
+func (r *Registry) WriteTraces(w io.Writer, n int) {
+	if r == nil {
+		return
+	}
+	for _, rec := range r.Traces(n) {
+		status := "ok"
+		if rec.Err != "" {
+			status = "err: " + rec.Err
+		}
+		fmt.Fprintf(w, "%s %s  start=%s dur=%s  %s\n",
+			rec.Op, rec.Key, rec.Start.Format(time.RFC3339Nano),
+			rec.Duration.Round(time.Microsecond), status)
+		for _, st := range rec.Stages {
+			fmt.Fprintf(w, "  +%-12s %s", st.Offset.Round(time.Microsecond), st.Name)
+			if st.Detail != "" {
+				fmt.Fprintf(w, "  (%s)", st.Detail)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Snapshot is the JSON shape of a full registry dump.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Traces     []TraceRecord                `json:"traces,omitempty"`
+}
+
+// Snapshot captures every metric and the completed-trace window.
+// Returns an empty snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	for k, c := range r.counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = h.Snapshot()
+	}
+	r.mu.Unlock()
+	s.Traces = r.Traces(0)
+	return s
+}
+
+// WriteJSON writes the full registry snapshot as indented JSON — the
+// payload behind the CLIs' -metrics flags. Writes an empty snapshot
+// on a nil registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler returns an http.Handler serving the debug endpoint:
+//
+//	/metrics      — plain-text metrics (WriteMetrics)
+//	/metrics.json — full JSON snapshot (WriteJSON)
+//	/debug/trace  — last-N completed traces (WriteTraces; ?n= limits)
+//
+// The handler only reads registry state. Callers decide the bind
+// address; bind loopback unless the network is trusted — there is no
+// authentication and trace keys may reveal segment names.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteMetrics(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if q := req.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteTraces(w, n)
+	})
+	return mux
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets are the upper bounds (in seconds, inclusive)
+// used by Registry.Histogram: exponential-ish coverage from 100 µs to
+// 30 s, which spans everything from an in-memory block op to a
+// stalled wide-area repair round.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket histogram over float64 observations
+// (latencies in seconds by convention). Beyond bucket counts it keeps
+// the running sum and sum of squares so it can report the mean and
+// standard deviation — the two statistics the paper's robustness
+// argument is about (§6.2.3) — plus interpolated p50/p99. Observe is
+// lock-free (binary search + atomic adds). All methods are no-ops on
+// a nil receiver.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; immutable after creation
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Int64
+	sum    Gauge // reuses the CAS float accumulator
+	sumsq  Gauge
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. A value lands in the first bucket whose
+// upper bound is >= v (bounds are inclusive); values above every
+// bound land in the overflow bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.sumsq.Add(v * v)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// BucketCount is one histogram bucket in a snapshot. LE is the
+// inclusive upper bound; nil means +Inf (the overflow bucket). Count
+// is cumulative (observations <= LE), prometheus-style.
+type BucketCount struct {
+	LE    *float64 `json:"le"`
+	Count int64    `json:"count"`
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time view of a
+// histogram (individual atomics are read without a global lock, so
+// concurrent observers may skew Count vs Sum by in-flight updates).
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Mean    float64       `json:"mean"`
+	StdDev  float64       `json:"stddev"`
+	P50     float64       `json:"p50"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot captures the histogram's current state. Returns the zero
+// snapshot on nil.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Value(),
+		Buckets: make([]BucketCount, len(h.counts)),
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Buckets[i].Count = cum
+		if i < len(h.bounds) {
+			le := h.bounds[i]
+			s.Buckets[i].LE = &le
+		}
+	}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+		// Population variance from the running moments; clamp the
+		// inevitable tiny negative float drift.
+		variance := h.sumsq.Value()/float64(s.Count) - s.Mean*s.Mean
+		if variance > 0 {
+			s.StdDev = math.Sqrt(variance)
+		}
+		s.P50 = s.quantile(0.50)
+		s.P99 = s.quantile(0.99)
+	}
+	return s
+}
+
+// quantile estimates the q-quantile by linear interpolation inside
+// the bucket that holds the target rank. The overflow bucket has no
+// upper bound, so targets landing there report the largest finite
+// bound (a floor on the true value).
+func (s HistogramSnapshot) quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	for i, b := range s.Buckets {
+		if float64(b.Count) < rank {
+			continue
+		}
+		if b.LE == nil {
+			// Overflow: report the last finite bound.
+			if i > 0 && s.Buckets[i-1].LE != nil {
+				return *s.Buckets[i-1].LE
+			}
+			return 0
+		}
+		lo, prev := 0.0, int64(0)
+		if i > 0 {
+			lo = *s.Buckets[i-1].LE
+			prev = s.Buckets[i-1].Count
+		}
+		in := b.Count - prev
+		if in <= 0 {
+			return *b.LE
+		}
+		return lo + (*b.LE-lo)*(rank-float64(prev))/float64(in)
+	}
+	return 0
+}

@@ -1,0 +1,200 @@
+// Package obs is RobuSTore's observability layer: atomic counters and
+// gauges, fixed-bucket latency histograms that report the paper's
+// robustness statistics (mean and standard deviation, §6.2.3, plus
+// p50/p99), and a per-request trace recorder that timestamps the
+// stages of the speculative read/write pipeline and of repair rounds.
+//
+// The package is stdlib-only and designed around one invariant: when
+// observability is disabled, instrumented code pays nothing. Every
+// method on every type — including *Registry itself — is safe on a
+// nil receiver and is a no-op there, so call sites are written
+// unconditionally:
+//
+//	var reg *obs.Registry // nil: disabled
+//	reg.Counter("reads_total").Inc()      // no-op, no allocation
+//	tr := reg.StartTrace("read", "seg")   // nil trace
+//	tr.Stage("first-byte")                // no-op
+//	tr.End(nil)                           // no-op
+//
+// With a live registry the same calls are lock-free atomic updates
+// (counters, gauges, histogram buckets) or a short mutex hold (trace
+// stages, registry lookups). All types are safe for concurrent use.
+//
+// Exposition: WriteMetrics (plain text, expvar-style), WriteTraces
+// (last-N completed traces), WriteJSON (machine-readable dump for
+// -metrics flags), and Handler (an http.Handler serving /metrics and
+// /debug/trace for the robustored debug endpoint).
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Safe for concurrent
+// use; all methods are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 value that can move in both directions
+// (in-flight requests, last-measured throughput). Safe for concurrent
+// use; all methods are no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the value by delta (CAS loop; exact for integer deltas
+// within float64 precision).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultTraceCapacity is the ring size StartTrace records into
+// unless SetTraceCapacity overrides it.
+const DefaultTraceCapacity = 64
+
+// Registry owns a process's metrics and traces. The zero value is not
+// usable; call NewRegistry. A nil *Registry is the disabled state:
+// every method no-ops and every lookup returns a nil (no-op) metric.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	ring     *traceRing
+}
+
+// NewRegistry returns an empty registry with the default trace
+// capacity.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		ring:     newTraceRing(DefaultTraceCapacity),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+// Returns nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns
+// nil (a no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram with the default latency
+// buckets, creating it on first use. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWith(name, nil)
+}
+
+// HistogramWith returns the named histogram, creating it with the
+// given ascending bucket upper bounds on first use (nil bounds =
+// DefaultLatencyBuckets). Bounds are fixed at creation; later calls
+// with different bounds return the existing histogram.
+func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetTraceCapacity resizes the completed-trace ring (dropping any
+// recorded traces). No-op on a nil registry or non-positive n.
+func (r *Registry) SetTraceCapacity(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ring = newTraceRing(n)
+}
+
+// sortedKeys returns map keys in stable order for exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

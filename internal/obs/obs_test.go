@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A nil registry must be a complete no-op surface: every lookup,
+// metric update, and trace call is safe and free.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(5)
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d, want 0", got)
+	}
+	r.Gauge("g").Set(3)
+	r.Gauge("g").Add(1)
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Fatalf("nil gauge value = %v, want 0", got)
+	}
+	r.Histogram("h").Observe(0.5)
+	if got := r.Histogram("h").Count(); got != 0 {
+		t.Fatalf("nil histogram count = %d, want 0", got)
+	}
+	if s := r.Histogram("h").Snapshot(); s.Count != 0 {
+		t.Fatalf("nil histogram snapshot count = %d, want 0", s.Count)
+	}
+	tr := r.StartTrace("read", "seg")
+	tr.Stage("s")
+	tr.StageDetail("s", "d")
+	tr.Stagef("s", "x=%d", 1)
+	tr.End(nil)
+	if got := r.Traces(0); got != nil {
+		t.Fatalf("nil registry traces = %v, want nil", got)
+	}
+	var sb strings.Builder
+	r.WriteMetrics(&sb)
+	r.WriteTraces(&sb, 0)
+	if sb.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", sb.String())
+	}
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatalf("nil registry WriteJSON: %v", err)
+	}
+	r.SetTraceCapacity(4)
+}
+
+// Registry lookups are get-or-create: the same name yields the same
+// metric.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("same counter name yielded distinct counters")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Fatal("same gauge name yielded distinct gauges")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Fatal("same histogram name yielded distinct histograms")
+	}
+}
+
+// Bucket bounds are inclusive upper bounds; values above every bound
+// land in the overflow bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith("edges", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4, 5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	// Cumulative: <=1 holds {0.5, 1}; <=2 adds {1.0000001, 2}; <=4
+	// adds {4}; overflow adds {5}.
+	wantCum := []int64{2, 4, 5, 6}
+	if len(s.Buckets) != len(wantCum) {
+		t.Fatalf("buckets = %d, want %d", len(s.Buckets), len(wantCum))
+	}
+	for i, want := range wantCum {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if s.Buckets[3].LE != nil {
+		t.Errorf("overflow bucket LE = %v, want nil (+Inf)", *s.Buckets[3].LE)
+	}
+	wantSum := 0.5 + 1 + 1.0000001 + 2 + 4 + 5
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+// Mean/stddev come from the running moments; p50/p99 interpolate
+// inside buckets.
+func TestHistogramStatistics(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith("stats", []float64{10, 20, 30, 40})
+	// Four observations with known mean 25 and population stddev
+	// sqrt(125) ~= 11.18.
+	for _, v := range []float64{10, 20, 30, 40} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if math.Abs(s.Mean-25) > 1e-9 {
+		t.Errorf("mean = %v, want 25", s.Mean)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(125)) > 1e-9 {
+		t.Errorf("stddev = %v, want %v", s.StdDev, math.Sqrt(125))
+	}
+	// p50: rank 2 falls at the top of the second bucket (cum 2) -> 20.
+	if math.Abs(s.P50-20) > 1e-9 {
+		t.Errorf("p50 = %v, want 20", s.P50)
+	}
+	// p99: rank 3.96 interpolates 96% into the (30,40] bucket.
+	if s.P99 <= 30 || s.P99 > 40 {
+		t.Errorf("p99 = %v, want in (30, 40]", s.P99)
+	}
+	// Quantiles that land in the overflow bucket floor at the largest
+	// finite bound.
+	h.Observe(1000)
+	if p := h.Snapshot().P99; math.Abs(p-40) > 1e-9 {
+		t.Errorf("overflow p99 = %v, want 40", p)
+	}
+}
+
+// Counters, gauges, and histograms must be exact under concurrent
+// updates (run with -race).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_counter")
+			g := r.Gauge("conc_gauge")
+			h := r.Histogram("conc_hist")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_counter").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("conc_gauge").Value(); got != workers*per {
+		t.Errorf("gauge = %v, want %d", got, workers*per)
+	}
+	if got := r.Histogram("conc_hist").Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+// WriteMetrics output is sorted, line-per-metric plain text with
+// expanded histogram statistics.
+func TestWriteMetricsFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("inflight").Set(3)
+	r.HistogramWith("lat_seconds", []float64{1, 2}).Observe(1.5)
+	var sb strings.Builder
+	r.WriteMetrics(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"a_total 1\n",
+		"b_total 2\n",
+		"inflight 3\n",
+		"lat_seconds_count 1\n",
+		"lat_seconds_mean 1.5\n",
+		"lat_seconds_stddev 0\n",
+		"lat_seconds_p50 1.5\n",
+		`lat_seconds_bucket{le="2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Errorf("counters not sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Stage is one timestamped step of a traced request, offset-relative
+// to the trace start.
+type Stage struct {
+	Name   string        `json:"name"`
+	Offset time.Duration `json:"offset_ns"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// TraceRecord is a completed trace as stored in the ring and exposed
+// over /debug/trace and the JSON dump.
+type TraceRecord struct {
+	Op       string        `json:"op"`  // "read", "write", "repair", ...
+	Key      string        `json:"key"` // segment name or similar
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      string        `json:"err,omitempty"`
+	Stages   []Stage       `json:"stages"`
+}
+
+// Trace records the stages of one in-flight request. Stages may be
+// appended from multiple goroutines (the speculative fan-out workers
+// race to report first-byte and decode-complete); a mutex orders
+// them. All methods are no-ops on a nil receiver, so disabled
+// call sites cost one nil check.
+type Trace struct {
+	mu     sync.Mutex
+	rec    TraceRecord
+	ring   *traceRing
+	ended  bool
+	startN time.Time // monotonic anchor for stage offsets
+}
+
+// StartTrace begins a trace that End will record into the registry's
+// ring. Returns nil (a no-op trace) on a nil registry.
+func (r *Registry) StartTrace(op, key string) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ring := r.ring
+	r.mu.Unlock()
+	now := time.Now()
+	return &Trace{
+		rec:    TraceRecord{Op: op, Key: key, Start: now},
+		ring:   ring,
+		startN: now,
+	}
+}
+
+// Stage appends a named stage at the current offset.
+func (t *Trace) Stage(name string) { t.StageDetail(name, "") }
+
+// StageDetail appends a named stage with a preformatted detail
+// string. Prefer this over Stagef on paths that run when tracing is
+// disabled only if the detail is cheap to build.
+func (t *Trace) StageDetail(name, detail string) {
+	if t == nil {
+		return
+	}
+	off := time.Since(t.startN)
+	t.mu.Lock()
+	if !t.ended {
+		t.rec.Stages = append(t.rec.Stages, Stage{Name: name, Offset: off, Detail: detail})
+	}
+	t.mu.Unlock()
+}
+
+// Stagef appends a named stage with a formatted detail. The format
+// arguments are only evaluated into a string on a live trace, but the
+// variadic slice itself is built by the caller — keep Stagef off
+// per-block hot loops (per-request use is fine).
+func (t *Trace) Stagef(name, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.StageDetail(name, fmt.Sprintf(format, args...))
+}
+
+// End completes the trace and records it. err may be nil. Repeated
+// calls after the first are no-ops.
+func (t *Trace) End(err error) {
+	if t == nil {
+		return
+	}
+	dur := time.Since(t.startN)
+	t.mu.Lock()
+	if t.ended {
+		t.mu.Unlock()
+		return
+	}
+	t.ended = true
+	t.rec.Duration = dur
+	if err != nil {
+		t.rec.Err = err.Error()
+	}
+	rec := t.rec
+	ring := t.ring
+	t.mu.Unlock()
+	if ring != nil {
+		ring.push(rec)
+	}
+}
+
+// traceRing is a fixed-capacity ring of completed traces: the
+// last-N window /debug/trace serves.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []TraceRecord
+	next int
+	full bool
+}
+
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{buf: make([]TraceRecord, capacity)}
+}
+
+func (r *traceRing) push(rec TraceRecord) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// last returns up to n most-recent traces, newest first.
+func (r *traceRing) last(n int) []TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Traces returns up to n most-recent completed traces, newest first
+// (all of them when n <= 0). Returns nil on a nil registry.
+func (r *Registry) Traces(n int) []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ring := r.ring
+	r.mu.Unlock()
+	return ring.last(n)
+}

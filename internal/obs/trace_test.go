@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceRecordsStagesAndError(t *testing.T) {
+	r := NewRegistry()
+	tr := r.StartTrace("read", "seg-1")
+	tr.Stage("lookup")
+	tr.StageDetail("first-byte", "server-3")
+	tr.Stagef("fanout", "servers=%d", 4)
+	tr.End(errors.New("boom"))
+	// Stages after End are dropped.
+	tr.Stage("late")
+	tr.End(nil) // second End is a no-op
+
+	recs := r.Traces(0)
+	if len(recs) != 1 {
+		t.Fatalf("traces = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Op != "read" || rec.Key != "seg-1" {
+		t.Fatalf("op/key = %s/%s", rec.Op, rec.Key)
+	}
+	if rec.Err != "boom" {
+		t.Fatalf("err = %q, want boom", rec.Err)
+	}
+	var names []string
+	for _, s := range rec.Stages {
+		names = append(names, s.Name)
+	}
+	want := []string{"lookup", "first-byte", "fanout"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("stages = %v, want %v", names, want)
+	}
+	if rec.Stages[1].Detail != "server-3" {
+		t.Fatalf("detail = %q", rec.Stages[1].Detail)
+	}
+	if rec.Stages[2].Detail != "servers=4" {
+		t.Fatalf("formatted detail = %q", rec.Stages[2].Detail)
+	}
+	for i := 1; i < len(rec.Stages); i++ {
+		if rec.Stages[i].Offset < rec.Stages[i-1].Offset {
+			t.Fatalf("stage offsets not monotonic: %v", rec.Stages)
+		}
+	}
+	if rec.Duration < rec.Stages[len(rec.Stages)-1].Offset {
+		t.Fatalf("duration %v precedes last stage %v", rec.Duration, rec.Stages)
+	}
+}
+
+// The ring keeps exactly the last N completed traces, newest first.
+func TestTraceRingWraparound(t *testing.T) {
+	r := NewRegistry()
+	r.SetTraceCapacity(4)
+	for i := 0; i < 7; i++ {
+		tr := r.StartTrace("op", fmt.Sprintf("k%d", i))
+		tr.End(nil)
+	}
+	recs := r.Traces(0)
+	if len(recs) != 4 {
+		t.Fatalf("traces after wrap = %d, want 4", len(recs))
+	}
+	for i, wantKey := range []string{"k6", "k5", "k4", "k3"} {
+		if recs[i].Key != wantKey {
+			t.Errorf("trace %d key = %s, want %s", i, recs[i].Key, wantKey)
+		}
+	}
+	if got := r.Traces(2); len(got) != 2 || got[0].Key != "k6" {
+		t.Fatalf("Traces(2) = %v", got)
+	}
+}
+
+// Stages may be appended from racing goroutines (the read fan-out
+// workers); run with -race.
+func TestTraceConcurrentStages(t *testing.T) {
+	r := NewRegistry()
+	tr := r.StartTrace("read", "seg")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.StageDetail("stage", fmt.Sprintf("w%d", w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.End(nil)
+	recs := r.Traces(1)
+	if len(recs) != 1 {
+		t.Fatalf("traces = %d, want 1", len(recs))
+	}
+	if len(recs[0].Stages) != 8*50 {
+		t.Fatalf("stages = %d, want %d", len(recs[0].Stages), 8*50)
+	}
+}
+
+func TestWriteTracesFormat(t *testing.T) {
+	r := NewRegistry()
+	tr := r.StartTrace("write", "obj")
+	tr.Stage("plan")
+	tr.End(nil)
+	var sb strings.Builder
+	r.WriteTraces(&sb, 0)
+	out := sb.String()
+	if !strings.Contains(out, "write obj") || !strings.Contains(out, "plan") {
+		t.Fatalf("trace output missing fields:\n%s", out)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ltcode"
@@ -30,15 +31,31 @@ func (c *Client) Read(ctx context.Context, name string) ([]byte, ReadStats, erro
 
 // readLocked performs the read while the caller holds a lock (shared
 // by Read and Update).
-func (c *Client) readLocked(ctx context.Context, name string) ([]byte, ReadStats, error) {
+func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stats ReadStats, err error) {
 	start := time.Now()
+	tr := c.obs.StartTrace("read", name)
+	defer func() {
+		c.m.reads.Inc()
+		c.m.readBlocks.Add(int64(stats.Received))
+		c.m.readFailedGets.Add(int64(stats.FailedGets))
+		c.m.readBytes.Add(int64(len(data)))
+		c.m.readLatency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			c.m.readErrors.Inc()
+		}
+		tr.End(err)
+	}()
 	seg, err := c.meta.LookupSegment(name)
 	if err != nil {
 		return nil, ReadStats{}, err
 	}
+	tr.Stage("lookup")
 	graph, err := buildGraph(seg.Coding)
 	if err != nil {
 		return nil, ReadStats{}, err
+	}
+	if tr != nil {
+		tr.Stagef("graph", "K=%d N=%d", seg.Coding.K, seg.Coding.N)
 	}
 
 	dec := &lockedDecoder{d: ltcode.NewDecoder(graph)}
@@ -50,7 +67,14 @@ func (c *Client) readLocked(ctx context.Context, name string) ([]byte, ReadStats
 		statsMu  sync.Mutex
 		received = map[string]int{}
 		failed   int
+		// Stage markers raced for by the fan-out workers: the first
+		// delivered block, the decode completing, and a worker observing
+		// completion and canceling the rest (§4.3.3 early cancellation).
+		firstByte, decoded, earlyCancel atomic.Bool
 	)
+	if tr != nil {
+		tr.Stagef("fanout", "servers=%d", len(seg.Placement))
+	}
 	for addr, indices := range seg.Placement {
 		store, ok := c.store(addr)
 		if !ok {
@@ -66,6 +90,9 @@ func (c *Client) readLocked(ctx context.Context, name string) ([]byte, ReadStats
 						return
 					}
 					if dec.Complete() {
+						if !earlyCancel.Swap(true) {
+							tr.Stage("early-cancel")
+						}
 						cancel()
 						return
 					}
@@ -79,6 +106,9 @@ func (c *Client) readLocked(ctx context.Context, name string) ([]byte, ReadStats
 						statsMu.Unlock()
 						continue
 					}
+					if !firstByte.Swap(true) {
+						tr.StageDetail("first-byte", addr)
+					}
 					done, err := dec.Add(idx, payload)
 					if err != nil {
 						continue
@@ -87,6 +117,9 @@ func (c *Client) readLocked(ctx context.Context, name string) ([]byte, ReadStats
 					received[addr]++
 					statsMu.Unlock()
 					if done {
+						if !decoded.Swap(true) {
+							tr.Stage("decode-complete")
+						}
 						cancel()
 						return
 					}
@@ -96,7 +129,7 @@ func (c *Client) readLocked(ctx context.Context, name string) ([]byte, ReadStats
 	}
 	wg.Wait()
 
-	stats := ReadStats{
+	stats = ReadStats{
 		K:           seg.Coding.K,
 		Received:    dec.Received(),
 		Reception:   dec.ReceptionOverhead(),
@@ -104,6 +137,9 @@ func (c *Client) readLocked(ctx context.Context, name string) ([]byte, ReadStats
 		PerServer:   received,
 		FailedGets:  failed,
 		UsedDecoder: dec.UsedBlocks(),
+	}
+	if tr != nil {
+		tr.Stagef("per-server", "blocks=%v failed-gets=%d", received, failed)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err

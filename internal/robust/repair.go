@@ -24,6 +24,7 @@ type HealthReport struct {
 // (holder attached and block present) and whether the survivors
 // decode. It reads no payload data — only block listings.
 func (c *Client) Health(ctx context.Context, name string) (HealthReport, error) {
+	c.m.healthChecks.Inc()
 	seg, err := c.meta.LookupSegment(name)
 	if err != nil {
 		return HealthReport{}, err
@@ -78,8 +79,19 @@ type RepairStats struct {
 // re-places them on healthy attached servers, updating the placement.
 // The segment must still be decodable; Repair fails with
 // ErrUnrecoverable otherwise.
-func (c *Client) Repair(ctx context.Context, name string) (RepairStats, error) {
+func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, err error) {
 	start := time.Now()
+	tr := c.obs.StartTrace("repair", name)
+	defer func() {
+		c.m.repairs.Inc()
+		c.m.repairRegenerated.Add(int64(stats.Regenerated))
+		c.m.repairPruned.Add(int64(stats.Pruned))
+		c.m.repairLatency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			c.m.repairErrors.Inc()
+		}
+		tr.End(err)
+	}()
 	unlock, err := c.meta.LockWrite(ctx, name)
 	if err != nil {
 		return RepairStats{}, err
@@ -93,6 +105,7 @@ func (c *Client) Repair(ctx context.Context, name string) (RepairStats, error) {
 	if err != nil {
 		return RepairStats{}, fmt.Errorf("robust: repair read: %w", err)
 	}
+	tr.Stage("reconstruct")
 	graph, err := buildGraph(seg.Coding)
 	if err != nil {
 		return RepairStats{}, err
@@ -100,7 +113,6 @@ func (c *Client) Repair(ctx context.Context, name string) (RepairStats, error) {
 	blocks := splitBlocks(data, seg.Coding.BlockBytes)
 
 	// Determine which placed blocks are gone and which remain.
-	var stats RepairStats
 	newPlacement := make(map[string][]int)
 	var lost []int
 	for addr, indices := range seg.Placement {
@@ -130,6 +142,9 @@ func (c *Client) Repair(ctx context.Context, name string) (RepairStats, error) {
 		}
 	}
 	sort.Ints(lost)
+	if tr != nil {
+		tr.Stagef("audit", "lost=%d pruned=%d", len(lost), stats.Pruned)
+	}
 
 	// Re-place lost blocks round-robin on healthy servers that do not
 	// already hold them.
@@ -164,10 +179,14 @@ func (c *Client) Repair(ctx context.Context, name string) (RepairStats, error) {
 		}
 	}
 
+	if tr != nil {
+		tr.Stagef("re-place", "regenerated=%d", stats.Regenerated)
+	}
 	seg.Placement = newPlacement
 	if err := c.meta.UpdateSegment(seg); err != nil {
 		return stats, err
 	}
+	tr.Stage("metadata")
 	stats.Duration = time.Since(start)
 	return stats, nil
 }

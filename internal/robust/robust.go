@@ -27,6 +27,7 @@ import (
 	"repro/internal/blockstore"
 	"repro/internal/ltcode"
 	"repro/internal/metadata"
+	"repro/internal/obs"
 )
 
 // Options configure a Client.
@@ -54,6 +55,11 @@ type Options struct {
 	// e.g. 0.25 forces at least four holders. Zero disables the cap
 	// (the paper's pure speculative semantics).
 	MaxServerShare float64
+	// Obs, when non-nil, receives per-access metrics (robust_* counters
+	// and latency histograms) and per-request stage traces. Nil keeps
+	// the client entirely uninstrumented — the hot paths pay only nil
+	// checks.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +112,8 @@ var (
 type Client struct {
 	meta metadata.API
 	opts Options
+	obs  *obs.Registry
+	m    clientMetrics
 
 	mu     sync.RWMutex
 	stores map[string]blockstore.Store
@@ -119,7 +127,13 @@ func NewClient(meta metadata.API, opts Options) (*Client, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return &Client{meta: meta, opts: opts, stores: make(map[string]blockstore.Store)}, nil
+	return &Client{
+		meta:   meta,
+		opts:   opts,
+		obs:    opts.Obs,
+		m:      newClientMetrics(opts.Obs),
+		stores: make(map[string]blockstore.Store),
+	}, nil
 }
 
 // Meta returns the client's metadata service.

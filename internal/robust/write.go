@@ -17,8 +17,20 @@ import (
 // blocks at its own pace until N = (1+D)·K blocks have committed
 // globally, at which point remaining work is canceled. servers
 // selects the target set; nil means all attached backends.
-func (c *Client) Write(ctx context.Context, name string, data []byte, servers []string) (WriteStats, error) {
+func (c *Client) Write(ctx context.Context, name string, data []byte, servers []string) (stats WriteStats, err error) {
 	start := time.Now()
+	tr := c.obs.StartTrace("write", name)
+	defer func() {
+		c.m.writes.Inc()
+		c.m.writeBlocks.Add(int64(stats.Committed))
+		c.m.writeBytes.Add(stats.BytesSent)
+		c.m.writeFailedPuts.Add(int64(stats.FailedPuts))
+		c.m.writeLatency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			c.m.writeErrors.Inc()
+		}
+		tr.End(err)
+	}()
 	if name == "" {
 		return WriteStats{}, fmt.Errorf("robust: empty segment name")
 	}
@@ -44,6 +56,7 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 	if _, err := c.meta.LookupSegment(name); err == nil {
 		return WriteStats{}, metadata.ErrSegmentExists
 	}
+	tr.Stage("lock")
 
 	// Plan the code.
 	blocks := splitBlocks(data, c.opts.BlockBytes)
@@ -55,6 +68,9 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 	graph, err := ltcode.BuildGraph(params, graphN, newSeededRand(seed), ltcode.DefaultGraphOptions())
 	if err != nil {
 		return WriteStats{}, err
+	}
+	if tr != nil {
+		tr.Stagef("plan", "K=%d N=%d graphN=%d servers=%d", k, n, graphN, len(servers))
 	}
 
 	// Rateless speculative spread. Fresh block indices come from an
@@ -68,6 +84,9 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 		committed int64
 		bytesSent int64
 		failed    int64
+		// Stage markers raced for by the rateless workers: the first
+		// block landing on a server and the commit target being reached.
+		firstCommit, targetReached atomic.Bool
 	)
 	failureBudget := int64(4*graphN + 64)
 	retry := make(chan int, graphN)
@@ -147,10 +166,16 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 						continue
 					}
 					atomic.AddInt64(&bytesSent, int64(len(coded)))
+					if !firstCommit.Swap(true) {
+						tr.StageDetail("first-commit", addr)
+					}
 					placeMu.Lock()
 					placement[addr] = append(placement[addr], i)
 					placeMu.Unlock()
 					if atomic.AddInt64(&committed, 1) >= int64(n) {
+						if !targetReached.Swap(true) {
+							tr.Stage("commit-target")
+						}
 						cancel() // enough blocks on disk: stop the rest
 						return
 					}
@@ -160,13 +185,16 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 	}
 	wg.Wait()
 
-	stats := WriteStats{
+	stats = WriteStats{
 		K: k, N: n,
 		Committed:  int(atomic.LoadInt64(&committed)),
 		BytesSent:  atomic.LoadInt64(&bytesSent),
 		Duration:   time.Since(start),
 		PerServer:  countPlacement(placement),
 		FailedPuts: int(atomic.LoadInt64(&failed)),
+	}
+	if tr != nil {
+		tr.Stagef("per-server", "blocks=%v failed-puts=%d", stats.PerServer, stats.FailedPuts)
 	}
 	if err := ctx.Err(); err != nil {
 		return stats, err
@@ -194,6 +222,7 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 	if err := c.meta.CreateSegment(seg); err != nil {
 		return stats, err
 	}
+	tr.Stage("metadata")
 	return stats, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/blockstore"
+	"repro/internal/obs"
 )
 
 // Client talks the block protocol to one server. It implements
@@ -20,7 +21,9 @@ import (
 type Client struct {
 	addr        string
 	dialTimeout time.Duration
+	reqTimeout  time.Duration
 	maxConns    int
+	m           clientPoolMetrics
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -33,8 +36,47 @@ type Client struct {
 type ClientOptions struct {
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+	// RequestTimeout, when positive, bounds each request/response
+	// round-trip with a connection deadline. Without it a hung server
+	// stalls its worker until the whole access is canceled — the
+	// speculative read still completes from other servers, but the
+	// stalled goroutine and its pooled connection are pinned for the
+	// access lifetime, defeating §4.2's "use whichever disks respond
+	// first". Zero (the default) preserves the old wait-forever
+	// behavior.
+	RequestTimeout time.Duration
 	// MaxConns caps the connection pool (default 16).
 	MaxConns int
+	// Obs, when non-nil, receives pool metrics (transport_client_*:
+	// dials, connection reuses, in-flight requests, bytes, errors,
+	// round-trip latency).
+	Obs *obs.Registry
+}
+
+// clientPoolMetrics are the connection-pool metric handles; all nil
+// (no-op) when observability is disabled.
+type clientPoolMetrics struct {
+	dials      *obs.Counter
+	dialErrors *obs.Counter
+	reuses     *obs.Counter
+	errors     *obs.Counter
+	bytesSent  *obs.Counter
+	bytesRecv  *obs.Counter
+	inflight   *obs.Gauge
+	roundTrip  *obs.Histogram
+}
+
+func newClientPoolMetrics(r *obs.Registry) clientPoolMetrics {
+	return clientPoolMetrics{
+		dials:      r.Counter("transport_client_dials_total"),
+		dialErrors: r.Counter("transport_client_dial_errors_total"),
+		reuses:     r.Counter("transport_client_conn_reuses_total"),
+		errors:     r.Counter("transport_client_errors_total"),
+		bytesSent:  r.Counter("transport_client_bytes_sent_total"),
+		bytesRecv:  r.Counter("transport_client_bytes_recv_total"),
+		inflight:   r.Gauge("transport_client_inflight"),
+		roundTrip:  r.Histogram("transport_client_roundtrip_seconds"),
+	}
 }
 
 // Dial creates a client for the server at addr and verifies
@@ -46,7 +88,13 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	if opts.MaxConns <= 0 {
 		opts.MaxConns = 16
 	}
-	c := &Client{addr: addr, dialTimeout: opts.DialTimeout, maxConns: opts.MaxConns}
+	c := &Client{
+		addr:        addr,
+		dialTimeout: opts.DialTimeout,
+		reqTimeout:  opts.RequestTimeout,
+		maxConns:    opts.MaxConns,
+		m:           newClientPoolMetrics(opts.Obs),
+	}
 	c.cond = sync.NewCond(&c.mu)
 	if err := c.Ping(context.Background()); err != nil {
 		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
@@ -72,6 +120,7 @@ func (c *Client) acquire(ctx context.Context) (net.Conn, error) {
 			conn := c.idle[n-1]
 			c.idle = c.idle[:n-1]
 			c.mu.Unlock()
+			c.m.reuses.Inc()
 			return conn, nil
 		}
 		if c.nconns < c.maxConns {
@@ -79,12 +128,14 @@ func (c *Client) acquire(ctx context.Context) (net.Conn, error) {
 			c.mu.Unlock()
 			conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
 			if err != nil {
+				c.m.dialErrors.Inc()
 				c.mu.Lock()
 				c.nconns--
 				c.cond.Signal()
 				c.mu.Unlock()
 				return nil, err
 			}
+			c.m.dials.Inc()
 			return conn, nil
 		}
 		// Pool exhausted: wait for a release, but honor ctx.
@@ -129,10 +180,17 @@ func (c *Client) discard(conn net.Conn) {
 	c.mu.Unlock()
 }
 
+// ErrRequestTimeout reports a round-trip that exceeded the client's
+// RequestTimeout (the per-request I/O deadline, not a dial failure
+// and not a caller cancellation).
+var ErrRequestTimeout = errors.New("transport: request timed out")
+
 // roundTrip performs one request/response exchange. Cancellation is
 // implemented by closing the connection out from under the exchange —
 // the server's per-connection context then cancels the queued work
-// (RobuSTore request cancellation over the wire).
+// (RobuSTore request cancellation over the wire). When RequestTimeout
+// is set, a connection deadline additionally bounds the exchange so a
+// hung server surfaces as ErrRequestTimeout instead of a stall.
 func (c *Client) roundTrip(ctx context.Context, op byte, segment string, index int, payload []byte) (byte, []byte, error) {
 	body, err := encodeRequest(op, segment, index, payload)
 	if err != nil {
@@ -140,7 +198,14 @@ func (c *Client) roundTrip(ctx context.Context, op byte, segment string, index i
 	}
 	conn, err := c.acquire(ctx)
 	if err != nil {
+		c.m.errors.Inc()
 		return 0, nil, err
+	}
+	start := time.Now()
+	c.m.inflight.Add(1)
+	defer c.m.inflight.Add(-1)
+	if c.reqTimeout > 0 {
+		conn.SetDeadline(start.Add(c.reqTimeout))
 	}
 	// Watch for cancellation during the exchange.
 	done := make(chan struct{})
@@ -163,29 +228,43 @@ func (c *Client) roundTrip(ctx context.Context, op byte, segment string, index i
 	if err := writeFrame(conn, body); err != nil {
 		finish()
 		c.discard(conn)
-		return 0, nil, wrapCancel(err, canceled, ctx)
+		c.m.errors.Inc()
+		return 0, nil, c.wrapExchangeErr(err, canceled, ctx)
 	}
 	resp, err := readFrame(conn)
 	finish()
 	if err != nil {
 		c.discard(conn)
-		return 0, nil, wrapCancel(err, canceled, ctx)
+		c.m.errors.Inc()
+		return 0, nil, c.wrapExchangeErr(err, canceled, ctx)
 	}
-	if canceled {
-		// Response raced with cancellation; the connection is fine but
-		// had its deadline poisoned.
+	if canceled || c.reqTimeout > 0 {
+		// Clear the request deadline (and any poison from a cancellation
+		// that raced with the response) before pooling the connection.
 		conn.SetDeadline(time.Time{})
 	}
 	c.release(conn)
+	c.m.bytesSent.Add(int64(len(body)) + 4)
+	c.m.bytesRecv.Add(int64(len(resp)) + 4)
+	c.m.roundTrip.Observe(time.Since(start).Seconds())
 	if len(resp) < 1 {
 		return 0, nil, fmt.Errorf("transport: empty response")
 	}
 	return resp[0], resp[1:], nil
 }
 
-func wrapCancel(err error, canceled bool, ctx context.Context) error {
+// wrapExchangeErr maps a failed exchange onto the caller's intent: a
+// canceled context wins, then a deadline overrun becomes
+// ErrRequestTimeout, everything else passes through.
+func (c *Client) wrapExchangeErr(err error, canceled bool, ctx context.Context) error {
 	if canceled && ctx.Err() != nil {
 		return ctx.Err()
+	}
+	if c.reqTimeout > 0 {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return fmt.Errorf("%w after %v: %v", ErrRequestTimeout, c.reqTimeout, err)
+		}
 	}
 	return err
 }

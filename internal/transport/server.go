@@ -7,9 +7,11 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/admission"
 	"repro/internal/blockstore"
+	"repro/internal/obs"
 )
 
 // ServerOptions configure a block server.
@@ -20,12 +22,48 @@ type ServerOptions struct {
 	Admission admission.Controller
 	// Logger receives connection-level errors; nil discards them.
 	Logger *log.Logger
+	// Obs, when non-nil, receives server metrics (transport_server_*:
+	// per-op counts and latency, open connections, errors, admission
+	// refusals).
+	Obs *obs.Registry
+}
+
+// serverMetrics are the server-side metric handles; all nil (no-op)
+// when observability is disabled.
+type serverMetrics struct {
+	conns     *obs.Gauge
+	errors    *obs.Counter
+	busy      *obs.Counter
+	ops       map[byte]*obs.Counter
+	opSeconds map[byte]*obs.Histogram
+}
+
+func newServerMetrics(r *obs.Registry) serverMetrics {
+	m := serverMetrics{
+		conns:  r.Gauge("transport_server_conns"),
+		errors: r.Counter("transport_server_errors_total"),
+		busy:   r.Counter("transport_server_busy_total"),
+	}
+	if r != nil {
+		names := map[byte]string{
+			opPut: "put", opGet: "get", opDelete: "delete",
+			opList: "list", opPing: "ping",
+		}
+		m.ops = make(map[byte]*obs.Counter, len(names))
+		m.opSeconds = make(map[byte]*obs.Histogram, len(names))
+		for op, n := range names {
+			m.ops[op] = r.Counter("transport_server_" + n + "_total")
+			m.opSeconds[op] = r.Histogram("transport_server_" + n + "_seconds")
+		}
+	}
+	return m
 }
 
 // Server exposes a blockstore.Store over the block protocol.
 type Server struct {
 	store blockstore.Store
 	opts  ServerOptions
+	m     serverMetrics
 	ln    net.Listener
 
 	mu     sync.Mutex
@@ -37,7 +75,12 @@ type Server struct {
 // NewServer wraps a store. Call Serve (usually in a goroutine) with a
 // listener, or ListenAndServe.
 func NewServer(store blockstore.Store, opts ServerOptions) *Server {
-	return &Server{store: store, opts: opts, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		store: store,
+		opts:  opts,
+		m:     newServerMetrics(opts.Obs),
+		conns: make(map[net.Conn]struct{}),
+	}
 }
 
 // ListenAndServe listens on addr ("host:port", ":0" for ephemeral)
@@ -124,7 +167,9 @@ func (s *Server) logf(format string, args ...any) {
 // server side of RobuSTore's request cancellation (§5.3.3): a client
 // that hangs up cancels its queued work.
 func (s *Server) handle(conn net.Conn) {
+	s.m.conns.Add(1)
 	defer func() {
+		s.m.conns.Add(-1)
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -150,8 +195,20 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// dispatch executes one request against the store.
-func (s *Server) dispatch(ctx context.Context, req request) (byte, []byte) {
+// dispatch executes one request against the store and records per-op
+// metrics (count, latency, errors).
+func (s *Server) dispatch(ctx context.Context, req request) (status byte, payload []byte) {
+	start := time.Now()
+	s.m.ops[req.op].Inc() // nil map yields a nil (no-op) counter
+	defer func() {
+		s.m.opSeconds[req.op].Observe(time.Since(start).Seconds())
+		switch status {
+		case statusErr:
+			s.m.errors.Inc()
+		case statusBusy:
+			s.m.busy.Inc()
+		}
+	}()
 	// Admission control guards the data-path operations.
 	if s.opts.Admission != nil && (req.op == opGet || req.op == opPut) {
 		release, err := s.opts.Admission.Admit(ctx, admission.Request{Bytes: int64(len(req.payload))})

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench_baseline.sh — regenerate the repo's benchmark baseline.
+#
+# Usage: ./scripts/bench_baseline.sh [output.json]   (default BENCH_2.json)
+#
+# Runs the headline reproduction benchmarks once (-benchtime 1x) and
+# writes their b.ReportMetric values as a JSON baseline: LT decode
+# bandwidth, 64-disk RobuSTore read bandwidth, and the speedup over
+# RAID-0 — the numbers future PRs diff against to claim a perf
+# trajectory. Absolute values are machine-dependent; the committed
+# baseline records the metric *set* and one reference machine's
+# numbers, and CI's bench-smoke job re-runs this script and checks the
+# metric keys still match.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_2.json}"
+bench='BenchmarkFig53DecodeBandwidth|BenchmarkFig66ReadVsDisks|BenchmarkHeadline'
+
+raw=$(go test -bench "$bench" -benchtime 1x -run '^$' .)
+echo "$raw" >&2
+
+# Benchmark output lines look like:
+#   BenchmarkFoo-8  1  123 ns/op  45.6 some-metric  7.8 other-metric
+# i.e. value/unit pairs from field 3 on. Keep only the custom
+# ReportMetric pairs (units without a '/'), emitted as "unit value"
+# lines, sorted for a stable diff.
+pairs=$(echo "$raw" | awk '/^Benchmark/ {
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        if (unit !~ /\//) print unit, $i
+    }
+}' | sort)
+
+nmetrics=$(printf '%s\n' "$pairs" | sed '/^$/d' | wc -l)
+if [ "$nmetrics" -lt 3 ]; then
+    echo "bench_baseline: expected >= 3 headline metrics, parsed $nmetrics:" >&2
+    printf '%s\n' "$pairs" >&2
+    exit 1
+fi
+
+{
+    printf '{\n'
+    printf '  "schema": 1,\n'
+    printf '  "bench_filter": "%s",\n' "$bench"
+    printf '  "benchtime": "1x",\n'
+    printf '  "metrics": {\n'
+    i=0
+    while read -r unit value; do
+        i=$((i + 1))
+        sep=','
+        [ "$i" -eq "$nmetrics" ] && sep=''
+        printf '    "%s": %s%s\n' "$unit" "$value" "$sep"
+    done <<EOF
+$pairs
+EOF
+    printf '  }\n'
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out"

@@ -8,9 +8,14 @@
 #   2. gofmt -l (fails on any unformatted file)
 #   3. go vet ./...
 #   4. robustore-lint ./...      (project analyzers: determinism,
-#      lock copies, goroutine hygiene, float equality — internal/lint)
-#   5. go test ./...
+#      lock copies, goroutine hygiene, float equality — internal/lint;
+#      plus an explicit pass over internal/obs, the instrumentation
+#      layer every concurrent path calls into)
+#   5. go test -shuffle=on ./...
 #   6. go test -race on the concurrency-heavy packages
+#   7. bench smoke: every benchmark once (client overhead + headline
+#      reproduction metrics; see scripts/bench_baseline.sh for the
+#      committed BENCH_2.json baseline)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,16 +36,25 @@ go vet ./...
 echo "==> robustore-lint ./..."
 go run ./cmd/robustore-lint ./...
 
+echo "==> robustore-lint ./internal/obs/ (explicit)"
+go run ./cmd/robustore-lint ./internal/obs/
+
 echo "==> go test ./..."
-go test ./...
+go test -shuffle=on ./...
 
 echo "==> go test -race (concurrency-heavy packages)"
-go test -race -count=1 \
+go test -race -count=1 -timeout 10m \
     ./internal/robust/ \
     ./internal/transport/ \
     ./internal/accessctl/ \
     ./internal/admission/ \
     ./internal/blockstore/ \
-    ./internal/cluster/
+    ./internal/cluster/ \
+    ./internal/obs/
+
+echo "==> bench smoke (client overhead + headline metrics, 1 iteration)"
+go test -bench . -benchtime 1x -run '^$' ./internal/robust/
+go test -bench 'BenchmarkFig53DecodeBandwidth|BenchmarkFig66ReadVsDisks|BenchmarkHeadline' \
+    -benchtime 1x -run '^$' .
 
 echo "==> all checks passed"
