@@ -7,12 +7,23 @@
 //	robustored -listen :7070 -dir /var/lib/robustore
 //	robustored -listen :7071 -mem -max-concurrent 32 -max-bytes 268435456
 //	robustored -listen :7070 -mem -debug-listen :9090   # loopback debug HTTP
+//	robustored -listen :7070 -mem -faults 'stall=50ms@0.2,corrupt=0.05'
+//	robustored -listen :7070 -mem -faults '0s:latency=0s;30s:reset=0.3;60s:reset=0'
 //
 // With -debug-listen, an HTTP endpoint serves /metrics (plain-text
 // counters, gauges, and latency histograms with mean/stddev/p50/p99),
 // /metrics.json, and /debug/trace (the last completed per-request
 // traces). The endpoint has no authentication: a bare ":port" binds
 // 127.0.0.1 only; an explicit host is required to expose it wider.
+//
+// With -faults, the server injects deterministic faults (seeded by
+// -fault-seed) into its own serving path for chaos testing: store-level
+// faults (latency, stall-then-drop, errors, GET corruption) and
+// wire-level faults (connection resets, short reads). The spec is a
+// faultinject scenario: either a single phase "stall=50ms@0.2,reset=0.1"
+// or ";"-separated "AFTER:SPEC" phases scheduled on the server clock.
+// Injected faults appear as faultinject_* counters on the debug
+// endpoint.
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/blockstore"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/transport"
 )
@@ -42,6 +54,8 @@ func main() {
 		priority      = flag.Bool("priority", false, "admission: use priority-based instead of capacity-based control")
 		checksum      = flag.Bool("checksum", false, "frame blocks with CRC-32C and reject corrupted reads")
 		debugListen   = flag.String("debug-listen", "", "serve /metrics and /debug/trace on this HTTP address (\":port\" binds loopback; empty disables)")
+		faults        = flag.String("faults", "", "inject faults: a faultinject spec ('stall=50ms@0.2,corrupt=0.05') or ';'-separated 'AFTER:SPEC' phases (empty disables)")
+		faultSeed     = flag.Int64("fault-seed", 1, "seed for the deterministic fault stream")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "robustored: ", log.LstdFlags)
@@ -87,6 +101,38 @@ func main() {
 		fmt.Printf("debug endpoint on http://%s/metrics\n", debugLn.Addr())
 	}
 
+	// Fault injection: one spec, split across the two serving layers so
+	// timing and data faults (latency, stalls, errors, corruption) fire
+	// inside the store handler — where request contexts apply — while
+	// connection faults (resets, short reads) fire on the wire. Both
+	// injectors draw deterministic streams derived from -fault-seed and
+	// report into the same faultinject_* counters.
+	var connInj *faultinject.Injector
+	if *faults != "" {
+		scenario, err := faultinject.ParseScenario(*faults)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		var storePhases, connPhases []faultinject.Phase
+		for _, p := range scenario.Phases() {
+			sp := p
+			sp.Config.ResetProb, sp.Config.ShortReadProb = 0, 0
+			storePhases = append(storePhases, sp)
+			cp := p
+			cp.Config = faultinject.Config{
+				ResetProb:     p.Config.ResetProb,
+				ShortReadProb: p.Config.ShortReadProb,
+			}
+			connPhases = append(connPhases, cp)
+		}
+		storeInj := faultinject.New(*faultSeed, faultinject.Config{}, reg)
+		storeInj.Run(faultinject.NewScenario(storePhases...))
+		store = faultinject.WrapStore(store, storeInj)
+		connInj = faultinject.New(*faultSeed+1, faultinject.Config{}, reg)
+		connInj.Run(faultinject.NewScenario(connPhases...))
+		logger.Printf("fault injection active: %q (seed %d)", *faults, *faultSeed)
+	}
+
 	opts := transport.ServerOptions{Logger: logger, Obs: reg}
 	if *maxConcurrent > 0 || *maxBytes > 0 {
 		cfg := admission.Config{MaxConcurrent: *maxConcurrent, MaxBytes: *maxBytes}
@@ -109,6 +155,7 @@ func main() {
 		logger.Fatal(err)
 	}
 	fmt.Printf("robustored listening on %s\n", ln.Addr())
+	ln = faultinject.WrapListener(ln, connInj) // no-op when -faults is unset
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// faultListener wraps accepted connections with conn-level faults.
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+// WrapListener wraps a listener so every accepted connection passes
+// through the injector's conn-level faults (latency, stall-then-drop,
+// reset, short read). A nil injector returns ln unchanged.
+func WrapListener(ln net.Listener, in *Injector) net.Listener {
+	if in == nil {
+		return ln
+	}
+	return &faultListener{Listener: ln, in: in}
+}
+
+// Accept implements net.Listener.
+func (l *faultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{Conn: conn, in: l.in}, nil
+}
+
+// faultConn injects faults at response boundaries of a server-side
+// connection. The block protocol is strictly request/response, so the
+// first Write after a Read starts a new response; that is where one
+// fault decision per exchange is drawn. Short reads are produced by
+// truncating the response mid-frame and closing the connection;
+// resets by closing before any response byte.
+type faultConn struct {
+	net.Conn
+	in *Injector
+
+	mu         sync.Mutex
+	inResponse bool
+}
+
+// Read implements net.Conn, marking the start of a new exchange.
+func (c *faultConn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	c.inResponse = false
+	c.mu.Unlock()
+	return c.Conn.Read(b)
+}
+
+// Write implements net.Conn, applying at most one fault decision per
+// response.
+func (c *faultConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	first := !c.inResponse
+	c.inResponse = true
+	c.mu.Unlock()
+	if !first {
+		return c.Conn.Write(b)
+	}
+	cfg := c.in.active()
+	if !cfg.enabled() {
+		return c.Conn.Write(b)
+	}
+	delay := c.in.sampleDelay(cfg)
+	if delay > 0 {
+		c.in.m.latency.Inc()
+	}
+	if cfg.StallProb > 0 && c.in.roll(cfg.StallProb) {
+		c.in.m.stalls.Inc()
+		delay += cfg.Stall
+		if cfg.DropOnStall {
+			time.Sleep(delay)
+			c.in.m.drops.Inc()
+			c.Conn.Close()
+			return 0, ErrInjected
+		}
+	}
+	time.Sleep(delay)
+	if cfg.ResetProb > 0 && c.in.roll(cfg.ResetProb) {
+		c.in.m.resets.Inc()
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	if cfg.ShortReadProb > 0 && c.in.roll(cfg.ShortReadProb) {
+		c.in.m.shortReads.Inc()
+		n := len(b) / 2
+		if n > 0 {
+			c.Conn.Write(b[:n])
+		}
+		c.Conn.Close()
+		return n, ErrInjected
+	}
+	return c.Conn.Write(b)
+}

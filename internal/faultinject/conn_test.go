@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// dialServed starts a one-shot server behind the injector that reads
+// one byte and answers with an 8-byte response, then returns a client
+// conn to it.
+func dialServed(t *testing.T, in *Injector) net.Conn {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := WrapListener(ln, in)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := wrapped.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1)
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		conn.Write([]byte("response"))
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		ln.Close()
+		<-done
+	})
+	return c
+}
+
+func TestConnReset(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(1, Config{ResetProb: 1}, reg)
+	c := dialServed(t, in)
+	if _, err := c.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := io.ReadFull(c, make([]byte, 8))
+	if err == nil {
+		t.Fatalf("read succeeded (%d bytes) despite ResetProb=1", n)
+	}
+	if reg.Counter("faultinject_resets_total").Value() != 1 {
+		t.Fatal("reset counter not incremented")
+	}
+}
+
+func TestConnShortRead(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(1, Config{ShortReadProb: 1}, reg)
+	c := dialServed(t, in)
+	if _, err := c.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 8)
+	n, err := io.ReadFull(c, buf)
+	if err == nil {
+		t.Fatal("full response arrived despite ShortReadProb=1")
+	}
+	if n == 0 || n >= 8 {
+		t.Fatalf("want a truncated prefix, read %d bytes", n)
+	}
+	if reg.Counter("faultinject_short_reads_total").Value() != 1 {
+		t.Fatal("short-read counter not incremented")
+	}
+}
+
+func TestConnLatencyDelaysResponse(t *testing.T) {
+	in := New(1, Config{Latency: 40 * time.Millisecond}, nil)
+	c := dialServed(t, in)
+	start := time.Now()
+	if _, err := c.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Fatalf("response after %v, expected >= 40ms injected latency", elapsed)
+	}
+}

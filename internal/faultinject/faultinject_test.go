@@ -1,0 +1,241 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/obs"
+)
+
+func TestNilInjectorPassesThrough(t *testing.T) {
+	var in *Injector
+	if got := in.active(); got.enabled() {
+		t.Fatal("nil injector reports active faults")
+	}
+	inner := blockstore.NewMemStore()
+	if WrapStore(inner, nil) != blockstore.Store(inner) {
+		t.Fatal("WrapStore(nil) should return the inner store")
+	}
+	in.SetConfig(Config{Latency: time.Second}) // must not panic
+	in.Run(NewScenario())
+}
+
+func TestStoreErrorInjectionDeterministic(t *testing.T) {
+	// The same seed must fail the same ops in the same order.
+	run := func(seed int64) []bool {
+		in := New(seed, Config{ErrProb: 0.5}, nil)
+		st := WrapStore(blockstore.NewMemStore(), in)
+		ctx := context.Background()
+		var outcomes []bool
+		for i := 0; i < 64; i++ {
+			err := st.Put(ctx, "seg", i, []byte{1})
+			outcomes = append(outcomes, err == nil)
+			if err != nil && !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected failure not ErrInjected: %v", err)
+			}
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs across identical seeds", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault streams (suspicious)")
+	}
+}
+
+func TestStoreCorruptionFlipsGetPayload(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(1, Config{CorruptProb: 1, Ops: []string{"get"}}, reg)
+	st := WrapStore(blockstore.NewMemStore(), in)
+	ctx := context.Background()
+	orig := []byte("the quick brown fox")
+	if err := st.Put(ctx, "seg", 0, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(ctx, "seg", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("payload not corrupted despite CorruptProb=1")
+	}
+	// The stored copy must be untouched (corruption is in-flight).
+	again, err := blockstore.Store(st).(*faultStore).inner.Get(ctx, "seg", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, orig) {
+		t.Fatal("injector corrupted the stored block, not the returned copy")
+	}
+	if reg.Counter("faultinject_corruptions_total").Value() == 0 {
+		t.Fatal("corruption counter not incremented")
+	}
+}
+
+func TestStoreStallThenDrop(t *testing.T) {
+	in := New(1, Config{StallProb: 1, Stall: 30 * time.Millisecond, DropOnStall: true}, nil)
+	st := WrapStore(blockstore.NewMemStore(), in)
+	start := time.Now()
+	err := st.Put(context.Background(), "seg", 0, []byte{1})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected after stall-drop, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("drop came after %v, before the configured stall", elapsed)
+	}
+}
+
+func TestStoreStallHonorsContext(t *testing.T) {
+	in := New(1, Config{StallProb: 1, Stall: 10 * time.Second}, nil)
+	st := WrapStore(blockstore.NewMemStore(), in)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := st.Put(ctx, "seg", 0, []byte{1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stall did not honor context cancellation")
+	}
+}
+
+func TestOpsRestriction(t *testing.T) {
+	in := New(1, Config{ErrProb: 1, Ops: []string{"put"}}, nil)
+	st := WrapStore(blockstore.NewMemStore(), in)
+	ctx := context.Background()
+	if err := st.Put(ctx, "seg", 0, []byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("put should fail, got %v", err)
+	}
+	if _, err := st.List(ctx, "seg"); err != nil {
+		t.Fatalf("list should be exempt, got %v", err)
+	}
+}
+
+func TestScenarioPhases(t *testing.T) {
+	s := NewScenario(
+		Phase{After: 0, Config: Config{ErrProb: 0.1}},
+		Phase{After: 10 * time.Second, Config: Config{ErrProb: 0.9}},
+		Phase{After: 20 * time.Second, Config: Config{}},
+	)
+	if got := s.at(5 * time.Second).ErrProb; got != 0.1 {
+		t.Fatalf("phase 0: ErrProb=%v", got)
+	}
+	if got := s.at(15 * time.Second).ErrProb; got != 0.9 {
+		t.Fatalf("phase 1: ErrProb=%v", got)
+	}
+	if got := s.at(25 * time.Second); got.enabled() {
+		t.Fatalf("phase 2 should be healthy, got %+v", got)
+	}
+	// Before any phase: healthy.
+	s2 := NewScenario(Phase{After: time.Hour, Config: Config{ErrProb: 1}})
+	if s2.at(time.Minute).enabled() {
+		t.Fatal("config active before its phase start")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("latency=2ms,pareto=10ms,alpha=1.2,stall=200ms@0.3,drop,reset=0.05,shortread=0.02,corrupt=0.1,err=0.5,ops=get+put")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Latency: 2 * time.Millisecond, ParetoScale: 10 * time.Millisecond,
+		ParetoAlpha: 1.2, Stall: 200 * time.Millisecond, StallProb: 0.3,
+		DropOnStall: true, ResetProb: 0.05, ShortReadProb: 0.02,
+		CorruptProb: 0.1, ErrProb: 0.5,
+	}
+	if cfg.Latency != want.Latency || cfg.ParetoScale != want.ParetoScale ||
+		cfg.ParetoAlpha != want.ParetoAlpha || cfg.Stall != want.Stall ||
+		cfg.StallProb != want.StallProb || cfg.DropOnStall != want.DropOnStall ||
+		cfg.ResetProb != want.ResetProb || cfg.ShortReadProb != want.ShortReadProb ||
+		cfg.CorruptProb != want.CorruptProb || cfg.ErrProb != want.ErrProb {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	if len(cfg.Ops) != 2 || cfg.Ops[0] != "get" || cfg.Ops[1] != "put" {
+		t.Fatalf("ops = %v", cfg.Ops)
+	}
+	// stall without probability means always.
+	cfg, err = ParseSpec("stall=1s")
+	if err != nil || cfg.StallProb != 1 || cfg.Stall != time.Second {
+		t.Fatalf("bare stall: cfg=%+v err=%v", cfg, err)
+	}
+	if _, err := ParseSpec(""); err != nil {
+		t.Fatalf("empty spec should parse: %v", err)
+	}
+	for _, bad := range []string{"bogus=1", "latency=fast", "corrupt=1.5", "drop=yes"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q should not parse", bad)
+		}
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	s, err := ParseScenario("0s:latency=1ms;30s:stall=2s@0.5,drop;60s:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.at(0).Latency; got != time.Millisecond {
+		t.Fatalf("phase 0 latency=%v", got)
+	}
+	if got := s.at(31 * time.Second); got.Stall != 2*time.Second || !got.DropOnStall {
+		t.Fatalf("phase 1 = %+v", got)
+	}
+	if s.at(2 * time.Minute).enabled() {
+		t.Fatal("final phase should be healthy")
+	}
+	// Bare spec: one phase at t=0.
+	s, err = ParseScenario("corrupt=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.at(0).CorruptProb; got != 0.5 {
+		t.Fatalf("bare spec: corrupt=%v", got)
+	}
+	if _, err := ParseScenario("10s:bogus=1"); err == nil {
+		t.Fatal("bad phase spec should not parse")
+	}
+}
+
+func TestInjectorScenarioSwitchesOverTime(t *testing.T) {
+	in := New(1, Config{}, nil)
+	in.Run(NewScenario(
+		Phase{After: 0, Config: Config{ErrProb: 1}},
+		Phase{After: 50 * time.Millisecond, Config: Config{}},
+	))
+	st := WrapStore(blockstore.NewMemStore(), in)
+	ctx := context.Background()
+	if err := st.Put(ctx, "seg", 0, []byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("phase 0 should inject, got %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := st.Put(ctx, "seg", 0, []byte{1}); err != nil {
+		t.Fatalf("phase 1 should be healthy, got %v", err)
+	}
+}
+
+func TestParetoLatencyBoundedAndSeeded(t *testing.T) {
+	in := New(3, Config{ParetoScale: time.Millisecond}, nil)
+	cfg := in.active()
+	for i := 0; i < 1000; i++ {
+		d := in.sampleDelay(cfg)
+		if d < 0 || d > 50*time.Millisecond {
+			t.Fatalf("pareto sample %v outside [0, 50ms] cap", d)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Phase is one timed step of a Scenario: Config becomes active After
+// the scenario clock started.
+type Phase struct {
+	After  time.Duration
+	Config Config
+}
+
+// Scenario schedules fault phases over time — e.g. healthy for 10s,
+// then 30s of stalls, then healthy again — so a test or a long-lived
+// robustored can move a server through a failure lifecycle instead of
+// a single static fault mix. Phases are sorted by After; the active
+// config at elapsed time t is the last phase with After <= t (zero
+// config before the first phase).
+type Scenario struct {
+	phases []Phase
+}
+
+// NewScenario builds a scenario from phases (any order).
+func NewScenario(phases ...Phase) *Scenario {
+	s := &Scenario{phases: append([]Phase(nil), phases...)}
+	sort.SliceStable(s.phases, func(i, j int) bool { return s.phases[i].After < s.phases[j].After })
+	return s
+}
+
+// Phases returns a copy of the scenario's phases, sorted by After —
+// for callers that derive layer-specific scenarios (e.g. robustored
+// splits one spec into store-side and wire-side fault sets).
+func (s *Scenario) Phases() []Phase { return append([]Phase(nil), s.phases...) }
+
+// at returns the config active at elapsed time t.
+func (s *Scenario) at(t time.Duration) Config {
+	var active Config
+	for _, p := range s.phases {
+		if p.After > t {
+			break
+		}
+		active = p.Config
+	}
+	return active
+}
+
+// ParseSpec parses a compact fault spec, the format behind
+// `robustored -faults`:
+//
+//	latency=2ms,pareto=10ms,alpha=1.5,stall=200ms@0.3,drop,
+//	reset=0.05,shortread=0.02,corrupt=0.1,err=0.5,ops=get+put
+//
+// Keys: latency (duration), pareto (duration scale), alpha (float),
+// stall (duration@probability), drop (flag: drop after stall),
+// reset / shortread / corrupt / err (probability), ops
+// ('+'-separated op names). Unknown keys are errors.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(kv, "=")
+		var err error
+		switch key {
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(val)
+		case "pareto":
+			cfg.ParetoScale, err = time.ParseDuration(val)
+		case "alpha":
+			cfg.ParetoAlpha, err = strconv.ParseFloat(val, 64)
+		case "stall":
+			dur, prob, ok := strings.Cut(val, "@")
+			cfg.Stall, err = time.ParseDuration(dur)
+			cfg.StallProb = 1
+			if err == nil && ok {
+				cfg.StallProb, err = strconv.ParseFloat(prob, 64)
+			}
+		case "drop":
+			if hasVal {
+				return cfg, fmt.Errorf("faultinject: 'drop' takes no value")
+			}
+			cfg.DropOnStall = true
+		case "reset":
+			cfg.ResetProb, err = strconv.ParseFloat(val, 64)
+		case "shortread":
+			cfg.ShortReadProb, err = strconv.ParseFloat(val, 64)
+		case "corrupt":
+			cfg.CorruptProb, err = strconv.ParseFloat(val, 64)
+		case "err":
+			cfg.ErrProb, err = strconv.ParseFloat(val, 64)
+		case "ops":
+			cfg.Ops = strings.Split(val, "+")
+		default:
+			return cfg, fmt.Errorf("faultinject: unknown spec key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("faultinject: bad spec entry %q: %v", kv, err)
+		}
+	}
+	if err := validateProbs(cfg); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func validateProbs(cfg Config) error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"stall", cfg.StallProb}, {"reset", cfg.ResetProb},
+		{"shortread", cfg.ShortReadProb}, {"corrupt", cfg.CorruptProb},
+		{"err", cfg.ErrProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faultinject: probability %s=%v outside [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// ParseScenario parses ';'-separated phases, each "AFTER:SPEC" where
+// AFTER is a duration offset and SPEC is a ParseSpec string (empty
+// SPEC = healthy). A bare SPEC with no "AFTER:" prefix is a single
+// phase at 0s:
+//
+//	"latency=1ms"                           one static phase
+//	"0s:latency=1ms;30s:stall=2s@0.5,drop;60s:"
+func ParseScenario(spec string) (*Scenario, error) {
+	var phases []Phase
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		after := time.Duration(0)
+		body := part
+		if prefix, rest, ok := strings.Cut(part, ":"); ok {
+			if d, err := time.ParseDuration(strings.TrimSpace(prefix)); err == nil {
+				after, body = d, rest
+			}
+		}
+		cfg, err := ParseSpec(body)
+		if err != nil {
+			return nil, err
+		}
+		phases = append(phases, Phase{After: after, Config: cfg})
+	}
+	return NewScenario(phases...), nil
+}

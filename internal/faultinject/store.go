@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/blockstore"
+)
+
+// faultStore injects per-op faults in front of a blockstore.Store —
+// the "server handler" injection point: latency and stalls delay the
+// op, resets/errors fail it, and corruption flips bits in GET
+// payloads *after* any server-side checksum layer, emulating silent
+// disk or transit corruption that only client-side share verification
+// can catch.
+type faultStore struct {
+	inner blockstore.Store
+	in    *Injector
+}
+
+// WrapStore wraps a store with the injector's per-op faults. A nil
+// injector returns the store unchanged.
+func WrapStore(inner blockstore.Store, in *Injector) blockstore.Store {
+	if in == nil {
+		return inner
+	}
+	return &faultStore{inner: inner, in: in}
+}
+
+// before applies the pre-op faults for op; a non-nil error means the
+// op is dropped.
+func (s *faultStore) before(ctx context.Context, op string) error {
+	cfg := s.in.active()
+	if !cfg.enabled() || !cfg.appliesTo(op) {
+		return nil
+	}
+	delay := s.in.sampleDelay(cfg)
+	if delay > 0 {
+		s.in.m.latency.Inc()
+	}
+	if cfg.StallProb > 0 && s.in.roll(cfg.StallProb) {
+		s.in.m.stalls.Inc()
+		delay += cfg.Stall
+		if cfg.DropOnStall {
+			if err := sleep(ctx, delay); err != nil {
+				return err
+			}
+			s.in.m.drops.Inc()
+			return fmt.Errorf("%w: %s dropped after stall", ErrInjected, op)
+		}
+	}
+	if err := sleep(ctx, delay); err != nil {
+		return err
+	}
+	if cfg.ResetProb > 0 && s.in.roll(cfg.ResetProb) {
+		s.in.m.resets.Inc()
+		return fmt.Errorf("%w: %s reset", ErrInjected, op)
+	}
+	if cfg.ErrProb > 0 && s.in.roll(cfg.ErrProb) {
+		s.in.m.errs.Inc()
+		return fmt.Errorf("%w: %s failed", ErrInjected, op)
+	}
+	return nil
+}
+
+// Put implements blockstore.Store.
+func (s *faultStore) Put(ctx context.Context, segment string, index int, data []byte) error {
+	if err := s.before(ctx, "put"); err != nil {
+		return err
+	}
+	return s.inner.Put(ctx, segment, index, data)
+}
+
+// Get implements blockstore.Store, optionally corrupting the payload.
+func (s *faultStore) Get(ctx context.Context, segment string, index int) ([]byte, error) {
+	if err := s.before(ctx, "get"); err != nil {
+		return nil, err
+	}
+	b, err := s.inner.Get(ctx, segment, index)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.in.active()
+	if len(b) > 0 && cfg.appliesTo("get") && cfg.CorruptProb > 0 && s.in.roll(cfg.CorruptProb) {
+		s.in.m.corrupt.Inc()
+		// Flip bits in a private copy — the inner store may have handed
+		// out its own buffer.
+		c := append([]byte(nil), b...)
+		c[len(c)/2] ^= 0xFF
+		c[0] ^= 0x01
+		return c, nil
+	}
+	return b, nil
+}
+
+// Delete implements blockstore.Store.
+func (s *faultStore) Delete(ctx context.Context, segment string, index int) error {
+	if err := s.before(ctx, "delete"); err != nil {
+		return err
+	}
+	return s.inner.Delete(ctx, segment, index)
+}
+
+// List implements blockstore.Store.
+func (s *faultStore) List(ctx context.Context, segment string) ([]int, error) {
+	if err := s.before(ctx, "list"); err != nil {
+		return nil, err
+	}
+	return s.inner.List(ctx, segment)
+}
+
+// Close implements blockstore.Store.
+func (s *faultStore) Close() error { return s.inner.Close() }

@@ -27,6 +27,12 @@ type Coding struct {
 	Delta      float64 // LT soliton parameter
 	GraphSeed  int64   // seed the writer used to build the coding graph
 	GraphN     int     // total graph size (>= N; rateless writes overshoot)
+	// ShareCRC records that every stored coded block is framed with a
+	// client-side CRC-32C envelope (robust.Options share checksums):
+	// readers must verify-and-strip it, and repairers must re-seal
+	// regenerated blocks. False for segments written before the
+	// envelope existed.
+	ShareCRC bool
 }
 
 // Validate reports whether the coding record is self-consistent.
@@ -51,6 +57,11 @@ type Segment struct {
 	Coding    Coding
 	Placement map[string][]int // server address -> coded indices in stored order
 	Version   int64
+	// Degraded marks a segment committed below its redundancy target
+	// N (a graceful-degradation write while servers were unreachable):
+	// the data is decodable but under-replicated, and Repair should
+	// promote it back to N blocks and clear the flag.
+	Degraded bool
 }
 
 // blockCount returns the total placed blocks.
@@ -139,8 +150,13 @@ func (s *Service) CreateSegment(seg Segment) error {
 	if seg.Size < 0 {
 		return fmt.Errorf("metadata: negative segment size")
 	}
-	if got := (&seg).blockCount(); got < seg.Coding.N {
+	// A degraded segment legitimately holds fewer than N blocks — the
+	// write-path floor (≥ decode threshold) is enforced by the robust
+	// client; metadata only insists on the weakest sane bound, K.
+	if got := (&seg).blockCount(); got < seg.Coding.N && !seg.Degraded {
 		return fmt.Errorf("metadata: placement holds %d blocks, coding requires N=%d", got, seg.Coding.N)
+	} else if got < seg.Coding.K {
+		return fmt.Errorf("metadata: placement holds %d blocks, below K=%d", got, seg.Coding.K)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,231 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/metadata"
+)
+
+// capStore accepts a fixed number of Puts and fails the rest — a
+// deterministic "server out of space" for provoking short and
+// degraded writes.
+type capStore struct {
+	blockstore.Store
+	remaining atomic.Int64
+}
+
+func newCapStore(capacity int) *capStore {
+	s := &capStore{Store: blockstore.NewMemStore()}
+	s.remaining.Store(int64(capacity))
+	return s
+}
+
+var errFull = errors.New("capstore: full")
+
+func (s *capStore) Put(ctx context.Context, segment string, index int, data []byte) error {
+	if s.remaining.Add(-1) < 0 {
+		// Fail slowly: an instantly failing put lets the retry loop burn
+		// the write's failure budget before the other stores' successful
+		// (slower) puts commit, making the committed count racy.
+		time.Sleep(time.Millisecond)
+		return errFull
+	}
+	return s.Store.Put(ctx, segment, index, data)
+}
+
+// cappedClient builds a client over n capStores of the given per-store
+// capacity. K=4 with the small test geometry, so N=16 and the default
+// degraded floor is ceil(1.75·4)=7.
+func cappedClient(t *testing.T, n, capacity int, opts Options) *Client {
+	t.Helper()
+	opts.BlockBytes = 1024
+	meta := metadata.NewService()
+	c, err := NewClient(meta, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("cap-%02d", i)
+		if err := c.AttachStore(addr, newCapStore(capacity)); err != nil {
+			t.Fatal(err)
+		}
+		meta.RegisterServer(metadata.Server{Addr: addr})
+	}
+	return c
+}
+
+// TestErrorTaxonomy provokes each failure mode of the robust client
+// and asserts that the resulting error matches its documented sentinel
+// via errors.Is — the contract callers dispatch on.
+func TestErrorTaxonomy(t *testing.T) {
+	ctx := context.Background()
+	data := randData(4096, 1) // K=4 blocks of 1024
+
+	tests := []struct {
+		name    string
+		provoke func(t *testing.T) error
+		want    error
+		notWant []error
+	}{
+		{
+			name: "no servers",
+			provoke: func(t *testing.T) error {
+				c, err := NewClient(metadata.NewService(), Options{BlockBytes: 1024})
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, err = c.Write(ctx, "seg", data, nil)
+				return err
+			},
+			want: ErrNoServers,
+		},
+		{
+			name: "segment exists",
+			provoke: func(t *testing.T) error {
+				c, _ := newTestClient(t, 4, Options{BlockBytes: 1024})
+				if _, err := c.Write(ctx, "seg", data, nil); err != nil {
+					t.Fatal(err)
+				}
+				_, err := c.Write(ctx, "seg", data, nil)
+				return err
+			},
+			want: metadata.ErrSegmentExists,
+		},
+		{
+			name: "segment not found",
+			provoke: func(t *testing.T) error {
+				c, _ := newTestClient(t, 4, Options{BlockBytes: 1024})
+				_, _, err := c.Read(ctx, "missing")
+				return err
+			},
+			want: metadata.ErrSegmentNotFound,
+		},
+		{
+			name: "short write",
+			provoke: func(t *testing.T) error {
+				// Total capacity 3·2=6 < floor 7: nothing commits.
+				c := cappedClient(t, 3, 2, Options{})
+				_, err := c.Write(ctx, "seg", data, nil)
+				return err
+			},
+			want:    ErrShortWrite,
+			notWant: []error{ErrDegradedWrite},
+		},
+		{
+			name: "short write despite DegradedWrites below floor",
+			provoke: func(t *testing.T) error {
+				c := cappedClient(t, 3, 2, Options{DegradedWrites: true})
+				_, err := c.Write(ctx, "seg", data, nil)
+				return err
+			},
+			want:    ErrShortWrite,
+			notWant: []error{ErrDegradedWrite},
+		},
+		{
+			name: "degraded write",
+			provoke: func(t *testing.T) error {
+				// Capacity 3·3=9: between the floor (7) and N (16).
+				c := cappedClient(t, 3, 3, Options{DegradedWrites: true})
+				stats, err := c.Write(ctx, "seg", data, nil)
+				if !stats.Degraded {
+					t.Errorf("stats.Degraded = false, want true")
+				}
+				return err
+			},
+			want:    ErrDegradedWrite,
+			notWant: []error{ErrShortWrite},
+		},
+		{
+			name: "unrecoverable read",
+			provoke: func(t *testing.T) error {
+				c, stores := newTestClient(t, 4, Options{BlockBytes: 1024})
+				if _, err := c.Write(ctx, "seg", data, nil); err != nil {
+					t.Fatal(err)
+				}
+				for _, s := range stores {
+					s.Close() // every get now fails; nothing decodes
+				}
+				_, _, err := c.Read(ctx, "seg")
+				return err
+			},
+			want: ErrUnrecoverable,
+		},
+		{
+			name: "corrupt share: truncated envelope",
+			provoke: func(t *testing.T) error {
+				_, err := openShare([]byte{0x52, 0x53})
+				return err
+			},
+			want: ErrCorruptShare,
+		},
+		{
+			name: "corrupt share: missing magic",
+			provoke: func(t *testing.T) error {
+				_, err := openShare(make([]byte, 32))
+				return err
+			},
+			want: ErrCorruptShare,
+		},
+		{
+			name: "corrupt share: flipped payload bit",
+			provoke: func(t *testing.T) error {
+				framed := sealShare(randData(64, 2))
+				framed[shareOverhead+5] ^= 0x10
+				_, err := openShare(framed)
+				return err
+			},
+			want: ErrCorruptShare,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.provoke(t)
+			if err == nil {
+				t.Fatalf("provoked no error, want %v", tc.want)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("errors.Is(%v, %v) = false", err, tc.want)
+			}
+			for _, nw := range tc.notWant {
+				if errors.Is(err, nw) {
+					t.Fatalf("errors.Is(%v, %v) = true, want false", err, nw)
+				}
+			}
+		})
+	}
+}
+
+// TestDegradedWriteReadable confirms a degraded commit is immediately
+// readable: the floor is above the LT decode threshold by design.
+func TestDegradedWriteReadable(t *testing.T) {
+	ctx := context.Background()
+	data := randData(4096, 3)
+	c := cappedClient(t, 3, 3, Options{DegradedWrites: true})
+	stats, err := c.Write(ctx, "seg", data, nil)
+	if !errors.Is(err, ErrDegradedWrite) {
+		t.Fatalf("Write error = %v, want ErrDegradedWrite", err)
+	}
+	if stats.Committed >= stats.N || stats.Committed < 7 {
+		t.Fatalf("Committed = %d, want in [7, %d)", stats.Committed, stats.N)
+	}
+	seg, err := c.Meta().LookupSegment("seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Degraded {
+		t.Error("segment not marked Degraded in metadata")
+	}
+	got, _, err := c.Read(ctx, "seg")
+	if err != nil {
+		t.Fatalf("Read after degraded write: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Fatal("degraded segment decoded to wrong data")
+	}
+}

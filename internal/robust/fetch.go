@@ -1,0 +1,234 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyTracker keeps a bounded reservoir of completed share-fetch
+// latencies and estimates their p99, which is the hedge trigger
+// delay: hedge only the requests that are slower than ~99% of their
+// peers, so the extra load stays ~1% while the tail collapses.
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	full    bool
+}
+
+const latencyTrackerCap = 256
+
+func (t *latencyTracker) add(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.samples) < latencyTrackerCap {
+		t.samples = append(t.samples, d)
+		return
+	}
+	t.samples[t.next] = d
+	t.next = (t.next + 1) % latencyTrackerCap
+	t.full = true
+}
+
+// p99 returns the 99th-percentile estimate, or 0 with no samples.
+func (t *latencyTracker) p99() time.Duration {
+	t.mu.Lock()
+	cp := append([]time.Duration(nil), t.samples...)
+	t.mu.Unlock()
+	if len(cp) == 0 {
+		return 0
+	}
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := len(cp) * 99 / 100
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// Hedge delay bounds: below 1ms a hedge is pure duplicated load;
+// above 2s it no longer masks anything a human would call latency.
+// Before any sample lands, 30ms is the prior.
+const (
+	hedgeDelayMin     = time.Millisecond
+	hedgeDelayMax     = 2 * time.Second
+	hedgeDelayInitial = 30 * time.Millisecond
+)
+
+// fetcher executes one read access's share fetches: CRC verification
+// with reject-and-refetch, optional hedging, latency tracking, and
+// the per-access recovery counters that end up in ReadStats.
+type fetcher struct {
+	c       *Client
+	name    string
+	sealed  bool
+	hedge   bool
+	delay   time.Duration // fixed hedge delay; 0 = adaptive
+	tracker latencyTracker
+	holders map[int][]string // index -> holder addresses (usually one)
+
+	corrupt   atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+}
+
+func newFetcher(c *Client, name string, sealed bool, placement map[string][]int) *fetcher {
+	f := &fetcher{
+		c:      c,
+		name:   name,
+		sealed: sealed,
+		hedge:  c.opts.HedgeReads,
+		delay:  c.opts.HedgeDelay,
+	}
+	if f.hedge {
+		f.holders = make(map[int][]string)
+		for addr, indices := range placement {
+			for _, i := range indices {
+				f.holders[i] = append(f.holders[i], addr)
+			}
+		}
+	}
+	return f
+}
+
+// hedgeDelay returns the current trigger delay.
+func (f *fetcher) hedgeDelay() time.Duration {
+	if f.delay > 0 {
+		return f.delay
+	}
+	d := f.tracker.p99()
+	if d == 0 {
+		return hedgeDelayInitial
+	}
+	if d < hedgeDelayMin {
+		d = hedgeDelayMin
+	}
+	if d > hedgeDelayMax {
+		d = hedgeDelayMax
+	}
+	return d
+}
+
+// getVerified performs one share fetch attempt with CRC verification
+// and a single refetch on corruption: transit corruption is usually
+// transient, disk corruption is not — one retry tells them apart
+// without letting a rotten server stall the read.
+func (f *fetcher) getVerified(ctx context.Context, store storeGetter, idx int) ([]byte, error) {
+	start := time.Now()
+	payload, err := store.Get(ctx, f.name, idx)
+	if err != nil {
+		return nil, err
+	}
+	f.tracker.add(time.Since(start))
+	if !f.sealed {
+		return payload, nil
+	}
+	data, err := openShare(payload)
+	if err == nil {
+		return data, nil
+	}
+	f.corrupt.Add(1)
+	f.c.m.readCorruptShares.Inc()
+	// Refetch once.
+	payload, gerr := store.Get(ctx, f.name, idx)
+	if gerr != nil {
+		return nil, errors.Join(err, gerr)
+	}
+	data, err2 := openShare(payload)
+	if err2 != nil {
+		f.corrupt.Add(1)
+		f.c.m.readCorruptShares.Inc()
+		return nil, err2
+	}
+	return data, nil
+}
+
+// altStore picks a different holder of idx when the placement has
+// one; otherwise the hedge goes back to the same store, where a fresh
+// connection from the pool dodges per-connection stalls.
+func (f *fetcher) altStore(primaryAddr string, idx int, primary storeGetter) storeGetter {
+	for _, addr := range f.holders[idx] {
+		if addr == primaryAddr {
+			continue
+		}
+		if st, ok := f.c.store(addr); ok {
+			return st
+		}
+	}
+	return primary
+}
+
+// fetch retrieves one share, hedging the request once its latency
+// crosses the p99-ish trigger: the hedge races the original, first
+// answer wins, the loser is canceled and drained.
+func (f *fetcher) fetch(ctx context.Context, addr string, store storeGetter, idx int) ([]byte, error) {
+	if !f.hedge {
+		return f.getVerified(ctx, store, idx)
+	}
+	type result struct {
+		data   []byte
+		err    error
+		hedged bool
+	}
+	res := make(chan result, 2)
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	go func() {
+		data, err := f.getVerified(pctx, store, idx)
+		res <- result{data, err, false}
+	}()
+	timer := time.NewTimer(f.hedgeDelay())
+	defer timer.Stop()
+	select {
+	case r := <-res:
+		return r.data, r.err
+	case <-ctx.Done():
+		pcancel()
+		<-res // join the worker; Get returns promptly once canceled
+		return nil, ctx.Err()
+	case <-timer.C:
+	}
+	// Primary is slow: launch the hedge.
+	f.hedges.Add(1)
+	f.c.m.readHedges.Inc()
+	sctx, scancel := context.WithCancel(ctx)
+	defer scancel()
+	hstore := f.altStore(addr, idx, store)
+	go func() {
+		data, err := f.getVerified(sctx, hstore, idx)
+		res <- result{data, err, true}
+	}()
+	first := <-res
+	if first.err == nil {
+		pcancel()
+		scancel()
+		<-res // drain the loser
+		if first.hedged {
+			f.hedgeWins.Add(1)
+			f.c.m.readHedgeWins.Inc()
+		} else {
+			f.c.m.readHedgeLosses.Inc()
+		}
+		return first.data, nil
+	}
+	second := <-res
+	if second.err == nil {
+		if second.hedged {
+			f.hedgeWins.Add(1)
+			f.c.m.readHedgeWins.Inc()
+		} else {
+			f.c.m.readHedgeLosses.Inc()
+		}
+		return second.data, nil
+	}
+	// Both failed; prefer the more informative (non-cancellation)
+	// error.
+	if errors.Is(first.err, context.Canceled) {
+		return nil, second.err
+	}
+	return nil, first.err
+}

@@ -19,17 +19,27 @@ import "repro/internal/obs"
 //	robust_write_failed_puts_total failed block PUTs retried elsewhere
 //	robust_write_bytes_total       coded bytes shipped to servers
 //	robust_write_latency_seconds
+//	robust_read_corrupt_shares_total  shares rejected by CRC verification
+//	robust_read_hedges_total          hedge requests issued
+//	robust_read_hedge_wins_total      hedges whose answer arrived first
+//	robust_read_hedge_losses_total    hedges beaten by the original
+//	robust_write_degraded_total       writes committed in degraded mode
 //	robust_repairs_total / robust_repair_errors_total
 //	robust_repair_regenerated_total / robust_repair_pruned_total
+//	robust_repair_promoted_total      degraded segments restored to full N
 //	robust_repair_latency_seconds
 //	robust_health_checks_total
 type clientMetrics struct {
-	reads          *obs.Counter
-	readErrors     *obs.Counter
-	readBlocks     *obs.Counter
-	readFailedGets *obs.Counter
-	readBytes      *obs.Counter
-	readLatency    *obs.Histogram
+	reads             *obs.Counter
+	readErrors        *obs.Counter
+	readBlocks        *obs.Counter
+	readFailedGets    *obs.Counter
+	readBytes         *obs.Counter
+	readLatency       *obs.Histogram
+	readCorruptShares *obs.Counter
+	readHedges        *obs.Counter
+	readHedgeWins     *obs.Counter
+	readHedgeLosses   *obs.Counter
 
 	writes          *obs.Counter
 	writeErrors     *obs.Counter
@@ -37,11 +47,13 @@ type clientMetrics struct {
 	writeFailedPuts *obs.Counter
 	writeBytes      *obs.Counter
 	writeLatency    *obs.Histogram
+	writeDegraded   *obs.Counter
 
 	repairs           *obs.Counter
 	repairErrors      *obs.Counter
 	repairRegenerated *obs.Counter
 	repairPruned      *obs.Counter
+	repairPromoted    *obs.Counter
 	repairLatency     *obs.Histogram
 
 	healthChecks *obs.Counter
@@ -51,12 +63,16 @@ type clientMetrics struct {
 // all-nil (no-op) handles.
 func newClientMetrics(r *obs.Registry) clientMetrics {
 	return clientMetrics{
-		reads:          r.Counter("robust_reads_total"),
-		readErrors:     r.Counter("robust_read_errors_total"),
-		readBlocks:     r.Counter("robust_read_blocks_total"),
-		readFailedGets: r.Counter("robust_read_failed_gets_total"),
-		readBytes:      r.Counter("robust_read_bytes_total"),
-		readLatency:    r.Histogram("robust_read_latency_seconds"),
+		reads:             r.Counter("robust_reads_total"),
+		readErrors:        r.Counter("robust_read_errors_total"),
+		readBlocks:        r.Counter("robust_read_blocks_total"),
+		readFailedGets:    r.Counter("robust_read_failed_gets_total"),
+		readBytes:         r.Counter("robust_read_bytes_total"),
+		readLatency:       r.Histogram("robust_read_latency_seconds"),
+		readCorruptShares: r.Counter("robust_read_corrupt_shares_total"),
+		readHedges:        r.Counter("robust_read_hedges_total"),
+		readHedgeWins:     r.Counter("robust_read_hedge_wins_total"),
+		readHedgeLosses:   r.Counter("robust_read_hedge_losses_total"),
 
 		writes:          r.Counter("robust_writes_total"),
 		writeErrors:     r.Counter("robust_write_errors_total"),
@@ -64,11 +80,13 @@ func newClientMetrics(r *obs.Registry) clientMetrics {
 		writeFailedPuts: r.Counter("robust_write_failed_puts_total"),
 		writeBytes:      r.Counter("robust_write_bytes_total"),
 		writeLatency:    r.Histogram("robust_write_latency_seconds"),
+		writeDegraded:   r.Counter("robust_write_degraded_total"),
 
 		repairs:           r.Counter("robust_repairs_total"),
 		repairErrors:      r.Counter("robust_repair_errors_total"),
 		repairRegenerated: r.Counter("robust_repair_regenerated_total"),
 		repairPruned:      r.Counter("robust_repair_pruned_total"),
+		repairPromoted:    r.Counter("robust_repair_promoted_total"),
 		repairLatency:     r.Histogram("robust_repair_latency_seconds"),
 
 		healthChecks: r.Counter("robust_health_checks_total"),

@@ -59,6 +59,7 @@ func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stat
 	}
 
 	dec := &lockedDecoder{d: ltcode.NewDecoder(graph)}
+	fx := newFetcher(c, name, seg.Coding.ShareCRC, seg.Placement)
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -96,7 +97,7 @@ func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stat
 						cancel()
 						return
 					}
-					payload, err := store.Get(rctx, name, idx)
+					payload, err := fx.fetch(rctx, addr, store, idx)
 					if err != nil {
 						if rctx.Err() != nil {
 							return
@@ -130,16 +131,20 @@ func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stat
 	wg.Wait()
 
 	stats = ReadStats{
-		K:           seg.Coding.K,
-		Received:    dec.Received(),
-		Reception:   dec.ReceptionOverhead(),
-		Duration:    time.Since(start),
-		PerServer:   received,
-		FailedGets:  failed,
-		UsedDecoder: dec.UsedBlocks(),
+		K:             seg.Coding.K,
+		Received:      dec.Received(),
+		Reception:     dec.ReceptionOverhead(),
+		Duration:      time.Since(start),
+		PerServer:     received,
+		FailedGets:    failed,
+		UsedDecoder:   dec.UsedBlocks(),
+		CorruptShares: int(fx.corrupt.Load()),
+		Hedges:        int(fx.hedges.Load()),
+		HedgeWins:     int(fx.hedgeWins.Load()),
 	}
 	if tr != nil {
-		tr.Stagef("per-server", "blocks=%v failed-gets=%d", received, failed)
+		tr.Stagef("per-server", "blocks=%v failed-gets=%d corrupt=%d hedges=%d/%d",
+			received, failed, stats.CorruptShares, stats.HedgeWins, stats.Hedges)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err

@@ -68,17 +68,23 @@ func (c *Client) Health(ctx context.Context, name string) (HealthReport, error) 
 
 // RepairStats reports one repair pass.
 type RepairStats struct {
-	Regenerated int // blocks re-created on healthy servers
+	Regenerated int // blocks created on healthy servers (re-placed + top-up)
 	Pruned      int // placement entries dropped (dead holders)
-	Duration    time.Duration
+	// Promoted reports that the segment was below its commit target N
+	// (a degraded write, or attrition) and this pass topped it back up
+	// to full redundancy, clearing the Degraded mark.
+	Promoted bool
+	Duration time.Duration
 }
 
 // Repair restores a segment's redundancy after server loss or block
 // corruption: it reconstructs the data from the surviving blocks,
 // regenerates the unreachable coded blocks (same graph indices), and
 // re-places them on healthy attached servers, updating the placement.
-// The segment must still be decodable; Repair fails with
-// ErrUnrecoverable otherwise.
+// A segment holding fewer than N blocks — a degraded-mode commit, or
+// cumulative attrition — is promoted back to full redundancy with
+// fresh graph indices and its Degraded mark cleared. The segment must
+// still be decodable; Repair fails with ErrUnrecoverable otherwise.
 func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, err error) {
 	start := time.Now()
 	tr := c.obs.StartTrace("repair", name)
@@ -86,6 +92,9 @@ func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, er
 		c.m.repairs.Inc()
 		c.m.repairRegenerated.Add(int64(stats.Regenerated))
 		c.m.repairPruned.Add(int64(stats.Pruned))
+		if stats.Promoted {
+			c.m.repairPromoted.Inc()
+		}
 		c.m.repairLatency.Observe(time.Since(start).Seconds())
 		if err != nil {
 			c.m.repairErrors.Inc()
@@ -147,18 +156,21 @@ func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, er
 	}
 
 	// Re-place lost blocks round-robin on healthy servers that do not
-	// already hold them.
+	// already hold them. Repairs re-seal with the segment's recorded
+	// share format so readers keep verifying a uniform envelope.
 	healthy := c.Servers()
 	if len(healthy) == 0 {
 		return stats, ErrNoServers
 	}
 	hi := 0
-	for _, idx := range lost {
+	place := func(idx int) error {
 		if err := ctx.Err(); err != nil {
-			return stats, err
+			return err
 		}
 		coded := graph.EncodeBlock(idx, blocks)
-		placed := false
+		if seg.Coding.ShareCRC {
+			coded = sealShare(coded)
+		}
 		for attempts := 0; attempts < len(healthy); attempts++ {
 			addr := healthy[hi%len(healthy)]
 			hi++
@@ -171,16 +183,58 @@ func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, er
 			}
 			newPlacement[addr] = append(newPlacement[addr], idx)
 			stats.Regenerated++
-			placed = true
-			break
+			return nil
 		}
-		if !placed {
-			return stats, fmt.Errorf("robust: repair could not re-place block %d", idx)
+		return fmt.Errorf("robust: repair could not re-place block %d", idx)
+	}
+	for _, idx := range lost {
+		if err := place(idx); err != nil {
+			return stats, err
 		}
 	}
 
+	// Promotion: a degraded commit (or cumulative attrition) leaves the
+	// segment holding fewer than N blocks even after every originally
+	// placed block is restored. Top up with fresh, unused graph indices
+	// until the commit target holds again.
+	total := 0
+	used := make(map[int]bool)
+	for _, indices := range newPlacement {
+		total += len(indices)
+		for _, i := range indices {
+			used[i] = true
+		}
+	}
+	if total < seg.Coding.N {
+		graphN := seg.Coding.GraphN
+		if graphN < seg.Coding.N {
+			graphN = seg.Coding.N
+		}
+		added := 0
+		for idx := 0; idx < graphN && total < seg.Coding.N; idx++ {
+			if used[idx] {
+				continue
+			}
+			if err := place(idx); err != nil {
+				return stats, err
+			}
+			total++
+			added++
+		}
+		if total < seg.Coding.N {
+			return stats, fmt.Errorf("robust: repair exhausted the coding graph at %d of %d blocks", total, seg.Coding.N)
+		}
+		stats.Promoted = true
+		if tr != nil {
+			tr.Stagef("promote", "topped-up=%d", added)
+		}
+	}
+	if stats.Promoted || seg.Degraded {
+		seg.Degraded = false
+	}
+
 	if tr != nil {
-		tr.Stagef("re-place", "regenerated=%d", stats.Regenerated)
+		tr.Stagef("re-place", "regenerated=%d promoted=%v", stats.Regenerated, stats.Promoted)
 	}
 	seg.Placement = newPlacement
 	if err := c.meta.UpdateSegment(seg); err != nil {

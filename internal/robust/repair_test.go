@@ -311,3 +311,70 @@ func TestHealthMissingSegment(t *testing.T) {
 		t.Fatal("repair of missing segment succeeded")
 	}
 }
+
+// TestRepairPromotesDegradedSegment walks the graceful-degradation
+// life cycle: a write that can only reach the degraded floor commits
+// (marked Degraded), a later Repair — once capacity is back — tops the
+// placement up to the full target N with fresh graph indices and
+// clears the mark.
+func TestRepairPromotesDegradedSegment(t *testing.T) {
+	ctx := context.Background()
+	data := randData(4096, 40) // K=4, N=16, floor=7
+	c := cappedClient(t, 3, 3, Options{DegradedWrites: true})
+	ws, err := c.Write(ctx, "deg", data, nil)
+	if !errors.Is(err, ErrDegradedWrite) {
+		t.Fatalf("Write error = %v, want ErrDegradedWrite", err)
+	}
+	if ws.Committed >= ws.N {
+		t.Fatalf("Committed = %d, not a degraded commit", ws.Committed)
+	}
+
+	// Capacity returns (servers recovered / new disks attached).
+	for _, addr := range c.Servers() {
+		st, _ := c.store(addr)
+		st.(*capStore).remaining.Store(1 << 20)
+	}
+
+	rs, err := c.Repair(ctx, "deg")
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if !rs.Promoted {
+		t.Fatal("RepairStats.Promoted = false, want true")
+	}
+	if rs.Regenerated < ws.N-ws.Committed {
+		t.Fatalf("Regenerated = %d, need at least %d to reach N", rs.Regenerated, ws.N-ws.Committed)
+	}
+
+	seg, err := c.Meta().LookupSegment("deg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Degraded {
+		t.Fatal("segment still marked Degraded after promotion")
+	}
+	total := 0
+	for _, indices := range seg.Placement {
+		total += len(indices)
+	}
+	if total < ws.N {
+		t.Fatalf("placement holds %d blocks after promotion, want >= N=%d", total, ws.N)
+	}
+
+	got, _, err := c.Read(ctx, "deg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("promoted segment decoded to wrong data")
+	}
+
+	// A second repair on the now-healthy segment is a no-op promotion.
+	rs2, err := c.Repair(ctx, "deg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Promoted {
+		t.Fatal("repair of a full segment reported a promotion")
+	}
+}

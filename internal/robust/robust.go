@@ -55,6 +55,42 @@ type Options struct {
 	// e.g. 0.25 forces at least four holders. Zero disables the cap
 	// (the paper's pure speculative semantics).
 	MaxServerShare float64
+	// HedgeReads enables hedged block fetches (§2.2.3/§6: speculative
+	// access masks stragglers): when a share request has been
+	// outstanding for a p99-ish delay, a second request for the same
+	// share is issued — to another holder when the placement has one,
+	// otherwise to the same server over a fresh connection (which
+	// dodges per-connection stalls). First answer wins; the loser is
+	// canceled.
+	HedgeReads bool
+	// HedgeDelay fixes the hedge trigger delay. Zero (the default)
+	// adapts: the delay tracks the p99 of this access's completed
+	// share fetches, clamped to [1ms, 2s], starting at 30ms before
+	// any sample exists.
+	HedgeDelay time.Duration
+	// DegradedWrites enables graceful degradation: a write that
+	// cannot commit the full target N (servers unreachable) still
+	// succeeds once it has committed at least the degraded floor
+	// ceil((1+DegradedFloor)·K) blocks — comfortably above the LT
+	// decode threshold of ~(1.3-1.5)·K (§5.2.4). The segment is
+	// marked Degraded in metadata and the write returns a
+	// stats-carrying error matching ErrDegradedWrite; Repair later
+	// promotes the segment back to N and clears the mark. Off by
+	// default: a short write fails with ErrShortWrite and commits
+	// nothing.
+	DegradedWrites bool
+	// DegradedFloor is the minimum redundancy of a degraded commit
+	// (default 0.75: floor = ceil(1.75·K) blocks). It must clear the
+	// LT reception overhead with margin, or a degraded segment could
+	// be undecodable the moment one more block drops.
+	DegradedFloor float64
+	// DisableShareChecksums turns off the per-share CRC-32C envelope.
+	// By default every coded block is sealed at write time and
+	// verified at read time; a corrupt share is rejected and
+	// refetched instead of being fed to the decoder — one flipped bit
+	// in one share would otherwise silently poison every original
+	// block the decoder XORs it into.
+	DisableShareChecksums bool
 	// Obs, when non-nil, receives per-access metrics (robust_* counters
 	// and latency histograms) and per-request stage traces. Nil keeps
 	// the client entirely uninstrumented — the hot paths pay only nil
@@ -81,6 +117,9 @@ func (o Options) withDefaults() Options {
 	if o.GraphSlack <= 0 {
 		o.GraphSlack = 4
 	}
+	if o.DegradedFloor == 0 {
+		o.DegradedFloor = 0.75
+	}
 	return o
 }
 
@@ -96,15 +135,31 @@ func (o Options) Validate() error {
 	return p.Validate()
 }
 
-// Errors.
+// Errors. Every failure path in this package wraps one of these
+// sentinels (or a sentinel from metadata/blockstore/transport), so
+// callers can dispatch with errors.Is across the whole taxonomy.
 var (
 	// ErrNoServers reports a write with no attached storage servers.
 	ErrNoServers = errors.New("robust: no storage servers attached")
 	// ErrUnrecoverable reports a read that exhausted every stored
 	// block without completing the decode.
 	ErrUnrecoverable = errors.New("robust: data unrecoverable from surviving blocks")
-	// ErrShortWrite reports a write that could not commit N blocks.
+	// ErrShortWrite reports a write that could not commit N blocks
+	// (nor, with DegradedWrites, the degraded floor). Nothing was
+	// recorded in metadata.
 	ErrShortWrite = errors.New("robust: not enough blocks committed")
+	// ErrCorruptShare reports a stored coded block whose CRC-32C
+	// envelope failed verification even after a refetch. The share is
+	// rejected before it can poison the decoder; the read proceeds
+	// from other shares.
+	ErrCorruptShare = errors.New("robust: share checksum mismatch")
+	// ErrDegradedWrite reports a write that committed below the
+	// target N but at or above the degraded floor. The segment WAS
+	// created (marked Degraded in metadata) and is readable; Repair
+	// restores full redundancy. Callers opting into DegradedWrites
+	// should treat errors.Is(err, ErrDegradedWrite) as a warning, not
+	// a failure.
+	ErrDegradedWrite = errors.New("robust: write committed in degraded mode")
 )
 
 // Client is a RobuSTore client bound to a metadata service and a set
@@ -228,6 +283,10 @@ type WriteStats struct {
 	Duration   time.Duration
 	PerServer  map[string]int
 	FailedPuts int
+	// Degraded reports a graceful-degradation commit: Committed is
+	// below N but at/above the degraded floor and the segment was
+	// created marked Degraded.
+	Degraded bool
 }
 
 // ReadStats reports one read access.
@@ -239,4 +298,11 @@ type ReadStats struct {
 	PerServer   map[string]int
 	FailedGets  int
 	UsedDecoder int // blocks that contributed a decoded original
+	// CorruptShares counts shares rejected by CRC verification
+	// (including refetched copies that were corrupt again).
+	CorruptShares int
+	// Hedges counts hedge requests issued; HedgeWins counts the ones
+	// whose answer arrived before the original's.
+	Hedges    int
+	HedgeWins int
 }

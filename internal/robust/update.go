@@ -75,6 +75,9 @@ func (c *Client) Update(ctx context.Context, name string, offset int64, patch []
 
 	for _, i := range order {
 		coded := graph.EncodeBlock(i, blocks)
+		if seg.Coding.ShareCRC {
+			coded = sealShare(coded)
+		}
 		for _, addr := range holders[i] {
 			store, ok := c.store(addr)
 			if !ok {

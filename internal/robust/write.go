@@ -77,6 +77,7 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 	// atomic cursor; an index whose put fails goes to a shared retry
 	// queue so another (healthier) server picks it up. A global
 	// failure budget bounds the retry churn when everything is down.
+	sealed := !c.opts.DisableShareChecksums
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -153,6 +154,9 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 						return
 					}
 					coded := graph.EncodeBlock(i, blocks)
+					if sealed {
+						coded = sealShare(coded)
+					}
 					if err := store.Put(wctx, name, i, coded); err != nil {
 						atomic.AddInt64(count, -1)
 						if wctx.Err() != nil {
@@ -200,8 +204,16 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 		return stats, err
 	}
 	if stats.Committed < n {
-		return stats, fmt.Errorf("%w: %d of %d (%d puts failed)",
-			ErrShortWrite, stats.Committed, n, stats.FailedPuts)
+		// Graceful degradation (opt-in): commit what survived when it
+		// still clears the degraded floor — comfortably above the LT
+		// decode threshold — rather than discarding a recoverable
+		// segment because some servers were down. The segment is
+		// marked Degraded so Repair can later restore full redundancy.
+		if !c.opts.DegradedWrites || stats.Committed < floorInt(k, c.opts.DegradedFloor) {
+			return stats, fmt.Errorf("%w: %d of %d (%d puts failed)",
+				ErrShortWrite, stats.Committed, n, stats.FailedPuts)
+		}
+		stats.Degraded = true
 	}
 
 	seg := metadata.Segment{
@@ -216,14 +228,27 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 			Delta:      c.opts.LTDelta,
 			GraphSeed:  seed,
 			GraphN:     graphN,
+			ShareCRC:   sealed,
 		},
 		Placement: placement,
+		Degraded:  stats.Degraded,
 	}
 	if err := c.meta.CreateSegment(seg); err != nil {
 		return stats, err
 	}
 	tr.Stage("metadata")
+	if stats.Degraded {
+		c.m.writeDegraded.Inc()
+		tr.StageDetail("degraded-commit", fmt.Sprintf("%d/%d", stats.Committed, n))
+		return stats, fmt.Errorf("%w: %d of %d blocks (floor %d)",
+			ErrDegradedWrite, stats.Committed, n, floorInt(k, c.opts.DegradedFloor))
+	}
 	return stats, nil
+}
+
+// floorInt is the degraded-commit floor ceil((1+floor)·K).
+func floorInt(k int, floor float64) int {
+	return int(math.Ceil((1 + floor) * float64(k)))
 }
 
 // storePutter is the write-path slice of blockstore.Store.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -23,6 +24,9 @@ type Client struct {
 	dialTimeout time.Duration
 	reqTimeout  time.Duration
 	maxConns    int
+	maxRetries  int
+	retryBase   time.Duration
+	retryMax    time.Duration
 	m           clientPoolMetrics
 
 	mu     sync.Mutex
@@ -47,35 +51,58 @@ type ClientOptions struct {
 	RequestTimeout time.Duration
 	// MaxConns caps the connection pool (default 16).
 	MaxConns int
+	// MaxRetries, when positive, retries failed exchanges of
+	// idempotent operations (GET, LIST, PING, DELETE) up to this many
+	// times with capped exponential backoff and full jitter. Only
+	// transport-level failures are retried — connection errors, short
+	// reads, request timeouts — never server-reported statuses and
+	// never caller cancellation. PUT is deliberately excluded: the
+	// rateless write path re-routes a failed put to a healthier server
+	// (§4.3.2), which beats blind same-server retry. Zero disables
+	// retries.
+	MaxRetries int
+	// RetryBaseDelay is the backoff base (default 2ms): attempt k
+	// sleeps a uniformly random duration in [0, min(RetryMaxDelay,
+	// RetryBaseDelay·2^k)] — "full jitter", so synchronized client
+	// fleets do not retry in lockstep against a recovering server.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps a single backoff sleep (default 100ms).
+	RetryMaxDelay time.Duration
 	// Obs, when non-nil, receives pool metrics (transport_client_*:
 	// dials, connection reuses, in-flight requests, bytes, errors,
-	// round-trip latency).
+	// retries, round-trip latency).
 	Obs *obs.Registry
 }
 
 // clientPoolMetrics are the connection-pool metric handles; all nil
 // (no-op) when observability is disabled.
 type clientPoolMetrics struct {
-	dials      *obs.Counter
-	dialErrors *obs.Counter
-	reuses     *obs.Counter
-	errors     *obs.Counter
-	bytesSent  *obs.Counter
-	bytesRecv  *obs.Counter
-	inflight   *obs.Gauge
-	roundTrip  *obs.Histogram
+	dials        *obs.Counter
+	dialErrors   *obs.Counter
+	reuses       *obs.Counter
+	errors       *obs.Counter
+	retries      *obs.Counter
+	retriesWon   *obs.Counter
+	retryGiveups *obs.Counter
+	bytesSent    *obs.Counter
+	bytesRecv    *obs.Counter
+	inflight     *obs.Gauge
+	roundTrip    *obs.Histogram
 }
 
 func newClientPoolMetrics(r *obs.Registry) clientPoolMetrics {
 	return clientPoolMetrics{
-		dials:      r.Counter("transport_client_dials_total"),
-		dialErrors: r.Counter("transport_client_dial_errors_total"),
-		reuses:     r.Counter("transport_client_conn_reuses_total"),
-		errors:     r.Counter("transport_client_errors_total"),
-		bytesSent:  r.Counter("transport_client_bytes_sent_total"),
-		bytesRecv:  r.Counter("transport_client_bytes_recv_total"),
-		inflight:   r.Gauge("transport_client_inflight"),
-		roundTrip:  r.Histogram("transport_client_roundtrip_seconds"),
+		dials:        r.Counter("transport_client_dials_total"),
+		dialErrors:   r.Counter("transport_client_dial_errors_total"),
+		reuses:       r.Counter("transport_client_conn_reuses_total"),
+		errors:       r.Counter("transport_client_errors_total"),
+		retries:      r.Counter("transport_client_retries_total"),
+		retriesWon:   r.Counter("transport_client_retry_successes_total"),
+		retryGiveups: r.Counter("transport_client_retry_giveups_total"),
+		bytesSent:    r.Counter("transport_client_bytes_sent_total"),
+		bytesRecv:    r.Counter("transport_client_bytes_recv_total"),
+		inflight:     r.Gauge("transport_client_inflight"),
+		roundTrip:    r.Histogram("transport_client_roundtrip_seconds"),
 	}
 }
 
@@ -88,11 +115,20 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	if opts.MaxConns <= 0 {
 		opts.MaxConns = 16
 	}
+	if opts.RetryBaseDelay <= 0 {
+		opts.RetryBaseDelay = 2 * time.Millisecond
+	}
+	if opts.RetryMaxDelay <= 0 {
+		opts.RetryMaxDelay = 100 * time.Millisecond
+	}
 	c := &Client{
 		addr:        addr,
 		dialTimeout: opts.DialTimeout,
 		reqTimeout:  opts.RequestTimeout,
 		maxConns:    opts.MaxConns,
+		maxRetries:  opts.MaxRetries,
+		retryBase:   opts.RetryBaseDelay,
+		retryMax:    opts.RetryMaxDelay,
 		m:           newClientPoolMetrics(opts.Obs),
 	}
 	c.cond = sync.NewCond(&c.mu)
@@ -185,17 +221,97 @@ func (c *Client) discard(conn net.Conn) {
 // and not a caller cancellation).
 var ErrRequestTimeout = errors.New("transport: request timed out")
 
-// roundTrip performs one request/response exchange. Cancellation is
-// implemented by closing the connection out from under the exchange —
-// the server's per-connection context then cancels the queued work
-// (RobuSTore request cancellation over the wire). When RequestTimeout
-// is set, a connection deadline additionally bounds the exchange so a
-// hung server surfaces as ErrRequestTimeout instead of a stall.
+// roundTrip performs one request/response exchange with no retries —
+// the path for non-idempotent operations (PUT).
 func (c *Client) roundTrip(ctx context.Context, op byte, segment string, index int, payload []byte) (byte, []byte, error) {
 	body, err := encodeRequest(op, segment, index, payload)
 	if err != nil {
 		return 0, nil, err
 	}
+	return c.exchange(ctx, body)
+}
+
+// roundTripIdem performs one exchange for an idempotent operation,
+// retrying transport-level failures up to MaxRetries times with
+// capped exponential backoff and full jitter. Server-reported
+// statuses are not failures (they arrived over a healthy exchange)
+// and caller cancellation always wins immediately.
+func (c *Client) roundTripIdem(ctx context.Context, op byte, segment string, index int, payload []byte) (byte, []byte, error) {
+	body, err := encodeRequest(op, segment, index, payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	retried := false
+	for attempt := 0; ; attempt++ {
+		status, resp, err := c.exchange(ctx, body)
+		if err == nil {
+			if retried {
+				c.m.retriesWon.Inc()
+			}
+			return status, resp, nil
+		}
+		if attempt >= c.maxRetries || !retryable(ctx, err) {
+			if retried {
+				c.m.retryGiveups.Inc()
+			}
+			return 0, nil, err
+		}
+		retried = true
+		c.m.retries.Inc()
+		if serr := c.backoff(ctx, attempt); serr != nil {
+			c.m.retryGiveups.Inc()
+			return 0, nil, err
+		}
+	}
+}
+
+// retryable reports whether a failed exchange is worth re-issuing:
+// transport-level trouble (broken conn, short read, timeout) is,
+// caller cancellation and a closed client are not.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	return !errors.Is(err, errClientClosed) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoff sleeps the full-jitter backoff for the given attempt,
+// honoring ctx: a uniformly random duration in [0, min(retryMax,
+// retryBase·2^attempt)].
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	ceil := c.retryMax
+	if attempt < 20 { // beyond 2^20 the shift is surely past the cap
+		if d := c.retryBase << attempt; d < ceil {
+			ceil = d
+		}
+	}
+	d := time.Duration(rand.Int63n(int64(ceil) + 1))
+	if d == 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// exchange performs one request/response exchange. Cancellation is
+// implemented by closing the connection out from under the exchange —
+// the server's per-connection context then cancels the queued work
+// (RobuSTore request cancellation over the wire). When RequestTimeout
+// is set, a connection deadline additionally bounds the exchange so a
+// hung server surfaces as ErrRequestTimeout instead of a stall.
+// Any exchange error — write failure, short read, protocol violation
+// — discards the connection rather than pooling it: after a failed
+// exchange the conn's protocol state is unknown, and a pooled
+// half-read conn would poison the next request on it.
+func (c *Client) exchange(ctx context.Context, body []byte) (byte, []byte, error) {
 	conn, err := c.acquire(ctx)
 	if err != nil {
 		c.m.errors.Inc()
@@ -238,6 +354,15 @@ func (c *Client) roundTrip(ctx context.Context, op byte, segment string, index i
 		c.m.errors.Inc()
 		return 0, nil, c.wrapExchangeErr(err, canceled, ctx)
 	}
+	if len(resp) < 1 {
+		// Empty response frame: a protocol violation. The conn's
+		// framing may look intact, but a server that violates the
+		// protocol once cannot be trusted with pooled reuse — drop it
+		// instead of handing the next request a poisoned conn.
+		c.discard(conn)
+		c.m.errors.Inc()
+		return 0, nil, fmt.Errorf("transport: empty response")
+	}
 	if canceled || c.reqTimeout > 0 {
 		// Clear the request deadline (and any poison from a cancellation
 		// that raced with the response) before pooling the connection.
@@ -247,9 +372,6 @@ func (c *Client) roundTrip(ctx context.Context, op byte, segment string, index i
 	c.m.bytesSent.Add(int64(len(body)) + 4)
 	c.m.bytesRecv.Add(int64(len(resp)) + 4)
 	c.m.roundTrip.Observe(time.Since(start).Seconds())
-	if len(resp) < 1 {
-		return 0, nil, fmt.Errorf("transport: empty response")
-	}
 	return resp[0], resp[1:], nil
 }
 
@@ -285,7 +407,7 @@ func statusToError(status byte, payload []byte) error {
 
 // Ping checks server liveness.
 func (c *Client) Ping(ctx context.Context) error {
-	status, payload, err := c.roundTrip(ctx, opPing, "-", 0, nil)
+	status, payload, err := c.roundTripIdem(ctx, opPing, "-", 0, nil)
 	if err != nil {
 		return err
 	}
@@ -303,7 +425,7 @@ func (c *Client) Put(ctx context.Context, segment string, index int, data []byte
 
 // Get implements blockstore.Store.
 func (c *Client) Get(ctx context.Context, segment string, index int) ([]byte, error) {
-	status, payload, err := c.roundTrip(ctx, opGet, segment, index, nil)
+	status, payload, err := c.roundTripIdem(ctx, opGet, segment, index, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -313,9 +435,10 @@ func (c *Client) Get(ctx context.Context, segment string, index int) ([]byte, er
 	return payload, nil
 }
 
-// Delete implements blockstore.Store.
+// Delete implements blockstore.Store. Deletes are idempotent
+// (deleting an absent block is not an error), so they retry.
 func (c *Client) Delete(ctx context.Context, segment string, index int) error {
-	status, payload, err := c.roundTrip(ctx, opDelete, segment, index, nil)
+	status, payload, err := c.roundTripIdem(ctx, opDelete, segment, index, nil)
 	if err != nil {
 		return err
 	}
@@ -324,7 +447,7 @@ func (c *Client) Delete(ctx context.Context, segment string, index int) error {
 
 // List implements blockstore.Store.
 func (c *Client) List(ctx context.Context, segment string) ([]int, error) {
-	status, payload, err := c.roundTrip(ctx, opList, segment, 0, nil)
+	status, payload, err := c.roundTripIdem(ctx, opList, segment, 0, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,24 +1,32 @@
 #!/usr/bin/env bash
 # bench_baseline.sh — regenerate the repo's benchmark baseline.
 #
-# Usage: ./scripts/bench_baseline.sh [output.json]   (default BENCH_2.json)
+# Usage: ./scripts/bench_baseline.sh [output.json]   (default BENCH_3.json)
 #
 # Runs the headline reproduction benchmarks once (-benchtime 1x) and
 # writes their b.ReportMetric values as a JSON baseline: LT decode
 # bandwidth, 64-disk RobuSTore read bandwidth, and the speedup over
 # RAID-0 — the numbers future PRs diff against to claim a perf
-# trajectory. Absolute values are machine-dependent; the committed
-# baseline records the metric *set* and one reference machine's
-# numbers, and CI's bench-smoke job re-runs this script and checks the
-# metric keys still match.
+# trajectory. Also runs the chaos stalled-read benchmark (several
+# iterations: its metrics are latency tails under injected stalls) to
+# record hedged vs unhedged read latency and hedge counts. Absolute
+# values are machine-dependent; the committed baseline records the
+# metric *set* and one reference machine's numbers, and CI's
+# bench-smoke job re-runs this script and checks the metric keys still
+# match.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_3.json}"
 bench='BenchmarkFig53DecodeBandwidth|BenchmarkFig66ReadVsDisks|BenchmarkHeadline'
+chaos_bench='BenchmarkChaosStalledRead'
 
 raw=$(go test -bench "$bench" -benchtime 1x -run '^$' .)
 echo "$raw" >&2
+raw_chaos=$(go test -bench "$chaos_bench" -benchtime 10x -run '^$' ./internal/robust/)
+echo "$raw_chaos" >&2
+raw="$raw
+$raw_chaos"
 
 # Benchmark output lines look like:
 #   BenchmarkFoo-8  1  123 ns/op  45.6 some-metric  7.8 other-metric
@@ -42,7 +50,7 @@ fi
 {
     printf '{\n'
     printf '  "schema": 1,\n'
-    printf '  "bench_filter": "%s",\n' "$bench"
+    printf '  "bench_filter": "%s",\n' "$bench|$chaos_bench"
     printf '  "benchtime": "1x",\n'
     printf '  "metrics": {\n'
     i=0

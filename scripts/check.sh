@@ -9,13 +9,16 @@
 #   3. go vet ./...
 #   4. robustore-lint ./...      (project analyzers: determinism,
 #      lock copies, goroutine hygiene, float equality — internal/lint;
-#      plus an explicit pass over internal/obs, the instrumentation
-#      layer every concurrent path calls into)
+#      plus explicit passes over internal/obs and internal/faultinject,
+#      the layers every concurrent path calls into)
 #   5. go test -shuffle=on ./...
 #   6. go test -race on the concurrency-heavy packages
-#   7. bench smoke: every benchmark once (client overhead + headline
+#   7. chaos suite under -race: real client/server pairs through
+#      fault-injection scenarios (stalls, resets, corruption,
+#      degraded writes, repair promotion)
+#   8. bench smoke: every benchmark once (client overhead + headline
 #      reproduction metrics; see scripts/bench_baseline.sh for the
-#      committed BENCH_2.json baseline)
+#      committed BENCH_3.json baseline)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,8 +39,8 @@ go vet ./...
 echo "==> robustore-lint ./..."
 go run ./cmd/robustore-lint ./...
 
-echo "==> robustore-lint ./internal/obs/ (explicit)"
-go run ./cmd/robustore-lint ./internal/obs/
+echo "==> robustore-lint ./internal/obs/ ./internal/faultinject/ (explicit)"
+go run ./cmd/robustore-lint ./internal/obs/ ./internal/faultinject/
 
 echo "==> go test ./..."
 go test -shuffle=on ./...
@@ -46,11 +49,15 @@ echo "==> go test -race (concurrency-heavy packages)"
 go test -race -count=1 -timeout 10m \
     ./internal/robust/ \
     ./internal/transport/ \
+    ./internal/faultinject/ \
     ./internal/accessctl/ \
     ./internal/admission/ \
     ./internal/blockstore/ \
     ./internal/cluster/ \
     ./internal/obs/
+
+echo "==> chaos suite under -race"
+go test -race -count=1 -timeout 10m -run 'TestChaos' ./internal/robust/
 
 echo "==> bench smoke (client overhead + headline metrics, 1 iteration)"
 go test -bench . -benchtime 1x -run '^$' ./internal/robust/
