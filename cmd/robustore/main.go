@@ -10,8 +10,21 @@
 //	robustore -servers ...                         stat name
 //	robustore                                      ls
 //	robustore -servers ...                         rm name
+//	robustore -servers ...                         scrub [name]
+//	robustore -servers ...                         repair --all
+//	robustore -servers ...                         daemon
 //
-// Flags -meta (snapshot path), -redundancy, -block tune behaviour.
+// The daemon command runs the self-healing control plane in the
+// foreground until interrupted: a prober feeds the failure detector
+// (Down servers leave write placement and read fan-out, rejoining on
+// a successful probe) while the scrub daemon walks all segments,
+// deletes scrub-condemned shares, and drains the repair queue under
+// the -repair-rate bandwidth budget. -metrics-listen exposes the
+// health_*, scrub_*, and repair_queue_* series over HTTP.
+//
+// Flags -meta (snapshot path), -redundancy, -block tune behaviour;
+// -scrub-interval, -probe-interval, -repair-rate, -metrics-listen
+// tune the daemon.
 package main
 
 import (
@@ -19,24 +32,34 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/metadata"
+	"repro/internal/obs"
 	"repro/internal/robust"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		servers    = flag.String("servers", "", "comma-separated block server addresses")
-		metaPath   = flag.String("meta", "robustore-meta.json", "local metadata snapshot path")
-		metaServer = flag.String("meta-server", "", "networked metadata server address (overrides -meta)")
-		redundancy = flag.Float64("redundancy", 3, "data redundancy D (stored = (1+D) x data)")
-		blockKB    = flag.Int64("block", 1024, "coded block size in KB")
-		timeout    = flag.Duration("timeout", 5*time.Minute, "operation timeout")
+		servers       = flag.String("servers", "", "comma-separated block server addresses")
+		metaPath      = flag.String("meta", "robustore-meta.json", "local metadata snapshot path")
+		metaServer    = flag.String("meta-server", "", "networked metadata server address (overrides -meta)")
+		redundancy    = flag.Float64("redundancy", 3, "data redundancy D (stored = (1+D) x data)")
+		blockKB       = flag.Int64("block", 1024, "coded block size in KB")
+		timeout       = flag.Duration("timeout", 5*time.Minute, "operation timeout")
+		scrubInterval = flag.Duration("scrub-interval", 30*time.Second, "daemon: pause between scrub passes")
+		probeInterval = flag.Duration("probe-interval", time.Second, "daemon: pause between liveness probe rounds")
+		repairRate    = flag.Int64("repair-rate", 0, "daemon: repair bandwidth budget in bytes/sec (0 = unlimited)")
+		metricsListen = flag.String("metrics-listen", "", "daemon: serve /metrics on this HTTP address (\":port\" binds loopback; empty disables)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -68,10 +91,22 @@ func main() {
 			fatal(err)
 		}
 	}
-	client, err := robust.NewClient(meta, robust.Options{
+	// Daemon mode wires the full self-healing loop: a registry for the
+	// health_*/scrub_* series and a failure detector the client both
+	// feeds (request outcomes) and consults (placement exclusion).
+	var reg *obs.Registry
+	var tracker *health.Tracker
+	copts := robust.Options{
 		Redundancy: *redundancy,
 		BlockBytes: *blockKB << 10,
-	})
+	}
+	if args[0] == "daemon" {
+		reg = obs.NewRegistry()
+		tracker = health.NewTracker(health.Options{Obs: reg})
+		copts.Obs = reg
+		copts.Health = tracker
+	}
+	client, err := robust.NewClient(meta, copts)
 	if err != nil {
 		fatal(err)
 	}
@@ -176,6 +211,19 @@ func main() {
 		if len(args) != 2 {
 			usage()
 		}
+		if args[1] == "--all" || args[1] == "-all" {
+			d := robust.NewDaemon(client, robust.DaemonOptions{
+				RepairRateBytesPerSec: *repairRate,
+			})
+			stats, err := d.RunOnce(ctx)
+			saveMeta() // partial progress is still progress
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("scanned %d segments: %d queued, %d repaired, %d corrupt and %d missing shares found\n",
+				stats.Scanned, stats.Enqueued, stats.Repaired, stats.Corrupt, stats.Missing)
+			break
+		}
 		st, err := client.Repair(ctx, args[1])
 		if err != nil {
 			fatal(err)
@@ -183,10 +231,90 @@ func main() {
 		saveMeta()
 		fmt.Printf("repaired %s: %d blocks regenerated, %d placement entries pruned in %v\n",
 			args[1], st.Regenerated, st.Pruned, st.Duration.Round(time.Millisecond))
+	case "scrub":
+		if len(args) > 2 {
+			usage()
+		}
+		names := meta.ListSegments()
+		if len(args) == 2 {
+			names = []string{args[1]}
+		}
+		for _, name := range names {
+			audit, err := client.Audit(ctx, name)
+			if err != nil {
+				fatal(err)
+			}
+			status := "ok"
+			if audit.NeedsRepair() {
+				status = "NEEDS REPAIR"
+			}
+			fmt.Printf("%s: %d/%d shares live, %d corrupt, %d missing (deficit %d) %s\n",
+				name, audit.Live, audit.N, audit.Corrupt, audit.Missing, audit.Deficit(), status)
+		}
+	case "daemon":
+		if len(args) != 1 {
+			usage()
+		}
+		runDaemon(client, tracker, reg, saveMeta, daemonConfig{
+			scrubInterval: *scrubInterval,
+			probeInterval: *probeInterval,
+			repairRate:    *repairRate,
+			metricsListen: *metricsListen,
+		})
 	default:
 		usage()
 	}
 	_ = addrs
+}
+
+// daemonConfig carries the daemon command's flag values.
+type daemonConfig struct {
+	scrubInterval time.Duration
+	probeInterval time.Duration
+	repairRate    int64
+	metricsListen string
+}
+
+// runDaemon runs the self-healing control plane in the foreground:
+// liveness prober feeding the failure detector, scrub/repair daemon
+// draining the queue, optional /metrics endpoint. Returns on
+// SIGINT/SIGTERM after stopping both loops and persisting metadata.
+func runDaemon(client *robust.Client, tracker *health.Tracker, reg *obs.Registry, saveMeta func(), cfg daemonConfig) {
+	if cfg.metricsListen != "" {
+		addr := cfg.metricsListen
+		if strings.HasPrefix(addr, ":") {
+			addr = "127.0.0.1" + addr
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		defer ln.Close()
+		go http.Serve(ln, obs.Handler(reg))
+		fmt.Fprintf(os.Stderr, "robustore: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	prober := health.NewProber(tracker, client.Servers, client.Probe,
+		health.ProberOptions{Interval: cfg.probeInterval, Obs: reg})
+	prober.Start()
+	daemon := robust.NewDaemon(client, robust.DaemonOptions{
+		ScrubInterval:         cfg.scrubInterval,
+		RepairRateBytesPerSec: cfg.repairRate,
+		Obs:                   reg,
+	})
+	daemon.Start()
+	fmt.Fprintf(os.Stderr, "robustore: daemon running (scrub every %v, probe every %v); ^C to stop\n",
+		cfg.scrubInterval, cfg.probeInterval)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	signal.Stop(sig)
+
+	fmt.Fprintln(os.Stderr, "robustore: shutting down")
+	daemon.Stop()
+	prober.Stop()
+	saveMeta()
 }
 
 func printPerServer(per map[string]int) {
@@ -210,7 +338,11 @@ commands:
   rm <name>             delete a segment
   health <name>         audit block reachability and decodability
   repair <name>         regenerate unreachable blocks on healthy servers
-flags: -servers -meta -meta-server -redundancy -block -timeout (see -h)`)
+  repair --all          one scrub+repair pass over every segment
+  scrub [name]          integrity audit (live/corrupt/missing shares)
+  daemon                run the self-healing prober + scrub/repair loop
+flags: -servers -meta -meta-server -redundancy -block -timeout
+       -scrub-interval -probe-interval -repair-rate -metrics-listen (see -h)`)
 	os.Exit(2)
 }
 

@@ -16,6 +16,12 @@
 // traces). The endpoint has no authentication: a bare ":port" binds
 // 127.0.0.1 only; an explicit host is required to expose it wider.
 //
+// With -checksum, blocks are framed with CRC-32C on disk and the
+// server answers the SCRUB op, letting the client's scrub/repair
+// daemon detect at-rest bit rot without moving payload data. Without
+// it SCRUB reports "unsupported" and scrubs degrade to presence
+// checks.
+//
 // With -faults, the server injects deterministic faults (seeded by
 // -fault-seed) into its own serving path for chaos testing: store-level
 // faults (latency, stall-then-drop, errors, GET corruption) and

@@ -21,6 +21,10 @@ var (
 	ErrNotFound = errors.New("blockstore: block not found")
 	// ErrClosed reports use after Close.
 	ErrClosed = errors.New("blockstore: store closed")
+	// ErrScrubUnsupported reports a Scrub against a store with no
+	// integrity framing to verify (no ChecksumStore in its stack, or a
+	// remote server without one).
+	ErrScrubUnsupported = errors.New("blockstore: scrub unsupported")
 )
 
 // Store is the block-level storage interface. Implementations must be
@@ -37,6 +41,18 @@ type Store interface {
 	List(ctx context.Context, segment string) ([]int, error)
 	// Close releases resources.
 	Close() error
+}
+
+// Scrubber is implemented by stores that can verify a segment's
+// blocks in place and report the corrupt ones — ChecksumStore
+// locally, transport.Client via the SCRUB protocol op. The scrub/
+// repair daemon uses it to detect silent corruption without
+// downloading every block; a store without integrity framing returns
+// ErrScrubUnsupported.
+type Scrubber interface {
+	// Scrub returns the indices of segment whose stored blocks fail
+	// verification (unreadable or checksum mismatch), ascending.
+	Scrub(ctx context.Context, segment string) ([]int, error)
 }
 
 // validate rejects malformed addresses before they reach a backend.

@@ -33,6 +33,8 @@ func WithChecksums(inner Store) *ChecksumStore {
 	return &ChecksumStore{inner: inner}
 }
 
+var _ Scrubber = (*ChecksumStore)(nil)
+
 // seal frames data as [magic u32][crc u32][data].
 func seal(data []byte) []byte {
 	out := make([]byte, 8+len(data))

@@ -3,6 +3,7 @@ package blockstore
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 )
 
 // FileStore persists blocks as files under a root directory:
@@ -50,7 +52,10 @@ func (s *FileStore) checkOpen() error {
 	return nil
 }
 
-// Put writes the block atomically (temp file + rename).
+// Put writes the block atomically and durably: temp file, fsync,
+// rename, then fsync of the segment directory. Without the file sync
+// a crash after rename can surface a complete-looking block full of
+// zeroes; without the directory sync the rename itself can vanish.
 func (s *FileStore) Put(ctx context.Context, segment string, index int, data []byte) error {
 	if err := validate(segment, index); err != nil {
 		return err
@@ -75,12 +80,31 @@ func (s *FileStore) Put(ctx context.Context, segment string, index int, data []b
 		os.Remove(tmpName)
 		return fmt.Errorf("blockstore: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("blockstore: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("blockstore: %w", err)
 	}
 	if err := os.Rename(tmpName, s.blockPath(segment, index)); err != nil {
 		os.Remove(tmpName)
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a
+// crash. Filesystems that cannot sync directories are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
 		return fmt.Errorf("blockstore: %w", err)
 	}
 	return nil
@@ -115,6 +139,9 @@ func (s *FileStore) Delete(ctx context.Context, segment string, index int) error
 	if err := s.checkOpen(); err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	err := os.Remove(s.blockPath(segment, index))
 	if err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("blockstore: %w", err)
@@ -128,6 +155,9 @@ func (s *FileStore) List(ctx context.Context, segment string) ([]int, error) {
 		return nil, validate(segment, 0)
 	}
 	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	entries, err := os.ReadDir(s.segDir(segment))

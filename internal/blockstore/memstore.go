@@ -71,6 +71,9 @@ func (s *MemStore) Delete(ctx context.Context, segment string, index int) error 
 	if err := validate(segment, index); err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -90,6 +93,9 @@ func (s *MemStore) Delete(ctx context.Context, segment string, index int) error 
 func (s *MemStore) List(ctx context.Context, segment string) ([]int, error) {
 	if segment == "" {
 		return nil, validate(segment, 0)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -65,7 +65,7 @@ type Config struct {
 	// latency has been served.
 	ErrProb float64
 	// Ops restricts store-level faults to the named operations
-	// ("get", "put", "delete", "list"); empty means all. The conn
+	// ("get", "put", "delete", "list", "scrub"); empty means all. The conn
 	// wrapper ignores it (the wire does not know op boundaries until
 	// decode).
 	Ops []string

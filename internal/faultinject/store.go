@@ -109,5 +109,20 @@ func (s *faultStore) List(ctx context.Context, segment string) ([]int, error) {
 	return s.inner.List(ctx, segment)
 }
 
+// Scrub forwards to the inner store's Scrubber behind "scrub"-op
+// faults, so a server stack wrapped for chaos testing keeps its
+// in-place verification ability. An inner store without one reports
+// ErrScrubUnsupported.
+func (s *faultStore) Scrub(ctx context.Context, segment string) ([]int, error) {
+	sc, ok := s.inner.(blockstore.Scrubber)
+	if !ok {
+		return nil, blockstore.ErrScrubUnsupported
+	}
+	if err := s.before(ctx, "scrub"); err != nil {
+		return nil, err
+	}
+	return sc.Scrub(ctx, segment)
+}
+
 // Close implements blockstore.Store.
 func (s *faultStore) Close() error { return s.inner.Close() }

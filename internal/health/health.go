@@ -1,0 +1,334 @@
+// Package health is the failure detector of RobuSTore's self-healing
+// control plane. The paper's speculative access (§4.2) masks slow and
+// dead servers *per request*; this package gives the cluster a
+// durable opinion about them, so the client can stop routing work at
+// a dead server instead of re-discovering its death on every access,
+// and the repair daemon knows whose blocks to regenerate.
+//
+// A Tracker keeps one Up → Suspect → Down state machine per server,
+// fed by two signal sources: data-path round-trip outcomes (every
+// PUT/GET the robust client performs) and the periodic PINGs of a
+// Prober. Transitions are driven only by reported events — never by a
+// background clock — so a test that injects a fake clock and a fixed
+// event sequence replays transitions deterministically:
+//
+//   - Up → Suspect after SuspectAfter consecutive failures.
+//   - Suspect → Down after DownAfter consecutive failures, or when
+//     the server has been Suspect for DownTimeout without a single
+//     success (whichever a reported failure observes first).
+//   - any state → Up on one success: servers rejoin the moment a
+//     probe or request lands.
+//
+// A Down server is excluded from write placement and read fan-out
+// (see robust.Options.Health) but keeps being probed, which is how it
+// rejoins. Suspect is advisory: the server stays in rotation — the
+// speculative access paths already tolerate it — but the state is
+// visible in metrics and to OnChange subscribers.
+package health
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// State is a server's health verdict.
+type State int
+
+// The detector states, ordered by degradation.
+const (
+	Up State = iota
+	Suspect
+	Down
+)
+
+// String returns the lowercase state name.
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configure a Tracker.
+type Options struct {
+	// SuspectAfter is the consecutive-failure count that moves an Up
+	// server to Suspect (default 3).
+	SuspectAfter int
+	// DownAfter is the consecutive-failure count that moves a Suspect
+	// server to Down (default 6).
+	DownAfter int
+	// DownTimeout moves a Suspect server to Down when a failure is
+	// reported after the server has been Suspect this long with no
+	// intervening success (default 10s). Zero disables the timeout
+	// path; the count threshold still applies.
+	DownTimeout time.Duration
+	// Now is the clock (default time.Now). Tests inject a fake clock
+	// so timeout-driven transitions are deterministic.
+	Now func() time.Time
+	// Obs, when non-nil, receives health_* metrics: state gauges,
+	// transition/eviction/rejoin counters.
+	Obs *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 3
+	}
+	if o.DownAfter <= 0 {
+		o.DownAfter = 6
+	}
+	if o.DownAfter < o.SuspectAfter {
+		o.DownAfter = o.SuspectAfter
+	}
+	if o.DownTimeout == 0 {
+		o.DownTimeout = 10 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// ServerHealth is one server's snapshot.
+type ServerHealth struct {
+	Addr         string
+	State        State
+	ConsecFails  int
+	LastSuccess  time.Time // zero until the first success
+	LastFailure  time.Time // zero until the first failure
+	SuspectSince time.Time // zero unless currently Suspect or Down
+}
+
+// trackerMetrics are the detector's metric handles (nil/no-op without
+// a registry). The gauges always reflect the current state census.
+type trackerMetrics struct {
+	transitions *obs.Counter
+	evictions   *obs.Counter
+	rejoins     *obs.Counter
+	up          *obs.Gauge
+	suspect     *obs.Gauge
+	down        *obs.Gauge
+}
+
+func newTrackerMetrics(r *obs.Registry) trackerMetrics {
+	return trackerMetrics{
+		transitions: r.Counter("health_transitions_total"),
+		evictions:   r.Counter("health_evictions_total"),
+		rejoins:     r.Counter("health_rejoins_total"),
+		up:          r.Gauge("health_servers_up"),
+		suspect:     r.Gauge("health_servers_suspect"),
+		down:        r.Gauge("health_servers_down"),
+	}
+}
+
+// serverState is the per-server machine.
+type serverState struct {
+	state        State
+	consecFails  int
+	lastSuccess  time.Time
+	lastFailure  time.Time
+	suspectSince time.Time
+}
+
+// Tracker is the failure detector. Safe for concurrent use.
+type Tracker struct {
+	opts Options
+	m    trackerMetrics
+
+	mu      sync.Mutex
+	servers map[string]*serverState
+	subs    []func(addr string, from, to State)
+}
+
+// NewTracker returns an empty detector.
+func NewTracker(opts Options) *Tracker {
+	return &Tracker{
+		opts:    opts.withDefaults(),
+		m:       newTrackerMetrics(opts.Obs),
+		servers: make(map[string]*serverState),
+	}
+}
+
+// OnChange registers a callback invoked (outside the tracker's lock)
+// on every state transition. Register before feeding events.
+func (t *Tracker) OnChange(fn func(addr string, from, to State)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.subs = append(t.subs, fn)
+}
+
+// Track ensures addr has an entry, starting Up. Idempotent.
+func (t *Tracker) Track(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensure(addr)
+}
+
+// Forget drops addr's entry (a decommissioned server).
+func (t *Tracker) Forget(addr string) {
+	t.mu.Lock()
+	if _, ok := t.servers[addr]; ok {
+		delete(t.servers, addr)
+		t.setGauges()
+	}
+	t.mu.Unlock()
+}
+
+// ensure returns the entry for addr, creating it Up. Caller holds mu.
+func (t *Tracker) ensure(addr string) *serverState {
+	s, ok := t.servers[addr]
+	if !ok {
+		s = &serverState{state: Up}
+		t.servers[addr] = s
+		t.setGauges()
+	}
+	return s
+}
+
+// setGauges republishes the state census. Caller holds mu.
+func (t *Tracker) setGauges() {
+	var up, suspect, down int
+	for _, s := range t.servers {
+		switch s.state {
+		case Up:
+			up++
+		case Suspect:
+			suspect++
+		case Down:
+			down++
+		}
+	}
+	t.m.up.Set(float64(up))
+	t.m.suspect.Set(float64(suspect))
+	t.m.down.Set(float64(down))
+}
+
+// transition moves addr from its current state to next, updating
+// metrics and collecting subscriber calls. Caller holds mu; the
+// returned func (possibly nil) must be invoked after unlocking.
+func (t *Tracker) transition(addr string, s *serverState, next State) func() {
+	from := s.state
+	if from == next {
+		return nil
+	}
+	s.state = next
+	t.m.transitions.Inc()
+	if next == Down {
+		t.m.evictions.Inc()
+	}
+	if from == Down && next == Up {
+		t.m.rejoins.Inc()
+	}
+	t.setGauges()
+	subs := append([]func(addr string, from, to State){}, t.subs...)
+	return func() {
+		for _, fn := range subs {
+			fn(addr, from, next)
+		}
+	}
+}
+
+// ReportSuccess records one successful round trip (request or probe):
+// the failure streak resets and the server rejoins Up from any state.
+func (t *Tracker) ReportSuccess(addr string) {
+	t.mu.Lock()
+	s := t.ensure(addr)
+	s.consecFails = 0
+	s.lastSuccess = t.opts.Now()
+	s.suspectSince = time.Time{}
+	notify := t.transition(addr, s, Up)
+	t.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// ReportFailure records one failed round trip and applies the
+// consecutive-failure and timeout thresholds.
+func (t *Tracker) ReportFailure(addr string) {
+	now := t.opts.Now()
+	t.mu.Lock()
+	s := t.ensure(addr)
+	s.consecFails++
+	s.lastFailure = now
+	var notify func()
+	switch s.state {
+	case Up:
+		if s.consecFails >= t.opts.SuspectAfter {
+			s.suspectSince = now
+			notify = t.transition(addr, s, Suspect)
+			// With DownAfter == SuspectAfter one streak crosses both
+			// thresholds; fall through to the Down check below.
+			if s.consecFails >= t.opts.DownAfter {
+				notify = chain(notify, t.transition(addr, s, Down))
+			}
+		}
+	case Suspect:
+		timedOut := t.opts.DownTimeout > 0 && now.Sub(s.suspectSince) >= t.opts.DownTimeout
+		if s.consecFails >= t.opts.DownAfter || timedOut {
+			notify = t.transition(addr, s, Down)
+		}
+	}
+	t.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// chain composes two possibly-nil notification funcs in order.
+func chain(a, b func()) func() {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return func() { a(); b() }
+	}
+}
+
+// State returns addr's verdict; an untracked server is Up (innocent
+// until a failure is reported).
+func (t *Tracker) State(addr string) State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.servers[addr]; ok {
+		return s.state
+	}
+	return Up
+}
+
+// Excluded reports whether addr should be dropped from write
+// placement and read fan-out: only Down servers are excluded. This is
+// the robust.HealthTracker surface.
+func (t *Tracker) Excluded(addr string) bool {
+	return t.State(addr) == Down
+}
+
+// Snapshot returns every tracked server's health, sorted by address.
+func (t *Tracker) Snapshot() []ServerHealth {
+	t.mu.Lock()
+	out := make([]ServerHealth, 0, len(t.servers))
+	for addr, s := range t.servers {
+		out = append(out, ServerHealth{
+			Addr:         addr,
+			State:        s.state,
+			ConsecFails:  s.consecFails,
+			LastSuccess:  s.lastSuccess,
+			LastFailure:  s.lastFailure,
+			SuspectSince: s.suspectSince,
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

@@ -1,0 +1,275 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeClock is a deterministic manual clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestStateMachineConsecutiveFailures walks the Up → Suspect → Down
+// ladder on the count thresholds alone, then rejoins on one success.
+func TestStateMachineConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	tr := NewTracker(Options{SuspectAfter: 3, DownAfter: 5, DownTimeout: time.Hour, Now: clk.Now, Obs: reg})
+
+	tr.Track("a")
+	if got := tr.State("a"); got != Up {
+		t.Fatalf("fresh server state = %v, want Up", got)
+	}
+	// Two failures: still Up (streak below SuspectAfter).
+	tr.ReportFailure("a")
+	tr.ReportFailure("a")
+	if got := tr.State("a"); got != Up {
+		t.Fatalf("after 2 failures state = %v, want Up", got)
+	}
+	// Third: Suspect.
+	tr.ReportFailure("a")
+	if got := tr.State("a"); got != Suspect {
+		t.Fatalf("after 3 failures state = %v, want Suspect", got)
+	}
+	if tr.Excluded("a") {
+		t.Fatal("Suspect server must stay in rotation")
+	}
+	// Fourth: still Suspect. Fifth: Down.
+	tr.ReportFailure("a")
+	if got := tr.State("a"); got != Suspect {
+		t.Fatalf("after 4 failures state = %v, want Suspect", got)
+	}
+	tr.ReportFailure("a")
+	if got := tr.State("a"); got != Down {
+		t.Fatalf("after 5 failures state = %v, want Down", got)
+	}
+	if !tr.Excluded("a") {
+		t.Fatal("Down server must be excluded")
+	}
+	// One success: straight back to Up, streak cleared.
+	tr.ReportSuccess("a")
+	if got := tr.State("a"); got != Up {
+		t.Fatalf("after success state = %v, want Up", got)
+	}
+	// The streak reset: three more failures needed to re-suspect.
+	tr.ReportFailure("a")
+	tr.ReportFailure("a")
+	if got := tr.State("a"); got != Up {
+		t.Fatalf("streak did not reset on success: state = %v", got)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["health_evictions_total"] != 1 {
+		t.Fatalf("health_evictions_total = %d, want 1", snap.Counters["health_evictions_total"])
+	}
+	if snap.Counters["health_rejoins_total"] != 1 {
+		t.Fatalf("health_rejoins_total = %d, want 1", snap.Counters["health_rejoins_total"])
+	}
+}
+
+// TestStateMachineDownTimeout drives Suspect → Down on the timeout
+// path: few failures, but a long quiet suspicion.
+func TestStateMachineDownTimeout(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewTracker(Options{SuspectAfter: 2, DownAfter: 100, DownTimeout: 5 * time.Second, Now: clk.Now})
+
+	tr.ReportFailure("b")
+	tr.ReportFailure("b") // Suspect at t0
+	if got := tr.State("b"); got != Suspect {
+		t.Fatalf("state = %v, want Suspect", got)
+	}
+	// A failure just inside the window keeps it Suspect.
+	clk.Advance(4 * time.Second)
+	tr.ReportFailure("b")
+	if got := tr.State("b"); got != Suspect {
+		t.Fatalf("state = %v inside DownTimeout, want Suspect", got)
+	}
+	// Once the window lapses, the next observed failure evicts.
+	clk.Advance(2 * time.Second)
+	tr.ReportFailure("b")
+	if got := tr.State("b"); got != Down {
+		t.Fatalf("state = %v after DownTimeout, want Down", got)
+	}
+}
+
+// TestStateMachineSharedThreshold covers SuspectAfter == DownAfter:
+// one streak crosses both thresholds in a single report.
+func TestStateMachineSharedThreshold(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewTracker(Options{SuspectAfter: 2, DownAfter: 2, Now: clk.Now})
+	var transitions []State
+	tr.OnChange(func(addr string, from, to State) { transitions = append(transitions, to) })
+	tr.ReportFailure("c")
+	tr.ReportFailure("c")
+	if got := tr.State("c"); got != Down {
+		t.Fatalf("state = %v, want Down", got)
+	}
+	if len(transitions) != 2 || transitions[0] != Suspect || transitions[1] != Down {
+		t.Fatalf("transitions = %v, want [Suspect Down]", transitions)
+	}
+}
+
+// TestSnapshotAndGauges checks the census the daemon and /metrics
+// consume.
+func TestSnapshotAndGauges(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	tr := NewTracker(Options{SuspectAfter: 1, DownAfter: 2, Now: clk.Now, Obs: reg})
+	tr.Track("up1")
+	tr.ReportFailure("sus1")
+	tr.ReportFailure("down1")
+	tr.ReportFailure("down1")
+
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d servers, want 3", len(snap))
+	}
+	want := map[string]State{"down1": Down, "sus1": Suspect, "up1": Up}
+	for _, sh := range snap {
+		if sh.State != want[sh.Addr] {
+			t.Fatalf("%s state = %v, want %v", sh.Addr, sh.State, want[sh.Addr])
+		}
+	}
+	m := reg.Snapshot()
+	if m.Gauges["health_servers_up"] != 1 || m.Gauges["health_servers_suspect"] != 1 || m.Gauges["health_servers_down"] != 1 {
+		t.Fatalf("gauges = up %v suspect %v down %v, want 1/1/1",
+			m.Gauges["health_servers_up"], m.Gauges["health_servers_suspect"], m.Gauges["health_servers_down"])
+	}
+	tr.Forget("down1")
+	m = reg.Snapshot()
+	if m.Gauges["health_servers_down"] != 0 {
+		t.Fatalf("health_servers_down = %v after Forget, want 0", m.Gauges["health_servers_down"])
+	}
+}
+
+// TestProberFeedsTracker runs real probe rounds against a flappable
+// fake backend: eviction while it fails, rejoin when it recovers.
+func TestProberFeedsTracker(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	tr := NewTracker(Options{SuspectAfter: 2, DownAfter: 3, Now: clk.Now, Obs: reg})
+
+	var mu sync.Mutex
+	healthy := map[string]bool{"s1": true, "s2": true}
+	probe := func(ctx context.Context, addr string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if healthy[addr] {
+			return nil
+		}
+		return errors.New("connection refused")
+	}
+	targets := func() []string { return []string{"s1", "s2"} }
+	p := NewProber(tr, targets, probe, ProberOptions{Interval: time.Hour, Obs: reg})
+
+	ctx := context.Background()
+	p.ProbeOnce(ctx)
+	if tr.State("s1") != Up || tr.State("s2") != Up {
+		t.Fatal("healthy servers not Up after a probe round")
+	}
+	mu.Lock()
+	healthy["s2"] = false
+	mu.Unlock()
+	for i := 0; i < 3; i++ {
+		p.ProbeOnce(ctx)
+	}
+	if got := tr.State("s2"); got != Down {
+		t.Fatalf("s2 state = %v after 3 failed probes, want Down", got)
+	}
+	if got := tr.State("s1"); got != Up {
+		t.Fatalf("s1 state = %v, want Up", got)
+	}
+	mu.Lock()
+	healthy["s2"] = true
+	mu.Unlock()
+	p.ProbeOnce(ctx)
+	if got := tr.State("s2"); got != Up {
+		t.Fatalf("s2 state = %v after recovery probe, want Up", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["health_probes_total"] != 10 {
+		t.Fatalf("health_probes_total = %d, want 10", snap.Counters["health_probes_total"])
+	}
+	if snap.Counters["health_probe_failures_total"] != 3 {
+		t.Fatalf("health_probe_failures_total = %d, want 3", snap.Counters["health_probe_failures_total"])
+	}
+}
+
+// TestProberStartStop exercises the ticker loop with real (short)
+// intervals — the loop must probe at least twice and stop cleanly.
+func TestProberStartStop(t *testing.T) {
+	tr := NewTracker(Options{})
+	var mu sync.Mutex
+	probes := 0
+	probe := func(ctx context.Context, addr string) error {
+		mu.Lock()
+		probes++
+		mu.Unlock()
+		return nil
+	}
+	p := NewProber(tr, func() []string { return []string{"x"} }, probe,
+		ProberOptions{Interval: 2 * time.Millisecond})
+	p.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := probes
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prober never ran twice")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	p.Stop() // idempotent
+}
+
+// TestConcurrentReports hammers one tracker from many goroutines —
+// exists to run under -race.
+func TestConcurrentReports(t *testing.T) {
+	tr := NewTracker(Options{SuspectAfter: 2, DownAfter: 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if j%3 == 0 {
+					tr.ReportSuccess("shared")
+				} else {
+					tr.ReportFailure("shared")
+				}
+				tr.State("shared")
+				tr.Excluded("shared")
+				tr.Snapshot()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

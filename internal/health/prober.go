@@ -1,0 +1,120 @@
+package health
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ProberOptions configure a Prober.
+type ProberOptions struct {
+	// Interval between probe rounds (default 1s).
+	Interval time.Duration
+	// Timeout bounds each individual probe (default Interval).
+	Timeout time.Duration
+	// Obs, when non-nil, receives health_probes_total and
+	// health_probe_failures_total.
+	Obs *obs.Registry
+}
+
+// Prober periodically probes every target server and feeds the
+// outcomes to a Tracker — the active half of the failure detector,
+// which keeps opinions fresh when the data path is idle and gives
+// Down servers their road back to Up. Targets are re-resolved every
+// round, so attach/detach is picked up live; Down servers stay in the
+// probe rotation on purpose.
+type Prober struct {
+	tracker  *Tracker
+	targets  func() []string
+	probe    func(ctx context.Context, addr string) error
+	interval time.Duration
+	timeout  time.Duration
+
+	probes   *obs.Counter
+	failures *obs.Counter
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewProber builds a prober over a tracker. targets returns the
+// addresses to probe (e.g. robust.(*Client).Servers); probe performs
+// one liveness check (e.g. robust.(*Client).Probe — a transport PING
+// for remote stores).
+func NewProber(t *Tracker, targets func() []string, probe func(ctx context.Context, addr string) error, opts ProberOptions) *Prober {
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = opts.Interval
+	}
+	return &Prober{
+		tracker:  t,
+		targets:  targets,
+		probe:    probe,
+		interval: opts.Interval,
+		timeout:  opts.Timeout,
+		probes:   opts.Obs.Counter("health_probes_total"),
+		failures: opts.Obs.Counter("health_probe_failures_total"),
+		stop:     make(chan struct{}),
+	}
+}
+
+// ProbeOnce runs one probe round: every target is probed concurrently
+// (a wedged server must not delay the others' verdicts) and the round
+// joins before returning.
+func (p *Prober) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, addr := range p.targets() {
+		p.tracker.Track(addr)
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, p.timeout)
+			defer cancel()
+			err := p.probe(pctx, addr)
+			p.probes.Inc()
+			if err != nil {
+				p.failures.Inc()
+				p.tracker.ReportFailure(addr)
+				return
+			}
+			p.tracker.ReportSuccess(addr)
+		}(addr)
+	}
+	wg.Wait()
+}
+
+// Start launches the probe loop (one immediate round, then one per
+// interval) until Stop.
+func (p *Prober) Start() {
+	p.startOnce.Do(func() {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ticker := time.NewTicker(p.interval)
+			defer ticker.Stop()
+			p.ProbeOnce(ctx)
+			for {
+				select {
+				case <-p.stop:
+					return
+				case <-ticker.C:
+					p.ProbeOnce(ctx)
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the loop and waits for any in-flight round to join.
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}

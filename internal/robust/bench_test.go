@@ -4,9 +4,12 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/blockstore"
+	"repro/internal/health"
 	"repro/internal/metadata"
+	"repro/internal/obs"
 )
 
 // Benchmarks for the real client stack over in-memory stores: these
@@ -72,6 +75,79 @@ func BenchmarkClientUpdate256KB(b *testing.B) {
 		if err := c.Update(ctx, "u", 1<<20, patch); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDaemonFaultFree measures the fault-free data path with the
+// whole self-healing stack live (failure detector fed by every
+// request, prober, scrub/repair daemon walking the namespace) against
+// the bare client. The two variants' read/write latencies are the
+// baseline evidence that the control plane rides along for free when
+// nothing is broken; BENCH_4.json records both.
+func BenchmarkDaemonFaultFree(b *testing.B) {
+	for _, selfheal := range []bool{false, true} {
+		name := "bare"
+		if selfheal {
+			name = "selfheal"
+		}
+		b.Run(name, func(b *testing.B) {
+			meta := metadata.NewService()
+			opts := Options{BlockBytes: 256 << 10}
+			var tracker *health.Tracker
+			var reg *obs.Registry
+			if selfheal {
+				reg = obs.NewRegistry()
+				tracker = health.NewTracker(health.Options{Obs: reg})
+				opts.Obs = reg
+				opts.Health = tracker
+			}
+			c, err := NewClient(meta, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				addr := fmt.Sprintf("s%d", i)
+				if err := c.AttachStore(addr, blockstore.WithChecksums(blockstore.NewMemStore())); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if selfheal {
+				prober := health.NewProber(tracker, c.Servers, c.Probe,
+					health.ProberOptions{Interval: 5 * time.Millisecond, Obs: reg})
+				prober.Start()
+				defer prober.Stop()
+				d := NewDaemon(c, DaemonOptions{ScrubInterval: 10 * time.Millisecond, Obs: reg})
+				d.Start()
+				defer d.Stop()
+			}
+			ctx := context.Background()
+			data := randData(4<<20, 6)
+			if _, err := c.Write(ctx, "seg", data, nil); err != nil {
+				b.Fatal(err)
+			}
+			var writeTime, readTime time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				if _, err := c.Write(ctx, fmt.Sprintf("w%d", i), data, nil); err != nil {
+					b.Fatal(err)
+				}
+				t1 := time.Now()
+				if _, _, err := c.Read(ctx, "seg"); err != nil {
+					b.Fatal(err)
+				}
+				writeTime += t1.Sub(t0)
+				readTime += time.Since(t1)
+			}
+			b.StopTimer()
+			perOpMs := func(d time.Duration) float64 {
+				return float64(d.Microseconds()) / 1000 / float64(b.N)
+			}
+			// Metric units double as baseline keys, so they carry the
+			// variant name (see bench_baseline.sh).
+			b.ReportMetric(perOpMs(writeTime), "faultfree_write_"+name+"_ms")
+			b.ReportMetric(perOpMs(readTime), "faultfree_read_"+name+"_ms")
+		})
 	}
 }
 

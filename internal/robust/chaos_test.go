@@ -28,6 +28,7 @@ import (
 type chaosServer struct {
 	addr     string
 	srv      *transport.Server
+	mem      *blockstore.MemStore  // raw store beneath the checksum layer
 	storeInj *faultinject.Injector // faults inside the store handler
 	connInj  *faultinject.Injector // faults on the wire
 }
@@ -45,10 +46,11 @@ func startChaosCluster(t *testing.T, n int, ropts Options, copts transport.Clien
 	servers := make([]*chaosServer, n)
 	for i := range servers {
 		cs := &chaosServer{
+			mem:      blockstore.NewMemStore(),
 			storeInj: faultinject.New(int64(1000+i), faultinject.Config{}, nil),
 			connInj:  faultinject.New(int64(2000+i), faultinject.Config{}, nil),
 		}
-		store := faultinject.WrapStore(blockstore.WithChecksums(blockstore.NewMemStore()), cs.storeInj)
+		store := faultinject.WrapStore(blockstore.WithChecksums(cs.mem), cs.storeInj)
 		cs.srv = transport.NewServer(store, transport.ServerOptions{})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -92,8 +94,15 @@ func TestChaosStalledAndCorruptingRead(t *testing.T) {
 	// enough that test cleanup (which must wait for server handlers
 	// parked in the injected sleep) stays cheap.
 	const stall = 1500 * time.Millisecond
+	// The healthy five servers must always hold more blocks than the
+	// peeling decoder's worst observed reception tail (~2.6K at K=32):
+	// D=5 and a 0.15 share cap guarantee them >= 105 of the 192 blocks
+	// (3.3K), whatever the rateless race does. With the default D=3 and
+	// a 0.25 cap they can end up with barely K, and the read has no
+	// choice but to wait out a stall — a coding-margin artifact, not a
+	// routing failure.
 	client, servers := startChaosCluster(t, 8,
-		Options{BlockBytes: 8 << 10, MaxServerShare: 0.25, HedgeReads: true, Obs: reg},
+		Options{BlockBytes: 8 << 10, Redundancy: 5, MaxServerShare: 0.15, HedgeReads: true, Obs: reg},
 		transport.ClientOptions{MaxRetries: 2})
 	ctx := context.Background()
 	data := randData(256<<10, 77) // K=32
@@ -116,7 +125,7 @@ func TestChaosStalledAndCorruptingRead(t *testing.T) {
 		t.Fatal("decoder poisoned: data mismatch under corruption")
 	}
 	if elapsed := time.Since(start); elapsed >= stall {
-		t.Fatalf("read took %v, waited out the %v stall instead of routing around it", elapsed, stall)
+		t.Fatalf("read took %v, waited out the %v stall instead of routing around it (stats %+v)", elapsed, stall, stats)
 	}
 	if stats.CorruptShares == 0 {
 		t.Fatal("corrupting server surfaced no rejected shares")

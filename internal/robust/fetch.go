@@ -117,9 +117,10 @@ func (f *fetcher) hedgeDelay() time.Duration {
 // and a single refetch on corruption: transit corruption is usually
 // transient, disk corruption is not — one retry tells them apart
 // without letting a rotten server stall the read.
-func (f *fetcher) getVerified(ctx context.Context, store storeGetter, idx int) ([]byte, error) {
+func (f *fetcher) getVerified(ctx context.Context, addr string, store storeGetter, idx int) ([]byte, error) {
 	start := time.Now()
 	payload, err := store.Get(ctx, f.name, idx)
+	f.c.reportOutcome(addr, err)
 	if err != nil {
 		return nil, err
 	}
@@ -135,6 +136,7 @@ func (f *fetcher) getVerified(ctx context.Context, store storeGetter, idx int) (
 	f.c.m.readCorruptShares.Inc()
 	// Refetch once.
 	payload, gerr := store.Get(ctx, f.name, idx)
+	f.c.reportOutcome(addr, gerr)
 	if gerr != nil {
 		return nil, errors.Join(err, gerr)
 	}
@@ -147,19 +149,20 @@ func (f *fetcher) getVerified(ctx context.Context, store storeGetter, idx int) (
 	return data, nil
 }
 
-// altStore picks a different holder of idx when the placement has
-// one; otherwise the hedge goes back to the same store, where a fresh
-// connection from the pool dodges per-connection stalls.
-func (f *fetcher) altStore(primaryAddr string, idx int, primary storeGetter) storeGetter {
+// altStore picks a different, non-evicted holder of idx when the
+// placement has one; otherwise the hedge goes back to the same store,
+// where a fresh connection from the pool dodges per-connection
+// stalls.
+func (f *fetcher) altStore(primaryAddr string, idx int, primary storeGetter) (string, storeGetter) {
 	for _, addr := range f.holders[idx] {
-		if addr == primaryAddr {
+		if addr == primaryAddr || f.c.excluded(addr) {
 			continue
 		}
 		if st, ok := f.c.store(addr); ok {
-			return st
+			return addr, st
 		}
 	}
-	return primary
+	return primaryAddr, primary
 }
 
 // fetch retrieves one share, hedging the request once its latency
@@ -167,7 +170,7 @@ func (f *fetcher) altStore(primaryAddr string, idx int, primary storeGetter) sto
 // answer wins, the loser is canceled and drained.
 func (f *fetcher) fetch(ctx context.Context, addr string, store storeGetter, idx int) ([]byte, error) {
 	if !f.hedge {
-		return f.getVerified(ctx, store, idx)
+		return f.getVerified(ctx, addr, store, idx)
 	}
 	type result struct {
 		data   []byte
@@ -178,7 +181,7 @@ func (f *fetcher) fetch(ctx context.Context, addr string, store storeGetter, idx
 	pctx, pcancel := context.WithCancel(ctx)
 	defer pcancel()
 	go func() {
-		data, err := f.getVerified(pctx, store, idx)
+		data, err := f.getVerified(pctx, addr, store, idx)
 		res <- result{data, err, false}
 	}()
 	timer := time.NewTimer(f.hedgeDelay())
@@ -197,9 +200,9 @@ func (f *fetcher) fetch(ctx context.Context, addr string, store storeGetter, idx
 	f.c.m.readHedges.Inc()
 	sctx, scancel := context.WithCancel(ctx)
 	defer scancel()
-	hstore := f.altStore(addr, idx, store)
+	haddr, hstore := f.altStore(addr, idx, store)
 	go func() {
-		data, err := f.getVerified(sctx, hstore, idx)
+		data, err := f.getVerified(sctx, haddr, hstore, idx)
 		res <- result{data, err, true}
 	}()
 	first := <-res

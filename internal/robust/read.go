@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/blockstore"
 	"repro/internal/ltcode"
 )
 
@@ -73,13 +74,34 @@ func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stat
 		// completion and canceling the rest (§4.3.3 early cancellation).
 		firstByte, decoded, earlyCancel atomic.Bool
 	)
-	if tr != nil {
-		tr.Stagef("fanout", "servers=%d", len(seg.Placement))
-	}
-	for addr, indices := range seg.Placement {
+	// Fan out to the attached holders the failure detector has not
+	// evicted. If exclusion would silence every holder, fall back to
+	// all attached ones: a read against suspect servers can still
+	// succeed (and its outcomes refresh the detector), a read against
+	// nobody cannot.
+	targets := make(map[string]blockstore.Store, len(seg.Placement))
+	skipped := make(map[string]blockstore.Store)
+	for addr := range seg.Placement {
 		store, ok := c.store(addr)
 		if !ok {
 			continue // server gone; speculative access shrugs
+		}
+		if c.excluded(addr) {
+			skipped[addr] = store
+			continue
+		}
+		targets[addr] = store
+	}
+	if len(targets) == 0 {
+		targets = skipped
+	}
+	if tr != nil {
+		tr.Stagef("fanout", "servers=%d excluded=%d", len(targets), len(seg.Placement)-len(targets))
+	}
+	for addr, indices := range seg.Placement {
+		store, ok := targets[addr]
+		if !ok {
+			continue
 		}
 		// Split the server's block list among its worker pipelines.
 		for w := 0; w < c.opts.PerServerParallel; w++ {

@@ -158,7 +158,9 @@ func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, er
 	// Re-place lost blocks round-robin on healthy servers that do not
 	// already hold them. Repairs re-seal with the segment's recorded
 	// share format so readers keep verifying a uniform envelope.
-	healthy := c.Servers()
+	// Servers the failure detector has evicted are skipped — repairing
+	// onto a dying server just schedules the next repair.
+	healthy := c.healthyServers()
 	if len(healthy) == 0 {
 		return stats, ErrNoServers
 	}
@@ -178,7 +180,9 @@ func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, er
 			if !ok {
 				continue
 			}
-			if err := store.Put(ctx, name, idx, coded); err != nil {
+			err := store.Put(ctx, name, idx, coded)
+			c.reportOutcome(addr, err)
+			if err != nil {
 				continue
 			}
 			newPlacement[addr] = append(newPlacement[addr], idx)

@@ -16,6 +16,7 @@
 package robust
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -96,6 +97,24 @@ type Options struct {
 	// the client entirely uninstrumented — the hot paths pay only nil
 	// checks.
 	Obs *obs.Registry
+	// Health, when non-nil, receives per-server request outcomes and
+	// vetoes placement: servers it reports Excluded are dropped from
+	// write target sets, read fan-outs, and repair re-placement.
+	// *health.Tracker implements it; the interface keeps the data path
+	// free of a hard dependency on the detector.
+	Health HealthTracker
+}
+
+// HealthTracker is the failure-detector surface the client feeds and
+// consults. Implementations must be safe for concurrent use.
+type HealthTracker interface {
+	// ReportSuccess and ReportFailure record one request outcome
+	// against a server address.
+	ReportSuccess(addr string)
+	ReportFailure(addr string)
+	// Excluded reports whether the detector currently considers the
+	// server Down — such servers are skipped for placement and fan-out.
+	Excluded(addr string) bool
 }
 
 func (o Options) withDefaults() Options {
@@ -165,10 +184,11 @@ var (
 // Client is a RobuSTore client bound to a metadata service and a set
 // of storage backends. Safe for concurrent use.
 type Client struct {
-	meta metadata.API
-	opts Options
-	obs  *obs.Registry
-	m    clientMetrics
+	meta   metadata.API
+	opts   Options
+	obs    *obs.Registry
+	m      clientMetrics
+	health HealthTracker
 
 	mu     sync.RWMutex
 	stores map[string]blockstore.Store
@@ -187,6 +207,7 @@ func NewClient(meta metadata.API, opts Options) (*Client, error) {
 		opts:   opts,
 		obs:    opts.Obs,
 		m:      newClientMetrics(opts.Obs),
+		health: opts.Health,
 		stores: make(map[string]blockstore.Store),
 	}, nil
 }
@@ -232,6 +253,76 @@ func (c *Client) store(addr string) (blockstore.Store, bool) {
 	defer c.mu.RUnlock()
 	s, ok := c.stores[addr]
 	return s, ok
+}
+
+// reportOutcome feeds one request outcome to the failure detector. A
+// "not found" or a corrupt-share error still proves the server
+// answered, so both count as liveness successes; cancellation and
+// deadline errors say nothing about the server and are dropped.
+func (c *Client) reportOutcome(addr string, err error) {
+	if c.health == nil {
+		return
+	}
+	switch {
+	case err == nil,
+		errors.Is(err, blockstore.ErrNotFound),
+		errors.Is(err, ErrCorruptShare):
+		c.health.ReportSuccess(addr)
+	case errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		// No signal: the caller gave up, the server may be fine.
+	default:
+		c.health.ReportFailure(addr)
+	}
+}
+
+// excluded reports whether the failure detector has evicted addr.
+func (c *Client) excluded(addr string) bool {
+	return c.health != nil && c.health.Excluded(addr)
+}
+
+// healthyServers returns the attached backends minus any the failure
+// detector has evicted. If the exclusion would empty the set entirely
+// the full set is returned: attempting a doomed write produces a
+// clean error (and fresh detector evidence), silently targeting
+// nothing produces ErrNoServers on a cluster that merely flapped.
+func (c *Client) healthyServers() []string {
+	all := c.Servers()
+	if c.health == nil {
+		return all
+	}
+	out := make([]string, 0, len(all))
+	for _, addr := range all {
+		if !c.health.Excluded(addr) {
+			out = append(out, addr)
+		}
+	}
+	if len(out) == 0 {
+		return all
+	}
+	return out
+}
+
+// Pinger is the optional liveness probe a backend may offer;
+// transport.Client implements it with the wire-level PING op.
+type Pinger interface {
+	Ping(ctx context.Context) error
+}
+
+// Probe checks one attached backend's liveness without touching data:
+// the transport PING when the store offers one, otherwise a listing
+// of a reserved segment name. Health probers plug this in as their
+// probe function.
+func (c *Client) Probe(ctx context.Context, addr string) error {
+	store, ok := c.store(addr)
+	if !ok {
+		return fmt.Errorf("robust: server %q not attached", addr)
+	}
+	if p, ok := store.(Pinger); ok {
+		return p.Ping(ctx)
+	}
+	_, err := store.List(ctx, "~health-probe")
+	return err
 }
 
 // graphSeed derives a deterministic coding-graph seed from the

@@ -38,7 +38,7 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 		return WriteStats{}, fmt.Errorf("robust: empty data")
 	}
 	if servers == nil {
-		servers = c.Servers()
+		servers = c.healthyServers()
 	}
 	if len(servers) == 0 {
 		return WriteStats{}, ErrNoServers
@@ -157,7 +157,9 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 					if sealed {
 						coded = sealShare(coded)
 					}
-					if err := store.Put(wctx, name, i, coded); err != nil {
+					err := store.Put(wctx, name, i, coded)
+					c.reportOutcome(addr, err)
+					if err != nil {
 						atomic.AddInt64(count, -1)
 						if wctx.Err() != nil {
 							return

@@ -400,6 +400,8 @@ func statusToError(status byte, payload []byte) error {
 		return blockstore.ErrNotFound
 	case statusBusy:
 		return fmt.Errorf("transport: server busy: %s", payload)
+	case statusUnsupported:
+		return fmt.Errorf("transport: %w: %s", blockstore.ErrScrubUnsupported, payload)
 	default:
 		return fmt.Errorf("transport: server error: %s", payload)
 	}
@@ -443,6 +445,24 @@ func (c *Client) Delete(ctx context.Context, segment string, index int) error {
 		return err
 	}
 	return statusToError(status, payload)
+}
+
+// Scrub implements blockstore.Scrubber over the wire: the server
+// verifies the segment's blocks in place (its ChecksumStore layer)
+// and returns only the bad indices, so a scrub pass costs one round
+// trip instead of downloading every block. A server without integrity
+// framing answers with an error matching
+// blockstore.ErrScrubUnsupported. Scrubs are read-only and idempotent,
+// so they retry.
+func (c *Client) Scrub(ctx context.Context, segment string) ([]int, error) {
+	status, payload, err := c.roundTripIdem(ctx, opScrub, segment, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToError(status, payload); err != nil {
+		return nil, err
+	}
+	return decodeIndices(payload)
 }
 
 // List implements blockstore.Store.

@@ -2,9 +2,12 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/blockstore"
 )
 
 // TestQuickDecodeRequestNeverPanics throws random frame bodies at the
@@ -72,6 +75,38 @@ func TestQuickIndicesRoundTrip(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDispatchNeverPanics drives the server dispatch table with
+// arbitrary requests — every op byte (known and unknown, SCRUB
+// included) against both a checksummed and a bare store — and checks
+// the reply is always a known status, never a panic.
+func TestQuickDispatchNeverPanics(t *testing.T) {
+	plain := NewServer(blockstore.NewMemStore(), ServerOptions{})
+	framed := NewServer(blockstore.WithChecksums(blockstore.NewMemStore()), ServerOptions{})
+	t.Cleanup(func() { plain.Close(); framed.Close() })
+	ctx := context.Background()
+	f := func(op byte, segRaw []byte, index uint16, payload []byte, useFramed bool) bool {
+		srv := plain
+		if useFramed {
+			srv = framed
+		}
+		seg := string(segRaw)
+		if len(seg) > 0xFFFF {
+			return true
+		}
+		status, _ := srv.dispatch(ctx, request{
+			op: op, segment: seg, index: int(index), payload: payload,
+		})
+		switch status {
+		case statusOK, statusErr, statusNotFound, statusBusy, statusUnsupported:
+			return true
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -11,9 +11,10 @@
 //	          [4B block index][payload...]
 //	response: [4B frame length][1B status][payload...]
 //
-// A GET response payload is the block; a LIST response payload is a
-// sequence of 4-byte indices; an error response payload is the
-// message text.
+// A GET response payload is the block; LIST and SCRUB response
+// payloads are sequences of 4-byte indices (stored blocks and
+// verification failures respectively); an error response payload is
+// the message text.
 package transport
 
 import (
@@ -29,14 +30,16 @@ const (
 	opDelete = byte(3)
 	opList   = byte(4)
 	opPing   = byte(5)
+	opScrub  = byte(6) // verify a segment in place, return bad indices
 )
 
 // Response status codes.
 const (
-	statusOK       = byte(0)
-	statusErr      = byte(1)
-	statusNotFound = byte(2)
-	statusBusy     = byte(3) // admission controller refused the request
+	statusOK          = byte(0)
+	statusErr         = byte(1)
+	statusNotFound    = byte(2)
+	statusBusy        = byte(3) // admission controller refused the request
+	statusUnsupported = byte(4) // server cannot perform the op (e.g. SCRUB without checksums)
 )
 
 // MaxFrame bounds a frame's size (op + header + payload); it limits

@@ -47,7 +47,7 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 	if r != nil {
 		names := map[byte]string{
 			opPut: "put", opGet: "get", opDelete: "delete",
-			opList: "list", opPing: "ping",
+			opList: "list", opPing: "ping", opScrub: "scrub",
 		}
 		m.ops = make(map[byte]*obs.Counter, len(names))
 		m.opSeconds = make(map[byte]*obs.Histogram, len(names))
@@ -245,6 +245,21 @@ func (s *Server) dispatch(ctx context.Context, req request) (status byte, payloa
 			return statusErr, []byte(err.Error())
 		}
 		return statusOK, encodeIndices(idx)
+	case opScrub:
+		sc, ok := s.store.(blockstore.Scrubber)
+		if !ok {
+			return statusUnsupported, []byte("store has no integrity framing")
+		}
+		bad, err := sc.Scrub(ctx, req.segment)
+		if errors.Is(err, blockstore.ErrScrubUnsupported) {
+			// A wrapper (e.g. fault injection) may carry the method but
+			// sit over a store that cannot verify.
+			return statusUnsupported, []byte(err.Error())
+		}
+		if err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		return statusOK, encodeIndices(bad)
 	default:
 		return statusErr, []byte(fmt.Sprintf("unknown op %d", req.op))
 	}

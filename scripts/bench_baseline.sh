@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench_baseline.sh — regenerate the repo's benchmark baseline.
 #
-# Usage: ./scripts/bench_baseline.sh [output.json]   (default BENCH_3.json)
+# Usage: ./scripts/bench_baseline.sh [output.json]   (default BENCH_4.json)
 #
 # Runs the headline reproduction benchmarks once (-benchtime 1x) and
 # writes their b.ReportMetric values as a JSON baseline: LT decode
@@ -9,7 +9,9 @@
 # RAID-0 — the numbers future PRs diff against to claim a perf
 # trajectory. Also runs the chaos stalled-read benchmark (several
 # iterations: its metrics are latency tails under injected stalls) to
-# record hedged vs unhedged read latency and hedge counts. Absolute
+# record hedged vs unhedged read latency and hedge counts, and the
+# daemon fault-free benchmark to record read/write latency with and
+# without the self-healing control plane enabled. Absolute
 # values are machine-dependent; the committed baseline records the
 # metric *set* and one reference machine's numbers, and CI's
 # bench-smoke job re-runs this script and checks the metric keys still
@@ -17,16 +19,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 bench='BenchmarkFig53DecodeBandwidth|BenchmarkFig66ReadVsDisks|BenchmarkHeadline'
 chaos_bench='BenchmarkChaosStalledRead'
+daemon_bench='BenchmarkDaemonFaultFree'
 
 raw=$(go test -bench "$bench" -benchtime 1x -run '^$' .)
 echo "$raw" >&2
 raw_chaos=$(go test -bench "$chaos_bench" -benchtime 10x -run '^$' ./internal/robust/)
 echo "$raw_chaos" >&2
+raw_daemon=$(go test -bench "$daemon_bench" -benchtime 10x -run '^$' ./internal/robust/)
+echo "$raw_daemon" >&2
 raw="$raw
-$raw_chaos"
+$raw_chaos
+$raw_daemon"
 
 # Benchmark output lines look like:
 #   BenchmarkFoo-8  1  123 ns/op  45.6 some-metric  7.8 other-metric
@@ -50,7 +56,7 @@ fi
 {
     printf '{\n'
     printf '  "schema": 1,\n'
-    printf '  "bench_filter": "%s",\n' "$bench|$chaos_bench"
+    printf '  "bench_filter": "%s",\n' "$bench|$chaos_bench|$daemon_bench"
     printf '  "benchtime": "1x",\n'
     printf '  "metrics": {\n'
     i=0

@@ -15,10 +15,11 @@
 #   6. go test -race on the concurrency-heavy packages
 #   7. chaos suite under -race: real client/server pairs through
 #      fault-injection scenarios (stalls, resets, corruption,
-#      degraded writes, repair promotion)
+#      degraded writes, repair promotion) and the self-healing
+#      control plane (kill -> evict -> repair -> rejoin)
 #   8. bench smoke: every benchmark once (client overhead + headline
 #      reproduction metrics; see scripts/bench_baseline.sh for the
-#      committed BENCH_3.json baseline)
+#      committed BENCH_4.json baseline)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,6 +55,7 @@ go test -race -count=1 -timeout 10m \
     ./internal/admission/ \
     ./internal/blockstore/ \
     ./internal/cluster/ \
+    ./internal/health/ \
     ./internal/obs/
 
 echo "==> chaos suite under -race"
