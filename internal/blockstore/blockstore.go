@@ -31,7 +31,9 @@ var (
 // safe for concurrent use; Get must return data the caller may retain
 // (implementations either copy or treat blocks as immutable).
 type Store interface {
-	// Put stores a block, overwriting any previous content.
+	// Put stores a block, overwriting any previous content. Put must
+	// not retain data after it returns (copy if needed): callers
+	// recycle block buffers through pools on the write hot path.
 	Put(ctx context.Context, segment string, index int, data []byte) error
 	// Get retrieves a block (ErrNotFound if absent).
 	Get(ctx context.Context, segment string, index int) ([]byte, error)
@@ -41,6 +43,33 @@ type Store interface {
 	List(ctx context.Context, segment string) ([]int, error)
 	// Close releases resources.
 	Close() error
+}
+
+// BatchPut is one entry of a batched put: a coded block and its
+// index within the segment.
+type BatchPut struct {
+	Index int
+	Data  []byte
+}
+
+// Batcher is implemented by stores that can move many blocks per
+// call: transport.Client maps it onto the batch wire ops (many
+// blocks per round trip), MemStore onto a single lock crossing and
+// one backing allocation per batch. Every method returns a slice of
+// per-entry errors parallel to its input — one bad block never fails
+// the batch, and a store-wide failure fills every slot. The robust
+// client's read/write/delete paths use the fast path when a store
+// offers it and fall back to single-block loops otherwise.
+//
+// Like Put, PutBatch must not retain entry data after it returns.
+type Batcher interface {
+	// PutBatch stores the entries, overwriting previous content.
+	PutBatch(ctx context.Context, segment string, puts []BatchPut) []error
+	// GetBatch retrieves blocks by index (ErrNotFound per absent
+	// entry); returned data follows the Get retention contract.
+	GetBatch(ctx context.Context, segment string, indices []int) ([][]byte, []error)
+	// DeleteBatch removes blocks; absent blocks are not errors.
+	DeleteBatch(ctx context.Context, segment string, indices []int) []error
 }
 
 // Scrubber is implemented by stores that can verify a segment's

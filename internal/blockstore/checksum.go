@@ -37,11 +37,17 @@ var _ Scrubber = (*ChecksumStore)(nil)
 
 // seal frames data as [magic u32][crc u32][data].
 func seal(data []byte) []byte {
-	out := make([]byte, 8+len(data))
-	binary.BigEndian.PutUint32(out[0:4], checksumMagic)
-	binary.BigEndian.PutUint32(out[4:8], crc32.Checksum(data, castagnoli))
-	copy(out[8:], data)
-	return out
+	return appendSeal(make([]byte, 0, 8+len(data)), data)
+}
+
+// appendSeal appends the [magic u32][crc u32][data] frame to dst —
+// the batch path seals many blocks into one backing buffer.
+func appendSeal(dst, data []byte) []byte {
+	var h [8]byte
+	binary.BigEndian.PutUint32(h[0:4], checksumMagic)
+	binary.BigEndian.PutUint32(h[4:8], crc32.Checksum(data, castagnoli))
+	dst = append(dst, h[:]...)
+	return append(dst, data...)
 }
 
 // open verifies and strips the frame.

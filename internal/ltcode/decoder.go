@@ -63,13 +63,33 @@ func NewSymbolicDecoder(g *Graph) *Decoder {
 }
 
 func newDecoder(g *Graph) *Decoder {
-	return &Decoder{
+	d := &Decoder{
 		g:         g,
 		decoded:   make([]bool, g.K),
 		received:  make([]bool, g.N),
 		remaining: make([]int32, g.N),
 		waiters:   make([][]int32, g.K),
 	}
+	// Pre-size each original's waiter list to its graph degree, carved
+	// from one arena: original j gains at most deg(j) waiters over the
+	// decoder's lifetime, so the appends in add() never grow a list and
+	// the peeling path allocates nothing beyond the ripple stack.
+	deg := make([]int32, g.K)
+	total := 0
+	for _, nb := range g.Neighbors {
+		total += len(nb)
+		for _, j := range nb {
+			deg[j]++
+		}
+	}
+	arena := make([]int32, total)
+	off := 0
+	for j := 0; j < g.K; j++ {
+		end := off + int(deg[j])
+		d.waiters[j] = arena[off:off:end]
+		off = end
+	}
+	return d
 }
 
 // AddData feeds coded block idx with its payload, returning the number

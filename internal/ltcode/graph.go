@@ -64,7 +64,12 @@ func BuildGraph(p Params, n int, rng *rand.Rand, opts GraphOptions) (*Graph, err
 		maxAttempts, p.K, n, p.C, p.Delta)
 }
 
-// generate builds one candidate graph.
+// generate builds one candidate graph. All neighbor lists are carved
+// from one shared arena instead of one allocation per coded block; the
+// arena may relocate while growing, so lists are recorded as offsets
+// and sliced out only at the end. The RNG call sequence is identical to
+// the per-block version — the graph is rebuilt from a stored seed, so
+// the draw order is part of the storage format.
 func generate(k, n int, sampler *DegreeSampler, rng *rand.Rand, uniform bool) *Graph {
 	g := &Graph{K: k, N: n, Neighbors: make([][]int32, n)}
 	var stream *permStream
@@ -72,14 +77,15 @@ func generate(k, n int, sampler *DegreeSampler, rng *rand.Rand, uniform bool) *G
 		stream = newPermStream(k, rng)
 	}
 	seen := make([]int32, k) // epoch marker per original block
+	offs := make([]int, n+1)
+	arena := make([]int32, 0, k+n) // ~avg degree slightly above 1 edge/block
 	for i := 0; i < n; i++ {
 		d := sampler.Sample(rng)
 		if d > k {
 			d = k
 		}
-		nb := make([]int32, 0, d)
 		epoch := int32(i + 1)
-		for len(nb) < d {
+		for cnt := 0; cnt < d; {
 			var cand int32
 			if uniform {
 				cand = stream.next()
@@ -90,9 +96,13 @@ func generate(k, n int, sampler *DegreeSampler, rng *rand.Rand, uniform bool) *G
 				continue // duplicate within this coded block; draw again
 			}
 			seen[cand] = epoch
-			nb = append(nb, cand)
+			arena = append(arena, cand)
+			cnt++
 		}
-		g.Neighbors[i] = nb
+		offs[i+1] = len(arena)
+	}
+	for i := 0; i < n; i++ {
+		g.Neighbors[i] = arena[offs[i]:offs[i+1]:offs[i+1]]
 	}
 	return g
 }
@@ -190,13 +200,19 @@ func (g *Graph) AffectedCoded(orig int) []int {
 // EncodeBlock computes coded block i from the original data blocks.
 // All data blocks must be the same length.
 func (g *Graph) EncodeBlock(i int, data [][]byte) []byte {
+	return g.EncodeBlockInto(make([]byte, len(data[g.Neighbors[i][0]])), i, data)
+}
+
+// EncodeBlockInto computes coded block i into dst, which must be
+// exactly one block long, and returns it. It allocates nothing — the
+// write hot path encodes into pooled buffers (DESIGN.md §10).
+func (g *Graph) EncodeBlockInto(dst []byte, i int, data [][]byte) []byte {
 	nb := g.Neighbors[i]
-	out := make([]byte, len(data[nb[0]]))
-	copy(out, data[nb[0]])
+	copy(dst, data[nb[0]])
 	for _, j := range nb[1:] {
-		gf256.XorSlice(data[j], out)
+		gf256.XorSlice(data[j], dst)
 	}
-	return out
+	return dst
 }
 
 // Encode computes all N coded blocks.

@@ -78,8 +78,11 @@ func TestMetricsEndpointReflectsAccess(t *testing.T) {
 		`(?m)^robust_read_blocks_total [1-9]\d*$`,
 		`(?m)^robust_write_blocks_total [1-9]\d*$`,
 		`(?m)^transport_client_dials_total [1-9]\d*$`,
-		`(?m)^transport_server_get_total [1-9]\d*$`,
-		`(?m)^transport_server_put_total [1-9]\d*$`,
+		`(?m)^transport_server_get_batch_total [1-9]\d*$`,
+		`(?m)^transport_server_put_batch_total [1-9]\d*$`,
+		`(?m)^transport_server_batch_blocks_total [1-9]\d*$`,
+		`(?m)^transport_client_batches_total [1-9]\d*$`,
+		`(?m)^transport_client_batch_roundtrips_saved_total [1-9]\d*$`,
 		`(?m)^transport_client_roundtrip_seconds_count [1-9]\d*$`,
 	} {
 		if !regexp.MustCompile(re).MatchString(metrics) {

@@ -45,6 +45,29 @@ func BenchmarkClientWrite16MB(b *testing.B) {
 	}
 }
 
+// BenchmarkClientWriteSteady16MB measures the steady-state write path:
+// writing the same segment shape repeatedly, so the coding graph is
+// cached and the share-buffer pool is warm. This is the allocs/op
+// number DESIGN.md §10 budgets (the plain Write benchmark pays a graph
+// cache miss per fresh name on top of it).
+func BenchmarkClientWriteSteady16MB(b *testing.B) {
+	c := benchClient(b, 8)
+	data := randData(16<<20, 1)
+	ctx := context.Background()
+	b.SetBytes(16 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(ctx, "steady", data, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := c.Delete(ctx, "steady"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
 func BenchmarkClientRead16MB(b *testing.B) {
 	c := benchClient(b, 8)
 	data := randData(16<<20, 2)

@@ -20,6 +20,7 @@ import "repro/internal/obs"
 //	robust_write_bytes_total       coded bytes shipped to servers
 //	robust_write_latency_seconds
 //	robust_read_corrupt_shares_total  shares rejected by CRC verification
+//	robust_read_rejected_shares_total shares the decoder refused (bad index)
 //	robust_read_hedges_total          hedge requests issued
 //	robust_read_hedge_wins_total      hedges whose answer arrived first
 //	robust_read_hedge_losses_total    hedges beaten by the original
@@ -30,16 +31,17 @@ import "repro/internal/obs"
 //	robust_repair_latency_seconds
 //	robust_health_checks_total
 type clientMetrics struct {
-	reads             *obs.Counter
-	readErrors        *obs.Counter
-	readBlocks        *obs.Counter
-	readFailedGets    *obs.Counter
-	readBytes         *obs.Counter
-	readLatency       *obs.Histogram
-	readCorruptShares *obs.Counter
-	readHedges        *obs.Counter
-	readHedgeWins     *obs.Counter
-	readHedgeLosses   *obs.Counter
+	reads              *obs.Counter
+	readErrors         *obs.Counter
+	readBlocks         *obs.Counter
+	readFailedGets     *obs.Counter
+	readBytes          *obs.Counter
+	readLatency        *obs.Histogram
+	readCorruptShares  *obs.Counter
+	readRejectedShares *obs.Counter
+	readHedges         *obs.Counter
+	readHedgeWins      *obs.Counter
+	readHedgeLosses    *obs.Counter
 
 	writes          *obs.Counter
 	writeErrors     *obs.Counter
@@ -63,16 +65,17 @@ type clientMetrics struct {
 // all-nil (no-op) handles.
 func newClientMetrics(r *obs.Registry) clientMetrics {
 	return clientMetrics{
-		reads:             r.Counter("robust_reads_total"),
-		readErrors:        r.Counter("robust_read_errors_total"),
-		readBlocks:        r.Counter("robust_read_blocks_total"),
-		readFailedGets:    r.Counter("robust_read_failed_gets_total"),
-		readBytes:         r.Counter("robust_read_bytes_total"),
-		readLatency:       r.Histogram("robust_read_latency_seconds"),
-		readCorruptShares: r.Counter("robust_read_corrupt_shares_total"),
-		readHedges:        r.Counter("robust_read_hedges_total"),
-		readHedgeWins:     r.Counter("robust_read_hedge_wins_total"),
-		readHedgeLosses:   r.Counter("robust_read_hedge_losses_total"),
+		reads:              r.Counter("robust_reads_total"),
+		readErrors:         r.Counter("robust_read_errors_total"),
+		readBlocks:         r.Counter("robust_read_blocks_total"),
+		readFailedGets:     r.Counter("robust_read_failed_gets_total"),
+		readBytes:          r.Counter("robust_read_bytes_total"),
+		readLatency:        r.Histogram("robust_read_latency_seconds"),
+		readCorruptShares:  r.Counter("robust_read_corrupt_shares_total"),
+		readRejectedShares: r.Counter("robust_read_rejected_shares_total"),
+		readHedges:         r.Counter("robust_read_hedges_total"),
+		readHedgeWins:      r.Counter("robust_read_hedge_wins_total"),
+		readHedgeLosses:    r.Counter("robust_read_hedge_losses_total"),
 
 		writes:          r.Counter("robust_writes_total"),
 		writeErrors:     r.Counter("robust_write_errors_total"),

@@ -1,0 +1,53 @@
+package robust
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/ltcode"
+)
+
+// Share-buffer pool: the write hot path encodes, seals, and frames
+// every coded block inside one pooled buffer, so steady-state writes
+// allocate ~zero per block (DESIGN.md §10). A buffer is
+// [8B envelope][block bytes]; the envelope prefix is used only when
+// the segment is sealed. Buffers are recycled after the Put returns —
+// safe because blockstore.Store.Put must not retain its data.
+//
+// The pool is shared across clients: buffers are sized by request and
+// reused whenever their capacity suffices, so mixed block sizes
+// (repairing a segment written with different options) still pool.
+var shareBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getShareBuf returns a buffer with capacity >= n, length n.
+func getShareBuf(n int) *[]byte {
+	b := shareBufPool.Get().(*[]byte)
+	if cap(*b) < n {
+		*b = make([]byte, n)
+	}
+	*b = (*b)[:n]
+	return b
+}
+
+// putShareBuf recycles a buffer.
+func putShareBuf(b *[]byte) { shareBufPool.Put(b) }
+
+// encodeShareInto encodes coded block idx into a pooled buffer and
+// seals it in place when the segment uses share checksums. The
+// returned share aliases buf; recycle buf only after the share's last
+// use.
+func encodeShareInto(buf []byte, graph *ltcode.Graph, idx int, blocks [][]byte, sealed bool) []byte {
+	data := buf[shareOverhead:]
+	graph.EncodeBlockInto(data, idx, blocks)
+	if !sealed {
+		return data
+	}
+	binary.BigEndian.PutUint32(buf[0:4], shareMagic)
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(data, shareCastagnoli))
+	return buf
+}
+
+// shareBufLen is the pooled-buffer size for a block: envelope prefix
+// plus payload, whether or not the envelope ends up used.
+func shareBufLen(blockBytes int64) int { return shareOverhead + int(blockBytes) }

@@ -3,7 +3,6 @@ package robust
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,10 +10,6 @@ import (
 	"repro/internal/blockstore"
 	"repro/internal/ltcode"
 )
-
-// newSeededRand isolates the construction so write.go and read.go
-// derive identical graphs.
-func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // Read reconstructs a segment speculatively (§4.3.3): workers fan out
 // block requests to every holder in parallel, each delivered block
@@ -51,7 +46,7 @@ func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stat
 		return nil, ReadStats{}, err
 	}
 	tr.Stage("lookup")
-	graph, err := buildGraph(seg.Coding)
+	graph, err := c.cachedGraph(seg.Coding)
 	if err != nil {
 		return nil, ReadStats{}, err
 	}
@@ -59,20 +54,22 @@ func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stat
 		tr.Stagef("graph", "K=%d N=%d", seg.Coding.K, seg.Coding.N)
 	}
 
-	dec := &lockedDecoder{d: ltcode.NewDecoder(graph)}
+	dec := ltcode.NewDecoder(graph)
 	fx := newFetcher(c, name, seg.Coding.ShareCRC, seg.Placement)
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	window := c.opts.BatchBlocks
+	if window < 1 {
+		window = 1
+	}
 	var (
-		wg       sync.WaitGroup
-		statsMu  sync.Mutex
-		received = map[string]int{}
-		failed   int
+		wg     sync.WaitGroup
+		failed atomic.Int64
 		// Stage markers raced for by the fan-out workers: the first
-		// delivered block, the decode completing, and a worker observing
-		// completion and canceling the rest (§4.3.3 early cancellation).
-		firstByte, decoded, earlyCancel atomic.Bool
+		// delivered block and a worker observing completion and
+		// canceling the rest (§4.3.3 early cancellation).
+		firstByte, earlyCancel atomic.Bool
 	)
 	// Fan out to the attached holders the failure detector has not
 	// evicted. If exclusion would silence every holder, fall back to
@@ -98,75 +95,104 @@ func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stat
 	if tr != nil {
 		tr.Stagef("fanout", "servers=%d excluded=%d", len(targets), len(seg.Placement)-len(targets))
 	}
+	// The decoder runs on its own goroutine fed by a channel: LT
+	// peeling is inherently single-threaded, and funneling shares
+	// through a channel keeps the decoder lock (and its contention)
+	// out of the network workers' hot path entirely. The goroutine
+	// owns the decoder, the per-server receive counts, and the
+	// rejected-share count; all are read only after it exits.
+	type deliveredShare struct {
+		addr    string
+		idx     int
+		payload []byte
+	}
+	shares := make(chan deliveredShare, 4*window)
+	decodeDone := make(chan struct{})
+	received := make(map[string]int, len(targets))
+	rejected := 0
+	var decComplete atomic.Bool
+	go func() {
+		defer close(decodeDone)
+		for s := range shares {
+			if dec.Complete() {
+				continue // drain so no worker blocks on send
+			}
+			if _, aerr := dec.AddData(s.idx, s.payload); aerr != nil {
+				// The graph cannot place this share (corrupt metadata
+				// or placement). Neither a failed GET nor a CRC reject;
+				// count it instead of dropping it silently.
+				rejected++
+				c.m.readRejectedShares.Inc()
+				continue
+			}
+			received[s.addr]++
+			if dec.Complete() {
+				decComplete.Store(true)
+				tr.Stage("decode-complete")
+				cancel()
+			}
+		}
+	}()
 	for addr, indices := range seg.Placement {
 		store, ok := targets[addr]
 		if !ok {
 			continue
 		}
-		// Split the server's block list among its worker pipelines.
+		// Split the server's block list among its worker pipelines;
+		// each pipeline walks its share of the list in batch windows.
 		for w := 0; w < c.opts.PerServerParallel; w++ {
 			wg.Add(1)
 			go func(addr string, store storeGetter, mine []int) {
 				defer wg.Done()
-				for _, idx := range mine {
+				deliver := func(idx int, payload []byte) {
+					if !firstByte.Swap(true) {
+						tr.StageDetail("first-byte", addr)
+					}
+					select {
+					case shares <- deliveredShare{addr: addr, idx: idx, payload: payload}:
+					case <-rctx.Done():
+					}
+				}
+				for lo := 0; lo < len(mine); lo += window {
 					if rctx.Err() != nil {
 						return
 					}
-					if dec.Complete() {
+					if decComplete.Load() {
 						if !earlyCancel.Swap(true) {
 							tr.Stage("early-cancel")
 						}
 						cancel()
 						return
 					}
-					payload, err := fx.fetch(rctx, addr, store, idx)
-					if err != nil {
-						if rctx.Err() != nil {
-							return
-						}
-						statsMu.Lock()
-						failed++
-						statsMu.Unlock()
-						continue
+					hi := lo + window
+					if hi > len(mine) {
+						hi = len(mine)
 					}
-					if !firstByte.Swap(true) {
-						tr.StageDetail("first-byte", addr)
-					}
-					done, err := dec.Add(idx, payload)
-					if err != nil {
-						continue
-					}
-					statsMu.Lock()
-					received[addr]++
-					statsMu.Unlock()
-					if done {
-						if !decoded.Swap(true) {
-							tr.Stage("decode-complete")
-						}
-						cancel()
-						return
-					}
+					failed.Add(int64(fx.fetchBatch(rctx, addr, store, mine[lo:hi], deliver)))
 				}
 			}(addr, store, stripeSlice(indices, w, c.opts.PerServerParallel))
 		}
 	}
 	wg.Wait()
+	close(shares)
+	<-decodeDone
 
 	stats = ReadStats{
-		K:             seg.Coding.K,
-		Received:      dec.Received(),
-		Reception:     dec.ReceptionOverhead(),
-		Duration:      time.Since(start),
-		PerServer:     received,
-		FailedGets:    failed,
-		UsedDecoder:   dec.UsedBlocks(),
-		CorruptShares: int(fx.corrupt.Load()),
-		Hedges:        int(fx.hedges.Load()),
-		HedgeWins:     int(fx.hedgeWins.Load()),
+		K:              seg.Coding.K,
+		Received:       dec.Received(),
+		Reception:      dec.ReceptionOverhead(),
+		Duration:       time.Since(start),
+		PerServer:      received,
+		FailedGets:     int(failed.Load()),
+		UsedDecoder:    dec.UsedBlocks(),
+		CorruptShares:  int(fx.corrupt.Load()),
+		RejectedShares: rejected,
+		Hedges:         int(fx.hedges.Load()),
+		HedgeWins:      int(fx.hedgeWins.Load()),
 	}
 	if tr != nil {
-		tr.Stagef("per-server", "blocks=%v failed-gets=%d corrupt=%d hedges=%d/%d",
-			received, failed, stats.CorruptShares, stats.HedgeWins, stats.Hedges)
+		tr.Stagef("per-server", "blocks=%v failed-gets=%d corrupt=%d rejected=%d hedges=%d/%d",
+			received, stats.FailedGets, stats.CorruptShares, stats.RejectedShares, stats.HedgeWins, stats.Hedges)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
@@ -204,55 +230,6 @@ func stripeSlice(xs []int, worker, workers int) []int {
 		out = append(out, xs[i])
 	}
 	return out
-}
-
-// lockedDecoder makes the single-threaded LT decoder safe for the
-// read fan-in.
-type lockedDecoder struct {
-	mu sync.Mutex
-	d  *ltcode.Decoder
-}
-
-func (l *lockedDecoder) Add(idx int, payload []byte) (bool, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.d.Complete() {
-		return true, nil
-	}
-	if _, err := l.d.AddData(idx, payload); err != nil {
-		return false, err
-	}
-	return l.d.Complete(), nil
-}
-
-func (l *lockedDecoder) Complete() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.d.Complete()
-}
-
-func (l *lockedDecoder) Received() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.d.Received()
-}
-
-func (l *lockedDecoder) ReceptionOverhead() float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.d.ReceptionOverhead()
-}
-
-func (l *lockedDecoder) UsedBlocks() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.d.UsedBlocks()
-}
-
-func (l *lockedDecoder) Data() ([][]byte, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.d.Data()
 }
 
 // ReadAt reconstructs length bytes starting at offset. LT codes are

@@ -29,7 +29,7 @@ func (c *Client) Health(ctx context.Context, name string) (HealthReport, error) 
 	if err != nil {
 		return HealthReport{}, err
 	}
-	graph, err := buildGraph(seg.Coding)
+	graph, err := c.cachedGraph(seg.Coding)
 	if err != nil {
 		return HealthReport{}, err
 	}
@@ -115,7 +115,7 @@ func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, er
 		return RepairStats{}, fmt.Errorf("robust: repair read: %w", err)
 	}
 	tr.Stage("reconstruct")
-	graph, err := buildGraph(seg.Coding)
+	graph, err := c.cachedGraph(seg.Coding)
 	if err != nil {
 		return RepairStats{}, err
 	}

@@ -69,6 +69,15 @@ type Options struct {
 	// share fetches, clamped to [1ms, 2s], starting at 30ms before
 	// any sample exists.
 	HedgeDelay time.Duration
+	// BatchBlocks is the number of coded blocks moved per backend
+	// round trip on the hot paths when a store offers the batch fast
+	// path (blockstore.Batcher): write workers claim runs of
+	// BatchBlocks indices and ship each run as one batched put, and
+	// readers fetch windows of BatchBlocks shares per holder (a hedge
+	// promotes the whole remaining window to the alternate holder).
+	// Stores without the fast path keep the per-block pipelines.
+	// 1 disables batching; default 16.
+	BatchBlocks int
 	// DegradedWrites enables graceful degradation: a write that
 	// cannot commit the full target N (servers unreachable) still
 	// succeeds once it has committed at least the degraded floor
@@ -139,6 +148,9 @@ func (o Options) withDefaults() Options {
 	if o.DegradedFloor == 0 {
 		o.DegradedFloor = 0.75
 	}
+	if o.BatchBlocks == 0 {
+		o.BatchBlocks = 16
+	}
 	return o
 }
 
@@ -192,6 +204,9 @@ type Client struct {
 
 	mu     sync.RWMutex
 	stores map[string]blockstore.Store
+
+	graphMu sync.Mutex
+	graphs  map[graphKey]*ltcode.Graph
 }
 
 // NewClient creates a client over a metadata service — the embedded
@@ -209,6 +224,7 @@ func NewClient(meta metadata.API, opts Options) (*Client, error) {
 		m:      newClientMetrics(opts.Obs),
 		health: opts.Health,
 		stores: make(map[string]blockstore.Store),
+		graphs: make(map[graphKey]*ltcode.Graph),
 	}, nil
 }
 
@@ -338,20 +354,21 @@ func graphSeed(name string, size int64) int64 {
 	return int64(h.Sum64() & 0x7FFFFFFFFFFFFFFF)
 }
 
-// splitBlocks cuts data into K zero-padded blocks of BlockBytes.
+// splitBlocks cuts data into K zero-padded blocks of BlockBytes. All
+// blocks are carved from one zeroed backing array — two allocations
+// instead of K+1 — with capacities pinned so no append can bleed into
+// a neighbor.
 func splitBlocks(data []byte, blockBytes int64) [][]byte {
 	k := int((int64(len(data)) + blockBytes - 1) / blockBytes)
 	if k == 0 {
 		k = 1
 	}
+	backing := make([]byte, int64(k)*blockBytes)
+	copy(backing, data)
 	out := make([][]byte, k)
 	for i := 0; i < k; i++ {
-		b := make([]byte, blockBytes)
-		start := int64(i) * blockBytes
-		if start < int64(len(data)) {
-			copy(b, data[start:])
-		}
-		out[i] = b
+		lo, hi := int64(i)*blockBytes, int64(i+1)*blockBytes
+		out[i] = backing[lo:hi:hi]
 	}
 	return out
 }
@@ -364,6 +381,69 @@ func buildGraph(coding metadata.Coding) (*ltcode.Graph, error) {
 		n = coding.N
 	}
 	return ltcode.BuildGraph(p, n, rand.New(rand.NewSource(coding.GraphSeed)), ltcode.DefaultGraphOptions())
+}
+
+// graphKey identifies a coding graph: construction is deterministic
+// in these fields, so equal keys yield identical graphs.
+type graphKey struct {
+	k, n     int
+	c, delta float64
+	seed     int64
+}
+
+// graphCacheCap bounds the per-client graph memo. Graphs are a few
+// hundred KB of neighbor lists at most; a handful covers the hot
+// working set (repeated reads of the same segments).
+const graphCacheCap = 16
+
+// cachedGraph memoizes buildGraph per client. Graph construction with
+// EnsureDecodable runs a symbolic decode per candidate — milliseconds
+// of pure CPU that every read and write of the same segment would
+// otherwise repeat. Graphs are immutable, so sharing is safe.
+func (c *Client) cachedGraph(coding metadata.Coding) (*ltcode.Graph, error) {
+	n := coding.GraphN
+	if n == 0 {
+		n = coding.N
+	}
+	key := graphKey{k: coding.K, n: n, c: coding.C, delta: coding.Delta, seed: coding.GraphSeed}
+	c.graphMu.Lock()
+	g, ok := c.graphs[key]
+	c.graphMu.Unlock()
+	if ok {
+		return g, nil
+	}
+	g, err := buildGraph(coding)
+	if err != nil {
+		return nil, err
+	}
+	c.graphMu.Lock()
+	if len(c.graphs) >= graphCacheCap {
+		for k := range c.graphs { // drop an arbitrary entry; a memo, not an LRU
+			delete(c.graphs, k)
+			break
+		}
+	}
+	c.graphs[key] = g
+	c.graphMu.Unlock()
+	return g, nil
+}
+
+// batchOutcome condenses a batch's per-entry errors into the one
+// outcome reported to the failure detector: any successful entry
+// proves the server answered, and among failures a non-cancellation
+// error is preferred (reportOutcome treats cancellations as
+// signal-free).
+func (c *Client) batchOutcome(errs []error) error {
+	var out error
+	for _, e := range errs {
+		if e == nil {
+			return nil
+		}
+		if out == nil || errors.Is(out, context.Canceled) || errors.Is(out, context.DeadlineExceeded) {
+			out = e
+		}
+	}
+	return out
 }
 
 // WriteStats reports one write access.
@@ -392,6 +472,12 @@ type ReadStats struct {
 	// CorruptShares counts shares rejected by CRC verification
 	// (including refetched copies that were corrupt again).
 	CorruptShares int
+	// RejectedShares counts delivered shares the decoder refused —
+	// an index outside the coding graph, i.e. corrupt metadata or
+	// placement. They appear in neither FailedGets (the GET worked)
+	// nor CorruptShares (the envelope verified); dropping them
+	// silently once hid that accounting gap.
+	RejectedShares int
 	// Hedges counts hedge requests issued; HedgeWins counts the ones
 	// whose answer arrived before the original's.
 	Hedges    int

@@ -41,7 +41,7 @@ func (c *Client) Update(ctx context.Context, name string, offset int64, patch []
 	}
 	copy(data[offset:], patch)
 
-	graph, err := buildGraph(seg.Coding)
+	graph, err := c.cachedGraph(seg.Coding)
 	if err != nil {
 		return err
 	}
@@ -104,7 +104,7 @@ func (c *Client) AffectedBlocks(name string, offset, length int64) (int, error) 
 	if length <= 0 {
 		return 0, nil
 	}
-	graph, err := buildGraph(seg.Coding)
+	graph, err := c.cachedGraph(seg.Coding)
 	if err != nil {
 		return 0, err
 	}

@@ -2,13 +2,14 @@ package robust
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/ltcode"
+	"repro/internal/blockstore"
 	"repro/internal/metadata"
 )
 
@@ -64,8 +65,9 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 	n := int(math.Ceil((1 + c.opts.Redundancy) * float64(k)))
 	graphN := n + c.opts.GraphSlack*len(servers)
 	seed := graphSeed(name, int64(len(data)))
-	params := ltcode.Params{K: k, C: c.opts.LTC, Delta: c.opts.LTDelta}
-	graph, err := ltcode.BuildGraph(params, graphN, newSeededRand(seed), ltcode.DefaultGraphOptions())
+	graph, err := c.cachedGraph(metadata.Coding{
+		K: k, C: c.opts.LTC, Delta: c.opts.LTDelta, GraphSeed: seed, GraphN: graphN,
+	})
 	if err != nil {
 		return WriteStats{}, err
 	}
@@ -83,6 +85,7 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 	var (
 		next      int64 = -1 // atomically incremented block cursor
 		committed int64
+		inflight  int64 // indices claimed by workers, not yet resolved
 		bytesSent int64
 		failed    int64
 		// Stage markers raced for by the rateless workers: the first
@@ -91,22 +94,36 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 	)
 	failureBudget := int64(4*graphN + 64)
 	retry := make(chan int, graphN)
-	// takeIndex prefers retries, then fresh indices, then blocks until
-	// a retry appears or the write ends.
-	takeIndex := func() (int, bool) {
+	// takeIndices claims up to want indices: queued retries first, then
+	// a fresh run off the cursor, then it blocks until a retry appears
+	// or the write ends. An empty result means the write is over.
+	takeIndices := func(dst []int, want int) []int {
+		dst = dst[:0]
+	drain:
+		for len(dst) < want {
+			select {
+			case i := <-retry:
+				dst = append(dst, i)
+			default:
+				break drain
+			}
+		}
+		if m := int64(want - len(dst)); m > 0 {
+			end := atomic.AddInt64(&next, m)
+			for i := end - m + 1; i <= end; i++ {
+				if i < int64(graphN) {
+					dst = append(dst, int(i))
+				}
+			}
+		}
+		if len(dst) > 0 {
+			return dst
+		}
 		select {
 		case i := <-retry:
-			return i, true
-		default:
-		}
-		if i := int(atomic.AddInt64(&next, 1)); i < graphN {
-			return i, true
-		}
-		select {
-		case i := <-retry:
-			return i, true
+			return append(dst, i)
 		case <-wctx.Done():
-			return 0, false
+			return dst
 		}
 	}
 	// The share cap is a fraction of the commit target n, not of the
@@ -129,6 +146,11 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 		var zero int64
 		serverCount[addr] = &zero
 	}
+	batchRun := c.opts.BatchBlocks
+	if batchRun < 1 {
+		batchRun = 1
+	}
+	bufLen := shareBufLen(c.opts.BlockBytes)
 	var wg sync.WaitGroup
 	for _, addr := range servers {
 		store, _ := c.store(addr)
@@ -137,52 +159,117 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 			wg.Add(1)
 			go func(addr string, store storePutter) {
 				defer wg.Done()
+				batcher, _ := store.(putBatcher)
+				maxRun := batchRun
+				if batcher == nil {
+					maxRun = 1 // no batch fast path: keep the per-block pipeline
+				}
+				indices := make([]int, 0, maxRun)
+				puts := make([]blockstore.BatchPut, 0, maxRun)
+				singleErrs := make([]error, maxRun)
+				// Share buffers are leased from the pool once per worker
+				// lifetime and reused across runs — safe because
+				// Store.Put must not retain data — so a warm pool is
+				// touched a handful of times per write, not per block.
+				bufs := make([]*[]byte, 0, maxRun)
+				defer func() {
+					for _, b := range bufs {
+						putShareBuf(b)
+					}
+				}()
 				for {
 					if wctx.Err() != nil {
 						return
 					}
-					// Reserve a slot in this server's share before taking
-					// an index: a plain load-then-put check lets two
+					// Size the run by the outstanding commit need, so a
+					// batch never claims blocks nobody has to store: an
+					// unbounded run would overshoot the target by whole
+					// batches (the floor of 1 keeps each worker probing,
+					// exactly like the per-block pipeline, in case an
+					// in-flight put on another server fails).
+					want := int(int64(n) - atomic.LoadInt64(&committed) - atomic.LoadInt64(&inflight))
+					if want < 1 {
+						want = 1
+					}
+					if want > maxRun {
+						want = maxRun
+					}
+					// Reserve the run in this server's share before taking
+					// indices: a plain load-then-put check lets two
 					// pipeline workers race past the cap together.
-					if atomic.AddInt64(count, 1) > perServerCap {
-						atomic.AddInt64(count, -1)
-						return // this server has its share
-					}
-					i, ok := takeIndex()
-					if !ok {
-						atomic.AddInt64(count, -1)
-						return
-					}
-					coded := graph.EncodeBlock(i, blocks)
-					if sealed {
-						coded = sealShare(coded)
-					}
-					err := store.Put(wctx, name, i, coded)
-					c.reportOutcome(addr, err)
-					if err != nil {
-						atomic.AddInt64(count, -1)
-						if wctx.Err() != nil {
-							return
+					reserved := want
+					if over := atomic.AddInt64(count, int64(want)) - perServerCap; over > 0 {
+						if over >= int64(want) {
+							atomic.AddInt64(count, -int64(want))
+							return // this server has its share
 						}
-						if atomic.AddInt64(&failed, 1) > failureBudget {
-							cancel()
-							return
-						}
-						retry <- i // hand the index to a healthier worker
-						continue
+						atomic.AddInt64(count, -over)
+						reserved -= int(over)
 					}
-					atomic.AddInt64(&bytesSent, int64(len(coded)))
-					if !firstCommit.Swap(true) {
-						tr.StageDetail("first-commit", addr)
+					indices = takeIndices(indices, reserved)
+					if give := reserved - len(indices); give > 0 {
+						atomic.AddInt64(count, -int64(give))
 					}
-					placeMu.Lock()
-					placement[addr] = append(placement[addr], i)
-					placeMu.Unlock()
-					if atomic.AddInt64(&committed, 1) >= int64(n) {
-						if !targetReached.Swap(true) {
-							tr.Stage("commit-target")
+					if len(indices) == 0 {
+						return // write ended while waiting for work
+					}
+					atomic.AddInt64(&inflight, int64(len(indices)))
+					// Encode the run into this worker's leased buffers.
+					for len(bufs) < len(indices) {
+						bufs = append(bufs, getShareBuf(bufLen))
+					}
+					puts = puts[:0]
+					for bi, i := range indices {
+						puts = append(puts, blockstore.BatchPut{
+							Index: i,
+							Data:  encodeShareInto(*bufs[bi], graph, i, blocks, sealed),
+						})
+					}
+					// One health outcome per wire operation: the batch is
+					// one round trip, the fallback loop stays one per put.
+					var errs []error
+					if batcher != nil && len(puts) > 1 {
+						errs = batcher.PutBatch(wctx, name, puts)
+						c.reportOutcome(addr, c.batchOutcome(errs))
+					} else {
+						errs = singleErrs[:len(puts)]
+						for j := range puts {
+							errs[j] = store.Put(wctx, name, puts[j].Index, puts[j].Data)
+							c.reportOutcome(addr, errs[j])
 						}
-						cancel() // enough blocks on disk: stop the rest
+					}
+					atomic.AddInt64(&inflight, -int64(len(puts)))
+					canceled := wctx.Err() != nil
+					overBudget := false
+					for j := range puts {
+						if err := errs[j]; err != nil {
+							atomic.AddInt64(count, -1)
+							if canceled || overBudget {
+								continue
+							}
+							if atomic.AddInt64(&failed, 1) > failureBudget {
+								overBudget = true
+								continue
+							}
+							retry <- puts[j].Index // hand it to a healthier worker
+							continue
+						}
+						atomic.AddInt64(&bytesSent, int64(len(puts[j].Data)))
+						if !firstCommit.Swap(true) {
+							tr.StageDetail("first-commit", addr)
+						}
+						placeMu.Lock()
+						placement[addr] = append(placement[addr], puts[j].Index)
+						placeMu.Unlock()
+						if atomic.AddInt64(&committed, 1) >= int64(n) {
+							if !targetReached.Swap(true) {
+								tr.Stage("commit-target")
+							}
+							cancel() // enough blocks on disk: stop the rest
+						}
+					}
+					if overBudget {
+						cancel()
 						return
 					}
 				}
@@ -258,6 +345,16 @@ type storePutter interface {
 	Put(ctx context.Context, segment string, index int, data []byte) error
 }
 
+// putBatcher is the batched write-path slice of blockstore.Batcher.
+type putBatcher interface {
+	PutBatch(ctx context.Context, segment string, puts []blockstore.BatchPut) []error
+}
+
+// batchDeleter is the batched delete slice of blockstore.Batcher.
+type batchDeleter interface {
+	DeleteBatch(ctx context.Context, segment string, indices []int) []error
+}
+
 func countPlacement(p map[string][]int) map[string]int {
 	out := make(map[string]int, len(p))
 	for addr, idx := range p {
@@ -266,9 +363,11 @@ func countPlacement(p map[string][]int) map[string]int {
 	return out
 }
 
-// Delete removes a segment's blocks from every holder and drops its
-// metadata. Block deletions on unreachable servers are reported but
-// do not abort the operation.
+// Delete removes a segment's blocks from every holder — in parallel,
+// one goroutine per server, using the batch delete when the store
+// offers it — then drops its metadata. Per-server failures are
+// aggregated with errors.Join; block deletions on unreachable servers
+// are reported but do not abort the operation.
 func (c *Client) Delete(ctx context.Context, name string) error {
 	unlock, err := c.meta.LockWrite(ctx, name)
 	if err != nil {
@@ -279,23 +378,44 @@ func (c *Client) Delete(ctx context.Context, name string) error {
 	if err != nil {
 		return err
 	}
-	var firstErr error
+	var (
+		mu   sync.Mutex
+		errs []error
+		wg   sync.WaitGroup
+	)
 	for addr, indices := range seg.Placement {
 		store, ok := c.store(addr)
 		if !ok {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("robust: server %q unreachable during delete", addr)
-			}
+			errs = append(errs, fmt.Errorf("robust: server %q unreachable during delete", addr))
 			continue
 		}
-		for _, i := range indices {
-			if err := store.Delete(ctx, name, i); err != nil && firstErr == nil {
-				firstErr = err
+		wg.Add(1)
+		go func(store blockstore.Store, indices []int) {
+			defer wg.Done()
+			if err := deleteBlocks(ctx, store, name, indices); err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
 			}
-		}
+		}(store, indices)
 	}
+	wg.Wait()
 	if err := c.meta.DeleteSegment(name); err != nil {
 		return err
 	}
-	return firstErr
+	return errors.Join(errs...)
+}
+
+// deleteBlocks removes one server's blocks, batched when possible.
+func deleteBlocks(ctx context.Context, store blockstore.Store, name string, indices []int) error {
+	if bd, ok := store.(batchDeleter); ok && len(indices) > 1 {
+		return errors.Join(bd.DeleteBatch(ctx, name, indices)...)
+	}
+	var errs []error
+	for _, i := range indices {
+		if err := store.Delete(ctx, name, i); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }

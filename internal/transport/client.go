@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blockstore"
@@ -28,6 +29,11 @@ type Client struct {
 	retryBase   time.Duration
 	retryMax    time.Duration
 	m           clientPoolMetrics
+
+	// caps caches the server's batch capabilities: 0 = unprobed,
+	// otherwise 1 | mask<<1 (so "probed, no capabilities" is 1).
+	caps          atomic.Uint32
+	maxBatchBytes int
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -68,6 +74,10 @@ type ClientOptions struct {
 	RetryBaseDelay time.Duration
 	// RetryMaxDelay caps a single backoff sleep (default 100ms).
 	RetryMaxDelay time.Duration
+	// MaxBatchBytes caps the payload bytes packed into one batch
+	// request frame (default 8 MiB, always at most MaxFrame/2). Larger
+	// batches are split across multiple round trips transparently.
+	MaxBatchBytes int
 	// Obs, when non-nil, receives pool metrics (transport_client_*:
 	// dials, connection reuses, in-flight requests, bytes, errors,
 	// retries, round-trip latency).
@@ -77,17 +87,21 @@ type ClientOptions struct {
 // clientPoolMetrics are the connection-pool metric handles; all nil
 // (no-op) when observability is disabled.
 type clientPoolMetrics struct {
-	dials        *obs.Counter
-	dialErrors   *obs.Counter
-	reuses       *obs.Counter
-	errors       *obs.Counter
-	retries      *obs.Counter
-	retriesWon   *obs.Counter
-	retryGiveups *obs.Counter
-	bytesSent    *obs.Counter
-	bytesRecv    *obs.Counter
-	inflight     *obs.Gauge
-	roundTrip    *obs.Histogram
+	dials          *obs.Counter
+	dialErrors     *obs.Counter
+	reuses         *obs.Counter
+	errors         *obs.Counter
+	retries        *obs.Counter
+	retriesWon     *obs.Counter
+	retryGiveups   *obs.Counter
+	bytesSent      *obs.Counter
+	bytesRecv      *obs.Counter
+	batches        *obs.Counter
+	batchBlocks    *obs.Counter
+	batchRTSaved   *obs.Counter
+	batchFallbacks *obs.Counter
+	inflight       *obs.Gauge
+	roundTrip      *obs.Histogram
 }
 
 func newClientPoolMetrics(r *obs.Registry) clientPoolMetrics {
@@ -101,8 +115,15 @@ func newClientPoolMetrics(r *obs.Registry) clientPoolMetrics {
 		retryGiveups: r.Counter("transport_client_retry_giveups_total"),
 		bytesSent:    r.Counter("transport_client_bytes_sent_total"),
 		bytesRecv:    r.Counter("transport_client_bytes_recv_total"),
-		inflight:     r.Gauge("transport_client_inflight"),
-		roundTrip:    r.Histogram("transport_client_roundtrip_seconds"),
+		// Batch accounting: blocks carried per batch frame and the
+		// request/response round trips the batching avoided
+		// (blocks - frames), the headline win of DESIGN.md §10.
+		batches:        r.Counter("transport_client_batches_total"),
+		batchBlocks:    r.Counter("transport_client_batch_blocks_total"),
+		batchRTSaved:   r.Counter("transport_client_batch_roundtrips_saved_total"),
+		batchFallbacks: r.Counter("transport_client_batch_fallbacks_total"),
+		inflight:       r.Gauge("transport_client_inflight"),
+		roundTrip:      r.Histogram("transport_client_roundtrip_seconds"),
 	}
 }
 
@@ -121,15 +142,22 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	if opts.RetryMaxDelay <= 0 {
 		opts.RetryMaxDelay = 100 * time.Millisecond
 	}
+	if opts.MaxBatchBytes <= 0 {
+		opts.MaxBatchBytes = 8 << 20
+	}
+	if opts.MaxBatchBytes > MaxFrame/2 {
+		opts.MaxBatchBytes = MaxFrame / 2
+	}
 	c := &Client{
-		addr:        addr,
-		dialTimeout: opts.DialTimeout,
-		reqTimeout:  opts.RequestTimeout,
-		maxConns:    opts.MaxConns,
-		maxRetries:  opts.MaxRetries,
-		retryBase:   opts.RetryBaseDelay,
-		retryMax:    opts.RetryMaxDelay,
-		m:           newClientPoolMetrics(opts.Obs),
+		addr:          addr,
+		dialTimeout:   opts.DialTimeout,
+		reqTimeout:    opts.RequestTimeout,
+		maxConns:      opts.MaxConns,
+		maxRetries:    opts.MaxRetries,
+		retryBase:     opts.RetryBaseDelay,
+		retryMax:      opts.RetryMaxDelay,
+		maxBatchBytes: opts.MaxBatchBytes,
+		m:             newClientPoolMetrics(opts.Obs),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	if err := c.Ping(context.Background()); err != nil {
@@ -228,7 +256,7 @@ func (c *Client) roundTrip(ctx context.Context, op byte, segment string, index i
 	if err != nil {
 		return 0, nil, err
 	}
-	return c.exchange(ctx, body)
+	return c.exchange(ctx, [][]byte{body})
 }
 
 // roundTripIdem performs one exchange for an idempotent operation,
@@ -241,9 +269,15 @@ func (c *Client) roundTripIdem(ctx context.Context, op byte, segment string, ind
 	if err != nil {
 		return 0, nil, err
 	}
+	return c.exchangeIdem(ctx, [][]byte{body})
+}
+
+// exchangeIdem is the retrying exchange for idempotent requests; the
+// chunk contents must stay valid across attempts.
+func (c *Client) exchangeIdem(ctx context.Context, chunks [][]byte) (byte, []byte, error) {
 	retried := false
 	for attempt := 0; ; attempt++ {
-		status, resp, err := c.exchange(ctx, body)
+		status, resp, err := c.exchange(ctx, chunks)
 		if err == nil {
 			if retried {
 				c.m.retriesWon.Inc()
@@ -311,7 +345,7 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 // — discards the connection rather than pooling it: after a failed
 // exchange the conn's protocol state is unknown, and a pooled
 // half-read conn would poison the next request on it.
-func (c *Client) exchange(ctx context.Context, body []byte) (byte, []byte, error) {
+func (c *Client) exchange(ctx context.Context, chunks [][]byte) (byte, []byte, error) {
 	conn, err := c.acquire(ctx)
 	if err != nil {
 		c.m.errors.Inc()
@@ -341,7 +375,14 @@ func (c *Client) exchange(ctx context.Context, body []byte) (byte, []byte, error
 		close(done)
 		watch.Wait()
 	}
-	if err := writeFrame(conn, body); err != nil {
+	var sent int64
+	for _, ch := range chunks {
+		sent += int64(len(ch))
+	}
+	hdr := frameHdrPool.Get().(*[4]byte)
+	err = writeFrameVec(conn, hdr, chunks)
+	frameHdrPool.Put(hdr)
+	if err != nil {
 		finish()
 		c.discard(conn)
 		c.m.errors.Inc()
@@ -369,7 +410,7 @@ func (c *Client) exchange(ctx context.Context, body []byte) (byte, []byte, error
 		conn.SetDeadline(time.Time{})
 	}
 	c.release(conn)
-	c.m.bytesSent.Add(int64(len(body)) + 4)
+	c.m.bytesSent.Add(sent + 4)
 	c.m.bytesRecv.Add(int64(len(resp)) + 4)
 	c.m.roundTrip.Observe(time.Since(start).Seconds())
 	return resp[0], resp[1:], nil

@@ -1,0 +1,231 @@
+package transport_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/blockstore"
+	"repro/internal/metadata"
+	"repro/internal/obs"
+	"repro/internal/robust"
+	"repro/internal/transport"
+)
+
+// legacyServer is a hand-rolled single-op RobuSTore block server: it
+// speaks only the original PUT/GET/DELETE/LIST/PING ops and answers
+// anything newer — CAPS and the batch ops included — with an error
+// status, exactly as a server that predates the batch protocol does.
+// The wire handling is written against the documented frame layout,
+// not the package's own codec, so this also pins the format.
+type legacyServer struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	blocks map[string][]byte
+	ops    map[byte]int // op byte -> times served
+}
+
+func startLegacyServer(t *testing.T) *legacyServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &legacyServer{ln: ln, blocks: make(map[string][]byte), ops: make(map[byte]int)}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(conn)
+		}
+	}()
+	return s
+}
+
+func (s *legacyServer) serve(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		body := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		if len(body) < 7 {
+			return
+		}
+		op := body[0]
+		segLen := int(binary.BigEndian.Uint16(body[1:3]))
+		if len(body) < 3+segLen+4 {
+			return
+		}
+		seg := string(body[3 : 3+segLen])
+		idx := int(binary.BigEndian.Uint32(body[3+segLen : 3+segLen+4]))
+		payload := body[3+segLen+4:]
+
+		status, resp := s.handle(op, seg, idx, payload)
+		var out []byte
+		out = binary.BigEndian.AppendUint32(out, uint32(1+len(resp)))
+		out = append(out, status)
+		out = append(out, resp...)
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+func (s *legacyServer) handle(op byte, seg string, idx int, payload []byte) (byte, []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops[op]++
+	key := fmt.Sprintf("%s/%d", seg, idx)
+	switch op {
+	case 1: // PUT
+		s.blocks[key] = append([]byte(nil), payload...)
+		return 0, nil
+	case 2: // GET
+		data, ok := s.blocks[key]
+		if !ok {
+			return 2, nil // statusNotFound
+		}
+		return 0, data
+	case 3: // DELETE
+		delete(s.blocks, key)
+		return 0, nil
+	case 5: // PING
+		return 0, nil
+	default: // LIST, SCRUB, CAPS, batch ops: this server predates them
+		return 1, []byte(fmt.Sprintf("unknown op 0x%02x", op))
+	}
+}
+
+func (s *legacyServer) served(op byte) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops[op]
+}
+
+// TestBatchClientAgainstLegacyServer proves the mixed-version path: a
+// batch-speaking client against a single-op server must degrade to
+// per-block operations — same results, per-entry errors intact — and
+// account the downgrade in transport_client_batch_fallbacks_total.
+func TestBatchClientAgainstLegacyServer(t *testing.T) {
+	srv := startLegacyServer(t)
+	reg := obs.NewRegistry()
+	client, err := transport.Dial(srv.ln.Addr().String(), transport.ClientOptions{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	puts := []blockstore.BatchPut{
+		{Index: 0, Data: []byte("alpha")},
+		{Index: 1, Data: []byte("beta")},
+		{Index: 5, Data: []byte("gamma")},
+	}
+	for i, err := range client.PutBatch(ctx, "seg", puts) {
+		if err != nil {
+			t.Fatalf("PutBatch entry %d: %v", i, err)
+		}
+	}
+
+	datas, errs := client.GetBatch(ctx, "seg", []int{0, 1, 5, 9})
+	for i, want := range [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")} {
+		if errs[i] != nil || !bytes.Equal(datas[i], want) {
+			t.Fatalf("GetBatch entry %d: got %q err %v, want %q", i, datas[i], errs[i], want)
+		}
+	}
+	if !errors.Is(errs[3], blockstore.ErrNotFound) {
+		t.Fatalf("GetBatch missing entry: got %v, want ErrNotFound", errs[3])
+	}
+
+	for i, err := range client.DeleteBatch(ctx, "seg", []int{0, 1, 5}) {
+		if err != nil {
+			t.Fatalf("DeleteBatch entry %d: %v", i, err)
+		}
+	}
+	if _, errs := client.GetBatch(ctx, "seg", []int{0}); !errors.Is(errs[0], blockstore.ErrNotFound) {
+		t.Fatalf("block survived DeleteBatch: %v", errs[0])
+	}
+
+	snap := counters(reg)
+	if snap["transport_client_batch_fallbacks_total"] < 4 {
+		t.Errorf("batch fallbacks = %d, want >= 4 (put, 2 gets, delete)",
+			snap["transport_client_batch_fallbacks_total"])
+	}
+	if snap["transport_client_batches_total"] != 0 {
+		t.Errorf("wire batches = %d against a legacy server, want 0",
+			snap["transport_client_batches_total"])
+	}
+	if srv.served(7)+srv.served(8)+srv.served(9) != 0 {
+		t.Errorf("legacy server saw batch ops after the failed CAPS probe")
+	}
+	if srv.served(10) != 1 {
+		t.Errorf("CAPS probed %d times, want exactly 1 (cached)", srv.served(10))
+	}
+}
+
+// TestRobustClientOverLegacyServer runs the full robust client —
+// batched write, read, and delete paths — against single-op servers
+// only. The rateless pipeline must fall back cleanly and round-trip
+// the data.
+func TestRobustClientOverLegacyServer(t *testing.T) {
+	c, err := robust.NewClient(metadata.NewService(), robust.Options{BlockBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		srv := startLegacyServer(t)
+		store, err := transport.Dial(srv.ln.Addr().String(), transport.ClientOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		if err := c.AttachStore(fmt.Sprintf("legacy%d", i), store); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if _, err := c.Write(ctx, "obj", data, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := c.Read(ctx, "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back wrong data through legacy servers")
+	}
+	if stats.FailedGets != 0 || stats.CorruptShares != 0 {
+		t.Fatalf("legacy read not clean: %+v", stats)
+	}
+	if err := c.Delete(ctx, "obj"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// counters flattens a registry snapshot into name -> value.
+func counters(reg *obs.Registry) map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range reg.Snapshot().Counters {
+		out[name] = v
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package transport
+
+import "sync"
+
+// Scratch-buffer pool for the batch hot path. Batch requests and
+// responses are assembled as small header chunks that reference the
+// caller's block buffers (vectored writes), so the only per-batch
+// allocations would be those headers — pooling them makes the
+// steady-state transport cost of a batch approach zero allocations.
+// Payload buffers are NOT pooled here: a GET response body is handed
+// to the caller, which may retain it (the decoder does).
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getScratch returns an empty pooled scratch buffer.
+func getScratch() *[]byte {
+	b := scratchPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// putScratch returns a scratch buffer to the pool. Oversized buffers
+// (a batch of huge error messages) are dropped so the pool's
+// steady-state footprint stays bounded.
+func putScratch(b *[]byte) {
+	if cap(*b) > 1<<20 {
+		return
+	}
+	scratchPool.Put(b)
+}
+
+// frameHdrPool pools the 4-byte frame-length headers used by vectored
+// writes, which must outlive the writeFrameVec call they are built in.
+var frameHdrPool = sync.Pool{New: func() any { return new([4]byte) }}

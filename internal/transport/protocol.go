@@ -15,22 +15,48 @@
 // payloads are sequences of 4-byte indices (stored blocks and
 // verification failures respectively); an error response payload is
 // the message text.
+//
+// Batch operations (DESIGN.md §10) reuse the request layout with the
+// index field carrying the entry count:
+//
+//	PUTBATCH request payload:  count × [4B index][4B length][data]
+//	GETBATCH/DELETEBATCH request payload: count × [4B index]
+//	batch response payload (status OK): count × [4B index][1B status]
+//	          [4B length][bytes]   — bytes is block data for a GET
+//	          entry that succeeded, an error message otherwise
+//
+// Per-entry statuses mean one bad block never fails its batch. CAPS
+// ([4B bitmask] response) lets new clients probe for batch support;
+// servers that predate it answer with an error status and the client
+// degrades to single-block operations.
 package transport
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Operation codes.
 const (
-	opPut    = byte(1)
-	opGet    = byte(2)
-	opDelete = byte(3)
-	opList   = byte(4)
-	opPing   = byte(5)
-	opScrub  = byte(6) // verify a segment in place, return bad indices
+	opPut         = byte(1)
+	opGet         = byte(2)
+	opDelete      = byte(3)
+	opList        = byte(4)
+	opPing        = byte(5)
+	opScrub       = byte(6) // verify a segment in place, return bad indices
+	opPutBatch    = byte(7)
+	opGetBatch    = byte(8)
+	opDeleteBatch = byte(9)
+	opCaps        = byte(10) // capability probe: which batch ops the server speaks
+)
+
+// Capability bits returned by CAPS.
+const (
+	capPutBatch    = uint32(1 << 0)
+	capGetBatch    = uint32(1 << 1)
+	capDeleteBatch = uint32(1 << 2)
 )
 
 // Response status codes.
@@ -77,6 +103,30 @@ func writeFrame(w io.Writer, chunks ...[]byte) error {
 	return nil
 }
 
+// writeFrameVec writes one length-prefixed frame from a chunk list
+// using vectored I/O (net.Buffers → writev on TCP), so a batch frame
+// referencing many pooled block buffers goes out without being copied
+// into one contiguous body. The chunk slice is consumed.
+func writeFrameVec(w io.Writer, hdr *[4]byte, chunks [][]byte) error {
+	var total int
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
+	}
+	binary.BigEndian.PutUint32(hdr[:], uint32(total))
+	bufs := make(net.Buffers, 0, len(chunks)+1)
+	bufs = append(bufs, hdr[:])
+	for _, c := range chunks {
+		if len(c) > 0 {
+			bufs = append(bufs, c)
+		}
+	}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
 // readFrame reads one length-prefixed frame body.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
@@ -108,6 +158,23 @@ func encodeRequest(op byte, segment string, index int, payload []byte) ([]byte, 
 	copy(body[3:], segment)
 	binary.BigEndian.PutUint32(body[3+len(segment):], uint32(index))
 	return append(body, payload...), nil
+}
+
+// requestHeaderLen is the fixed request header size before the
+// payload: op + segment length + segment + index.
+func requestHeaderLen(segment string) int { return 1 + 2 + len(segment) + 4 }
+
+// appendRequestHeader appends a request header to dst (the pooled-
+// buffer twin of encodeRequest; the payload travels as its own
+// chunks). The segment must already be length-checked.
+func appendRequestHeader(dst []byte, op byte, segment string, index int) []byte {
+	var h [7]byte
+	h[0] = op
+	binary.BigEndian.PutUint16(h[1:3], uint16(len(segment)))
+	dst = append(dst, h[:3]...)
+	dst = append(dst, segment...)
+	binary.BigEndian.PutUint32(h[3:7], uint32(index))
+	return append(dst, h[3:7]...)
 }
 
 // decodeRequest parses a request frame body.
@@ -145,4 +212,109 @@ func decodeIndices(payload []byte) ([]int, error) {
 		out[i] = int(binary.BigEndian.Uint32(payload[4*i:]))
 	}
 	return out, nil
+}
+
+// putEntry is one decoded PUTBATCH request entry. The data slice
+// aliases the request frame body.
+type putEntry struct {
+	index int
+	data  []byte
+}
+
+// putBatchEntryOverhead is the per-entry header size in a PUTBATCH
+// request: [4B index][4B length].
+const putBatchEntryOverhead = 8
+
+// appendPutEntryHeader appends one PUTBATCH entry header to dst; the
+// entry's data travels as its own chunk (vectored write).
+func appendPutEntryHeader(dst []byte, index, dataLen int) []byte {
+	var h [putBatchEntryOverhead]byte
+	binary.BigEndian.PutUint32(h[0:4], uint32(index))
+	binary.BigEndian.PutUint32(h[4:8], uint32(dataLen))
+	return append(dst, h[:]...)
+}
+
+// decodePutEntries parses a PUTBATCH request payload. count is the
+// declared entry count from the request's index field; it must match
+// the payload exactly.
+func decodePutEntries(count int, payload []byte) ([]putEntry, error) {
+	if count < 0 || count > len(payload)/putBatchEntryOverhead {
+		return nil, fmt.Errorf("transport: put batch count %d exceeds payload", count)
+	}
+	out := make([]putEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(payload) < putBatchEntryOverhead {
+			return nil, fmt.Errorf("transport: truncated put batch entry %d", i)
+		}
+		idx := int(binary.BigEndian.Uint32(payload[0:4]))
+		n := int(binary.BigEndian.Uint32(payload[4:8]))
+		payload = payload[putBatchEntryOverhead:]
+		if idx < 0 || n < 0 || n > len(payload) {
+			return nil, fmt.Errorf("transport: oversized put batch entry %d (%d bytes)", i, n)
+		}
+		out = append(out, putEntry{index: idx, data: payload[:n]})
+		payload = payload[n:]
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes after put batch entries", len(payload))
+	}
+	return out, nil
+}
+
+// batchResult is one decoded batch response entry. bytes aliases the
+// response frame body: block data for a successful GET entry, an error
+// message for a failed entry, empty otherwise.
+type batchResult struct {
+	index  int
+	status byte
+	bytes  []byte
+}
+
+// batchResultOverhead is the per-entry header size in a batch
+// response: [4B index][1B status][4B length].
+const batchResultOverhead = 9
+
+// appendBatchResultHeader appends one batch response entry header to
+// dst; the entry's bytes travel as their own chunk.
+func appendBatchResultHeader(dst []byte, index int, status byte, n int) []byte {
+	var h [batchResultOverhead]byte
+	binary.BigEndian.PutUint32(h[0:4], uint32(index))
+	h[4] = status
+	binary.BigEndian.PutUint32(h[5:9], uint32(n))
+	return append(dst, h[:]...)
+}
+
+// decodeBatchResults parses a batch response payload.
+func decodeBatchResults(payload []byte) ([]batchResult, error) {
+	out := make([]batchResult, 0, len(payload)/batchResultOverhead)
+	for len(payload) > 0 {
+		if len(payload) < batchResultOverhead {
+			return nil, fmt.Errorf("transport: truncated batch result header (%d bytes)", len(payload))
+		}
+		idx := int(binary.BigEndian.Uint32(payload[0:4]))
+		status := payload[4]
+		n := int(binary.BigEndian.Uint32(payload[5:9]))
+		payload = payload[batchResultOverhead:]
+		if idx < 0 || n < 0 || n > len(payload) {
+			return nil, fmt.Errorf("transport: oversized batch result (%d bytes)", n)
+		}
+		out = append(out, batchResult{index: idx, status: status, bytes: payload[:n]})
+		payload = payload[n:]
+	}
+	return out, nil
+}
+
+// encodeCaps packs the CAPS response payload.
+func encodeCaps(mask uint32) []byte {
+	var out [4]byte
+	binary.BigEndian.PutUint32(out[:], mask)
+	return out[:]
+}
+
+// decodeCaps unpacks a CAPS response payload.
+func decodeCaps(payload []byte) (uint32, error) {
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("transport: malformed caps payload (%d bytes)", len(payload))
+	}
+	return binary.BigEndian.Uint32(payload), nil
 }

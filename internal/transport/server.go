@@ -31,23 +31,27 @@ type ServerOptions struct {
 // serverMetrics are the server-side metric handles; all nil (no-op)
 // when observability is disabled.
 type serverMetrics struct {
-	conns     *obs.Gauge
-	errors    *obs.Counter
-	busy      *obs.Counter
-	ops       map[byte]*obs.Counter
-	opSeconds map[byte]*obs.Histogram
+	conns       *obs.Gauge
+	errors      *obs.Counter
+	busy        *obs.Counter
+	batchBlocks *obs.Counter
+	ops         map[byte]*obs.Counter
+	opSeconds   map[byte]*obs.Histogram
 }
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
 	m := serverMetrics{
-		conns:  r.Gauge("transport_server_conns"),
-		errors: r.Counter("transport_server_errors_total"),
-		busy:   r.Counter("transport_server_busy_total"),
+		conns:       r.Gauge("transport_server_conns"),
+		errors:      r.Counter("transport_server_errors_total"),
+		busy:        r.Counter("transport_server_busy_total"),
+		batchBlocks: r.Counter("transport_server_batch_blocks_total"),
 	}
 	if r != nil {
 		names := map[byte]string{
 			opPut: "put", opGet: "get", opDelete: "delete",
 			opList: "list", opPing: "ping", opScrub: "scrub",
+			opPutBatch: "put_batch", opGetBatch: "get_batch",
+			opDeleteBatch: "delete_batch", opCaps: "caps",
 		}
 		m.ops = make(map[byte]*obs.Counter, len(names))
 		m.opSeconds = make(map[byte]*obs.Histogram, len(names))
@@ -188,11 +192,195 @@ func (s *Server) handle(conn net.Conn) {
 			s.logf("transport: bad request from %v: %v", conn.RemoteAddr(), err)
 			return
 		}
-		status, payload := s.dispatch(ctx, req)
-		if err := writeFrame(conn, []byte{status}, payload); err != nil {
-			return
+		switch req.op {
+		case opPutBatch, opGetBatch, opDeleteBatch, opCaps:
+			if err := s.handleBatch(ctx, conn, req); err != nil {
+				return
+			}
+		default:
+			status, payload := s.dispatch(ctx, req)
+			if err := writeFrame(conn, []byte{status}, payload); err != nil {
+				return
+			}
 		}
 	}
+}
+
+// handleBatch dispatches one batch request and writes its multi-chunk
+// response with vectored I/O, so stored blocks stream out of a GET
+// batch without being copied into a contiguous response body.
+func (s *Server) handleBatch(ctx context.Context, conn net.Conn, req request) error {
+	start := time.Now()
+	s.m.ops[req.op].Inc()
+	scratch := getScratch()
+	status, chunks := s.dispatchBatch(ctx, req, scratch)
+	s.m.opSeconds[req.op].Observe(time.Since(start).Seconds())
+	if status != statusOK {
+		s.m.errors.Inc()
+	}
+	sb := [1]byte{status}
+	all := make([][]byte, 0, len(chunks)+1)
+	all = append(all, sb[:])
+	all = append(all, chunks...)
+	hdr := frameHdrPool.Get().(*[4]byte)
+	err := writeFrameVec(conn, hdr, all)
+	frameHdrPool.Put(hdr)
+	putScratch(scratch)
+	return err
+}
+
+// batchStatus maps a per-entry store error onto a wire status and
+// message.
+func batchStatus(err error) (byte, []byte) {
+	switch {
+	case err == nil:
+		return statusOK, nil
+	case errors.Is(err, blockstore.ErrNotFound):
+		return statusNotFound, nil
+	default:
+		return statusErr, []byte(err.Error())
+	}
+}
+
+// dispatchBatch executes one batch request. Per-entry failures are
+// reported in the entry's status — one bad block never fails its
+// batch; only a malformed request fails wholesale. Entry headers are
+// written into scratch (pre-sized so appends never relocate the chunks
+// already referencing it); entry bytes are referenced in place.
+func (s *Server) dispatchBatch(ctx context.Context, req request, scratch *[]byte) (byte, [][]byte) {
+	if req.op == opCaps {
+		return statusOK, [][]byte{encodeCaps(capPutBatch | capGetBatch | capDeleteBatch)}
+	}
+	// Admission control guards the batch data paths exactly like the
+	// single-block ones: one admit per request, sized by its payload.
+	if s.opts.Admission != nil && (req.op == opGetBatch || req.op == opPutBatch) {
+		release, err := s.opts.Admission.Admit(ctx, admission.Request{Bytes: int64(len(req.payload))})
+		if err != nil {
+			s.m.busy.Inc()
+			return statusBusy, [][]byte{[]byte(err.Error())}
+		}
+		defer release()
+	}
+	switch req.op {
+	case opPutBatch:
+		entries, err := decodePutEntries(req.index, req.payload)
+		if err != nil {
+			return statusErr, [][]byte{[]byte(err.Error())}
+		}
+		s.m.batchBlocks.Add(int64(len(entries)))
+		errs := s.putEntries(ctx, req.segment, entries)
+		return statusOK, appendStatusEntries(scratch, entryIndices(entries), errs)
+	case opDeleteBatch:
+		indices, err := decodeIndices(req.payload)
+		if err != nil || len(indices) != req.index {
+			return statusErr, [][]byte{[]byte("transport: malformed delete batch")}
+		}
+		s.m.batchBlocks.Add(int64(len(indices)))
+		var errs []error
+		if bs, ok := s.store.(blockstore.Batcher); ok {
+			errs = bs.DeleteBatch(ctx, req.segment, indices)
+		} else {
+			errs = make([]error, len(indices))
+			for i, idx := range indices {
+				errs[i] = s.store.Delete(ctx, req.segment, idx)
+			}
+		}
+		return statusOK, appendStatusEntries(scratch, indices, errs)
+	case opGetBatch:
+		indices, err := decodeIndices(req.payload)
+		if err != nil || len(indices) != req.index {
+			return statusErr, [][]byte{[]byte("transport: malformed get batch")}
+		}
+		s.m.batchBlocks.Add(int64(len(indices)))
+		var datas [][]byte
+		var errs []error
+		if bs, ok := s.store.(blockstore.Batcher); ok {
+			datas, errs = bs.GetBatch(ctx, req.segment, indices)
+		} else {
+			datas = make([][]byte, len(indices))
+			errs = make([]error, len(indices))
+			for i, idx := range indices {
+				datas[i], errs[i] = s.store.Get(ctx, req.segment, idx)
+			}
+		}
+		growScratch(scratch, batchResultOverhead*len(indices))
+		chunks := make([][]byte, 0, 2*len(indices))
+		// A response frame is bounded by MaxFrame; entries that would
+		// push past it are answered with an error status so the client
+		// can fetch them singly (its windowing makes this rare).
+		total := 1 + batchResultOverhead*len(indices)
+		for i, idx := range indices {
+			status, msg := batchStatus(errs[i])
+			bytes := msg
+			if status == statusOK {
+				bytes = datas[i]
+			}
+			if total+len(bytes) > MaxFrame {
+				status, bytes = statusErr, []byte("transport: batch response overflow")
+			}
+			total += len(bytes)
+			chunks = appendResultChunks(scratch, chunks, idx, status, bytes)
+		}
+		return statusOK, chunks
+	}
+	return statusErr, [][]byte{[]byte(fmt.Sprintf("unknown batch op %d", req.op))}
+}
+
+// putEntries applies a PUTBATCH through the store's batch fast path
+// when it has one.
+func (s *Server) putEntries(ctx context.Context, segment string, entries []putEntry) []error {
+	if bs, ok := s.store.(blockstore.Batcher); ok {
+		puts := make([]blockstore.BatchPut, len(entries))
+		for i, e := range entries {
+			puts[i] = blockstore.BatchPut{Index: e.index, Data: e.data}
+		}
+		return bs.PutBatch(ctx, segment, puts)
+	}
+	errs := make([]error, len(entries))
+	for i, e := range entries {
+		errs[i] = s.store.Put(ctx, segment, e.index, e.data)
+	}
+	return errs
+}
+
+func entryIndices(entries []putEntry) []int {
+	out := make([]int, len(entries))
+	for i, e := range entries {
+		out[i] = e.index
+	}
+	return out
+}
+
+// growScratch pre-sizes scratch so subsequent appends never relocate
+// the backing array out from under chunks that already reference it.
+func growScratch(scratch *[]byte, need int) {
+	if cap(*scratch) < need {
+		*scratch = make([]byte, 0, need)
+	}
+}
+
+// appendResultChunks appends one batch response entry (header into
+// scratch, bytes referenced in place) to the chunk list.
+func appendResultChunks(scratch *[]byte, chunks [][]byte, index int, status byte, bytes []byte) [][]byte {
+	off := len(*scratch)
+	*scratch = appendBatchResultHeader(*scratch, index, status, len(bytes))
+	chunks = append(chunks, (*scratch)[off:len(*scratch)])
+	if len(bytes) > 0 {
+		chunks = append(chunks, bytes)
+	}
+	return chunks
+}
+
+// appendStatusEntries builds the response entries for a PUT or DELETE
+// batch: per-index status plus error text.
+func appendStatusEntries(scratch *[]byte, indices []int, errs []error) [][]byte {
+	growScratch(scratch, batchResultOverhead*len(indices))
+	chunks := make([][]byte, 0, 2*len(indices))
+	for i, idx := range indices {
+		status, msg := batchStatus(errs[i])
+		chunks = appendResultChunks(scratch, chunks, idx, status, msg)
+	}
+	return chunks
 }
 
 // dispatch executes one request against the store and records per-op

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench_baseline.sh — regenerate the repo's benchmark baseline.
 #
-# Usage: ./scripts/bench_baseline.sh [output.json]   (default BENCH_4.json)
+# Usage: ./scripts/bench_baseline.sh [output.json]   (default BENCH_5.json)
 #
 # Runs the headline reproduction benchmarks once (-benchtime 1x) and
 # writes their b.ReportMetric values as a JSON baseline: LT decode
@@ -9,9 +9,11 @@
 # RAID-0 — the numbers future PRs diff against to claim a perf
 # trajectory. Also runs the chaos stalled-read benchmark (several
 # iterations: its metrics are latency tails under injected stalls) to
-# record hedged vs unhedged read latency and hedge counts, and the
+# record hedged vs unhedged read latency and hedge counts, the
 # daemon fault-free benchmark to record read/write latency with and
-# without the self-healing control plane enabled. Absolute
+# without the self-healing control plane enabled, and the client
+# read/write benchmarks under -benchmem to record hot-path
+# allocations per op (DESIGN.md §10 budgets them). Absolute
 # values are machine-dependent; the committed baseline records the
 # metric *set* and one reference machine's numbers, and CI's
 # bench-smoke job re-runs this script and checks the metric keys still
@@ -19,10 +21,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 bench='BenchmarkFig53DecodeBandwidth|BenchmarkFig66ReadVsDisks|BenchmarkHeadline'
 chaos_bench='BenchmarkChaosStalledRead'
 daemon_bench='BenchmarkDaemonFaultFree'
+alloc_bench='BenchmarkClientWriteSteady16MB$|BenchmarkClientWrite16MB$|BenchmarkClientRead16MB$'
 
 raw=$(go test -bench "$bench" -benchtime 1x -run '^$' .)
 echo "$raw" >&2
@@ -30,6 +33,8 @@ raw_chaos=$(go test -bench "$chaos_bench" -benchtime 10x -run '^$' ./internal/ro
 echo "$raw_chaos" >&2
 raw_daemon=$(go test -bench "$daemon_bench" -benchtime 10x -run '^$' ./internal/robust/)
 echo "$raw_daemon" >&2
+raw_alloc=$(go test -bench "$alloc_bench" -benchmem -benchtime 10x -run '^$' ./internal/robust/)
+echo "$raw_alloc" >&2
 raw="$raw
 $raw_chaos
 $raw_daemon"
@@ -46,6 +51,21 @@ pairs=$(echo "$raw" | awk '/^Benchmark/ {
     }
 }' | sort)
 
+# The -benchmem run reports allocs/op per benchmark; rekey them as
+# <benchmark>_allocs_per_op so they survive the '/'-free filter above
+# and diff like any other baseline metric. The steady-state write
+# number is the zero-allocation-hot-path headline (DESIGN.md §10).
+alloc_pairs=$(echo "$raw_alloc" | awk '/^BenchmarkClient/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^BenchmarkClient/, "", name)
+    for (i = 3; i < NF; i += 1) {
+        if ($(i + 1) == "allocs/op") print tolower(name) "_allocs_per_op", $i
+    }
+}' | sort)
+
+pairs=$(printf '%s\n%s\n' "$pairs" "$alloc_pairs" | sed '/^$/d' | sort)
+
 nmetrics=$(printf '%s\n' "$pairs" | sed '/^$/d' | wc -l)
 if [ "$nmetrics" -lt 3 ]; then
     echo "bench_baseline: expected >= 3 headline metrics, parsed $nmetrics:" >&2
@@ -56,7 +76,7 @@ fi
 {
     printf '{\n'
     printf '  "schema": 1,\n'
-    printf '  "bench_filter": "%s",\n' "$bench|$chaos_bench|$daemon_bench"
+    printf '  "bench_filter": "%s",\n' "$bench|$chaos_bench|$daemon_bench|$alloc_bench"
     printf '  "benchtime": "1x",\n'
     printf '  "metrics": {\n'
     i=0

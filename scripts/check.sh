@@ -12,14 +12,16 @@
 #      plus explicit passes over internal/obs and internal/faultinject,
 #      the layers every concurrent path calls into)
 #   5. go test -shuffle=on ./...
-#   6. go test -race on the concurrency-heavy packages
+#   6. go test -race on the concurrency-heavy packages (the batch
+#      transport, batched blockstore, pipelined client paths, and the
+#      shared-graph ltcode layer included)
 #   7. chaos suite under -race: real client/server pairs through
 #      fault-injection scenarios (stalls, resets, corruption,
 #      degraded writes, repair promotion) and the self-healing
 #      control plane (kill -> evict -> repair -> rejoin)
 #   8. bench smoke: every benchmark once (client overhead + headline
 #      reproduction metrics; see scripts/bench_baseline.sh for the
-#      committed BENCH_4.json baseline)
+#      committed BENCH_5.json baseline)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +58,7 @@ go test -race -count=1 -timeout 10m \
     ./internal/blockstore/ \
     ./internal/cluster/ \
     ./internal/health/ \
+    ./internal/ltcode/ \
     ./internal/obs/
 
 echo "==> chaos suite under -race"
