@@ -1,19 +1,33 @@
 // Command robustore-lint runs the project's static analyzers
 // (internal/lint) over package directories and reports findings with
-// file:line:col positions. It exits non-zero when any finding is
-// reported, so it can gate CI.
+// file:line:col positions. It exits non-zero when any unsuppressed
+// finding is reported, so it can gate CI.
 //
 // Usage:
 //
-//	robustore-lint [./...|dir ...]
+//	robustore-lint [-json] [-tests] [./...|dir ...]
 //
 // The pattern ./... (the default) walks the module for every package
-// directory, skipping testdata, vendor, and hidden trees. _test.go
-// files are not analyzed: the determinism and join discipline applies
-// to library code.
+// directory, skipping testdata, vendor, and hidden trees. Packages
+// are loaded and type-checked in parallel.
+//
+// Flags:
+//
+//	-json   emit findings as a JSON array (one object per finding:
+//	        analyzer, file, line, col, message) for CI artifacts
+//	        instead of the human file:line:col lines
+//	-tests  also analyze _test.go files with the test-safe analyzer
+//	        subset (locksafe, floateq, simdeterminism); library-only
+//	        checks like goroutinehygiene stay off for tests
+//
+// A finding is suppressed by a "//lint:ignore <analyzer> <reason>"
+// directive on the flagged line or the line above it; malformed
+// directives are findings themselves.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -23,7 +37,10 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	withTests := flag.Bool("tests", false, "also analyze _test.go files (test-safe analyzer subset)")
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -32,31 +49,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "robustore-lint:", err)
 		os.Exit(2)
 	}
-	loader := lint.NewLoader()
-	var findings []lint.Finding
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir, importPath(modRoot, modPath, dir))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "robustore-lint: %s: %v\n", dir, err)
-			os.Exit(2)
-		}
-		if pkg == nil {
-			continue
-		}
-		findings = append(findings, lint.Run(pkg)...)
+	pkgs, err := lint.LoadTree(modRoot, modPath, dirs, lint.LoadOptions{Tests: *withTests})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robustore-lint:", err)
+		os.Exit(2)
 	}
-	lint.SortFindings(findings)
-	for _, f := range findings {
-		rel, err := filepath.Rel(modRoot, f.Pos.Filename)
-		if err != nil || strings.HasPrefix(rel, "..") {
-			rel = f.Pos.Filename
+	findings := lint.RunTree(pkgs)
+	if *jsonOut {
+		writeJSON(os.Stdout, modRoot, findings)
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(modRoot, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "robustore-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the CI-artifact schema for one finding.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, modRoot string, findings []lint.Finding) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     relPath(modRoot, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "robustore-lint:", err)
+		os.Exit(2)
+	}
+}
+
+func relPath(modRoot, file string) string {
+	rel, err := filepath.Rel(modRoot, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return rel
 }
 
 // resolveDirs expands the argument patterns into package directories
@@ -130,13 +175,4 @@ func findModule(dir string) (root, path string, err error) {
 		}
 		d = parent
 	}
-}
-
-// importPath derives a package's import path from its directory.
-func importPath(modRoot, modPath, dir string) string {
-	rel, err := filepath.Rel(modRoot, dir)
-	if err != nil || rel == "." {
-		return modPath
-	}
-	return modPath + "/" + filepath.ToSlash(rel)
 }

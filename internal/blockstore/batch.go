@@ -131,6 +131,10 @@ func (s *ChecksumStore) PutBatch(ctx context.Context, segment string, puts []Bat
 	}
 	errs := make([]error, len(sealed))
 	for i, p := range sealed {
+		if cerr := ctx.Err(); cerr != nil {
+			errs[i] = cerr
+			continue
+		}
 		errs[i] = s.inner.Put(ctx, segment, p.Index, p.Data)
 	}
 	return errs
@@ -146,6 +150,10 @@ func (s *ChecksumStore) GetBatch(ctx context.Context, segment string, indices []
 		datas = make([][]byte, len(indices))
 		errs = make([]error, len(indices))
 		for i, idx := range indices {
+			if cerr := ctx.Err(); cerr != nil {
+				errs[i] = cerr
+				continue
+			}
 			datas[i], errs[i] = s.inner.Get(ctx, segment, idx)
 		}
 	}
@@ -166,6 +174,10 @@ func (s *ChecksumStore) DeleteBatch(ctx context.Context, segment string, indices
 	}
 	errs := make([]error, len(indices))
 	for i, idx := range indices {
+		if cerr := ctx.Err(); cerr != nil {
+			errs[i] = cerr
+			continue
+		}
 		errs[i] = s.inner.Delete(ctx, segment, idx)
 	}
 	return errs

@@ -128,6 +128,7 @@ func TestQueueMatchesDriveTimeline(t *testing.T) {
 	}
 	k.Run()
 	for i := range wantEnds {
+		//lint:ignore floateq queue replay must be bit-exact against the direct computation
 		if gotEnds[i] != wantEnds[i] {
 			t.Fatalf("queue end[%d]=%v, direct=%v", i, gotEnds[i], wantEnds[i])
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"strconv"
 	"testing"
 	"time"
 
@@ -182,6 +183,19 @@ func TestParseSpec(t *testing.T) {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Fatalf("spec %q should not parse", bad)
 		}
+	}
+}
+
+// A bad spec entry must wrap (not flatten) the parse error so callers
+// can reach the root cause with errors.As.
+func TestParseSpecWrapsCause(t *testing.T) {
+	_, err := ParseSpec("alpha=notafloat")
+	if err == nil {
+		t.Fatal("alpha=notafloat should not parse")
+	}
+	var ne *strconv.NumError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v severs the strconv cause from the chain", err)
 	}
 }
 

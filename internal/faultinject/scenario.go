@@ -105,7 +105,7 @@ func ParseSpec(spec string) (Config, error) {
 			return cfg, fmt.Errorf("faultinject: unknown spec key %q", key)
 		}
 		if err != nil {
-			return cfg, fmt.Errorf("faultinject: bad spec entry %q: %v", kv, err)
+			return cfg, fmt.Errorf("faultinject: bad spec entry %q: %w", kv, err)
 		}
 	}
 	if err := validateProbs(cfg); err != nil {

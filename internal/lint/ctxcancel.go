@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxCancel enforces the cancellation discipline of the client/server
+// packages: a loop that performs I/O while a context.Context is in
+// scope must observe that context every iteration — either a
+// ctx.Err() test or a select on ctx.Done(). A loop that only
+// delegates ctx to its callees can still spin for a full iteration's
+// worth of I/O after cancellation (a MemStore Put never looks at
+// ctx), which is exactly the stall class PR 4 fixed by hand across
+// the stores. Here the convention becomes machine-checked.
+//
+// A loop "performs I/O" when its body (nested function literals
+// excluded — they are analyzed as their own scopes) contains a call
+// that takes a context.Context argument, or a Read/Write-family
+// method call on a net/io/bufio/os value. Loops with no context in
+// scope are exempt: there is nothing to check.
+var CtxCancel = &Analyzer{
+	Name: "ctxcancel",
+	Doc:  "I/O loops in ctx-disciplined packages must check ctx.Err() or select on ctx.Done()",
+	Run:  runCtxCancel,
+}
+
+// ctxPackages are the packages whose I/O loops must observe
+// cancellation: the wire protocol, the stores, the robust data path,
+// and the metadata plane.
+var ctxPackages = []string{
+	"internal/transport",
+	"internal/blockstore",
+	"internal/robust",
+	"internal/metadata",
+}
+
+// IsCtxPackage reports whether the import path is one of the
+// cancellation-disciplined packages.
+func IsCtxPackage(path string) bool {
+	for _, p := range ctxPackages {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ioMethodNames are method names that denote blocking I/O when the
+// receiver is a net/io/bufio/os value (a raw conn or file looped on
+// without a ctx-taking wrapper).
+var ioMethodNames = map[string]bool{
+	"Read": true, "ReadFull": true, "ReadAt": true, "ReadFrom": true,
+	"Write": true, "WriteAt": true, "WriteTo": true,
+	"Accept": true, "Dial": true, "Flush": true, "Sync": true,
+}
+
+// ioReceiverPkgs are the packages whose values make an ioMethodNames
+// call count as I/O.
+var ioReceiverPkgs = map[string]bool{
+	"net": true, "io": true, "bufio": true, "os": true, "crypto/tls": true,
+}
+
+func runCtxCancel(p *Package) []Finding {
+	if !IsCtxPackage(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var cond ast.Expr
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				body, cond = n.Body, n.Cond
+			case *ast.RangeStmt:
+				body = n.Body
+			default:
+				return true
+			}
+			if !loopDoesIO(p, body) {
+				return true
+			}
+			if loopChecksCtx(p, body, cond) {
+				return true
+			}
+			if !ctxInScope(p, f, n) {
+				return true
+			}
+			out = append(out, p.finding(ctxCancelName, n.Pos(),
+				"loop performs I/O without observing cancellation: check ctx.Err() or select on ctx.Done() each iteration"))
+			return true
+		})
+	}
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isCtxIdent reports whether e is an identifier of type
+// context.Context.
+func isCtxIdent(p *Package, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	t := p.TypeOf(id)
+	return t != nil && isContextType(t)
+}
+
+// inspectShallow walks n but does not descend into function literals:
+// their bodies belong to a different execution scope.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// loopDoesIO reports whether the loop body performs I/O directly: a
+// call passing a context, or a blocking method on a net/io value.
+func loopDoesIO(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if isCtxIdent(p, arg) {
+				found = true
+				return false
+			}
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !ioMethodNames[sel.Sel.Name] {
+			return true
+		}
+		// io.ReadFull(r, buf): a package-level I/O helper.
+		if path, _, ok := p.PkgFunc(sel); ok {
+			if ioReceiverPkgs[path] {
+				found = true
+			}
+			return !found
+		}
+		if t := p.TypeOf(sel.X); t != nil && isIOValue(t) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isIOValue reports whether t is declared in one of the I/O packages
+// (after pointer deref).
+func isIOValue(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && ioReceiverPkgs[obj.Pkg().Path()]
+}
+
+// loopChecksCtx reports whether the loop observes a context: an
+// x.Err() call or an <-x.Done() receive (plain or in a select) in the
+// body or the loop condition, for any x of type context.Context.
+func loopChecksCtx(p *Package, body *ast.BlockStmt, cond ast.Expr) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+			return true
+		}
+		if isCtxIdent(p, sel.X) || isContextResult(p, sel.X) {
+			found = true
+			return false
+		}
+		return true
+	}
+	inspectShallow(body, check)
+	if cond != nil && !found {
+		inspectShallow(cond, check)
+	}
+	return found
+}
+
+// isContextResult reports whether e is itself typed context.Context
+// (e.g. c.ctx, req.Context()).
+func isContextResult(p *Package, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	return t != nil && isContextType(t)
+}
+
+// ctxInScope reports whether a context.Context identifier is visible
+// to the loop: any ident of that type referenced inside the innermost
+// enclosing function (literal or declaration) that contains the loop.
+func ctxInScope(p *Package, f *ast.File, loop ast.Node) bool {
+	var encl ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || loop.Pos() < n.Pos() || n.End() < loop.End() {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			encl = n // innermost wins: keep descending
+		}
+		return true
+	})
+	if encl == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && isCtxIdent(p, id) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

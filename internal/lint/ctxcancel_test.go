@@ -1,0 +1,42 @@
+package lint
+
+import "testing"
+
+func TestCtxCancelFixture(t *testing.T) {
+	dir := fixtureDir("ctxcancel")
+	// bad.go loops over I/O (ctx-delegating calls and raw conn reads)
+	// without observing cancellation; good.go holds the Err()-check,
+	// Done()-select, loop-condition, and no-ctx-in-scope shapes.
+	p := loadFixture(t, dir, "repro/internal/transport")
+	checkAgainstMarkers(t, CtxCancel, p, dir)
+}
+
+func TestCtxCancelScopedToCtxPackages(t *testing.T) {
+	// The cancellation discipline binds the client/server packages
+	// only; the same loops in a sim package are not its business.
+	p := loadFixture(t, fixtureDir("ctxcancel"), "repro/internal/sim")
+	if got := CtxCancel.Run(p); len(got) != 0 {
+		t.Fatalf("non-ctx package flagged: %v", got)
+	}
+}
+
+func TestIsCtxPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/transport", true},
+		{"repro/internal/blockstore", true},
+		{"repro/internal/robust", true},
+		{"repro/internal/metadata", true},
+		{"internal/transport", true},
+		{"repro/internal/sim", false},
+		{"repro/internal/obs", false},
+		{"other/internal/transportx", false},
+	}
+	for _, c := range cases {
+		if got := IsCtxPackage(c.path); got != c.want {
+			t.Errorf("IsCtxPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ErrWrap enforces the sentinel-error conventions behind the error
+// taxonomy (DESIGN.md §8): project sentinels (package-level Err*
+// variables such as ErrCorruptShare, ErrDegradedWrite,
+// ErrRequestTimeout, ErrScrubUnsupported) are compared with
+// errors.Is, never ==/!=, and an error captured into a new message is
+// wrapped with %w, never flattened with %v/%s. Direct comparison
+// silently stops matching the moment a layer wraps the sentinel —
+// which the transport retry and degraded-write paths do — and a
+// %v-flattened error severs the Unwrap chain the callers' errors.Is
+// checks depend on.
+//
+// Comparing a sentinel (or any error) against nil stays legal: that
+// is presence, not identity.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "compare project Err* sentinels with errors.Is and wrap errors with %w, not %v",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if f := checkSentinelCompare(p, n); f != nil {
+					out = append(out, *f)
+				}
+			case *ast.CallExpr:
+				out = append(out, checkErrorfWrap(p, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// sentinelName returns the Err* name when e references a project
+// sentinel: a package-level var named Err[A-Z]... of error type in
+// this package, or a selector pkg.Err[A-Z]... on a package of this
+// module (whose type may be unresolved — module-internal imports
+// type-check as empty placeholders, so the name pattern carries the
+// decision there).
+func sentinelName(p *Package, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj, ok := p.Info.Uses[e].(*types.Var)
+		if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+			return "", false
+		}
+		if !isSentinelIdent(e.Name) || !isErrorType(obj.Type()) {
+			return "", false
+		}
+		return e.Name, true
+	case *ast.SelectorExpr:
+		path, name, ok := p.PkgFunc(e)
+		if !ok || !isSentinelIdent(name) {
+			return "", false
+		}
+		if !isModulePath(p, path) {
+			return "", false
+		}
+		return path[strings.LastIndex(path, "/")+1:] + "." + name, true
+	}
+	return "", false
+}
+
+// isSentinelIdent matches the Err[A-Z]... naming convention.
+func isSentinelIdent(name string) bool {
+	rest, ok := strings.CutPrefix(name, "Err")
+	if !ok || rest == "" {
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(rest)
+	return unicode.IsUpper(r)
+}
+
+// isModulePath reports whether path names a package of this module.
+func isModulePath(p *Package, path string) bool {
+	mod := p.Path
+	if i := strings.Index(mod, "/"); i >= 0 {
+		mod = mod[:i]
+	}
+	return path == mod || strings.HasPrefix(path, mod+"/")
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements error.
+func isErrorType(t types.Type) bool {
+	if t == nil || t == types.Typ[types.Invalid] {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// checkSentinelCompare flags x ==/!= sentinel (nil comparisons pass).
+func checkSentinelCompare(p *Package, be *ast.BinaryExpr) *Finding {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return nil
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		name, ok := sentinelName(p, pair[0])
+		if !ok {
+			continue
+		}
+		if id, isIdent := pair[1].(*ast.Ident); isIdent && id.Name == "nil" {
+			return nil
+		}
+		f := p.finding(errWrapName, be.OpPos,
+			"%s %s misses wrapped sentinels: use errors.Is", be.Op, name)
+		return &f
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf verbs that flatten an error
+// argument: %v/%s on a value implementing error (or a sentinel
+// reference) severs the Unwrap chain — use %w.
+func checkErrorfWrap(p *Package, call *ast.CallExpr) []Finding {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if path, name, ok := p.PkgFunc(sel); !ok || path != "fmt" || name != "Errorf" {
+		return nil
+	}
+	if len(call.Args) < 2 {
+		return nil
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil
+	}
+	verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return nil // indexed or otherwise exotic format: stay conservative
+	}
+	var out []Finding
+	args := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		arg := args[i]
+		_, isSentinel := sentinelName(p, arg)
+		if !isSentinel && !isErrorType(p.TypeOf(arg)) {
+			continue
+		}
+		out = append(out, p.finding(errWrapName, arg.Pos(),
+			"error formatted with %%%c severs the Unwrap chain: wrap with %%w", verb))
+	}
+	return out
+}
+
+// formatVerbs extracts the verb letters of a format string in operand
+// order. A '*' width/precision consumes an operand and is recorded as
+// '*'. Returns ok=false on indexed arguments ([n]), which would break
+// the positional mapping.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0123456789.", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}

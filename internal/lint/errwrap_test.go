@@ -1,0 +1,55 @@
+package lint
+
+import "testing"
+
+func TestErrWrapFixture(t *testing.T) {
+	dir := fixtureDir("errwrap")
+	// bad.go compares sentinels with ==/!= (same-package and via a
+	// placeholder-typed sibling import) and flattens errors with
+	// %v/%s; good.go holds errors.Is, nil comparisons, %w wrapping,
+	// and non-sentinel/non-error operands.
+	p := loadFixture(t, dir, "repro/internal/transport")
+	checkAgainstMarkers(t, ErrWrap, p, dir)
+}
+
+func TestIsSentinelIdent(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"ErrCorruptShare", true},
+		{"ErrNotFound", true},
+		{"Err", false},
+		{"errLocal", false},
+		{"Error", false},
+		{"Errorf", false},
+		{"ErrX", true},
+	}
+	for _, c := range cases {
+		if got := isSentinelIdent(c.name); got != c.want {
+			t.Errorf("isSentinelIdent(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		verbs  string
+		ok     bool
+	}{
+		{"plain", "", true},
+		{"%d then %v", "dv", true},
+		{"%w after %v: %w", "wvw", true},
+		{"100%% done %s", "s", true},
+		{"%*d", "*d", true},
+		{"%+v %-8s %#x", "vsx", true},
+		{"%[1]d", "", false},
+	}
+	for _, c := range cases {
+		verbs, ok := formatVerbs(c.format)
+		if string(verbs) != c.verbs || ok != c.ok {
+			t.Errorf("formatVerbs(%q) = %q, %v; want %q, %v", c.format, verbs, ok, c.verbs, c.ok)
+		}
+	}
+}

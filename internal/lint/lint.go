@@ -5,7 +5,7 @@
 // go/parser, go/types, and go/token — no external analysis framework,
 // per the repo's stdlib-only policy.
 //
-// Four analyzers ship today (see their files for details):
+// Eight analyzers ship today (see their files for details):
 //
 //   - simdeterminism: no wall clock or global math/rand inside the
 //     deterministic simulation packages.
@@ -15,8 +15,19 @@
 //     not capture loop variables by reference.
 //   - floateq: no ==/!= between floating-point expressions in the
 //     simulation packages.
+//   - ctxcancel: I/O loops in the client/server packages must check
+//     ctx.Err() or select on ctx.Done() each iteration.
+//   - poollease: sync.Pool leases must be released on every path and
+//     must not escape via returns or struct fields (lease helpers
+//     like getShareBuf/putShareBuf are recognized structurally).
+//   - errwrap: project Err* sentinels are compared with errors.Is
+//     and wrapped with %w, never ==/%v.
+//   - obshygiene: metric names passed to internal/obs are
+//     compile-time constants, snake_case, and unique.
 //
-// The driver is cmd/robustore-lint.
+// A finding can be silenced at the site with a
+// "//lint:ignore <analyzer> <reason>" directive on the same line or
+// the line above (see suppress.go). The driver is cmd/robustore-lint.
 package lint
 
 import (
@@ -39,6 +50,10 @@ const (
 	lockSafeName         = "locksafe"
 	goroutineHygieneName = "goroutinehygiene"
 	floatEqName          = "floateq"
+	ctxCancelName        = "ctxcancel"
+	poolLeaseName        = "poollease"
+	errWrapName          = "errwrap"
+	obsHygieneName       = "obshygiene"
 )
 
 // Finding is one analyzer report, anchored to a source position.
@@ -61,7 +76,20 @@ type Analyzer struct {
 
 // Analyzers returns every project analyzer, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimDeterminism, LockSafe, GoroutineHygiene, FloatEq}
+	return []*Analyzer{
+		SimDeterminism, LockSafe, GoroutineHygiene, FloatEq,
+		CtxCancel, PoolLease, ErrWrap, ObsHygiene,
+	}
+}
+
+// TestAnalyzers returns the subset of analyzers that also applies to
+// _test.go files: test helpers copy mutexes and compare virtual-time
+// floats just like library code does. GoroutineHygiene stays
+// library-only (tests legitimately fire short-lived daemon
+// goroutines), as do the resource-discipline analyzers whose
+// conventions are about production paths.
+func TestAnalyzers() []*Analyzer {
+	return []*Analyzer{SimDeterminism, LockSafe, FloatEq}
 }
 
 // simPackages are the deterministic-simulation packages: everything
@@ -220,12 +248,36 @@ func (l *Loader) check(path string, files []*ast.File) (*Package, error) {
 	return &Package{Path: path, Fset: l.Fset, Files: files, Types: pkg, Info: info}, nil
 }
 
-// Run applies every analyzer to the package and returns the findings
-// sorted by position.
+// Run applies every analyzer to the package, honors //lint:ignore
+// suppressions, and returns the findings sorted by position.
 func Run(p *Package) []Finding {
+	return RunAll([]*Package{p}, Analyzers())
+}
+
+// RunAll applies the given analyzers to every package, adds the
+// cross-package checks (metric-name uniqueness) when their analyzer
+// is in the set, filters findings through //lint:ignore directives,
+// and returns the survivors sorted by position. Malformed directives
+// are themselves reported (analyzer "lint").
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	wantObs := false
+	for _, a := range analyzers {
+		if a.Name == obsHygieneName {
+			wantObs = true
+		}
+	}
+	var dups map[*Package][]Finding
+	if wantObs {
+		dups = metricDuplicates(pkgs)
+	}
 	var out []Finding
-	for _, a := range Analyzers() {
-		out = append(out, a.Run(p)...)
+	for _, p := range pkgs {
+		var fs []Finding
+		for _, a := range analyzers {
+			fs = append(fs, a.Run(p)...)
+		}
+		fs = append(fs, dups[p]...)
+		out = append(out, applySuppressions(p, fs)...)
 	}
 	SortFindings(out)
 	return out

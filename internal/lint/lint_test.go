@@ -103,7 +103,10 @@ func TestAnalyzersRegistered(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"simdeterminism", "locksafe", "goroutinehygiene", "floateq"} {
+	for _, want := range []string{
+		"simdeterminism", "locksafe", "goroutinehygiene", "floateq",
+		"ctxcancel", "poollease", "errwrap", "obshygiene",
+	} {
 		if !names[want] {
 			t.Fatalf("analyzer %q not registered", want)
 		}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Parallel tree loading. Type-checking a package against the
+// source-form standard library dominates a lint run, so the tree is
+// sharded across workers, each with its own Loader (a Loader's
+// FileSet and importer caches are not safe to share). The stdlib
+// packages a shard needs are imported once per worker and amortized
+// across its packages.
+
+// LoadOptions configures LoadTree.
+type LoadOptions struct {
+	// Tests also loads the _test.go files of every directory as
+	// separate packages (marked Test), grouped by package clause so
+	// external _test packages check independently.
+	Tests bool
+	// Workers caps the loader goroutines; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// LoadedPackage is one loaded package plus its provenance.
+type LoadedPackage struct {
+	Pkg  *Package
+	Test bool // built from _test.go files
+}
+
+// ImportPath derives a package's import path from its directory.
+func ImportPath(modRoot, modPath, dir string) string {
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+// LoadTree loads every directory in dirs (as returned by PackageDirs)
+// in parallel and returns the packages in deterministic dir order,
+// library package first within a dir. Load errors abort with the
+// first failing directory named.
+func LoadTree(modRoot, modPath string, dirs []string, opts LoadOptions) ([]LoadedPackage, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type slot struct {
+		pkgs []LoadedPackage
+		err  error
+	}
+	results := make([]slot, len(dirs))
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		i := int(next)
+		next++
+		return i
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			loader := NewLoader()
+			for {
+				i := take()
+				if i >= len(dirs) {
+					return
+				}
+				dir := dirs[i]
+				path := ImportPath(modRoot, modPath, dir)
+				pkg, err := loader.LoadDir(dir, path)
+				if err != nil {
+					results[i].err = fmt.Errorf("%s: %w", dir, err)
+					continue
+				}
+				if pkg != nil {
+					results[i].pkgs = append(results[i].pkgs, LoadedPackage{Pkg: pkg})
+				}
+				if !opts.Tests {
+					continue
+				}
+				tpkgs, err := loader.LoadDirTests(dir, path)
+				if err != nil {
+					results[i].err = fmt.Errorf("%s: %w", dir, err)
+					continue
+				}
+				for _, tp := range tpkgs {
+					results[i].pkgs = append(results[i].pkgs, LoadedPackage{Pkg: tp, Test: true})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var out []LoadedPackage
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.pkgs...)
+	}
+	return out, nil
+}
+
+// LoadDirTests parses the _test.go files of dir, grouped by package
+// clause, each under the directory's import path so path-scoped
+// analyzers apply the same rules to tests as to the library they
+// exercise. In-package test files type-check together with the
+// library sources (so library types resolve), but only findings in
+// the _test.go files are wanted — the caller gets packages whose
+// Files hold just the test files, sharing the merged type info.
+func (l *Loader) LoadDirTests(dir, path string) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var libFiles []*ast.File
+	libName := ""
+	groups := map[string][]*ast.File{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			groups[f.Name.Name] = append(groups[f.Name.Name], f)
+		} else {
+			libFiles = append(libFiles, f)
+			libName = f.Name.Name
+		}
+	}
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []*Package
+	for _, n := range names {
+		files := groups[n]
+		unit := files
+		if n == libName {
+			unit = append(append([]*ast.File{}, libFiles...), files...)
+		}
+		pkg, err := l.check(path, unit)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = files // report on test files only
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// RunTree is the whole-tree entry point shared by cmd/robustore-lint
+// and the self-lint regression test: full analyzer set over library
+// packages, the test-safe subset over test packages, cross-package
+// metric uniqueness, suppressions applied.
+func RunTree(pkgs []LoadedPackage) []Finding {
+	var lib, test []*Package
+	for _, lp := range pkgs {
+		if lp.Test {
+			test = append(test, lp.Pkg)
+		} else {
+			lib = append(lib, lp.Pkg)
+		}
+	}
+	out := RunAll(lib, Analyzers())
+	out = append(out, RunAll(test, TestAnalyzers())...)
+	SortFindings(out)
+	return out
+}

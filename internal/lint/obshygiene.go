@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsHygiene polices the metric namespace: every name passed to an
+// internal/obs Registry (Counter, Gauge, Histogram, HistogramWith)
+// must be a compile-time constant, snake_case, and registered at
+// exactly one site. A runtime-assembled name silently forks the
+// namespace per input (and allocates on the hot path); a name
+// registered from two sites is either a copy-paste collision — two
+// subsystems incrementing each other's counter — or dead code. The
+// /metrics endpoint and the committed BENCH_*.json baselines both key
+// on these names, so drift is an observable break.
+//
+// Package main is exempt: the CLIs deliberately key one-shot gauges
+// by experiment ID. internal/obs itself is exempt (it manipulates
+// names generically).
+//
+// Registration sites are matched by receiver type when it resolves to
+// internal/obs.Registry; module-internal imports type-check as
+// placeholders, so an unresolved receiver with a matching method name
+// and shape is treated as a Registry too.
+var ObsHygiene = &Analyzer{
+	Name: "obshygiene",
+	Doc:  "obs metric names must be compile-time constants, snake_case, and unique",
+	Run:  runObsHygiene,
+}
+
+// registryMethods maps method name to the index of its name argument.
+var registryMethods = map[string]int{
+	"Counter": 0, "Gauge": 0, "Histogram": 0, "HistogramWith": 0,
+}
+
+// metricReg is one registration site.
+type metricReg struct {
+	name string
+	pos  token.Pos
+}
+
+func runObsHygiene(p *Package) []Finding {
+	findings, regs := obsScan(p)
+	// In-package duplicates (cross-package ones are found by RunAll).
+	seen := map[string]token.Pos{}
+	for _, r := range regs {
+		if first, dup := seen[r.name]; dup {
+			findings = append(findings, p.finding(obsHygieneName, r.pos,
+				"metric %q is already registered at %s: metric names must be unique", r.name, p.Fset.Position(first)))
+			continue
+		}
+		seen[r.name] = r.pos
+	}
+	return findings
+}
+
+// obsScan returns the constant-name and snake-case findings plus
+// every well-formed registration in the package.
+func obsScan(p *Package) ([]Finding, []metricReg) {
+	if p.Types != nil && p.Types.Name() == "main" {
+		return nil, nil
+	}
+	if strings.HasSuffix(p.Path, "internal/obs") {
+		return nil, nil
+	}
+	var out []Finding
+	var regs []metricReg
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			argIdx, ok := registryMethods[sel.Sel.Name]
+			if !ok || len(call.Args) <= argIdx {
+				return true
+			}
+			if !isRegistryRecv(p, sel.X) {
+				return true
+			}
+			arg := call.Args[argIdx]
+			tv, typed := p.Info.Types[arg]
+			if !typed || tv.Value == nil || tv.Value.Kind() != constant.String {
+				// A non-string argument means this is not a metric
+				// name at all (some other method that shares a name).
+				if t := p.TypeOf(arg); t != nil {
+					b, isBasic := t.Underlying().(*types.Basic)
+					if !isBasic || b.Info()&types.IsString == 0 {
+						return true
+					}
+				}
+				out = append(out, p.finding(obsHygieneName, arg.Pos(),
+					"metric name must be a compile-time constant: runtime-assembled names fork the namespace per input"))
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !isSnakeCase(name) {
+				out = append(out, p.finding(obsHygieneName, arg.Pos(),
+					"metric name %q is not snake_case ([a-z][a-z0-9_]*)", name))
+				return true
+			}
+			regs = append(regs, metricReg{name: name, pos: arg.Pos()})
+			return true
+		})
+	}
+	return out, regs
+}
+
+// isRegistryRecv reports whether e is (or plausibly is) an
+// *obs.Registry. Resolved non-Registry receivers and package
+// qualifiers are rejected; unresolved receivers pass, because every
+// module-internal type is a placeholder under the lenient importer.
+func isRegistryRecv(p *Package, e ast.Expr) bool {
+	if id, ok := e.(*ast.Ident); ok {
+		if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+			return false
+		}
+	}
+	t := p.TypeOf(e)
+	if t == nil {
+		return true // unresolved: assume Registry (see doc comment)
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Name() == "Registry" && strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// isSnakeCase matches ^[a-z][a-z0-9_]*$ without double or trailing
+// underscores.
+func isSnakeCase(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	prevUnderscore := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			prevUnderscore = false
+		case c == '_':
+			if prevUnderscore {
+				return false
+			}
+			prevUnderscore = true
+		default:
+			return false
+		}
+	}
+	return !prevUnderscore
+}
+
+// metricDuplicates finds metric names registered in more than one
+// package. Findings are keyed to the package of the later site so
+// suppression directives there can cover sanctioned shared names.
+func metricDuplicates(pkgs []*Package) map[*Package][]Finding {
+	type site struct {
+		p   *Package
+		pos token.Pos
+	}
+	first := map[string]site{}
+	out := map[*Package][]Finding{}
+	for _, p := range pkgs {
+		_, regs := obsScan(p)
+		for _, r := range regs {
+			prev, dup := first[r.name]
+			if !dup {
+				first[r.name] = site{p: p, pos: r.pos}
+				continue
+			}
+			if prev.p == p {
+				continue // in-package duplicate: already reported by Run
+			}
+			out[p] = append(out[p], p.finding(obsHygieneName, r.pos,
+				"metric %q is already registered in %s (%s): metric names must be unique across the repo",
+				r.name, prev.p.Path, prev.p.Fset.Position(prev.pos)))
+		}
+	}
+	return out
+}

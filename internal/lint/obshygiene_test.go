@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestObsHygieneFixture(t *testing.T) {
+	dir := fixtureDir("obshygiene")
+	// bad.go assembles a name at runtime, breaks snake_case twice, and
+	// double-registers; good.go holds constant snake_case names (one
+	// via a named const) and a non-Registry Counter method.
+	p := loadFixture(t, dir, "repro/internal/fixture")
+	checkAgainstMarkers(t, ObsHygiene, p, dir)
+}
+
+func TestObsHygieneExemptsMain(t *testing.T) {
+	// The CLIs key one-shot gauges by experiment ID on purpose.
+	p := loadFixture(t, fixtureDir("obshygiene/mainpkg"), "repro/cmd/fixture")
+	if got := ObsHygiene.Run(p); len(got) != 0 {
+		t.Fatalf("package main flagged: %v", got)
+	}
+}
+
+func TestObsHygieneExemptsObsItself(t *testing.T) {
+	// internal/obs manipulates metric names generically.
+	p := loadFixture(t, fixtureDir("obshygiene"), "repro/internal/obs")
+	if got := ObsHygiene.Run(p); len(got) != 0 {
+		t.Fatalf("internal/obs flagged: %v", got)
+	}
+}
+
+func TestObsHygieneCrossPackageDuplicate(t *testing.T) {
+	l := NewLoader()
+	p1, err := l.LoadDir(fixtureDir("obshygiene"), "repro/internal/fixture")
+	if err != nil || p1 == nil {
+		t.Fatalf("load: %v", err)
+	}
+	p2, err := l.LoadDir(filepath.Join(fixtureDir("obshygiene"), "dup"), "repro/internal/fixturedup")
+	if err != nil || p2 == nil {
+		t.Fatalf("load dup: %v", err)
+	}
+	findings := RunAll([]*Package{p1, p2}, []*Analyzer{ObsHygiene})
+	var dups []Finding
+	for _, f := range findings {
+		if strings.Contains(f.Message, "already registered in") {
+			dups = append(dups, f)
+		}
+	}
+	if len(dups) != 1 {
+		t.Fatalf("cross-package duplicates = %v, want exactly one", dups)
+	}
+	if base := filepath.Base(dups[0].Pos.Filename); base != "metrics.go" {
+		t.Errorf("duplicate keyed to %s, want the later site metrics.go", base)
+	}
+	if !strings.Contains(dups[0].Message, "repro/internal/fixture") {
+		t.Errorf("duplicate message %q does not name the first package", dups[0].Message)
+	}
+}
+
+func TestIsSnakeCase(t *testing.T) {
+	cases := []struct {
+		s    string
+		want bool
+	}{
+		{"fixture_reads_total", true},
+		{"a", true},
+		{"a1_b2", true},
+		{"", false},
+		{"Fixture", false},
+		{"1abc", false},
+		{"a__b", false},
+		{"a_", false},
+		{"_a", false},
+		{"a-b", false},
+	}
+	for _, c := range cases {
+		if got := isSnakeCase(c.s); got != c.want {
+			t.Errorf("isSnakeCase(%q) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}

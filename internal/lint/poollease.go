@@ -1,0 +1,430 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolLease enforces the sync.Pool discipline of the zero-allocation
+// hot paths (DESIGN.md §10): every Get is matched by a Put that runs
+// on all exit paths, and a leased buffer never escapes the function
+// that leased it — not via a return statement and not by being stored
+// into a struct field. A silently-dropped lease degrades the pool; a
+// leaked lease that escapes is worse: the next Get hands the same
+// backing array to a second owner and shares corrupt in place.
+//
+// The project routes leases through helper pairs (getShareBuf /
+// putShareBuf, getScratch / putScratch). The analyzer recognizes the
+// pattern structurally — a top-level function that returns a pool.Get
+// result is a lease helper, one that Puts a parameter back is its
+// release helper — and enforces the same rules at their call sites
+// instead of flagging the helpers themselves.
+//
+// Release placement is strict: the Put (or release-helper call) must
+// be deferred — directly, or inside a deferred closure — unless the
+// Get..Put span contains no other calls and no returns. A
+// mid-function Put with calls in between leaks the lease on every
+// panic path and on any early return a later edit introduces; the
+// project's answer is defer, registered next to the Get.
+var PoolLease = &Analyzer{
+	Name: "poollease",
+	Doc:  "sync.Pool Get must have a deferred (or trivially adjacent) Put and leases must not escape",
+	Run:  runPoolLease,
+}
+
+// poolHelper describes the lease/release helpers found in a package,
+// keyed by the *types.Func object of the helper.
+type poolHelpers struct {
+	leasers   map[types.Object]bool
+	releasers map[types.Object]bool
+}
+
+func runPoolLease(p *Package) []Finding {
+	helpers := findPoolHelpers(p)
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil || helpers.isHelper(p, n.Name) {
+					return true
+				}
+				out = append(out, checkLeaseScope(p, helpers, n.Body)...)
+			case *ast.FuncLit:
+				out = append(out, checkLeaseScope(p, helpers, n.Body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (h poolHelpers) isHelper(p *Package, name *ast.Ident) bool {
+	obj := p.Info.Defs[name]
+	return obj != nil && (h.leasers[obj] || h.releasers[obj])
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// poolCall returns the kind ("Get"/"Put") when call is a method call
+// on a sync.Pool value.
+func poolCall(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name != "Get" && sel.Sel.Name != "Put" {
+		return "", false
+	}
+	if t := p.TypeOf(sel.X); t != nil && isSyncPool(t) {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// findPoolHelpers scans top-level functions for the sanctioned
+// lease/release helper pattern.
+func findPoolHelpers(p *Package) poolHelpers {
+	h := poolHelpers{leasers: map[types.Object]bool{}, releasers: map[types.Object]bool{}}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			gets, puts := 0, 0
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if kind, ok := poolCall(p, call); ok {
+						if kind == "Get" {
+							gets++
+						} else {
+							puts++
+						}
+					}
+				}
+				return true
+			})
+			obj := p.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			results := fd.Type.Results != nil && len(fd.Type.Results.List) > 0
+			params := fd.Type.Params != nil && len(fd.Type.Params.List) > 0
+			switch {
+			case gets > 0 && puts == 0 && results && returnsLease(p, fd):
+				h.leasers[obj] = true
+			case puts > 0 && gets == 0 && params:
+				h.releasers[obj] = true
+			}
+		}
+	}
+	return h
+}
+
+// returnsLease reports whether fd returns a pool.Get result — the
+// defining trait of a lease helper. A function that Gets internally
+// and returns something unrelated is not handing out a lease; it is
+// an ordinary scope and must balance its Get like any other.
+func returnsLease(p *Package, fd *ast.FuncDecl) bool {
+	leaseVars := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call := leaseExprCall(rhs)
+			if call == nil {
+				continue
+			}
+			if kind, ok := poolCall(p, call); !ok || kind != "Get" {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := p.Info.Defs[id]; obj != nil {
+					leaseVars[obj] = true
+				} else if obj := p.Info.Uses[id]; obj != nil {
+					leaseVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if call := leaseExprCall(res); call != nil {
+				if kind, ok := poolCall(p, call); ok && kind == "Get" {
+					found = true
+					return false
+				}
+			}
+			if id, ok := res.(*ast.Ident); ok && p.Info.Uses[id] != nil && leaseVars[p.Info.Uses[id]] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// lease is one Get (or lease-helper call) site within a scope.
+type lease struct {
+	call *ast.CallExpr
+	v    types.Object // variable the lease was assigned to, if any
+}
+
+// checkLeaseScope enforces the lease rules inside one function body,
+// treating nested function literals as separate scopes except for
+// deferred closures, whose release calls belong to this scope.
+func checkLeaseScope(p *Package, helpers poolHelpers, body *ast.BlockStmt) []Finding {
+	var leases []lease
+	var releases []*ast.CallExpr
+	deferredRelease := false
+
+	isLeaseCall := func(call *ast.CallExpr) bool {
+		if kind, ok := poolCall(p, call); ok {
+			return kind == "Get"
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			return helpers.leasers[p.Info.Uses[id]]
+		}
+		return false
+	}
+	isReleaseCall := func(call *ast.CallExpr) bool {
+		if kind, ok := poolCall(p, call); ok {
+			return kind == "Put"
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			return helpers.releasers[p.Info.Uses[id]]
+		}
+		return false
+	}
+	// recordReleases collects release calls anywhere under n,
+	// including nested closures (a deferred closure runs whatever
+	// releases it contains).
+	var recordReleases func(n ast.Node, deferred bool)
+	recordReleases = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok && isReleaseCall(call) {
+				releases = append(releases, call)
+				if deferred {
+					deferredRelease = true
+				}
+			}
+			return true
+		})
+	}
+
+	recorded := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope (deferred closures handled below)
+		case *ast.DeferStmt:
+			if isReleaseCall(n.Call) {
+				releases = append(releases, n.Call)
+				deferredRelease = true
+				return false
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				recordReleases(lit.Body, true)
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call := leaseExprCall(rhs)
+				if call == nil || !isLeaseCall(call) {
+					continue
+				}
+				l := lease{call: call}
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := p.Info.Defs[id]; obj != nil {
+							l.v = obj
+						} else if obj := p.Info.Uses[id]; obj != nil {
+							l.v = obj
+						}
+					}
+				}
+				recorded[call] = true
+				leases = append(leases, l)
+			}
+		case *ast.CallExpr:
+			switch {
+			case isReleaseCall(n):
+				releases = append(releases, n)
+			case isLeaseCall(n) && !recorded[n]:
+				// A lease used inside a larger expression (e.g.
+				// append(bufs, getShareBuf(n))) still needs a release.
+				recorded[n] = true
+				leases = append(leases, lease{call: n})
+			}
+		}
+		return true
+	})
+	if len(leases) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	balanced := true
+	for _, l := range leases {
+		if esc := leaseEscapes(p, body, l); esc != nil {
+			out = append(out, *esc)
+			balanced = false
+		}
+	}
+	if !balanced {
+		return out
+	}
+	if len(releases) == 0 {
+		out = append(out, p.finding(poolLeaseName, leases[0].call.Pos(),
+			"pool Get has no matching Put in this function: release the lease (defer the Put) or use the release helper"))
+		return out
+	}
+	if deferredRelease {
+		return out
+	}
+	// No deferred release: only the trivial adjacent Get..Put span is
+	// allowed — no returns and no other calls in between.
+	first, last := leases[0].call.Pos(), releases[0].Pos()
+	for _, r := range releases {
+		if r.Pos() > last {
+			last = r.Pos()
+		}
+	}
+	violation := ""
+	inspectShallow(body, func(n ast.Node) bool {
+		if violation != "" || n == nil || n.End() <= first || n.Pos() >= last {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			violation = "a return between Get and Put leaks the lease: defer the Put next to the Get"
+		case *ast.CallExpr:
+			if isLeaseCall(n) || isReleaseCall(n) || isTrivialCall(p, n) {
+				return true
+			}
+			violation = "lease is held across calls without a deferred Put: a panic or early return leaks it — defer the Put next to the Get"
+		}
+		return true
+	})
+	if violation != "" {
+		out = append(out, p.finding(poolLeaseName, leases[0].call.Pos(), "%s", violation))
+	}
+	return out
+}
+
+// leaseExprCall unwraps `pool.Get().(*T)` / `helper(n)` expressions
+// to the underlying call.
+func leaseExprCall(e ast.Expr) *ast.CallExpr {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return e
+	case *ast.TypeAssertExpr:
+		if call, ok := e.X.(*ast.CallExpr); ok {
+			return call
+		}
+	}
+	return nil
+}
+
+// isTrivialCall reports whether the call cannot plausibly panic or
+// divert control: builtins (len, cap, append) and conversions.
+func isTrivialCall(p *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch p.Info.Uses[id].(type) {
+	case *types.Builtin, *types.TypeName:
+		return true
+	}
+	return false
+}
+
+// leaseEscapes reports whether the leased value is returned or stored
+// into a struct field inside this scope.
+func leaseEscapes(p *Package, body *ast.BlockStmt, l lease) *Finding {
+	var out *Finding
+	inspectShallow(body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if exprIsLease(p, res, l) {
+					f := p.finding(poolLeaseName, n.Pos(),
+						"leased pool value escapes via return: the lease must be released in the function that took it")
+					out = &f
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if _, isPkg := p.Info.Uses[selRootIdent(sel)].(*types.PkgName); isPkg {
+					continue
+				}
+				if i < len(n.Rhs) && exprIsLease(p, n.Rhs[i], l) ||
+					len(n.Rhs) == 1 && exprIsLease(p, n.Rhs[0], l) {
+					f := p.finding(poolLeaseName, n.Pos(),
+						"leased pool value stored into a field outlives the lease: a later Get hands the same buffer to a second owner")
+					out = &f
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprIsLease reports whether e is the lease's variable or its call
+// expression itself.
+func exprIsLease(p *Package, e ast.Expr, l lease) bool {
+	if call := leaseExprCall(e); call == l.call {
+		return true
+	}
+	if id, ok := e.(*ast.Ident); ok && l.v != nil {
+		return p.Info.Uses[id] == l.v
+	}
+	return false
+}
+
+// selRootIdent returns the leftmost identifier of a selector chain.
+func selRootIdent(sel *ast.SelectorExpr) *ast.Ident {
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return selRootIdent(x)
+	}
+	return &ast.Ident{}
+}

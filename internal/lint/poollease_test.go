@@ -1,0 +1,22 @@
+package lint
+
+import "testing"
+
+func TestPoolLeaseFixture(t *testing.T) {
+	dir := fixtureDir("poollease")
+	// bad.go drops, returns, stores, and holds leases across calls;
+	// good.go holds the deferred-release, deferred-closure, and
+	// trivial-adjacent shapes. The getBuf/putBuf helper pairs must be
+	// recognized structurally and never flagged themselves.
+	p := loadFixture(t, dir, "repro/internal/transport")
+	checkAgainstMarkers(t, PoolLease, p, dir)
+}
+
+func TestPoolLeaseRunsEverywhere(t *testing.T) {
+	// Unlike the path-scoped analyzers, the pool discipline applies to
+	// every package that touches a sync.Pool.
+	p := loadFixture(t, fixtureDir("poollease"), "repro/internal/sim")
+	if got := PoolLease.Run(p); len(got) == 0 {
+		t.Fatal("poollease found nothing outside the ctx packages; it must not be path-scoped")
+	}
+}

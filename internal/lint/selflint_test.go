@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelfLintRepoTree is the zero-findings gate: the repo's own
+// source tree — library and tests — must lint clean under the full
+// analyzer set. Any new finding is either a real bug to fix or a
+// reviewed //lint:ignore with a reason; this test is what keeps that
+// invariant from regressing between CI runs of cmd/robustore-lint.
+func TestSelfLintRepoTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree source type-check is slow")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		t.Fatalf("read go.mod: %v", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		t.Fatal("module path not found in go.mod")
+	}
+	dirs, err := PackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("PackageDirs found no Go packages under the repo root")
+	}
+	pkgs, err := LoadTree(root, modPath, dirs, LoadOptions{Tests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range RunTree(pkgs) {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding can be silenced at the site it fires with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed either on the flagged line itself (trailing comment) or on
+// the line immediately above it. The analyzer name must be one of the
+// registered analyzers and the reason must be non-empty: a
+// suppression is a reviewed exception, and the reason is the review
+// record. Directives that name an unknown analyzer or omit the reason
+// are reported as findings themselves (analyzer "lint"), so a typo
+// cannot silently disable a check.
+
+// lintDirectivePrefix introduces a suppression comment.
+const lintDirectivePrefix = "lint:ignore"
+
+// suppressionAnalyzerName labels malformed-directive findings.
+const suppressionAnalyzerName = "lint"
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	analyzer string
+	reason   string
+}
+
+// knownAnalyzers is the set of names a directive may target.
+func knownAnalyzers() map[string]bool {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// fileSuppressions parses every //lint:ignore directive in f. It
+// returns the well-formed directives keyed by the line they sit on,
+// and a finding for each malformed one.
+func fileSuppressions(p *Package, f *ast.File) (map[int][]suppression, []Finding) {
+	known := knownAnalyzers()
+	byLine := map[int][]suppression{}
+	var bad []Finding
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, lintDirectivePrefix)
+			if !ok {
+				continue
+			}
+			line := p.Fset.Position(c.Pos()).Line
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				bad = append(bad, p.finding(suppressionAnalyzerName, c.Pos(),
+					"malformed directive: want //lint:ignore <analyzer> <reason>"))
+			case !known[fields[0]]:
+				bad = append(bad, p.finding(suppressionAnalyzerName, c.Pos(),
+					"directive names unknown analyzer %q", fields[0]))
+			case len(fields) < 2:
+				bad = append(bad, p.finding(suppressionAnalyzerName, c.Pos(),
+					"directive for %q has no reason: a suppression must record why", fields[0]))
+			default:
+				byLine[line] = append(byLine[line], suppression{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return byLine, bad
+}
+
+// applySuppressions drops findings covered by a matching directive on
+// the finding's line or the line above it, and appends findings for
+// malformed directives. The input findings must all belong to p.
+func applySuppressions(p *Package, findings []Finding) []Finding {
+	type fileKey struct {
+		file string
+		line int
+	}
+	suppressed := map[fileKey]map[string]bool{}
+	var out []Finding
+	for _, f := range p.Files {
+		byLine, bad := fileSuppressions(p, f)
+		out = append(out, bad...)
+		if len(byLine) == 0 {
+			continue
+		}
+		file := p.Fset.Position(f.Pos()).Filename
+		for line, sups := range byLine {
+			for _, s := range sups {
+				// A directive covers its own line and the next one.
+				for _, l := range []int{line, line + 1} {
+					k := fileKey{file, l}
+					if suppressed[k] == nil {
+						suppressed[k] = map[string]bool{}
+					}
+					suppressed[k][s.analyzer] = true
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		if m := suppressed[fileKey{f.Pos.Filename, f.Pos.Line}]; m != nil && m[f.Analyzer] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

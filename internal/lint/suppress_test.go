@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuppressionRoundTrip(t *testing.T) {
+	dir := fixtureDir("suppress")
+	p := loadFixture(t, dir, "repro/internal/disk")
+
+	// The raw analyzer sees every float comparison, directives or not:
+	// suppression lives in Run/RunAll, not in the analyzers.
+	raw := FloatEq.Run(p)
+	if len(raw) != 5 {
+		t.Fatalf("raw FloatEq found %d findings, want 5: %v", len(raw), raw)
+	}
+
+	// The suppression-aware entry point drops the two directived
+	// sites (line-above and same-line), keeps the other three, and
+	// reports both malformed directives under the "lint" analyzer.
+	got := Run(p)
+	var floateq, lintd []Finding
+	for _, f := range got {
+		switch f.Analyzer {
+		case "floateq":
+			floateq = append(floateq, f)
+		case "lint":
+			lintd = append(lintd, f)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", f.Analyzer, f)
+		}
+	}
+	if len(floateq) != 3 {
+		t.Errorf("suppressed run kept %d floateq findings, want 3 (the no-reason, unknown-analyzer, and undirectived sites): %v",
+			len(floateq), floateq)
+	}
+	if len(lintd) != 2 {
+		t.Fatalf("malformed directives reported %d lint findings, want 2: %v", len(lintd), lintd)
+	}
+	msgs := lintd[0].Message + " | " + lintd[1].Message
+	if !strings.Contains(msgs, "no reason") || !strings.Contains(msgs, "unknown analyzer") {
+		t.Errorf("lint findings miss the malformed-directive explanations: %s", msgs)
+	}
+
+	// Every surviving finding was one the raw run saw: the directive
+	// filtered findings, it never blinded the analyzer.
+	rawLines := map[int]bool{}
+	for _, f := range raw {
+		rawLines[f.Pos.Line] = true
+	}
+	for _, f := range floateq {
+		if !rawLines[f.Pos.Line] {
+			t.Errorf("finding at line %d not present in raw run: %s", f.Pos.Line, f)
+		}
+	}
+}

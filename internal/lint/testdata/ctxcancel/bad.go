@@ -1,0 +1,45 @@
+package fixture
+
+import (
+	"context"
+	"net"
+)
+
+func doIO(ctx context.Context, i int) error { return nil }
+
+// A counted loop that delegates ctx to its callee every iteration but
+// never observes it: after cancellation it still burns one full
+// iteration of I/O per remaining item.
+func loopNoCheck(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // WANT(ctxcancel)
+		doIO(ctx, i)
+	}
+}
+
+func rangeNoCheck(ctx context.Context, xs []int) {
+	for _, x := range xs { // WANT(ctxcancel)
+		doIO(ctx, x)
+	}
+}
+
+// Raw conn I/O with a context in scope: the loop blocks in Read with
+// no cancellation path at all.
+func rawConnLoop(ctx context.Context, conn net.Conn, buf []byte) {
+	for { // WANT(ctxcancel)
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// The ctx.Err() check before the loop does not help: iterations after
+// the first never look again.
+func checksOnlyBeforeLoop(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ { // WANT(ctxcancel)
+		doIO(ctx, i)
+	}
+	return nil
+}

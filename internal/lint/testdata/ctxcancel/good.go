@@ -1,0 +1,65 @@
+package fixture
+
+import (
+	"context"
+	"net"
+)
+
+func work(ctx context.Context, i int) error { return nil }
+
+// The sanctioned shape: an Err() test at the top of every iteration.
+func loopWithErrCheck(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return
+		}
+		work(ctx, i)
+	}
+}
+
+// A select on Done() each iteration also observes cancellation.
+func loopWithDoneSelect(ctx context.Context, ch chan int, n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		case ch <- i:
+		}
+		work(ctx, i)
+	}
+}
+
+// The check may live in the loop condition.
+func loopCondChecksCtx(ctx context.Context, n int) {
+	for i := 0; i < n && ctx.Err() == nil; i++ {
+		work(ctx, i)
+	}
+}
+
+// No context in scope: a plain accept/read loop has nothing to check.
+func noCtxInScope(conn net.Conn, buf []byte) {
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// Pure in-memory loops are exempt even with a ctx in scope.
+func pureComputeLoop(ctx context.Context, xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	work(ctx, sum)
+	return sum
+}
+
+// Calls through a local closure are not direct I/O of this loop; the
+// closure body is a separate scope.
+func delegatesToClosure(ctx context.Context, xs []int) {
+	emit := func(x int) { work(ctx, x) }
+	for _, x := range xs {
+		emit(x)
+	}
+}

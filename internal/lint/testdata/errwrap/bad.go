@@ -1,0 +1,39 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blockstore"
+)
+
+var ErrCorruptShare = errors.New("fixture: corrupt share")
+
+// Direct identity comparison stops matching the moment any layer
+// wraps the sentinel.
+func compareEq(err error) bool {
+	return err == ErrCorruptShare // WANT(errwrap)
+}
+
+func compareNeq(err error) bool {
+	return ErrCorruptShare != err // WANT(errwrap)
+}
+
+// Cross-package sentinels of this module are matched by name even
+// though the sibling package type-checks as a placeholder.
+func compareSelector(err error) bool {
+	return err == blockstore.ErrNotFound // WANT(errwrap)
+}
+
+// %v flattens the error to text and severs the Unwrap chain.
+func flattenV(err error) error {
+	return fmt.Errorf("read failed: %v", err) // WANT(errwrap)
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("read failed: %s", err) // WANT(errwrap)
+}
+
+func flattenSentinel(n int) error {
+	return fmt.Errorf("after %d tries: %v", n, ErrCorruptShare) // WANT(errwrap)
+}

@@ -1,0 +1,41 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blockstore"
+)
+
+var ErrDegradedWrite = errors.New("fixture: degraded write")
+
+// Lower-case package-level errors are not sentinels: they are private
+// to the package and never crossed by a wrap boundary.
+var errLocal = errors.New("fixture: not a sentinel")
+
+func compareIs(err error) bool {
+	return errors.Is(err, ErrDegradedWrite) || errors.Is(err, blockstore.ErrNotFound)
+}
+
+// Nil comparison is presence, not identity: always legal.
+func compareNil() bool {
+	return ErrDegradedWrite == nil || nil != ErrDegradedWrite
+}
+
+func nonSentinelCompare(err error) bool {
+	return err == errLocal
+}
+
+func wrapW(err error) error {
+	return fmt.Errorf("read failed: %w", err)
+}
+
+// Multiple %w verbs are fine (the transport timeout wrap uses this).
+func wrapBoth(err error) error {
+	return fmt.Errorf("%w after %d tries: %w", ErrDegradedWrite, 3, err)
+}
+
+// %v on non-error operands is not this analyzer's business.
+func nonErrorVerb(n int) error {
+	return fmt.Errorf("count %v of %s", n, "shares")
+}

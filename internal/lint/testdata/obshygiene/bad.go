@@ -1,0 +1,11 @@
+package fixture
+
+import "repro/internal/obs"
+
+func register(r *obs.Registry, id string) {
+	r.Counter("fixture_ops_total_" + id)      // WANT(obshygiene)
+	r.Gauge("FixtureDepth")                   // WANT(obshygiene)
+	r.Histogram("fixture__double_underscore") // WANT(obshygiene)
+	r.Counter("fixture_dup_total")
+	r.Counter("fixture_dup_total") // WANT(obshygiene)
+}

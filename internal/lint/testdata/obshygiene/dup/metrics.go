@@ -1,0 +1,9 @@
+package fixture
+
+import "repro/internal/obs"
+
+// Registers a name that testdata/obshygiene/good.go already owns, to
+// exercise the cross-package uniqueness pass in RunAll.
+func registerElsewhere(r *obs.Registry) {
+	r.Counter("fixture_reads_total")
+}

@@ -1,0 +1,22 @@
+package fixture
+
+import "repro/internal/obs"
+
+const histName = "fixture_latency_seconds"
+
+func registerGood(r *obs.Registry, buckets []float64) {
+	r.Counter("fixture_reads_total")
+	r.Gauge("fixture_queue_depth")
+	r.Histogram(histName)
+	r.HistogramWith("fixture_sized_seconds", buckets)
+}
+
+// A Counter method on a non-Registry type with a non-string argument
+// is some other API that happens to share a name: not a metric.
+type notRegistry struct{}
+
+func (notRegistry) Counter(n int) int { return n }
+
+func nonStringArg(nr notRegistry, n int) int {
+	return nr.Counter(n)
+}

@@ -1,0 +1,14 @@
+package main
+
+import "repro/internal/obs"
+
+// Package main is exempt: the CLIs key one-shot gauges by experiment
+// ID on purpose.
+func main() {
+	register(obs.NewRegistry(), "exp42")
+}
+
+func register(r *obs.Registry, id string) {
+	r.Gauge("result_" + id)
+	r.Counter("CamelCaseIsToleratedHere")
+}

@@ -1,0 +1,52 @@
+package fixture
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// getBuf/putBuf match the sanctioned helper pattern: the analyzer must
+// not flag the helpers themselves, only undisciplined call sites.
+func getBuf() *[]byte { return pool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) { pool.Put(b) }
+
+func sink(b *[]byte) {}
+
+// Direct Get with no Put anywhere: the pool degrades to plain
+// allocation one dropped lease at a time.
+func leakNoPut(n int) int {
+	b := pool.Get().(*[]byte) // WANT(poollease)
+	sink(b)
+	return n
+}
+
+// Same leak through the lease helper.
+func leakHelperNoRelease(n int) int {
+	b := getBuf() // WANT(poollease)
+	sink(b)
+	return n
+}
+
+// Returning a lease hands the caller a buffer this function never
+// releases and has no way to release safely.
+func escapeReturn() *[]byte {
+	b := getBuf()
+	return b // WANT(poollease)
+}
+
+type holder struct{ buf *[]byte }
+
+// Storing a lease into a field outlives the lease: the next Get can
+// hand the same backing array to a second owner.
+func escapeField(h *holder) {
+	b := getBuf()
+	h.buf = b // WANT(poollease)
+}
+
+// A mid-function Put with calls in between leaks on every panic path;
+// the release must be deferred next to the Get.
+func heldAcrossCalls() {
+	b := getBuf() // WANT(poollease)
+	sink(b)
+	putBuf(b)
+}

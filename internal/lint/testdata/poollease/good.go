@@ -1,0 +1,45 @@
+package fixture
+
+import "sync"
+
+var pool2 = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func getBuf2() *[]byte { return pool2.Get().(*[]byte) }
+
+func putBuf2(b *[]byte) { pool2.Put(b) }
+
+func use(b *[]byte) {}
+
+// The canonical shape: defer the release next to the Get.
+func deferredRelease() {
+	b := getBuf2()
+	defer putBuf2(b)
+	use(b)
+}
+
+// Batched leases released by one deferred closure (the fan-out shape
+// of the batch transport paths).
+func deferredClosureRelease(n int) {
+	var bufs []*[]byte
+	defer func() {
+		for _, b := range bufs {
+			putBuf2(b)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		bufs = append(bufs, getBuf2())
+	}
+	for _, b := range bufs {
+		use(b)
+	}
+}
+
+// A trivial adjacent Get..Put span — no other calls, no returns in
+// between — may skip the defer.
+func trivialAdjacent() {
+	b := pool2.Get().(*[]byte)
+	*b = (*b)[:0]
+	pool2.Put(b)
+}
+
+func noLease(n int) int { return n * 2 }

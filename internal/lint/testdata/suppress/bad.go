@@ -1,0 +1,28 @@
+package fixture
+
+// The suppression round trip: the raw analyzer flags every comparison
+// here; Run filters the properly-directived ones and reports the
+// malformed directives under the "lint" analyzer.
+
+func cmpSuppressedAbove(a, b float64) bool {
+	//lint:ignore floateq fixture exercises the line-above directive
+	return a == b
+}
+
+func cmpSuppressedSameLine(a, b float64) bool {
+	return a != b //lint:ignore floateq fixture exercises the same-line directive
+}
+
+func cmpMalformedNoReason(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}
+
+func cmpUnknownAnalyzer(a, b float64) bool {
+	//lint:ignore nosuchanalyzer the analyzer name is a typo
+	return a == b
+}
+
+func cmpUnsuppressed(a, b float64) bool {
+	return a == b
+}

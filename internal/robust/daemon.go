@@ -100,8 +100,12 @@ func (a SegmentAudit) Deficit() int {
 }
 
 // NeedsRepair reports whether a repair pass would change anything.
+// Missing shares trigger a repair even when surplus redundancy keeps
+// the deficit at zero: the repair prunes dead holders from the
+// placement and re-places their shares, so the placement converges
+// back onto live servers instead of pointing at ghosts forever.
 func (a SegmentAudit) NeedsRepair() bool {
-	return a.Deficit() > 0 || a.Corrupt > 0 || a.Degraded
+	return a.Deficit() > 0 || a.Corrupt > 0 || a.Missing > 0 || a.Degraded
 }
 
 // Audit scrubs one segment: every holder in the placement is listed

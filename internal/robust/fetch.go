@@ -184,6 +184,13 @@ func (f *fetcher) getBatchVerified(ctx context.Context, addr string, bg batchGet
 		}
 		f.corrupt.Add(1)
 		f.c.m.readCorruptShares.Inc()
+		// Verification above is pure in-memory work and still counts
+		// after cancellation (the drain path reads these stats); only
+		// the refetch round trip is skipped once the read is done.
+		if cerr := ctx.Err(); cerr != nil {
+			datas[i], errs[i] = nil, errors.Join(err, cerr)
+			continue
+		}
 		payload, gerr := store.Get(ctx, f.name, indices[i])
 		f.c.reportOutcome(addr, gerr)
 		if gerr != nil {

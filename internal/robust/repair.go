@@ -36,6 +36,9 @@ func (c *Client) Health(ctx context.Context, name string) (HealthReport, error) 
 	rep := HealthReport{Name: name, K: seg.Coding.K, N: seg.Coding.N, CheckedAt: time.Now()}
 	dec := ltcode.NewSymbolicDecoder(graph)
 	for addr, indices := range seg.Placement {
+		if cerr := ctx.Err(); cerr != nil {
+			return HealthReport{}, cerr
+		}
 		store, ok := c.store(addr)
 		if !ok {
 			rep.DeadAddrs = append(rep.DeadAddrs, addr)
@@ -125,6 +128,9 @@ func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, er
 	newPlacement := make(map[string][]int)
 	var lost []int
 	for addr, indices := range seg.Placement {
+		if cerr := ctx.Err(); cerr != nil {
+			return stats, cerr
+		}
 		store, ok := c.store(addr)
 		if !ok {
 			lost = append(lost, indices...)
@@ -174,6 +180,9 @@ func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, er
 			coded = sealShare(coded)
 		}
 		for attempts := 0; attempts < len(healthy); attempts++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			addr := healthy[hi%len(healthy)]
 			hi++
 			store, ok := c.store(addr)

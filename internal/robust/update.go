@@ -74,11 +74,17 @@ func (c *Client) Update(ctx context.Context, name string, offset int64, patch []
 	sort.Ints(order)
 
 	for _, i := range order {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		coded := graph.EncodeBlock(i, blocks)
 		if seg.Coding.ShareCRC {
 			coded = sealShare(coded)
 		}
 		for _, addr := range holders[i] {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			store, ok := c.store(addr)
 			if !ok {
 				return fmt.Errorf("robust: update: holder %q of block %d unreachable", addr, i)

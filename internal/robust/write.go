@@ -234,6 +234,10 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 					} else {
 						errs = singleErrs[:len(puts)]
 						for j := range puts {
+							if cerr := wctx.Err(); cerr != nil {
+								errs[j] = cerr // commit target reached or caller gone
+								continue
+							}
 							errs[j] = store.Put(wctx, name, puts[j].Index, puts[j].Data)
 							c.reportOutcome(addr, errs[j])
 						}
@@ -413,6 +417,10 @@ func deleteBlocks(ctx context.Context, store blockstore.Store, name string, indi
 	}
 	var errs []error
 	for _, i := range indices {
+		if cerr := ctx.Err(); cerr != nil {
+			errs = append(errs, cerr)
+			break
+		}
 		if err := store.Delete(ctx, name, i); err != nil {
 			errs = append(errs, err)
 		}

@@ -54,6 +54,7 @@ func TestClockAdvances(t *testing.T) {
 	k.At(1.5, func(k *Kernel) { at1 = k.Now() })
 	k.At(4.25, func(k *Kernel) { at2 = k.Now() })
 	end := k.Run()
+	//lint:ignore floateq event times are exact float literals; the kernel contract is bit-exact firing
 	if at1 != 1.5 || at2 != 4.25 || end != 4.25 {
 		t.Fatalf("clock wrong: at1=%v at2=%v end=%v", at1, at2, end)
 	}
@@ -66,6 +67,7 @@ func TestAfterIsRelative(t *testing.T) {
 		k.After(3, func(k *Kernel) { fireTime = k.Now() })
 	})
 	k.Run()
+	//lint:ignore floateq 2+3 is exact in float64; the kernel contract is bit-exact firing
 	if fireTime != 5 {
 		t.Fatalf("After fired at %v, want 5", fireTime)
 	}
@@ -139,6 +141,7 @@ func TestReschedule(t *testing.T) {
 		}
 	})
 	k.Run()
+	//lint:ignore floateq rescheduled time is an exact literal; firing must be bit-exact
 	if len(times) != 1 || times[0] != 3 {
 		t.Fatalf("rescheduled event fired at %v, want [3]", times)
 	}
@@ -177,6 +180,7 @@ func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
 	k := New()
 	k.At(1, nil)
 	end := k.RunUntil(10)
+	//lint:ignore floateq RunUntil clamps to the exact literal bound
 	if end != 10 {
 		t.Fatalf("RunUntil advanced clock to %v, want 10", end)
 	}
@@ -225,6 +229,7 @@ func TestPeekTime(t *testing.T) {
 		t.Fatal("PeekTime on empty queue not +Inf")
 	}
 	k.At(7, nil)
+	//lint:ignore floateq PeekTime returns the exact literal the event was scheduled at
 	if k.PeekTime() != 7 {
 		t.Fatalf("PeekTime = %v, want 7", k.PeekTime())
 	}
@@ -276,6 +281,7 @@ func TestQuickOrdering(t *testing.T) {
 		}
 		sort.Float64s(want)
 		for i := range want {
+			//lint:ignore floateq fired times must match the scheduled literals bit-exactly
 			if fired[i] != want[i] {
 				return false
 			}

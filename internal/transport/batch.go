@@ -82,6 +82,10 @@ func (c *Client) PutBatch(ctx context.Context, segment string, puts []blockstore
 	if c.capabilities(ctx)&capPutBatch == 0 {
 		c.m.batchFallbacks.Inc()
 		for i, p := range puts {
+			if cerr := ctx.Err(); cerr != nil {
+				errs[i] = cerr
+				continue
+			}
 			errs[i] = c.Put(ctx, segment, p.Index, p.Data)
 		}
 		return errs
@@ -90,6 +94,12 @@ func (c *Client) PutBatch(ctx context.Context, segment string, puts []blockstore
 	// under MaxFrame.
 	start, bytes := 0, 0
 	for i, p := range puts {
+		if cerr := ctx.Err(); cerr != nil {
+			// Entries before start are already on the wire and keep
+			// their results; the rest never will be sent.
+			fillErrs(errs[start:], cerr)
+			return errs
+		}
 		esz := putBatchEntryOverhead + len(p.Data)
 		if i > start && (bytes+esz > c.maxBatchBytes || i-start >= maxBatchEntries) {
 			c.putBatchWire(ctx, segment, puts[start:i], errs[start:i])
@@ -142,11 +152,19 @@ func (c *Client) GetBatch(ctx context.Context, segment string, indices []int) ([
 	if c.capabilities(ctx)&capGetBatch == 0 {
 		c.m.batchFallbacks.Inc()
 		for i, idx := range indices {
+			if cerr := ctx.Err(); cerr != nil {
+				errs[i] = cerr
+				continue
+			}
 			datas[i], errs[i] = c.Get(ctx, segment, idx)
 		}
 		return datas, errs
 	}
 	for start := 0; start < len(indices); start += maxBatchEntries {
+		if cerr := ctx.Err(); cerr != nil {
+			fillErrs(errs[start:], cerr)
+			break
+		}
 		end := start + maxBatchEntries
 		if end > len(indices) {
 			end = len(indices)
@@ -166,11 +184,19 @@ func (c *Client) DeleteBatch(ctx context.Context, segment string, indices []int)
 	if c.capabilities(ctx)&capDeleteBatch == 0 {
 		c.m.batchFallbacks.Inc()
 		for i, idx := range indices {
+			if cerr := ctx.Err(); cerr != nil {
+				errs[i] = cerr
+				continue
+			}
 			errs[i] = c.Delete(ctx, segment, idx)
 		}
 		return errs
 	}
 	for start := 0; start < len(indices); start += maxBatchEntries {
+		if cerr := ctx.Err(); cerr != nil {
+			fillErrs(errs[start:], cerr)
+			break
+		}
 		end := start + maxBatchEntries
 		if end > len(indices) {
 			end = len(indices)
@@ -223,9 +249,13 @@ func (c *Client) finishBatch(puts []blockstore.BatchPut, indices []int, errs []e
 		return
 	}
 	results, err := decodeBatchResults(payload)
-	if err != nil || len(results) != n {
-		fillErrs(errs, fmt.Errorf("transport: malformed batch response (%d/%d entries): %v",
-			len(results), n, err))
+	if err != nil {
+		fillErrs(errs, fmt.Errorf("transport: malformed batch response: %w", err))
+		return
+	}
+	if len(results) != n {
+		fillErrs(errs, fmt.Errorf("transport: malformed batch response (%d/%d entries)",
+			len(results), n))
 		return
 	}
 	for i, res := range results {

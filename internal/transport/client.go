@@ -276,6 +276,7 @@ func (c *Client) roundTripIdem(ctx context.Context, op byte, segment string, ind
 // chunk contents must stay valid across attempts.
 func (c *Client) exchangeIdem(ctx context.Context, chunks [][]byte) (byte, []byte, error) {
 	retried := false
+	//lint:ignore ctxcancel retryable(ctx, err) checks ctx.Err() and backoff selects on ctx.Done() every attempt
 	for attempt := 0; ; attempt++ {
 		status, resp, err := c.exchange(ctx, chunks)
 		if err == nil {
@@ -379,9 +380,7 @@ func (c *Client) exchange(ctx context.Context, chunks [][]byte) (byte, []byte, e
 	for _, ch := range chunks {
 		sent += int64(len(ch))
 	}
-	hdr := frameHdrPool.Get().(*[4]byte)
-	err = writeFrameVec(conn, hdr, chunks)
-	frameHdrPool.Put(hdr)
+	err = writeFrameVec(conn, chunks)
 	if err != nil {
 		finish()
 		c.discard(conn)
@@ -426,7 +425,7 @@ func (c *Client) wrapExchangeErr(err error, canceled bool, ctx context.Context) 
 	if c.reqTimeout > 0 {
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
-			return fmt.Errorf("%w after %v: %v", ErrRequestTimeout, c.reqTimeout, err)
+			return fmt.Errorf("%w after %v: %w", ErrRequestTimeout, c.reqTimeout, err)
 		}
 	}
 	return err

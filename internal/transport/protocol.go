@@ -106,8 +106,11 @@ func writeFrame(w io.Writer, chunks ...[]byte) error {
 // writeFrameVec writes one length-prefixed frame from a chunk list
 // using vectored I/O (net.Buffers → writev on TCP), so a batch frame
 // referencing many pooled block buffers goes out without being copied
-// into one contiguous body. The chunk slice is consumed.
-func writeFrameVec(w io.Writer, hdr *[4]byte, chunks [][]byte) error {
+// into one contiguous body. The chunk slice is consumed. The 4-byte
+// length header is leased from frameHdrPool for the duration of the
+// write (it must survive until the writev drains, which the
+// synchronous WriteTo guarantees).
+func writeFrameVec(w io.Writer, chunks [][]byte) error {
 	var total int
 	for _, c := range chunks {
 		total += len(c)
@@ -115,6 +118,8 @@ func writeFrameVec(w io.Writer, hdr *[4]byte, chunks [][]byte) error {
 	if total > MaxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
 	}
+	hdr := frameHdrPool.Get().(*[4]byte)
+	defer frameHdrPool.Put(hdr)
 	binary.BigEndian.PutUint32(hdr[:], uint32(total))
 	bufs := make(net.Buffers, 0, len(chunks)+1)
 	bufs = append(bufs, hdr[:])

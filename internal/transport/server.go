@@ -47,18 +47,24 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		batchBlocks: r.Counter("transport_server_batch_blocks_total"),
 	}
 	if r != nil {
-		names := map[byte]string{
-			opPut: "put", opGet: "get", opDelete: "delete",
-			opList: "list", opPing: "ping", opScrub: "scrub",
-			opPutBatch: "put_batch", opGetBatch: "get_batch",
-			opDeleteBatch: "delete_batch", opCaps: "caps",
+		// Metric names are spelled out as literals (not assembled at
+		// runtime) so the obshygiene analyzer can vet the namespace.
+		m.ops = make(map[byte]*obs.Counter, 10)
+		m.opSeconds = make(map[byte]*obs.Histogram, 10)
+		reg := func(op byte, total *obs.Counter, seconds *obs.Histogram) {
+			m.ops[op] = total
+			m.opSeconds[op] = seconds
 		}
-		m.ops = make(map[byte]*obs.Counter, len(names))
-		m.opSeconds = make(map[byte]*obs.Histogram, len(names))
-		for op, n := range names {
-			m.ops[op] = r.Counter("transport_server_" + n + "_total")
-			m.opSeconds[op] = r.Histogram("transport_server_" + n + "_seconds")
-		}
+		reg(opPut, r.Counter("transport_server_put_total"), r.Histogram("transport_server_put_seconds"))
+		reg(opGet, r.Counter("transport_server_get_total"), r.Histogram("transport_server_get_seconds"))
+		reg(opDelete, r.Counter("transport_server_delete_total"), r.Histogram("transport_server_delete_seconds"))
+		reg(opList, r.Counter("transport_server_list_total"), r.Histogram("transport_server_list_seconds"))
+		reg(opPing, r.Counter("transport_server_ping_total"), r.Histogram("transport_server_ping_seconds"))
+		reg(opScrub, r.Counter("transport_server_scrub_total"), r.Histogram("transport_server_scrub_seconds"))
+		reg(opPutBatch, r.Counter("transport_server_put_batch_total"), r.Histogram("transport_server_put_batch_seconds"))
+		reg(opGetBatch, r.Counter("transport_server_get_batch_total"), r.Histogram("transport_server_get_batch_seconds"))
+		reg(opDeleteBatch, r.Counter("transport_server_delete_batch_total"), r.Histogram("transport_server_delete_batch_seconds"))
+		reg(opCaps, r.Counter("transport_server_caps_total"), r.Histogram("transport_server_caps_seconds"))
 	}
 	return m
 }
@@ -182,6 +188,10 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// The per-connection ctx cancels only when this loop exits (the
+	// deferred cancel aborts in-flight store work); mid-loop it is
+	// never done, and a dropped conn unblocks readFrame directly.
+	//lint:ignore ctxcancel per-conn ctx cancels on loop exit; readFrame unblocks via conn close
 	for {
 		body, err := readFrame(conn)
 		if err != nil {
@@ -213,6 +223,7 @@ func (s *Server) handleBatch(ctx context.Context, conn net.Conn, req request) er
 	start := time.Now()
 	s.m.ops[req.op].Inc()
 	scratch := getScratch()
+	defer putScratch(scratch)
 	status, chunks := s.dispatchBatch(ctx, req, scratch)
 	s.m.opSeconds[req.op].Observe(time.Since(start).Seconds())
 	if status != statusOK {
@@ -222,11 +233,7 @@ func (s *Server) handleBatch(ctx context.Context, conn net.Conn, req request) er
 	all := make([][]byte, 0, len(chunks)+1)
 	all = append(all, sb[:])
 	all = append(all, chunks...)
-	hdr := frameHdrPool.Get().(*[4]byte)
-	err := writeFrameVec(conn, hdr, all)
-	frameHdrPool.Put(hdr)
-	putScratch(scratch)
-	return err
+	return writeFrameVec(conn, all)
 }
 
 // batchStatus maps a per-entry store error onto a wire status and
@@ -282,6 +289,10 @@ func (s *Server) dispatchBatch(ctx context.Context, req request, scratch *[]byte
 		} else {
 			errs = make([]error, len(indices))
 			for i, idx := range indices {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				errs[i] = s.store.Delete(ctx, req.segment, idx)
 			}
 		}
@@ -300,6 +311,10 @@ func (s *Server) dispatchBatch(ctx context.Context, req request, scratch *[]byte
 			datas = make([][]byte, len(indices))
 			errs = make([]error, len(indices))
 			for i, idx := range indices {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				datas[i], errs[i] = s.store.Get(ctx, req.segment, idx)
 			}
 		}
@@ -338,6 +353,10 @@ func (s *Server) putEntries(ctx context.Context, segment string, entries []putEn
 	}
 	errs := make([]error, len(entries))
 	for i, e := range entries {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
 		errs[i] = s.store.Put(ctx, segment, e.index, e.data)
 	}
 	return errs

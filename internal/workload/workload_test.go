@@ -71,6 +71,7 @@ func TestBackgroundPolicies(t *testing.T) {
 	}
 	hb := HomogeneousBackground(0.020)
 	bg := hb.Sample(rng)
+	//lint:ignore floateq Interval round-trips the exact literal 0.020
 	if !bg.Enabled() || bg.Interval != 0.020 || bg.Sectors != 50 {
 		t.Fatalf("homogeneous background wrong: %+v", bg)
 	}

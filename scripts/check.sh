@@ -7,10 +7,13 @@
 #   1. go build ./...
 #   2. gofmt -l (fails on any unformatted file)
 #   3. go vet ./...
-#   4. robustore-lint ./...      (project analyzers: determinism,
-#      lock copies, goroutine hygiene, float equality — internal/lint;
-#      plus explicit passes over internal/obs and internal/faultinject,
-#      the layers every concurrent path calls into)
+#   4. robustore-lint -tests -json ./...  (all eight project
+#      analyzers — determinism, lock copies, goroutine hygiene, float
+#      equality, ctx cancellation, pool leases, error wrapping, metric
+#      hygiene — over library AND _test.go files, findings written to
+#      a JSON artifact; plus explicit passes over internal/obs and
+#      internal/faultinject, the layers every concurrent path calls
+#      into)
 #   5. go test -shuffle=on ./...
 #   6. go test -race on the concurrency-heavy packages (the batch
 #      transport, batched blockstore, pipelined client paths, and the
@@ -39,8 +42,11 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> robustore-lint ./..."
-go run ./cmd/robustore-lint ./...
+echo "==> robustore-lint -tests -json ./... (artifact: lint-findings.json)"
+if ! go run ./cmd/robustore-lint -tests -json ./... > lint-findings.json; then
+    cat lint-findings.json >&2
+    exit 1
+fi
 
 echo "==> robustore-lint ./internal/obs/ ./internal/faultinject/ (explicit)"
 go run ./cmd/robustore-lint ./internal/obs/ ./internal/faultinject/
@@ -58,7 +64,9 @@ go test -race -count=1 -timeout 10m \
     ./internal/blockstore/ \
     ./internal/cluster/ \
     ./internal/health/ \
+    ./internal/lint/ \
     ./internal/ltcode/ \
+    ./internal/metadata/ \
     ./internal/obs/
 
 echo "==> chaos suite under -race"
