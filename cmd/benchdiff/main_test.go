@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func findingKinds(fs []finding) map[string]string {
+	out := make(map[string]string, len(fs))
+	for _, f := range fs {
+		out[f.key] = f.kind
+	}
+	return out
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := map[string]float64{
+		"faultfree_read_bare_ms": 10.0,
+		"decode-MBps-C1-d0.1":    1000,
+		"read16mb_allocs_per_op": 100,
+		"hedges_per_read":        37,
+	}
+	fresh := map[string]float64{
+		"faultfree_read_bare_ms": 12.0, // +20% < 25%
+		"decode-MBps-C1-d0.1":    800,  // -20% < 25%
+		"read16mb_allocs_per_op": 109,  // +9% < 10%
+		"hedges_per_read":        99,   // presence-only: any value
+	}
+	if fs := compare(base, fresh, 0.25, 0.10, false); len(fs) != 0 {
+		t.Fatalf("expected no findings, got %+v", fs)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := map[string]float64{
+		"faultfree_read_bare_ms": 10.0,
+		"decode-MBps-C1-d0.1":    1000,
+		"read16mb_allocs_per_op": 100,
+	}
+	fresh := map[string]float64{
+		"faultfree_read_bare_ms": 13.0, // +30% latency: regression
+		"decode-MBps-C1-d0.1":    700,  // -30% throughput: regression
+		"read16mb_allocs_per_op": 115,  // +15% allocs: regression at ±10%
+	}
+	kinds := findingKinds(compare(base, fresh, 0.25, 0.10, false))
+	for _, k := range []string{"faultfree_read_bare_ms", "decode-MBps-C1-d0.1", "read16mb_allocs_per_op"} {
+		if kinds[k] != "regression" {
+			t.Errorf("expected regression finding for %s, got %q", k, kinds[k])
+		}
+	}
+}
+
+func TestCompareImprovementsAlwaysPass(t *testing.T) {
+	base := map[string]float64{
+		"faultfree_read_bare_ms": 10.0,
+		"decode-MBps-C1-d0.1":    1000,
+		"read16mb_allocs_per_op": 100,
+	}
+	fresh := map[string]float64{
+		"faultfree_read_bare_ms": 2.0,  // 5× faster
+		"decode-MBps-C1-d0.1":    5000, // 5× more throughput
+		"read16mb_allocs_per_op": 10,   // 10× fewer allocs
+	}
+	if fs := compare(base, fresh, 0.25, 0.10, false); len(fs) != 0 {
+		t.Fatalf("improvements must never fail, got %+v", fs)
+	}
+}
+
+func TestCompareMissingAndUnexpectedKeys(t *testing.T) {
+	base := map[string]float64{"faultfree_read_bare_ms": 10.0, "hedges_per_read": 3}
+	fresh := map[string]float64{"faultfree_read_bare_ms": 10.0, "brand_new_metric_ms": 1}
+	kinds := findingKinds(compare(base, fresh, 0.25, 0.10, false))
+	if kinds["hedges_per_read"] != "missing" {
+		t.Errorf("expected missing finding for hedges_per_read, got %q", kinds["hedges_per_read"])
+	}
+	if kinds["brand_new_metric_ms"] != "unexpected" {
+		t.Errorf("expected unexpected finding for brand_new_metric_ms, got %q", kinds["brand_new_metric_ms"])
+	}
+}
+
+func TestCompareKeysOnlySkipsValues(t *testing.T) {
+	base := map[string]float64{"faultfree_read_bare_ms": 10.0}
+	fresh := map[string]float64{"faultfree_read_bare_ms": 1000.0}
+	if fs := compare(base, fresh, 0.25, 0.10, true); len(fs) != 0 {
+		t.Fatalf("keys-only must ignore values, got %+v", fs)
+	}
+	fresh = map[string]float64{}
+	if kinds := findingKinds(compare(base, fresh, 0.25, 0.10, true)); kinds["faultfree_read_bare_ms"] != "missing" {
+		t.Fatal("keys-only must still flag missing keys")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		key   string
+		dir   direction
+		tight bool
+	}{
+		{"read16mb_allocs_per_op", lowerBetter, true},
+		{"faultfree_read_bare_ms", lowerBetter, false},
+		{"stalled_read_hedged_ms", lowerBetter, false},
+		{"decode-MBps-C1-d0.1", higherBetter, false},
+		{"RobuSTore-64disk-MBps", higherBetter, false},
+		{"read-speedup-vs-RAID0", higherBetter, false},
+		{"hedges_per_read", presenceOnly, false},
+		{"hedge_wins_per_read", presenceOnly, false},
+	}
+	for _, c := range cases {
+		dir, tight := classify(c.key)
+		if dir != c.dir || tight != c.tight {
+			t.Errorf("classify(%q) = (%v, %v), want (%v, %v)", c.key, dir, tight, c.dir, c.tight)
+		}
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"schema":1,"metrics":{"a_ms":1.5}}`), 0o644)
+	bf, err := loadBaseline(good)
+	if err != nil {
+		t.Fatalf("loadBaseline(good): %v", err)
+	}
+	if bf.Metrics["a_ms"] != 1.5 {
+		t.Fatalf("bad metrics: %+v", bf.Metrics)
+	}
+	for name, content := range map[string]string{
+		"badschema.json": `{"schema":2,"metrics":{"a_ms":1}}`,
+		"empty.json":     `{"schema":1,"metrics":{}}`,
+		"garbage.json":   `not json`,
+	} {
+		p := filepath.Join(dir, name)
+		os.WriteFile(p, []byte(content), 0o644)
+		if _, err := loadBaseline(p); err == nil {
+			t.Errorf("loadBaseline(%s) accepted bad input", name)
+		}
+	}
+	if _, err := loadBaseline(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("loadBaseline accepted a missing file")
+	}
+}

@@ -117,7 +117,14 @@ func main() {
 			if a == "" {
 				continue
 			}
-			store, err := transport.Dial(a, transport.ClientOptions{})
+			topts := transport.ClientOptions{Obs: reg}
+			if tracker != nil {
+				// The transport feeds the failure detector directly:
+				// per-stream mux timeouts reach the tracker even when
+				// the robust layer already hedged away from the server.
+				topts.Health = tracker
+			}
+			store, err := transport.Dial(a, topts)
 			if err != nil {
 				fatal(fmt.Errorf("connecting to %s: %w", a, err))
 			}

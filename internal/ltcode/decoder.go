@@ -2,8 +2,6 @@ package ltcode
 
 import (
 	"fmt"
-
-	"repro/internal/gf256"
 )
 
 // Decoder is an incremental peeling (belief-propagation) decoder with
@@ -177,7 +175,7 @@ func (d *Decoder) decodeOriginal(orig, via int32) {
 			if j == orig {
 				continue
 			}
-			gf256.XorSlice(d.data[j], out)
+			xorWords(d.data[j], out)
 		}
 		d.data[orig] = out
 	}

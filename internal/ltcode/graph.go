@@ -3,8 +3,6 @@ package ltcode
 import (
 	"fmt"
 	"math/rand"
-
-	"repro/internal/gf256"
 )
 
 // Graph is a bipartite LT coding graph connecting K original blocks to
@@ -210,7 +208,7 @@ func (g *Graph) EncodeBlockInto(dst []byte, i int, data [][]byte) []byte {
 	nb := g.Neighbors[i]
 	copy(dst, data[nb[0]])
 	for _, j := range nb[1:] {
-		gf256.XorSlice(data[j], dst)
+		xorWords(data[j], dst)
 	}
 	return dst
 }

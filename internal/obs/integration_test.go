@@ -78,7 +78,12 @@ func TestMetricsEndpointReflectsAccess(t *testing.T) {
 		`(?m)^robust_read_blocks_total [1-9]\d*$`,
 		`(?m)^robust_write_blocks_total [1-9]\d*$`,
 		`(?m)^transport_client_dials_total [1-9]\d*$`,
-		`(?m)^transport_server_get_batch_total [1-9]\d*$`,
+		// A v2/v2 pair reads over mux streams (per-stream GETs feeding
+		// the decoder as frames arrive), not GETBATCH windows.
+		`(?m)^transport_server_get_total [1-9]\d*$`,
+		`(?m)^transport_client_mux_dials_total [1-9]\d*$`,
+		`(?m)^transport_client_mux_streams_total [1-9]\d*$`,
+		`(?m)^transport_server_mux_streams_total [1-9]\d*$`,
 		`(?m)^transport_server_put_batch_total [1-9]\d*$`,
 		`(?m)^transport_server_batch_blocks_total [1-9]\d*$`,
 		`(?m)^transport_client_batches_total [1-9]\d*$`,

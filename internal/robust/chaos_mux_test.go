@@ -1,0 +1,159 @@
+package robust
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// muxChaosWorkload drives the three contended paths of ISSUE 7's mux
+// chaos scenario concurrently over the SAME multiplexed connections:
+// reads of a stalled object, audits (the scrub path), and fresh
+// writes — all while the injectors reset connections underneath. Every
+// round's data is verified; rounds is the per-goroutine iteration
+// count.
+func muxChaosWorkload(t *testing.T, client *Client, name string, data []byte, rounds int) {
+	t.Helper()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // reader: decodes through stalls and hedges
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			got, _, err := client.Read(ctx, name)
+			if err != nil {
+				t.Errorf("mux chaos read %d: %v", i, err)
+				return
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("mux chaos read %d: data mismatch", i)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // scrubber: share-level verification rides along
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := client.Audit(ctx, name); err != nil {
+				t.Errorf("mux chaos audit %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // writer: new segments land while the read stalls
+		defer wg.Done()
+		small := randData(64<<10, 91)
+		for i := 0; i < rounds; i++ {
+			obj := fmt.Sprintf("%s-w%d", name, i)
+			if _, err := client.Write(ctx, obj, small, nil); err != nil {
+				t.Errorf("mux chaos write %d: %v", i, err)
+				return
+			}
+			got, _, err := client.Read(ctx, obj)
+			if err != nil || !bytes.Equal(got, small) {
+				t.Errorf("mux chaos write-read %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+}
+
+// TestChaosMuxStalledReadScrubWriteShareConn runs a stalled read, a
+// scrub, and a write concurrently where every server connection is a
+// single multiplexed conn (MuxConns 1) under injected stalls and
+// connection resets: per-stream isolation must keep the siblings
+// correct, and a reset must burn only the one conn it hits (the next
+// exchange re-upgrades).
+func TestChaosMuxStalledReadScrubWriteShareConn(t *testing.T) {
+	reg := obs.NewRegistry()
+	client, servers := startChaosCluster(t, 6,
+		Options{BlockBytes: 8 << 10, Redundancy: 4, MaxServerShare: 0.25, HedgeReads: true, Obs: reg},
+		transport.ClientOptions{MaxRetries: 3, RequestTimeout: 2 * time.Second, MuxConns: 1, Obs: reg})
+	ctx := context.Background()
+	data := randData(256<<10, 90)
+
+	if _, err := client.Write(ctx, "muxchaos", data, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// One server stalls half its gets; every wire occasionally resets
+	// mid-exchange, which kills whole mux connections, streams and all.
+	servers[0].storeInj.SetConfig(faultinject.Config{StallProb: 0.5, Stall: 300 * time.Millisecond, Ops: []string{"get"}})
+	for _, cs := range servers {
+		cs.connInj.SetConfig(faultinject.Config{ResetProb: 0.03})
+	}
+
+	muxChaosWorkload(t, client, "muxchaos", data, 6)
+
+	snap := reg.Snapshot()
+	if snap.Counters["transport_client_mux_dials_total"] == 0 {
+		t.Fatal("workload never engaged the mux transport")
+	}
+	if snap.Counters["transport_client_mux_streams_total"] == 0 {
+		t.Fatal("no mux streams opened")
+	}
+	t.Logf("mux chaos: %d dials, %d streams, %d conn failures, %d stream timeouts, %d resets",
+		snap.Counters["transport_client_mux_dials_total"],
+		snap.Counters["transport_client_mux_streams_total"],
+		snap.Counters["transport_client_mux_conn_failures_total"],
+		snap.Counters["transport_client_mux_stream_timeouts_total"],
+		snap.Counters["transport_client_mux_resets_total"])
+}
+
+// TestSoakMuxChaosHighFaultRates is the nightly soak variant: the same
+// shared-connection workload, but with much hotter fault injection
+// (resets an order of magnitude more likely, longer stalls, corruption
+// in the mix) and more rounds. Gated behind ROBUSTORE_SOAK so the PR
+// gate never pays for it; CI's soak job sets the variable.
+func TestSoakMuxChaosHighFaultRates(t *testing.T) {
+	if os.Getenv("ROBUSTORE_SOAK") == "" {
+		t.Skip("set ROBUSTORE_SOAK=1 to run soak scenarios")
+	}
+	reg := obs.NewRegistry()
+	client, servers := startChaosCluster(t, 8,
+		Options{BlockBytes: 8 << 10, Redundancy: 5, MaxServerShare: 0.2, HedgeReads: true, Obs: reg},
+		transport.ClientOptions{MaxRetries: 5, RequestTimeout: 5 * time.Second, MuxConns: 2, Obs: reg})
+	ctx := context.Background()
+	data := randData(512<<10, 92)
+
+	if _, err := client.Write(ctx, "muxsoak", data, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	servers[0].storeInj.SetConfig(faultinject.Config{StallProb: 0.8, Stall: 800 * time.Millisecond, Ops: []string{"get"}})
+	servers[1].storeInj.SetConfig(faultinject.Config{CorruptProb: 0.3, Ops: []string{"get"}})
+	for _, cs := range servers {
+		cs.connInj.SetConfig(faultinject.Config{ResetProb: 0.1, ShortReadProb: 0.03})
+	}
+
+	muxChaosWorkload(t, client, "muxsoak", data, 25)
+
+	snap := reg.Snapshot()
+	if snap.Counters["transport_client_mux_dials_total"] == 0 {
+		t.Fatal("soak workload never engaged the mux transport")
+	}
+	if snap.Counters["transport_client_mux_conn_failures_total"] == 0 {
+		t.Error("10% reset probability burned no mux connections: faults never fired")
+	}
+	t.Logf("mux soak: %d dials, %d streams, %d conn failures, %d retries (%d won)",
+		snap.Counters["transport_client_mux_dials_total"],
+		snap.Counters["transport_client_mux_streams_total"],
+		snap.Counters["transport_client_mux_conn_failures_total"],
+		snap.Counters["transport_client_retries_total"],
+		snap.Counters["transport_client_retry_successes_total"])
+}

@@ -168,7 +168,7 @@ func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stat
 					if hi > len(mine) {
 						hi = len(mine)
 					}
-					failed.Add(int64(fx.fetchBatch(rctx, addr, store, mine[lo:hi], deliver)))
+					failed.Add(int64(fx.fetchWindow(rctx, addr, store, mine[lo:hi], deliver)))
 				}
 			}(addr, store, stripeSlice(indices, w, c.opts.PerServerParallel))
 		}

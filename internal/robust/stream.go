@@ -1,0 +1,210 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// streamGetter is the stream-fed read-path fast path: fetch many
+// blocks concurrently over one multiplexed connection, delivering
+// each the moment its frames complete — out of order, which is
+// exactly what the peeling decoder wants. transport.Client implements
+// it over mux streams; deliver may be called from multiple
+// goroutines. An implementation that cannot stream right now (legacy
+// peer, upgrade refused) returns an error without delivering
+// anything, and the fetcher falls back to batch windows.
+type streamGetter interface {
+	GetStream(ctx context.Context, segment string, indices []int, deliver func(index int, data []byte, err error)) error
+}
+
+// fetchWindow retrieves one window of shares from a holder, streaming
+// them into the decoder as they arrive when the holder supports it
+// and falling back to the batch (or single-op) pipeline when not.
+func (f *fetcher) fetchWindow(ctx context.Context, addr string, store storeGetter, indices []int, deliver func(int, []byte)) int {
+	if sg, ok := store.(streamGetter); ok && len(indices) > 1 {
+		if failed, streamed := f.fetchStream(ctx, addr, sg, store, indices, deliver); streamed {
+			return failed
+		}
+	}
+	return f.fetchBatch(ctx, addr, store, indices, deliver)
+}
+
+// fetchStream is the stream-fed window fetch: every index rides its
+// own mux stream, each verified share is delivered the moment its
+// response completes (no batch-window barrier between the wire and
+// the decoder), and the usual hedge promotion covers whatever is
+// still outstanding when the p99-ish trigger fires. Returns
+// streamed=false — nothing delivered, caller must fall back — when
+// the holder cannot stream.
+func (f *fetcher) fetchStream(ctx context.Context, addr string, sg streamGetter, store storeGetter, indices []int, deliver func(int, []byte)) (int, bool) {
+	start := time.Now()
+	var (
+		mu        sync.Mutex
+		done      = make(map[int]bool, len(indices))
+		errByIdx  = make(map[int]error, len(indices))
+		delivered = false
+	)
+	// handle verifies and hands over one share; duplicates (a hedge
+	// winner racing a late stream) are dropped here so downstream
+	// accounting stays exact even though the decoder would also
+	// tolerate them.
+	handle := func(idx int, payload []byte, err error) {
+		if err == nil && f.sealed {
+			var data []byte
+			data, err = openShare(payload)
+			if err != nil {
+				f.corrupt.Add(1)
+				f.c.m.readCorruptShares.Inc()
+				// Refetch once through the single-op path: transit
+				// corruption is usually transient, disk corruption is not.
+				if cerr := ctx.Err(); cerr != nil {
+					err = errors.Join(err, cerr)
+				} else if payload2, gerr := store.Get(ctx, f.name, idx); gerr != nil {
+					err = errors.Join(err, gerr)
+				} else if data2, oerr := openShare(payload2); oerr != nil {
+					f.corrupt.Add(1)
+					f.c.m.readCorruptShares.Inc()
+					err = oerr
+				} else {
+					data, err = data2, nil
+				}
+			}
+			payload = data
+		}
+		mu.Lock()
+		if done[idx] {
+			mu.Unlock()
+			return
+		}
+		if err != nil {
+			errByIdx[idx] = err
+			mu.Unlock()
+			return
+		}
+		done[idx] = true
+		delete(errByIdx, idx)
+		delivered = true
+		mu.Unlock()
+		deliver(idx, payload)
+	}
+
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	primaryDone := make(chan error, 1)
+	go func() { primaryDone <- sg.GetStream(pctx, f.name, indices, handle) }()
+
+	var timerC <-chan time.Time
+	if f.hedge {
+		timer := time.NewTimer(f.hedgeDelay())
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	var perr error
+	gotPrimary := false
+	select {
+	case perr = <-primaryDone:
+		gotPrimary = true
+	case <-ctx.Done():
+	case <-timerC:
+		// Primary is slow: promote whatever is still outstanding to an
+		// alternate holder (or a fresh path to the same one) as one
+		// batch window, exactly like fetchBatch's promotion.
+		mu.Lock()
+		remaining := make([]int, 0, len(indices))
+		for _, idx := range indices {
+			if !done[idx] {
+				remaining = append(remaining, idx)
+			}
+		}
+		mu.Unlock()
+		if len(remaining) > 0 && ctx.Err() == nil {
+			f.hedges.Add(1)
+			f.c.m.readHedges.Inc()
+			haddr, hstore := f.altStore(addr, remaining[0], store)
+			datas, herrs := f.batchFrom(ctx, haddr, hstore, remaining)
+			hedgeWon := false
+			for i, idx := range remaining {
+				if herrs[i] != nil {
+					continue
+				}
+				mu.Lock()
+				if done[idx] {
+					mu.Unlock()
+					continue
+				}
+				done[idx] = true
+				delete(errByIdx, idx)
+				delivered = true
+				mu.Unlock()
+				deliver(idx, datas[i])
+				hedgeWon = true
+			}
+			if hedgeWon {
+				f.hedgeWins.Add(1)
+				f.c.m.readHedgeWins.Inc()
+			} else {
+				f.c.m.readHedgeLosses.Inc()
+			}
+			mu.Lock()
+			allDone := true
+			for _, idx := range indices {
+				if !done[idx] {
+					allDone = false
+					break
+				}
+			}
+			mu.Unlock()
+			if allDone {
+				pcancel() // the stragglers are covered; stop their streams
+			}
+		}
+	}
+	if !gotPrimary {
+		if ctx.Err() != nil {
+			pcancel()
+		}
+		perr = <-primaryDone
+	}
+
+	mu.Lock()
+	failed := 0
+	for _, idx := range indices {
+		if !done[idx] {
+			failed++
+		}
+	}
+	streamedNothing := !delivered
+	mu.Unlock()
+	if perr != nil && streamedNothing && ctx.Err() == nil {
+		// The holder cannot stream (legacy server, mux unavailable):
+		// nothing was delivered, so the caller retries the window over
+		// the batch path with full accounting there.
+		return 0, false
+	}
+	// One aggregated health outcome per window, mirroring the batch
+	// path: cancellations are no signal about the holder.
+	errs := make([]error, 0, len(indices))
+	mu.Lock()
+	for _, idx := range indices {
+		if e, ok := errByIdx[idx]; ok {
+			errs = append(errs, e)
+		} else if !done[idx] {
+			errs = append(errs, errors.New("robust: share not delivered"))
+		} else {
+			errs = append(errs, nil)
+		}
+	}
+	mu.Unlock()
+	f.c.reportOutcome(addr, f.c.batchOutcome(errs))
+	if failed == 0 && ctx.Err() == nil {
+		// The tracker learns whole-window stream times, keeping the
+		// hedge delay calibrated the same way the batch path does.
+		f.tracker.add(time.Since(start))
+	}
+	if ctx.Err() != nil {
+		return 0, true
+	}
+	return failed, true
+}

@@ -35,6 +35,21 @@ type Client struct {
 	caps          atomic.Uint32
 	maxBatchBytes int
 
+	// Mux (transport v2) state: dedicated multiplexed connections,
+	// separate from the v1 one-exchange-per-conn pool. Engaged only
+	// after a CAPS probe observes capMux; see muxFor.
+	health          HealthReporter
+	muxDisabled     bool
+	muxWindow       int
+	muxStreams      int
+	muxMaxConns     int
+	muxMu           sync.Mutex
+	muxConns        []*muxConn
+	muxNext         int
+	muxEstablishing bool
+	muxRetryAt      time.Time
+	muxClosed       bool
+
 	mu     sync.Mutex
 	idle   []net.Conn
 	nconns int
@@ -82,6 +97,26 @@ type ClientOptions struct {
 	// dials, connection reuses, in-flight requests, bytes, errors,
 	// retries, round-trip latency).
 	Obs *obs.Registry
+	// DisableMux keeps every exchange on the v1 single-op/batch paths
+	// even against a server that advertises the multiplexed transport.
+	DisableMux bool
+	// MuxConns caps the number of multiplexed connections (default 2).
+	// Each carries up to the negotiated stream limit concurrently, so
+	// a couple of conns replace the whole v1 pool for pipelined work.
+	MuxConns int
+	// MuxWindow overrides the proposed per-stream flow-control window
+	// in bytes (default 1 MiB); mostly for tests.
+	MuxWindow int
+	// MuxMaxStreams overrides the proposed concurrent-stream limit per
+	// mux connection (default 64); mostly for tests.
+	MuxMaxStreams int
+	// Health, when non-nil, receives per-server outcomes observed by
+	// the transport itself. The important case is per-stream mux
+	// timeouts: the demux path reports them here even when the caller
+	// hedged away and never surfaces the error, so the failure
+	// detector keeps its backoff context without the v1 tear-down of a
+	// pooled connection.
+	Health HealthReporter
 }
 
 // clientPoolMetrics are the connection-pool metric handles; all nil
@@ -102,6 +137,18 @@ type clientPoolMetrics struct {
 	batchFallbacks *obs.Counter
 	inflight       *obs.Gauge
 	roundTrip      *obs.Histogram
+
+	muxDials          *obs.Counter
+	muxFallbacks      *obs.Counter
+	muxConnFailures   *obs.Counter
+	muxStreams        *obs.Counter
+	muxStreamTimeouts *obs.Counter
+	muxResets         *obs.Counter
+	muxLateFrames     *obs.Counter
+	muxFlowStalls     *obs.Counter
+	muxFramesSent     *obs.Counter
+	muxFramesRecv     *obs.Counter
+	muxInflight       *obs.Gauge
 }
 
 func newClientPoolMetrics(r *obs.Registry) clientPoolMetrics {
@@ -124,6 +171,21 @@ func newClientPoolMetrics(r *obs.Registry) clientPoolMetrics {
 		batchFallbacks: r.Counter("transport_client_batch_fallbacks_total"),
 		inflight:       r.Gauge("transport_client_inflight"),
 		roundTrip:      r.Histogram("transport_client_roundtrip_seconds"),
+		// Mux (transport v2) accounting: stream churn, per-stream
+		// timeouts/resets that did NOT tear the connection down, frames
+		// discarded after abandonment, and flow-control stalls (a
+		// sender blocked waiting for WINDOW credit).
+		muxDials:          r.Counter("transport_client_mux_dials_total"),
+		muxFallbacks:      r.Counter("transport_client_mux_fallbacks_total"),
+		muxConnFailures:   r.Counter("transport_client_mux_conn_failures_total"),
+		muxStreams:        r.Counter("transport_client_mux_streams_total"),
+		muxStreamTimeouts: r.Counter("transport_client_mux_stream_timeouts_total"),
+		muxResets:         r.Counter("transport_client_mux_resets_total"),
+		muxLateFrames:     r.Counter("transport_client_mux_late_frames_total"),
+		muxFlowStalls:     r.Counter("transport_client_mux_flow_stalls_total"),
+		muxFramesSent:     r.Counter("transport_client_mux_frames_sent_total"),
+		muxFramesRecv:     r.Counter("transport_client_mux_frames_recv_total"),
+		muxInflight:       r.Gauge("transport_client_mux_inflight"),
 	}
 }
 
@@ -148,6 +210,9 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	if opts.MaxBatchBytes > MaxFrame/2 {
 		opts.MaxBatchBytes = MaxFrame / 2
 	}
+	if opts.MuxConns <= 0 {
+		opts.MuxConns = 2
+	}
 	c := &Client{
 		addr:          addr,
 		dialTimeout:   opts.DialTimeout,
@@ -157,6 +222,11 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 		retryBase:     opts.RetryBaseDelay,
 		retryMax:      opts.RetryMaxDelay,
 		maxBatchBytes: opts.MaxBatchBytes,
+		muxDisabled:   opts.DisableMux,
+		muxMaxConns:   opts.MuxConns,
+		muxWindow:     opts.MuxWindow,
+		muxStreams:    opts.MuxMaxStreams,
+		health:        opts.Health,
 		m:             newClientPoolMetrics(opts.Obs),
 	}
 	c.cond = sync.NewCond(&c.mu)
@@ -336,7 +406,24 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 	}
 }
 
-// exchange performs one request/response exchange. Cancellation is
+// exchange routes one request/response exchange: over a multiplexed
+// stream when the server is known (from the cached CAPS probe) to
+// speak transport v2, otherwise over the v1 one-exchange-per-conn
+// pool. The two paths carry identical request bodies, so every op —
+// single, batch, scrub, ping — pipelines transparently once the mux
+// is up; legacy peers keep the v1 path untouched.
+func (c *Client) exchange(ctx context.Context, chunks [][]byte) (byte, []byte, error) {
+	if m := c.muxFor(ctx); m != nil {
+		status, resp, err := m.exchange(ctx, chunks)
+		if err != nil {
+			c.m.errors.Inc()
+		}
+		return status, resp, err
+	}
+	return c.exchangeV1(ctx, chunks)
+}
+
+// exchangeV1 performs one request/response exchange. Cancellation is
 // implemented by closing the connection out from under the exchange —
 // the server's per-connection context then cancels the queued work
 // (RobuSTore request cancellation over the wire). When RequestTimeout
@@ -346,7 +433,7 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 // — discards the connection rather than pooling it: after a failed
 // exchange the conn's protocol state is unknown, and a pooled
 // half-read conn would poison the next request on it.
-func (c *Client) exchange(ctx context.Context, chunks [][]byte) (byte, []byte, error) {
+func (c *Client) exchangeV1(ctx context.Context, chunks [][]byte) (byte, []byte, error) {
 	conn, err := c.acquire(ctx)
 	if err != nil {
 		c.m.errors.Inc()
@@ -517,7 +604,7 @@ func (c *Client) List(ctx context.Context, segment string) ([]int, error) {
 	return decodeIndices(payload)
 }
 
-// Close closes all pooled connections.
+// Close closes all pooled and multiplexed connections.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
@@ -527,6 +614,14 @@ func (c *Client) Close() error {
 	c.mu.Unlock()
 	for _, conn := range idle {
 		conn.Close()
+	}
+	c.muxMu.Lock()
+	c.muxClosed = true
+	muxes := c.muxConns
+	c.muxConns = nil
+	c.muxMu.Unlock()
+	for _, m := range muxes {
+		m.close()
 	}
 	return nil
 }

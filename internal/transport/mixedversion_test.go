@@ -229,3 +229,216 @@ func counters(reg *obs.Registry) map[string]int64 {
 	}
 	return out
 }
+
+// startV2Server runs the real (mux-capable) server over a fresh
+// in-memory store.
+func startV2Server(t *testing.T) string {
+	t.Helper()
+	srv := transport.NewServer(blockstore.NewMemStore(), transport.ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestMuxClientAgainstLegacyServerFallsBack: a v2 (mux-capable)
+// client against a v1-only server must stay entirely on the v1
+// single-op wire — no MUXUP is ever attempted (the failed CAPS probe
+// already settled the question) and the streaming read path reports
+// ErrMuxUnavailable without delivering anything.
+func TestMuxClientAgainstLegacyServerFallsBack(t *testing.T) {
+	srv := startLegacyServer(t)
+	reg := obs.NewRegistry()
+	client, err := transport.Dial(srv.ln.Addr().String(), transport.ClientOptions{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	if err := client.Put(ctx, "seg", 0, []byte("v1 payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get(ctx, "seg", 0)
+	if err != nil || !bytes.Equal(got, []byte("v1 payload")) {
+		t.Fatalf("round trip over legacy server: %q, %v", got, err)
+	}
+
+	delivered := 0
+	err = client.GetStream(ctx, "seg", []int{0}, func(int, []byte, error) { delivered++ })
+	if !errors.Is(err, transport.ErrMuxUnavailable) {
+		t.Fatalf("GetStream err = %v, want ErrMuxUnavailable", err)
+	}
+	if delivered != 0 {
+		t.Fatalf("GetStream delivered %d blocks while unavailable, want 0", delivered)
+	}
+
+	if n := srv.served(11); n != 0 {
+		t.Errorf("legacy server saw %d MUXUP attempts, want 0 (CAPS already failed)", n)
+	}
+	if n := srv.served(10); n != 1 {
+		t.Errorf("CAPS probed %d times, want exactly 1 (cached)", n)
+	}
+	snap := counters(reg)
+	if snap["transport_client_mux_dials_total"] != 0 {
+		t.Errorf("mux dials = %d against a legacy server, want 0", snap["transport_client_mux_dials_total"])
+	}
+}
+
+// v1Exchange hand-rolls one legacy single-op exchange against the
+// documented frame layout — the behavior of a client binary that
+// predates both the batch protocol and transport v2.
+func v1Exchange(t *testing.T, conn net.Conn, op byte, seg string, idx int, payload []byte) (byte, []byte) {
+	t.Helper()
+	body := []byte{op}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(seg)))
+	body = append(body, seg...)
+	body = binary.BigEndian.AppendUint32(body, uint32(idx))
+	body = append(body, payload...)
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(body)))
+	out = append(out, body...)
+	if _, err := conn.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	resp := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(conn, resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) < 1 {
+		t.Fatal("empty response frame")
+	}
+	return resp[0], resp[1:]
+}
+
+// TestLegacyClientAgainstMuxServer: a v1-only client that never sends
+// MUXUP must get plain v1 service from a v2 server on the same
+// connection, even though CAPS advertises the mux capability.
+func TestLegacyClientAgainstMuxServer(t *testing.T) {
+	addr := startV2Server(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if st, _ := v1Exchange(t, conn, 1, "seg", 3, []byte("old client")); st != 0 {
+		t.Fatalf("legacy PUT status = %d", st)
+	}
+	st, data := v1Exchange(t, conn, 2, "seg", 3, nil)
+	if st != 0 || !bytes.Equal(data, []byte("old client")) {
+		t.Fatalf("legacy GET = status %d, %q", st, data)
+	}
+	if st, _ := v1Exchange(t, conn, 5, "-", 0, nil); st != 0 {
+		t.Fatalf("legacy PING status = %d", st)
+	}
+	// CAPS advertises mux (bit 3) — but merely probing it must not
+	// upgrade the connection, as the next v1 exchange proves.
+	st, mask := v1Exchange(t, conn, 10, "-", 0, nil)
+	if st != 0 || len(mask) != 4 {
+		t.Fatalf("CAPS = status %d, %d bytes", st, len(mask))
+	}
+	if binary.BigEndian.Uint32(mask)&(1<<3) == 0 {
+		t.Error("v2 server does not advertise the mux capability")
+	}
+	if st, _ := v1Exchange(t, conn, 2, "seg", 3, nil); st != 0 {
+		t.Error("v1 exchange after CAPS failed: connection was upgraded implicitly")
+	}
+}
+
+// TestMixedVersionClientsShareMuxServer: a pinned-to-v1 client
+// (DisableMux) and a v2 client work the same server concurrently;
+// each stays on its own transport version and both round-trip.
+func TestMixedVersionClientsShareMuxServer(t *testing.T) {
+	addr := startV2Server(t)
+	regOld := obs.NewRegistry()
+	oldClient, err := transport.Dial(addr, transport.ClientOptions{DisableMux: true, Obs: regOld})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oldClient.Close()
+	regNew := obs.NewRegistry()
+	newClient, err := transport.Dial(addr, transport.ClientOptions{Obs: regNew})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newClient.Close()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for name, client := range map[string]*transport.Client{"old": oldClient, "new": newClient} {
+		wg.Add(1)
+		go func(name string, c *transport.Client) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				seg := fmt.Sprintf("%s-%d", name, i)
+				data := bytes.Repeat([]byte(name), 1000+i)
+				if err := c.Put(ctx, seg, i, data); err != nil {
+					errs <- fmt.Errorf("%s put %d: %w", name, i, err)
+					return
+				}
+				got, err := c.Get(ctx, seg, i)
+				if err != nil || !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("%s get %d: %q, %v", name, i, got, err)
+					return
+				}
+			}
+			// Force a CAPS probe on both so the mux decision is made.
+			if _, errs := c.GetBatch(ctx, name+"-0", []int{0}); len(errs) != 1 {
+				t.Error("GetBatch shape")
+			}
+			if _, err := c.Get(ctx, name+"-0", 0); err != nil {
+				errs <- fmt.Errorf("%s get after caps: %w", name, err)
+			}
+		}(name, client)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if n := counters(regOld)["transport_client_mux_dials_total"]; n != 0 {
+		t.Errorf("DisableMux client made %d mux dials, want 0", n)
+	}
+	if n := counters(regNew)["transport_client_mux_dials_total"]; n < 1 {
+		t.Errorf("v2 client made %d mux dials, want >= 1", n)
+	}
+}
+
+// TestDisableMuxPinsClientToV1: the explicit escape hatch — a client
+// with DisableMux set never upgrades and its streaming path reports
+// ErrMuxUnavailable even though the server advertises mux.
+func TestDisableMuxPinsClientToV1(t *testing.T) {
+	addr := startV2Server(t)
+	reg := obs.NewRegistry()
+	client, err := transport.Dial(addr, transport.ClientOptions{DisableMux: true, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	if err := client.Put(ctx, "seg", 0, []byte("pinned")); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	err = client.GetStream(ctx, "seg", []int{0}, func(int, []byte, error) { delivered++ })
+	if !errors.Is(err, transport.ErrMuxUnavailable) || delivered != 0 {
+		t.Fatalf("GetStream with DisableMux = %v (%d delivered), want ErrMuxUnavailable and 0", err, delivered)
+	}
+	if got, err := client.Get(ctx, "seg", 0); err != nil || !bytes.Equal(got, []byte("pinned")) {
+		t.Fatalf("v1 round trip = %q, %v", got, err)
+	}
+	snap := counters(reg)
+	if snap["transport_client_mux_dials_total"] != 0 {
+		t.Errorf("mux dials = %d with DisableMux, want 0", snap["transport_client_mux_dials_total"])
+	}
+}

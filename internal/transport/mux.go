@@ -1,0 +1,372 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Transport v2: a framed, multiplexed connection (DESIGN.md §12).
+//
+// A v1 connection carries one request/response exchange at a time, so
+// a scrub, a ping, and a read against the same server serialize
+// behind each other even with batch ops. Transport v2 upgrades a
+// connection (negotiated through CAPS + MUXUP, with clean fallback
+// for legacy peers) to a stream-multiplexed framing where every
+// exchange is its own stream: request IDs, out-of-order responses,
+// chunked bodies so a 16 MB GET never head-of-line-blocks a PING, and
+// per-stream windowed flow control so one slow consumer stalls only
+// its own stream.
+//
+// v2 frame layout (all integers big-endian), reusing the v1 outer
+// length prefix:
+//
+//	[4B frame length][1B kind][4B stream id][body...]
+//
+// kinds:
+//
+//	REQ    body = [1B flags][chunk]             client→server
+//	RESP   body = [1B flags][1B status][chunk]  server→client
+//	WINDOW body = [4B credit bytes]             either direction
+//	RESET  body = [error text]                  either direction
+//
+// The concatenated REQ chunks of a stream form exactly one v1 request
+// body (op, segment, index, payload); the concatenated RESP chunks
+// form the response payload, with the status carried on every RESP
+// frame (the first one wins). flags bit 0 (FIN) marks a stream's last
+// chunk in that direction. Chunk payload bytes are debited from the
+// sender's per-stream credit window; the receiver returns credit with
+// WINDOW frames as it consumes chunks, and stops granting the moment
+// it abandons a stream — a stalled or timed-out stream therefore
+// quiesces without poisoning its neighbors. RESET aborts one stream
+// in both directions (the receiver cancels the stream's server-side
+// context); only a malformed frame kills the connection.
+type muxFrame struct {
+	kind   byte
+	id     uint32
+	flags  byte
+	status byte
+	credit int
+	chunk  []byte // aliases the decoded frame body
+}
+
+// v2 frame kinds.
+const (
+	muxKindReq    = byte(1)
+	muxKindResp   = byte(2)
+	muxKindWindow = byte(3)
+	muxKindReset  = byte(4)
+)
+
+// muxFlagFIN marks the last chunk of a stream direction.
+const muxFlagFIN = byte(1)
+
+// Mux sizing defaults. The window is per stream and per direction;
+// the chunk size bounds how long one stream may monopolize the write
+// side of a connection (a 16 MB GET response becomes ~128 frames any
+// other stream's frames can interleave between).
+const (
+	defaultMuxWindow     = 1 << 20
+	defaultMuxStreams    = 64
+	muxChunkSize         = 128 << 10
+	muxHeaderLen         = 1 + 4 // kind + stream id
+	muxReqChunkOverhead  = 1     // flags
+	muxRespChunkOverhead = 2     // flags + status
+)
+
+// muxHdrPool pools the [kind][id] header bytes of outgoing v2 frames;
+// like frameHdrPool, a leased header must survive until the vectored
+// write drains, which the synchronous writeFrameVec guarantees.
+var muxHdrPool = sync.Pool{New: func() any { return new([muxHeaderLen + muxRespChunkOverhead]byte) }}
+
+// writeMuxFrame writes one v2 frame under the caller's write lock.
+// head is the kind-specific prefix placed between the stream id and
+// the chunk (flags for REQ, flags+status for RESP, nothing for the
+// control kinds).
+func writeMuxFrame(w *lockedWriter, kind byte, id uint32, head []byte, chunk []byte) error {
+	hdr := muxHdrPool.Get().(*[muxHeaderLen + muxRespChunkOverhead]byte)
+	defer muxHdrPool.Put(hdr)
+	hdr[0] = kind
+	hdr[1] = byte(id >> 24)
+	hdr[2] = byte(id >> 16)
+	hdr[3] = byte(id >> 8)
+	hdr[4] = byte(id)
+	n := muxHeaderLen
+	n += copy(hdr[n:], head)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(chunk) == 0 {
+		return writeFrame(w.w, hdr[:n])
+	}
+	return writeFrame(w.w, hdr[:n], chunk)
+}
+
+// encodeMuxWindow packs a WINDOW body.
+func encodeMuxWindow(credit int) [4]byte {
+	return [4]byte{byte(credit >> 24), byte(credit >> 16), byte(credit >> 8), byte(credit)}
+}
+
+// decodeMuxFrame parses one v2 frame body (the bytes after the outer
+// length prefix). The chunk aliases body.
+func decodeMuxFrame(body []byte) (muxFrame, error) {
+	if len(body) < muxHeaderLen {
+		return muxFrame{}, fmt.Errorf("transport: short mux frame (%d bytes)", len(body))
+	}
+	f := muxFrame{
+		kind: body[0],
+		id:   uint32(body[1])<<24 | uint32(body[2])<<16 | uint32(body[3])<<8 | uint32(body[4]),
+	}
+	rest := body[muxHeaderLen:]
+	switch f.kind {
+	case muxKindReq:
+		if len(rest) < muxReqChunkOverhead {
+			return muxFrame{}, fmt.Errorf("transport: short mux REQ frame")
+		}
+		f.flags = rest[0]
+		f.chunk = rest[muxReqChunkOverhead:]
+	case muxKindResp:
+		if len(rest) < muxRespChunkOverhead {
+			return muxFrame{}, fmt.Errorf("transport: short mux RESP frame")
+		}
+		f.flags = rest[0]
+		f.status = rest[1]
+		f.chunk = rest[muxRespChunkOverhead:]
+	case muxKindWindow:
+		if len(rest) != 4 {
+			return muxFrame{}, fmt.Errorf("transport: malformed mux WINDOW frame (%d bytes)", len(rest))
+		}
+		credit := uint32(rest[0])<<24 | uint32(rest[1])<<16 | uint32(rest[2])<<8 | uint32(rest[3])
+		// The wire field is a signed 31-bit credit; a set sign bit is
+		// malformed regardless of the host int width.
+		if credit > 0x7FFFFFFF {
+			return muxFrame{}, fmt.Errorf("transport: negative mux window credit")
+		}
+		f.credit = int(credit)
+	case muxKindReset:
+		f.chunk = rest
+	default:
+		return muxFrame{}, fmt.Errorf("transport: unknown mux frame kind %d", f.kind)
+	}
+	return f, nil
+}
+
+// lockedWriter serializes frame writes onto one shared connection.
+// The lock is held per frame, never across flow-control waits — a
+// stream blocked on credit must not wedge the peer's WINDOW grants.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  interface{ Write([]byte) (int, error) }
+}
+
+// creditGate is one direction of a stream's flow-control window: the
+// sender takes credit before each chunk, the demux goroutine grants
+// it back as the peer acknowledges consumption, and closing the gate
+// releases any waiting sender with an error.
+type creditGate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	credit int
+	err    error
+}
+
+func newCreditGate(initial int) *creditGate {
+	g := &creditGate{credit: initial}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// take blocks until at least min(want, chunk window) credit is
+// available or the gate closes, then debits and returns the number of
+// bytes the caller may send (never more than want). stalled, when
+// non-nil, is invoked once if the caller had to wait — the mux stall
+// metric.
+func (g *creditGate) take(want int, stalled func()) (int, error) {
+	if want > muxChunkSize {
+		want = muxChunkSize
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	waited := false
+	for g.err == nil && g.credit <= 0 {
+		if !waited && stalled != nil {
+			stalled()
+		}
+		waited = true
+		g.cond.Wait()
+	}
+	if g.err != nil {
+		return 0, g.err
+	}
+	n := want
+	if n > g.credit {
+		n = g.credit
+	}
+	g.credit -= n
+	return n, nil
+}
+
+// grant returns credit to the sender.
+func (g *creditGate) grant(n int) {
+	g.mu.Lock()
+	g.credit += n
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// close releases any waiting sender with err.
+func (g *creditGate) close(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// ctlQueue decouples control frames (WINDOW grants, RESETs) from the
+// connection's read loop. A read loop that writes inline can deadlock
+// when both TCP directions fill: each side's reader blocks writing a
+// grant the other side cannot drain because its own reader is blocked
+// the same way. Queuing the control frames and writing them from a
+// dedicated goroutine keeps both read loops always reading, so the
+// peer's writes always eventually drain. Grants coalesce per stream,
+// bounding queue memory by the open-stream count.
+type ctlQueue struct {
+	mu     sync.Mutex
+	grants map[uint32]int
+	resets []ctlReset
+	kick   chan struct{}
+	done   chan struct{} // closed when run exits; join point for owners
+	closed bool
+}
+
+type ctlReset struct {
+	id  uint32
+	msg string
+}
+
+func newCtlQueue() *ctlQueue {
+	return &ctlQueue{
+		grants: make(map[uint32]int),
+		kick:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+}
+
+// grant enqueues a WINDOW grant (coalesced per stream).
+func (q *ctlQueue) grant(id uint32, n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.grants[id] += n
+	select {
+	case q.kick <- struct{}{}:
+	default:
+	}
+}
+
+// reset enqueues a RESET for one stream.
+func (q *ctlQueue) reset(id uint32, msg string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.resets = append(q.resets, ctlReset{id: id, msg: msg})
+	select {
+	case q.kick <- struct{}{}:
+	default:
+	}
+}
+
+// close stops the queue; further grants/resets are dropped (the
+// connection is dying, so they are moot).
+func (q *ctlQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.kick)
+}
+
+// swap takes the pending work.
+func (q *ctlQueue) swap() (map[uint32]int, []ctlReset) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	grants, resets := q.grants, q.resets
+	q.grants = make(map[uint32]int)
+	q.resets = nil
+	return grants, resets
+}
+
+// run writes queued control frames until the queue closes; onErr is
+// invoked once on the first write failure (the conn is broken — the
+// owner tears it down, which also closes the queue). done is closed on
+// exit so owners can join after closing the queue and the conn.
+func (q *ctlQueue) run(w *lockedWriter, onErr func(error)) {
+	defer close(q.done)
+	for range q.kick {
+		grants, resets := q.swap()
+		for id, n := range grants {
+			win := encodeMuxWindow(n)
+			if err := writeMuxFrame(w, muxKindWindow, id, nil, win[:]); err != nil {
+				onErr(err)
+				return
+			}
+		}
+		for _, r := range resets {
+			if err := writeMuxFrame(w, muxKindReset, r.id, nil, []byte(r.msg)); err != nil {
+				onErr(err)
+				return
+			}
+		}
+	}
+}
+
+// muxSettings are the negotiated per-connection parameters: the
+// initial per-stream window (bytes, each direction) and the maximum
+// number of concurrently open streams.
+type muxSettings struct {
+	window     int
+	maxStreams int
+}
+
+// encodeMuxSettings packs the MUXUP request/response payload.
+func encodeMuxSettings(s muxSettings) []byte {
+	return []byte{
+		byte(s.window >> 24), byte(s.window >> 16), byte(s.window >> 8), byte(s.window),
+		byte(s.maxStreams >> 24), byte(s.maxStreams >> 16), byte(s.maxStreams >> 8), byte(s.maxStreams),
+	}
+}
+
+// decodeMuxSettings unpacks a MUXUP payload.
+func decodeMuxSettings(payload []byte) (muxSettings, error) {
+	if len(payload) != 8 {
+		return muxSettings{}, fmt.Errorf("transport: malformed mux settings (%d bytes)", len(payload))
+	}
+	s := muxSettings{
+		window:     int(uint32(payload[0])<<24 | uint32(payload[1])<<16 | uint32(payload[2])<<8 | uint32(payload[3])),
+		maxStreams: int(uint32(payload[4])<<24 | uint32(payload[5])<<16 | uint32(payload[6])<<8 | uint32(payload[7])),
+	}
+	if s.window <= 0 || s.maxStreams <= 0 {
+		return muxSettings{}, fmt.Errorf("transport: non-positive mux settings")
+	}
+	return s, nil
+}
+
+// negotiate clamps the peer's proposed settings to local bounds: both
+// sides end up with the min of the two proposals, so neither can be
+// pushed past what it offered.
+func (s muxSettings) negotiate(peer muxSettings) muxSettings {
+	out := s
+	if peer.window < out.window {
+		out.window = peer.window
+	}
+	if peer.maxStreams < out.maxStreams {
+		out.maxStreams = peer.maxStreams
+	}
+	return out
+}

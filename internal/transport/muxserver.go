@@ -1,0 +1,291 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// serverMuxDefaults bound what a server will accept during MUXUP
+// negotiation regardless of the client's proposal.
+var serverMuxDefaults = muxSettings{window: defaultMuxWindow, maxStreams: defaultMuxStreams}
+
+// upgradeMux answers one MUXUP request. A malformed proposal is
+// refused in-band (the connection stays on v1); a valid one is
+// acknowledged with the clamped settings, after which the connection
+// speaks v2 frames until it drops. Returns served=true when the
+// connection was consumed by the mux loop.
+func (s *Server) upgradeMux(ctx context.Context, conn net.Conn, req request) (served bool, err error) {
+	peer, derr := decodeMuxSettings(req.payload)
+	if derr != nil {
+		return false, writeFrame(conn, []byte{statusErr}, []byte(derr.Error()))
+	}
+	chosen := serverMuxDefaults.negotiate(peer)
+	ack := make([]byte, 0, 9)
+	ack = append(ack, statusOK)
+	ack = append(ack, encodeMuxSettings(chosen)...)
+	if err := writeFrame(conn, ack); err != nil {
+		return false, err
+	}
+	m := &muxServerConn{
+		s:        s,
+		conn:     conn,
+		w:        &lockedWriter{w: conn},
+		ctl:      newCtlQueue(),
+		settings: chosen,
+		ctx:      ctx,
+		streams:  make(map[uint32]*muxServerStream),
+	}
+	// Control frames go out async so the serve read loop never blocks
+	// on the write side; a control write failure means the conn is
+	// broken, so closing it unblocks readFrame and ends serve.
+	go m.ctl.run(m.w, func(error) { m.conn.Close() })
+	m.serve()
+	// serve's teardown closed the queue; closing the conn unblocks any
+	// control write still in flight so the writer goroutine can exit.
+	conn.Close()
+	<-m.ctl.done
+	return true, nil
+}
+
+// muxServerConn is the server half of one multiplexed connection: the
+// serve loop reassembles per-stream requests and dispatches each as
+// its own goroutine with its own context, so a RESET (or a client
+// abandoning a timed-out stream) cancels exactly one request.
+type muxServerConn struct {
+	s        *Server
+	conn     net.Conn
+	w        *lockedWriter
+	ctl      *ctlQueue
+	settings muxSettings
+	ctx      context.Context
+
+	mu      sync.Mutex
+	streams map[uint32]*muxServerStream
+	wg      sync.WaitGroup
+}
+
+// muxServerStream is one stream's server-side state.
+type muxServerStream struct {
+	id     uint32
+	buf    []byte
+	fin    bool
+	send   *creditGate // response-direction flow control
+	cancel context.CancelFunc
+	done   bool
+}
+
+// serve is the connection's v2 read loop. Like Server.handle, the
+// loop lives exactly as long as the connection: a dropped conn (or
+// Server.Close) unblocks readFrame, and teardown cancels every
+// in-flight stream.
+func (m *muxServerConn) serve() {
+	defer m.teardown()
+	//lint:ignore ctxcancel conn-lifetime loop; teardown cancels per-stream ctxs and conn close unblocks readFrame
+	for {
+		body, err := readFrame(m.conn)
+		if err != nil {
+			return // EOF or broken connection
+		}
+		f, err := decodeMuxFrame(body)
+		if err != nil {
+			m.s.logf("transport: bad mux frame from %v: %v", m.conn.RemoteAddr(), err)
+			return
+		}
+		switch f.kind {
+		case muxKindReq:
+			m.handleReq(f)
+		case muxKindWindow:
+			m.mu.Lock()
+			st, ok := m.streams[f.id]
+			m.mu.Unlock()
+			if ok {
+				st.send.grant(f.credit)
+			}
+		case muxKindReset:
+			m.resetStream(f.id, nil)
+		default:
+			m.s.logf("transport: unexpected mux frame kind %d from %v", f.kind, m.conn.RemoteAddr())
+			return
+		}
+	}
+}
+
+// handleReq folds one REQ chunk into its stream, dispatching the
+// request when the FIN chunk completes it. Per-stream violations
+// (limit exceeded, oversized body, duplicate id after FIN, malformed
+// request) RESET that stream only — never the connection.
+func (m *muxServerConn) handleReq(f muxFrame) {
+	m.mu.Lock()
+	st, ok := m.streams[f.id]
+	if ok && st.fin {
+		// Duplicate request id: frames for a stream that already
+		// finished its request half. Kill that stream, not the conn —
+		// its neighbors are innocent.
+		m.mu.Unlock()
+		m.resetStream(f.id, []byte("transport: duplicate mux stream id"))
+		return
+	}
+	if !ok {
+		if len(m.streams) >= m.settings.maxStreams {
+			m.mu.Unlock()
+			m.sendReset(f.id, "transport: mux stream limit exceeded")
+			return
+		}
+		st = &muxServerStream{id: f.id, send: newCreditGate(m.settings.window)}
+		m.streams[f.id] = st
+	}
+	m.mu.Unlock()
+
+	if len(st.buf)+len(f.chunk) > MaxFrame {
+		m.resetStream(f.id, []byte("transport: mux request body overflow"))
+		return
+	}
+	st.buf = append(st.buf, f.chunk...)
+	if f.flags&muxFlagFIN == 0 {
+		// Return the consumed credit (async, so the read loop never
+		// blocks on the write side) so the client keeps streaming.
+		if len(f.chunk) > 0 {
+			m.ctl.grant(f.id, len(f.chunk))
+		}
+		return
+	}
+	st.fin = true
+	req, err := decodeRequest(st.buf)
+	if err != nil {
+		m.resetStream(f.id, []byte(err.Error()))
+		return
+	}
+	sctx, cancel := context.WithCancel(m.ctx)
+	st.cancel = cancel
+	m.s.m.muxStreams.Inc()
+	m.wg.Add(1)
+	go m.serveStream(sctx, st, req)
+}
+
+// sendReset tells the client to abandon one stream.
+func (m *muxServerConn) sendReset(id uint32, msg string) {
+	m.s.m.muxResets.Inc()
+	m.ctl.reset(id, msg)
+}
+
+// resetStream aborts one stream: its dispatch context is canceled,
+// its response writer released, and (when msg is non-nil) the client
+// told to stop. Unknown ids are ignored — resets race completion.
+func (m *muxServerConn) resetStream(id uint32, msg []byte) {
+	m.mu.Lock()
+	st, ok := m.streams[id]
+	if ok {
+		delete(m.streams, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	st.send.close(fmt.Errorf("transport: mux stream %d reset", id))
+	if st.cancel != nil {
+		st.cancel()
+	}
+	if msg != nil {
+		m.sendReset(id, string(msg))
+	}
+}
+
+// finishStream retires a completed stream.
+func (m *muxServerConn) finishStream(st *muxServerStream) {
+	m.mu.Lock()
+	delete(m.streams, st.id)
+	m.mu.Unlock()
+	st.send.close(fmt.Errorf("transport: mux stream %d finished", st.id))
+	if st.cancel != nil {
+		st.cancel()
+	}
+}
+
+// teardown fails every in-flight stream and waits for their handlers.
+func (m *muxServerConn) teardown() {
+	m.ctl.close()
+	m.mu.Lock()
+	streams := make([]*muxServerStream, 0, len(m.streams))
+	for _, st := range m.streams {
+		streams = append(streams, st)
+	}
+	m.streams = make(map[uint32]*muxServerStream)
+	m.mu.Unlock()
+	for _, st := range streams {
+		st.send.close(fmt.Errorf("transport: mux connection closed"))
+		if st.cancel != nil {
+			st.cancel()
+		}
+	}
+	m.wg.Wait()
+}
+
+// serveStream executes one reassembled request and streams its
+// response back as credit-gated RESP chunks. It runs as its own
+// goroutine: a 16 MB GET, a scrub, and a PING proceed concurrently on
+// one connection, each blocking only on its own stream's window.
+func (m *muxServerConn) serveStream(ctx context.Context, st *muxServerStream, req request) {
+	defer m.wg.Done()
+	defer m.finishStream(st)
+	m.s.m.muxInflight.Add(1)
+	defer m.s.m.muxInflight.Add(-1)
+	var status byte
+	var chunks [][]byte
+	switch req.op {
+	case opPutBatch, opGetBatch, opDeleteBatch, opCaps:
+		start := time.Now()
+		m.s.m.ops[req.op].Inc()
+		scratch := getScratch()
+		defer putScratch(scratch)
+		status, chunks = m.s.dispatchBatch(ctx, req, scratch)
+		m.s.m.opSeconds[req.op].Observe(time.Since(start).Seconds())
+		if status != statusOK {
+			m.s.m.errors.Inc()
+		}
+	case opMuxUpgrade:
+		status, chunks = statusErr, [][]byte{[]byte("transport: connection already multiplexed")}
+	default:
+		st2, payload := m.s.dispatch(ctx, req)
+		status = st2
+		if len(payload) > 0 {
+			chunks = [][]byte{payload}
+		}
+	}
+	m.writeResponse(st, status, chunks)
+}
+
+// writeResponse streams one response as chunked RESP frames, taking
+// per-stream credit before each chunk so a slow or abandoned reader
+// stalls only this stream. The status rides on every frame (first
+// wins client-side), so even an empty response carries it.
+func (m *muxServerConn) writeResponse(st *muxServerStream, status byte, chunks [][]byte) {
+	total := 0
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	stalled := func() { m.s.m.muxStalls.Inc() }
+	written := 0
+	for _, ch := range chunks {
+		for len(ch) > 0 {
+			n, err := st.send.take(len(ch), stalled)
+			if err != nil {
+				return // stream reset or connection down
+			}
+			fin := byte(0)
+			if written+n == total {
+				fin = muxFlagFIN
+			}
+			if err := writeMuxFrame(m.w, muxKindResp, st.id, []byte{fin, status}, ch[:n]); err != nil {
+				return
+			}
+			written += n
+			ch = ch[n:]
+		}
+	}
+	if total == 0 {
+		writeMuxFrame(m.w, muxKindResp, st.id, []byte{muxFlagFIN, status}, nil)
+	}
+}

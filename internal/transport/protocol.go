@@ -50,6 +50,7 @@ const (
 	opGetBatch    = byte(8)
 	opDeleteBatch = byte(9)
 	opCaps        = byte(10) // capability probe: which batch ops the server speaks
+	opMuxUpgrade  = byte(11) // upgrade this connection to the multiplexed v2 framing
 )
 
 // Capability bits returned by CAPS.
@@ -57,6 +58,7 @@ const (
 	capPutBatch    = uint32(1 << 0)
 	capGetBatch    = uint32(1 << 1)
 	capDeleteBatch = uint32(1 << 2)
+	capMux         = uint32(1 << 3) // server accepts opMuxUpgrade (transport v2)
 )
 
 // Response status codes.

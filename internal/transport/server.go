@@ -37,6 +37,11 @@ type serverMetrics struct {
 	batchBlocks *obs.Counter
 	ops         map[byte]*obs.Counter
 	opSeconds   map[byte]*obs.Histogram
+
+	muxStreams  *obs.Counter
+	muxResets   *obs.Counter
+	muxStalls   *obs.Counter
+	muxInflight *obs.Gauge
 }
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
@@ -45,6 +50,13 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		errors:      r.Counter("transport_server_errors_total"),
 		busy:        r.Counter("transport_server_busy_total"),
 		batchBlocks: r.Counter("transport_server_batch_blocks_total"),
+		// Mux depth/stall accounting: streams dispatched, streams the
+		// server had to reset, response writers blocked on client
+		// flow-control credit, and current concurrent streams.
+		muxStreams:  r.Counter("transport_server_mux_streams_total"),
+		muxResets:   r.Counter("transport_server_mux_resets_total"),
+		muxStalls:   r.Counter("transport_server_mux_flow_stalls_total"),
+		muxInflight: r.Gauge("transport_server_mux_inflight"),
 	}
 	if r != nil {
 		// Metric names are spelled out as literals (not assembled at
@@ -65,6 +77,7 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		reg(opGetBatch, r.Counter("transport_server_get_batch_total"), r.Histogram("transport_server_get_batch_seconds"))
 		reg(opDeleteBatch, r.Counter("transport_server_delete_batch_total"), r.Histogram("transport_server_delete_batch_seconds"))
 		reg(opCaps, r.Counter("transport_server_caps_total"), r.Histogram("transport_server_caps_seconds"))
+		reg(opMuxUpgrade, r.Counter("transport_server_mux_upgrade_total"), r.Histogram("transport_server_mux_upgrade_seconds"))
 	}
 	return m
 }
@@ -203,6 +216,12 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		switch req.op {
+		case opMuxUpgrade:
+			s.m.ops[req.op].Inc()
+			served, err := s.upgradeMux(ctx, conn, req)
+			if served || err != nil {
+				return // the mux loop consumed the connection
+			}
 		case opPutBatch, opGetBatch, opDeleteBatch, opCaps:
 			if err := s.handleBatch(ctx, conn, req); err != nil {
 				return
@@ -256,7 +275,7 @@ func batchStatus(err error) (byte, []byte) {
 // already referencing it); entry bytes are referenced in place.
 func (s *Server) dispatchBatch(ctx context.Context, req request, scratch *[]byte) (byte, [][]byte) {
 	if req.op == opCaps {
-		return statusOK, [][]byte{encodeCaps(capPutBatch | capGetBatch | capDeleteBatch)}
+		return statusOK, [][]byte{encodeCaps(capPutBatch | capGetBatch | capDeleteBatch | capMux)}
 	}
 	// Admission control guards the batch data paths exactly like the
 	// single-block ones: one admit per request, sized by its payload.

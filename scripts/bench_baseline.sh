@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench_baseline.sh — regenerate the repo's benchmark baseline.
 #
-# Usage: ./scripts/bench_baseline.sh [output.json]   (default BENCH_5.json)
+# Usage: ./scripts/bench_baseline.sh [output.json]   (default BENCH_7.json)
 #
 # Runs the headline reproduction benchmarks once (-benchtime 1x) and
 # writes their b.ReportMetric values as a JSON baseline: LT decode
@@ -16,12 +16,13 @@
 # allocations per op (DESIGN.md §10 budgets them). Absolute
 # values are machine-dependent; the committed baseline records the
 # metric *set* and one reference machine's numbers, and CI's
-# bench-smoke job re-runs this script and checks the metric keys still
-# match.
+# bench-smoke job re-runs this script and diffs the result against
+# the committed baseline with cmd/benchdiff (per-metric tolerances,
+# non-zero exit on regression).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_7.json}"
 bench='BenchmarkFig53DecodeBandwidth|BenchmarkFig66ReadVsDisks|BenchmarkHeadline'
 chaos_bench='BenchmarkChaosStalledRead'
 daemon_bench='BenchmarkDaemonFaultFree'

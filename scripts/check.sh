@@ -24,7 +24,10 @@
 #      control plane (kill -> evict -> repair -> rejoin)
 #   8. bench smoke: every benchmark once (client overhead + headline
 #      reproduction metrics; see scripts/bench_baseline.sh for the
-#      committed BENCH_5.json baseline)
+#      committed BENCH_7.json baseline)
+#   9. benchdiff: regenerate the baseline into /tmp and diff it
+#      against the committed BENCH_7.json with cmd/benchdiff
+#      (per-metric tolerances, non-zero exit on regression)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -76,5 +79,11 @@ echo "==> bench smoke (client overhead + headline metrics, 1 iteration)"
 go test -bench . -benchtime 1x -run '^$' ./internal/robust/
 go test -bench 'BenchmarkFig53DecodeBandwidth|BenchmarkFig66ReadVsDisks|BenchmarkHeadline' \
     -benchtime 1x -run '^$' .
+
+echo "==> benchdiff against committed BENCH_7.json"
+./scripts/bench_baseline.sh /tmp/BENCH_7.fresh.json >/dev/null
+# Local machines vary from the committed baseline's reference machine,
+# so tolerances are scaled up; metric-set drift is still exact.
+go run ./cmd/benchdiff -baseline BENCH_7.json -fresh /tmp/BENCH_7.fresh.json -scale 4
 
 echo "==> all checks passed"
