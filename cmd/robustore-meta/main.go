@@ -1,11 +1,32 @@
-// Command robustore-meta runs the RobuSTore metadata server over TCP,
-// optionally persisting its state to a JSON snapshot on shutdown and
-// restoring it on start — the Ch. 4 framework's central metadata
-// service as a standalone daemon.
+// Command robustore-meta runs the RobuSTore metadata server over TCP
+// — the Ch. 4 framework's central metadata service as a standalone
+// daemon.
 //
-// Usage:
+// Single-node mode (the original behavior, default) keeps state in
+// memory, optionally persisting a JSON snapshot on shutdown and
+// restoring it on start:
 //
 //	robustore-meta -listen :7090 -snapshot /var/lib/robustore/meta.json
+//
+// Replicated mode runs the node as one member of a consensus group:
+// every write is acknowledged only after a majority of replicas have
+// durably logged it, any member serves linearizable reads, and
+// followers proxy writes to the leader so clients may talk to any
+// node. Each member is started with the same -peers list and its own
+// -node-id and -data-dir:
+//
+//	robustore-meta -node-id 1 -data-dir /var/lib/robustore/meta1 \
+//	  -peers '1=127.0.0.1:7191/127.0.0.1:7091,2=127.0.0.1:7192/127.0.0.1:7092,3=127.0.0.1:7193/127.0.0.1:7093'
+//
+// Each -peers entry is id=raftAddr/clientAddr: the raft address
+// carries consensus traffic between members, the client address
+// serves the metadata wire protocol (what robustore -meta-server
+// dials). In replicated mode the listen addresses come from this
+// node's own peers entry, and durable state (log, snapshot, term)
+// lives under -data-dir; -listen and -snapshot are ignored.
+//
+// -metrics-listen exposes the meta_* consensus series over HTTP in
+// either mode.
 package main
 
 import (
@@ -14,30 +35,65 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"repro/internal/metadata"
+	"repro/internal/metadata/replica"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":7090", "address to listen on")
-		snapshot = flag.String("snapshot", "", "snapshot path (loaded at start, saved on shutdown)")
+		listen        = flag.String("listen", ":7090", "address to listen on (single-node mode)")
+		snapshot      = flag.String("snapshot", "", "snapshot path (single-node mode: loaded at start, saved on shutdown)")
+		nodeID        = flag.Int("node-id", 0, "this member's id in -peers (enables replicated mode)")
+		peersFlag     = flag.String("peers", "", "replicated mode group: comma-separated id=raftAddr/clientAddr")
+		dataDir       = flag.String("data-dir", "", "replicated mode durable state directory (log, snapshot, term)")
+		metricsListen = flag.String("metrics-listen", "", "serve /metrics on this HTTP address (\":port\" binds loopback; empty disables)")
+		verbose       = flag.Bool("v", false, "log consensus role changes and replication detail")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "robustore-meta: ", log.LstdFlags)
 
+	reg := obs.NewRegistry()
+	if *metricsListen != "" {
+		addr := *metricsListen
+		if strings.HasPrefix(addr, ":") {
+			addr = "127.0.0.1" + addr
+		}
+		mln, err := net.Listen("tcp", addr)
+		if err != nil {
+			logger.Fatalf("metrics listener: %v", err)
+		}
+		defer mln.Close()
+		go http.Serve(mln, obs.Handler(reg))
+		fmt.Printf("robustore-meta serving metrics on http://%s/metrics\n", mln.Addr())
+	}
+
+	if *peersFlag != "" || *nodeID != 0 {
+		runReplicated(logger, reg, *nodeID, *peersFlag, *dataDir, *verbose)
+		return
+	}
+	runSingle(logger, *listen, *snapshot)
+}
+
+// runSingle is the original standalone server: in-memory service,
+// JSON snapshot on shutdown.
+func runSingle(logger *log.Logger, listen, snapshot string) {
 	svc := metadata.NewService()
-	if *snapshot != "" {
-		if err := svc.LoadFile(*snapshot); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if snapshot != "" {
+		if err := svc.LoadFile(snapshot); err != nil && !errors.Is(err, os.ErrNotExist) {
 			logger.Fatalf("loading snapshot: %v", err)
 		}
 	}
 
 	srv := metadata.NewNetworkServer(svc)
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -48,8 +104,8 @@ func main() {
 	go func() {
 		<-sig
 		logger.Print("shutting down")
-		if *snapshot != "" {
-			if err := svc.SaveFile(*snapshot); err != nil {
+		if snapshot != "" {
+			if err := svc.SaveFile(snapshot); err != nil {
 				logger.Printf("saving snapshot: %v", err)
 			}
 		}
@@ -58,4 +114,95 @@ func main() {
 	if err := srv.Serve(ln); err != nil {
 		logger.Fatal(err)
 	}
+}
+
+// runReplicated runs one member of a replicated metadata group.
+func runReplicated(logger *log.Logger, reg *obs.Registry, nodeID int, peersFlag, dataDir string, verbose bool) {
+	if nodeID == 0 || peersFlag == "" || dataDir == "" {
+		logger.Fatal("replicated mode needs -node-id, -peers, and -data-dir")
+	}
+	peers, err := parsePeers(peersFlag)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	cfg := replica.Config{
+		ID:    nodeID,
+		Peers: peers,
+		Dir:   dataDir,
+		Obs:   reg,
+	}
+	if verbose {
+		cfg.Logf = logger.Printf
+	}
+	node, err := replica.Open(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	var self replica.Peer
+	for _, p := range peers {
+		if p.ID == nodeID {
+			self = p
+		}
+	}
+
+	raftLn, err := net.Listen("tcp", self.RaftAddr)
+	if err != nil {
+		logger.Fatalf("raft listener: %v", err)
+	}
+	if err := node.Serve(raftLn); err != nil {
+		logger.Fatal(err)
+	}
+
+	srv := metadata.NewNetworkServerFor(node)
+	clientLn, err := net.Listen("tcp", self.ClientAddr)
+	if err != nil {
+		logger.Fatalf("client listener: %v", err)
+	}
+	fmt.Printf("robustore-meta node %d: raft on %s, clients on %s (%d-member group)\n",
+		nodeID, raftLn.Addr(), clientLn.Addr(), len(peers))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		st := node.Status()
+		logger.Printf("shutting down (term %d, commit %d, applied %d)", st.Term, st.CommitIndex, st.Applied)
+		srv.Close()
+		node.Close()
+	}()
+	if err := srv.Serve(clientLn); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// parsePeers parses "id=raftAddr/clientAddr,..." group membership.
+func parsePeers(s string) ([]replica.Peer, error) {
+	var peers []replica.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		idStr, addrs, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer %q: want id=raftAddr/clientAddr", part)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(idStr))
+		if err != nil {
+			return nil, fmt.Errorf("peer %q: bad id: %w", part, err)
+		}
+		raftAddr, clientAddr, ok := strings.Cut(addrs, "/")
+		if !ok {
+			return nil, fmt.Errorf("peer %q: want id=raftAddr/clientAddr", part)
+		}
+		peers = append(peers, replica.Peer{
+			ID:         id,
+			RaftAddr:   strings.TrimSpace(raftAddr),
+			ClientAddr: strings.TrimSpace(clientAddr),
+		})
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("empty -peers list")
+	}
+	return peers, nil
 }

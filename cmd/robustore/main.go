@@ -22,7 +22,10 @@
 // the -repair-rate bandwidth budget. -metrics-listen exposes the
 // health_*, scrub_*, and repair_queue_* series over HTTP.
 //
-// Flags -meta (snapshot path), -redundancy, -block tune behaviour;
+// Flags -meta (snapshot path), -meta-server (one address or a
+// comma-separated replicated group; the client fails over between
+// endpoints and follows leader redirects), -redundancy, -block tune
+// behaviour;
 // -scrub-interval, -probe-interval, -repair-rate, -metrics-listen
 // tune the daemon.
 package main
@@ -52,7 +55,7 @@ func main() {
 	var (
 		servers       = flag.String("servers", "", "comma-separated block server addresses")
 		metaPath      = flag.String("meta", "robustore-meta.json", "local metadata snapshot path")
-		metaServer    = flag.String("meta-server", "", "networked metadata server address (overrides -meta)")
+		metaServer    = flag.String("meta-server", "", "networked metadata server address(es), comma-separated for a replicated group (overrides -meta)")
 		redundancy    = flag.Float64("redundancy", 3, "data redundancy D (stored = (1+D) x data)")
 		blockKB       = flag.Int64("block", 1024, "coded block size in KB")
 		timeout       = flag.Duration("timeout", 5*time.Minute, "operation timeout")
@@ -67,10 +70,34 @@ func main() {
 		usage()
 	}
 
+	// Daemon mode wires the full self-healing loop: a registry for the
+	// health_*/scrub_* series and a failure detector the client both
+	// feeds (request outcomes) and consults (placement exclusion).
+	var reg *obs.Registry
+	var tracker *health.Tracker
+	if args[0] == "daemon" {
+		reg = obs.NewRegistry()
+		tracker = health.NewTracker(health.Options{Obs: reg})
+	}
+
 	var meta metadata.API
 	var localMeta *metadata.Service
 	if *metaServer != "" {
-		remote, err := metadata.DialRemote(*metaServer)
+		// -meta-server accepts one address or a comma-separated
+		// replicated group; the client fails over between endpoints and
+		// follows leader redirects. Endpoint outcomes feed the daemon's
+		// failure detector alongside block-server traffic.
+		var endpoints []string
+		for _, a := range strings.Split(*metaServer, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				endpoints = append(endpoints, a)
+			}
+		}
+		ropts := metadata.RemoteOptions{Obs: reg}
+		if tracker != nil {
+			ropts.Health = tracker
+		}
+		remote, err := metadata.DialRemoteMulti(endpoints, ropts)
 		if err != nil {
 			fatal(err)
 		}
@@ -91,19 +118,12 @@ func main() {
 			fatal(err)
 		}
 	}
-	// Daemon mode wires the full self-healing loop: a registry for the
-	// health_*/scrub_* series and a failure detector the client both
-	// feeds (request outcomes) and consults (placement exclusion).
-	var reg *obs.Registry
-	var tracker *health.Tracker
 	copts := robust.Options{
 		Redundancy: *redundancy,
 		BlockBytes: *blockKB << 10,
+		Obs:        reg,
 	}
-	if args[0] == "daemon" {
-		reg = obs.NewRegistry()
-		tracker = health.NewTracker(health.Options{Obs: reg})
-		copts.Obs = reg
+	if tracker != nil {
 		copts.Health = tracker
 	}
 	client, err := robust.NewClient(meta, copts)

@@ -86,7 +86,30 @@ var (
 	ErrSegmentExists   = errors.New("metadata: segment already exists")
 	ErrSegmentNotFound = errors.New("metadata: segment not found")
 	ErrServerNotFound  = errors.New("metadata: server not found")
+	// ErrNotLeader is returned by a replicated metadata node asked to
+	// perform an operation only the group leader may serve. Wrap it in
+	// a NotLeaderError to attach the leader's client address.
+	ErrNotLeader = errors.New("metadata: not the leader")
 )
+
+// NotLeaderError reports that the contacted replica is not the group
+// leader. Leader, when known, is the leader's *client* address — the
+// hint a failover client retargets to and the address the serving
+// side proxies writes to.
+type NotLeaderError struct {
+	Leader string
+}
+
+// Error implements error.
+func (e *NotLeaderError) Error() string {
+	if e.Leader == "" {
+		return "metadata: not the leader (leader unknown)"
+	}
+	return "metadata: not the leader (leader at " + e.Leader + ")"
+}
+
+// Is reports ErrNotLeader identity for errors.Is.
+func (e *NotLeaderError) Is(target error) bool { return errors.Is(ErrNotLeader, target) }
 
 // Service is the in-process metadata server. Safe for concurrent use.
 type Service struct {

@@ -2,9 +2,12 @@ package metadata
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"syscall"
 )
 
 // snapshot is the serialized form of a Service.
@@ -63,14 +66,31 @@ func (s *Service) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile atomically writes the snapshot to path.
+// SaveFile atomically and durably writes the snapshot to path: temp
+// file, fsync, rename, then fsync of the parent directory — the same
+// discipline as FileStore.Put. Without the file sync a crash after
+// rename can surface a complete-looking snapshot full of zeroes;
+// without the directory sync the rename itself can vanish.
 func (s *Service) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	return SaveFileAtomic(path, s.Save)
+}
+
+// SaveFileAtomic writes via a temp file in path's directory, fsyncs
+// the file, renames it over path, and fsyncs the directory. The
+// replica package reuses it for hard-state and snapshot writes.
+func SaveFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := s.Save(f); err != nil {
+	tmp := f.Name()
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -79,7 +99,25 @@ func (s *Service) SaveFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a
+// crash. Filesystems that cannot sync directories are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("metadata: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("metadata: %w", err)
+	}
+	return nil
 }
 
 // LoadFile reads a snapshot from path; a missing file leaves the

@@ -9,8 +9,12 @@ import (
 	"io"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
 )
 
 // This file puts the metadata service on the network: a JSON-over-
@@ -34,6 +38,11 @@ type wireRequest struct {
 	Segment *Segment `json:"segment,omitempty"`
 	Server  *Server  `json:"server,omitempty"`
 	Token   string   `json:"token,omitempty"`
+	// Forwarded marks a request a follower already proxied once; the
+	// receiving server must answer it itself (possibly with a
+	// not-leader redirect) rather than proxy again, so a leadership
+	// flap can never bounce one request around the group forever.
+	Forwarded bool `json:"fwd,omitempty"`
 }
 
 type wireResponse struct {
@@ -44,13 +53,17 @@ type wireResponse struct {
 	Names   []string `json:"names,omitempty"`
 	Servers []Server `json:"servers,omitempty"`
 	Token   string   `json:"token,omitempty"`
+	// Leader carries the leader's client address alongside a
+	// not-leader error — the hint failover clients retarget to.
+	Leader string `json:"leader,omitempty"`
 }
 
 // err kinds preserved across the wire.
 const (
-	errKindExists   = "exists"
-	errKindNoSeg    = "no-segment"
-	errKindNoServer = "no-server"
+	errKindExists    = "exists"
+	errKindNoSeg     = "no-segment"
+	errKindNoServer  = "no-server"
+	errKindNotLeader = "not-leader"
 )
 
 func kindOf(err error) string {
@@ -61,12 +74,14 @@ func kindOf(err error) string {
 		return errKindNoSeg
 	case errors.Is(err, ErrServerNotFound):
 		return errKindNoServer
+	case errors.Is(err, ErrNotLeader):
+		return errKindNotLeader
 	default:
 		return ""
 	}
 }
 
-func errOfKind(kind, msg string) error {
+func errOfKind(kind, msg, leader string) error {
 	switch kind {
 	case errKindExists:
 		return ErrSegmentExists
@@ -74,6 +89,8 @@ func errOfKind(kind, msg string) error {
 		return ErrSegmentNotFound
 	case errKindNoServer:
 		return ErrServerNotFound
+	case errKindNotLeader:
+		return &NotLeaderError{Leader: leader}
 	default:
 		return errors.New(msg)
 	}
@@ -112,25 +129,39 @@ func readJSONFrame(r io.Reader, v any) error {
 	return json.Unmarshal(body, v)
 }
 
-// NetworkServer exposes a Service over TCP.
+// NetworkServer exposes a metadata API over TCP — the in-process
+// *Service, or a replica node that redirects and replicates under the
+// hood.
 type NetworkServer struct {
-	svc *Service
+	api API
 
-	mu      sync.Mutex
-	ln      net.Listener
-	conns   map[net.Conn]struct{}
-	locks   map[string]func() // token -> unlock
-	nextTok int64
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	locks    map[string]func() // token -> unlock
+	forwards map[string]*RemoteClient
+	nextTok  int64
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 // NewNetworkServer wraps a service for network serving.
 func NewNetworkServer(svc *Service) *NetworkServer {
+	return NewNetworkServerFor(svc)
+}
+
+// NewNetworkServerFor wraps any metadata API for network serving.
+// When the backend answers a write with a NotLeaderError carrying a
+// leader hint, the server proxies the request to the leader once
+// (marking it Forwarded) and relays the answer — so a client talking
+// to a follower still gets its write through, the baudfs/cubefs
+// metanode proxy pattern.
+func NewNetworkServerFor(api API) *NetworkServer {
 	return &NetworkServer{
-		svc:   svc,
-		conns: make(map[net.Conn]struct{}),
-		locks: make(map[string]func()),
+		api:      api,
+		conns:    make(map[net.Conn]struct{}),
+		locks:    make(map[string]func()),
+		forwards: make(map[string]*RemoteClient),
 	}
 }
 
@@ -179,12 +210,17 @@ func (s *NetworkServer) Close() error {
 	}
 	locks := s.locks
 	s.locks = map[string]func(){}
+	forwards := s.forwards
+	s.forwards = map[string]*RemoteClient{}
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}
 	for _, unlock := range locks {
 		unlock()
+	}
+	for _, fc := range forwards {
+		fc.Close()
 	}
 	s.wg.Wait()
 	return nil
@@ -204,14 +240,68 @@ func (s *NetworkServer) handle(conn net.Conn) {
 			return
 		}
 		resp := s.dispatch(&req)
+		if fresp, ok := s.maybeForward(&req, resp); ok {
+			resp = fresp
+		}
 		if err := writeJSONFrame(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
+// proxyableOps are the write operations a follower forwards to the
+// leader on the client's behalf. Reads are served locally behind a
+// read-index check, and lock ops redirect instead (lock tokens must
+// live on the node the client unlocks through).
+var proxyableOps = map[string]bool{
+	"create": true, "update": true, "delete": true,
+	"register-server": true, "unregister-server": true,
+}
+
+// maybeForward proxies a not-leader-rejected write to the hinted
+// leader, once. The forwarded copy is marked so the receiving server
+// never proxies it again.
+func (s *NetworkServer) maybeForward(req *wireRequest, resp wireResponse) (wireResponse, bool) {
+	if resp.OK || resp.ErrKind != errKindNotLeader || resp.Leader == "" ||
+		req.Forwarded || !proxyableOps[req.Op] {
+		return wireResponse{}, false
+	}
+	fc := s.forwardClient(resp.Leader)
+	if fc == nil {
+		return wireResponse{}, false
+	}
+	fwd := *req
+	fwd.Forwarded = true
+	fresp, err := fc.roundTrip(&fwd)
+	if err != nil {
+		return wireResponse{}, false // fall back to the redirect answer
+	}
+	return fresp, true
+}
+
+// forwardClient returns (creating if needed) the proxy client toward
+// one leader address.
+func (s *NetworkServer) forwardClient(addr string) *RemoteClient {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	fc, ok := s.forwards[addr]
+	if !ok {
+		fc = newRemoteClient([]string{addr}, RemoteOptions{})
+		s.forwards[addr] = fc
+	}
+	return fc
+}
+
 func fail(err error) wireResponse {
-	return wireResponse{Error: err.Error(), ErrKind: kindOf(err)}
+	resp := wireResponse{Error: err.Error(), ErrKind: kindOf(err)}
+	var nle *NotLeaderError
+	if errors.As(err, &nle) {
+		resp.Leader = nle.Leader
+	}
+	return resp
 }
 
 func (s *NetworkServer) dispatch(req *wireRequest) wireResponse {
@@ -222,7 +312,7 @@ func (s *NetworkServer) dispatch(req *wireRequest) wireResponse {
 		if req.Segment == nil {
 			return fail(errors.New("metadata: create without segment"))
 		}
-		if err := s.svc.CreateSegment(*req.Segment); err != nil {
+		if err := s.api.CreateSegment(*req.Segment); err != nil {
 			return fail(err)
 		}
 		return wireResponse{OK: true}
@@ -230,45 +320,45 @@ func (s *NetworkServer) dispatch(req *wireRequest) wireResponse {
 		if req.Segment == nil {
 			return fail(errors.New("metadata: update without segment"))
 		}
-		if err := s.svc.UpdateSegment(*req.Segment); err != nil {
+		if err := s.api.UpdateSegment(*req.Segment); err != nil {
 			return fail(err)
 		}
 		return wireResponse{OK: true}
 	case "lookup":
-		seg, err := s.svc.LookupSegment(req.Name)
+		seg, err := s.api.LookupSegment(req.Name)
 		if err != nil {
 			return fail(err)
 		}
 		return wireResponse{OK: true, Segment: &seg}
 	case "delete":
-		if err := s.svc.DeleteSegment(req.Name); err != nil {
+		if err := s.api.DeleteSegment(req.Name); err != nil {
 			return fail(err)
 		}
 		return wireResponse{OK: true}
 	case "list":
-		return wireResponse{OK: true, Names: s.svc.ListSegments()}
+		return wireResponse{OK: true, Names: s.api.ListSegments()}
 	case "register-server":
 		if req.Server == nil {
 			return fail(errors.New("metadata: register without server"))
 		}
-		if err := s.svc.RegisterServer(*req.Server); err != nil {
+		if err := s.api.RegisterServer(*req.Server); err != nil {
 			return fail(err)
 		}
 		return wireResponse{OK: true}
 	case "unregister-server":
-		if err := s.svc.UnregisterServer(req.Name); err != nil {
+		if err := s.api.UnregisterServer(req.Name); err != nil {
 			return fail(err)
 		}
 		return wireResponse{OK: true}
 	case "servers":
-		return wireResponse{OK: true, Servers: s.svc.Servers()}
+		return wireResponse{OK: true, Servers: s.api.Servers()}
 	case "lock-read", "lock-write":
 		var unlock func()
 		var err error
 		if req.Op == "lock-read" {
-			unlock, err = s.svc.LockRead(context.Background(), req.Name)
+			unlock, err = s.api.LockRead(context.Background(), req.Name)
 		} else {
-			unlock, err = s.svc.LockWrite(context.Background(), req.Name)
+			unlock, err = s.api.LockWrite(context.Background(), req.Name)
 		}
 		if err != nil {
 			return fail(err)
@@ -294,52 +384,174 @@ func (s *NetworkServer) dispatch(req *wireRequest) wireResponse {
 	}
 }
 
-// RemoteClient is a metadata.API backed by a NetworkServer. Safe for
-// concurrent use; each in-flight request uses its own pooled
-// connection.
-type RemoteClient struct {
-	addr        string
-	dialTimeout time.Duration
-
-	mu     sync.Mutex
-	idle   []net.Conn
-	closed bool
+// RemoteOptions configures the failover behavior of a RemoteClient.
+// The zero value gives sensible defaults for every knob.
+type RemoteOptions struct {
+	// DialTimeout bounds each TCP dial (default 5s).
+	DialTimeout time.Duration
+	// MaxRetries caps transport-level retries per call beyond the
+	// first attempt (default 3).
+	MaxRetries int
+	// RetryBaseDelay / RetryMaxDelay shape the full-jitter backoff
+	// between retries (defaults 25ms / 500ms).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// Health, when set, receives per-endpoint transport outcomes so
+	// the failure detector sees metadata-plane traffic too.
+	Health transport.HealthReporter
+	// Obs, when set, receives client retry/failover/redirect counters.
+	Obs *obs.Registry
 }
 
-// DialRemote connects to a metadata network server.
+// RemoteClient is a metadata.API backed by one or more NetworkServers
+// (a replicated group). Safe for concurrent use; each in-flight
+// request uses its own pooled connection. The client prefers one
+// endpoint at a time, follows not-leader leader hints, and rotates to
+// the next endpoint with jittered backoff when the preferred one is
+// unreachable.
+type RemoteClient struct {
+	opts RemoteOptions
+
+	mu         sync.Mutex
+	addrs      []string
+	cur        int    // preferred index into addrs
+	leaderHint string // last redirect target; tried before addrs[cur]
+	poolAddr   string // endpoint the idle conns belong to
+	idle       []net.Conn
+	closed     bool
+
+	retries   *obs.Counter
+	failovers *obs.Counter
+	redirects *obs.Counter
+}
+
+// DialRemote connects to a single metadata network server.
 func DialRemote(addr string) (*RemoteClient, error) {
-	c := &RemoteClient{addr: addr, dialTimeout: 5 * time.Second}
-	resp, err := c.roundTrip(&wireRequest{Op: "ping"})
-	if err != nil {
-		return nil, fmt.Errorf("metadata: dialing %s: %w", addr, err)
+	return DialRemoteMulti([]string{addr}, RemoteOptions{})
+}
+
+// DialRemoteMulti connects to a metadata service reachable at any of
+// several endpoints (a replicated group); the initial ping walks the
+// list until one answers.
+func DialRemoteMulti(addrs []string, opts RemoteOptions) (*RemoteClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("metadata: no endpoints")
 	}
-	if !resp.OK {
-		return nil, fmt.Errorf("metadata: ping failed: %s", resp.Error)
+	c := newRemoteClient(addrs, opts)
+	if _, err := c.call(&wireRequest{Op: "ping"}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("metadata: dialing %s: %w", strings.Join(addrs, ","), err)
 	}
 	return c, nil
 }
 
+func newRemoteClient(addrs []string, opts RemoteOptions) *RemoteClient {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 3
+	}
+	if opts.RetryBaseDelay <= 0 {
+		opts.RetryBaseDelay = 25 * time.Millisecond
+	}
+	if opts.RetryMaxDelay <= 0 {
+		opts.RetryMaxDelay = 500 * time.Millisecond
+	}
+	return &RemoteClient{
+		opts:      opts,
+		addrs:     append([]string(nil), addrs...),
+		retries:   opts.Obs.Counter("meta_client_retries_total"),
+		failovers: opts.Obs.Counter("meta_client_failovers_total"),
+		redirects: opts.Obs.Counter("meta_client_redirects_total"),
+	}
+}
+
 var _ API = (*RemoteClient)(nil)
 
-func (c *RemoteClient) acquire() (net.Conn, error) {
+// target is the endpoint the next attempt goes to: the leader hint if
+// one is known, else the preferred list entry.
+func (c *RemoteClient) target() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.leaderHint != "" {
+		return c.leaderHint
+	}
+	return c.addrs[c.cur]
+}
+
+// setLeaderHint retargets subsequent attempts at the hinted leader.
+// If the hint is one of the configured endpoints, the preference also
+// moves there so the hint surviving a clear still lands well.
+func (c *RemoteClient) setLeaderHint(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.leaderHint = addr
+	for i, a := range c.addrs {
+		if a == addr {
+			c.cur = i
+			break
+		}
+	}
+}
+
+// noteFailure records a transport failure at addr: the leader hint is
+// dropped if it pointed there, and the preference rotates past it.
+// Reports whether the preferred endpoint actually changed.
+func (c *RemoteClient) noteFailure(addr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.leaderHint == addr {
+		c.leaderHint = ""
+	}
+	if c.addrs[c.cur] == addr && len(c.addrs) > 1 {
+		c.cur = (c.cur + 1) % len(c.addrs)
+		return true
+	}
+	return false
+}
+
+func (c *RemoteClient) reportSuccess(addr string) {
+	if c.opts.Health != nil {
+		c.opts.Health.ReportSuccess(addr)
+	}
+}
+
+func (c *RemoteClient) reportFailure(addr string) {
+	if c.opts.Health != nil {
+		c.opts.Health.ReportFailure(addr)
+	}
+}
+
+func (c *RemoteClient) acquire(addr string) (net.Conn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, errors.New("metadata: remote client closed")
 	}
-	if n := len(c.idle); n > 0 {
+	if c.poolAddr != addr {
+		// Pooled conns belong to a previous endpoint; drop them.
+		idle := c.idle
+		c.idle = nil
+		c.poolAddr = addr
+		c.mu.Unlock()
+		for _, conn := range idle {
+			conn.Close()
+		}
+	} else if n := len(c.idle); n > 0 {
 		conn := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
 		return conn, nil
+	} else {
+		c.mu.Unlock()
 	}
-	c.mu.Unlock()
-	return net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	return net.DialTimeout("tcp", addr, c.opts.DialTimeout)
 }
 
-func (c *RemoteClient) release(conn net.Conn) {
+func (c *RemoteClient) release(addr string, conn net.Conn) {
 	c.mu.Lock()
-	if c.closed || len(c.idle) >= 8 {
+	if c.closed || c.poolAddr != addr || len(c.idle) >= 8 {
 		c.mu.Unlock()
 		conn.Close()
 		return
@@ -348,34 +560,113 @@ func (c *RemoteClient) release(conn net.Conn) {
 	c.mu.Unlock()
 }
 
+// roundTrip performs one attempt against the current target (used by
+// the NetworkServer's one-shot forwarding path, which must not itself
+// retry).
 func (c *RemoteClient) roundTrip(req *wireRequest) (wireResponse, error) {
-	conn, err := c.acquire()
+	resp, _, err := c.roundTripTo(c.target(), req)
+	return resp, err
+}
+
+// roundTripTo performs one attempt against addr. sent reports whether
+// the request could have reached the server: false only for dial
+// failures, so callers know a non-idempotent request is safe to
+// reissue.
+func (c *RemoteClient) roundTripTo(addr string, req *wireRequest) (resp wireResponse, sent bool, err error) {
+	conn, err := c.acquire(addr)
 	if err != nil {
-		return wireResponse{}, err
+		return wireResponse{}, false, err
 	}
 	if err := writeJSONFrame(conn, req); err != nil {
 		conn.Close()
-		return wireResponse{}, err
+		return wireResponse{}, true, err
 	}
-	var resp wireResponse
 	if err := readJSONFrame(conn, &resp); err != nil {
 		conn.Close()
-		return wireResponse{}, err
+		return wireResponse{}, true, err
 	}
-	c.release(conn)
-	return resp, nil
+	c.release(addr, conn)
+	return resp, true, nil
 }
 
-// call runs one op and maps protocol errors back to API errors.
+// idempotentOps may be reissued even when a transport error leaves it
+// unknown whether the first attempt executed.
+var idempotentOps = map[string]bool{
+	"ping": true, "lookup": true, "list": true, "servers": true,
+	"register-server": true, "unregister-server": true, "delete": true,
+	"unlock": true,
+}
+
+// maxRedirects bounds leader-hint hops per call, so a flapping
+// election cannot bounce one request around the group indefinitely.
+const maxRedirects = 4
+
+// call runs one op through the retry/failover/redirect engine and
+// maps protocol errors back to API errors.
 func (c *RemoteClient) call(req *wireRequest) (wireResponse, error) {
-	resp, err := c.roundTrip(req)
-	if err != nil {
-		return resp, err
+	resp, _, err := c.callAddr(req)
+	return resp, err
+}
+
+// callAddr additionally reports which endpoint answered, for callers
+// with endpoint affinity (lock tokens live on the granting node).
+//
+// Retry rules:
+//   - A not-leader rejection executed nothing, so every op — even a
+//     write — may safely chase the hint (bounded by maxRedirects) or,
+//     hintless mid-election, back off and retry.
+//   - A transport error is retried only when the request never left
+//     this process (dial failure) or the op is idempotent; an
+//     in-flight write whose connection died may have executed, and
+//     only the caller can decide to reissue it.
+func (c *RemoteClient) callAddr(req *wireRequest) (wireResponse, string, error) {
+	redirects, attempt := 0, 0
+	for {
+		addr := c.target()
+		resp, sent, err := c.roundTripTo(addr, req)
+		if err == nil {
+			c.reportSuccess(addr)
+			if resp.OK {
+				return resp, addr, nil
+			}
+			if resp.ErrKind == errKindNotLeader {
+				if resp.Leader != "" && resp.Leader != addr && redirects < maxRedirects {
+					redirects++
+					c.redirects.Inc()
+					c.setLeaderHint(resp.Leader)
+					continue
+				}
+				if resp.Leader == "" && attempt < c.opts.MaxRetries {
+					// Mid-election: rotate and wait for a winner.
+					if c.noteFailure(addr) {
+						c.failovers.Inc()
+					}
+					attempt++
+					c.retries.Inc()
+					if berr := transport.BackoffFullJitter(context.Background(), attempt-1,
+						c.opts.RetryBaseDelay, c.opts.RetryMaxDelay); berr != nil {
+						return wireResponse{}, addr, berr
+					}
+					continue
+				}
+			}
+			return resp, addr, errOfKind(resp.ErrKind, resp.Error, resp.Leader)
+		}
+		c.reportFailure(addr)
+		if c.noteFailure(addr) {
+			c.failovers.Inc()
+		}
+		if (!sent || idempotentOps[req.Op]) && attempt < c.opts.MaxRetries {
+			attempt++
+			c.retries.Inc()
+			if berr := transport.BackoffFullJitter(context.Background(), attempt-1,
+				c.opts.RetryBaseDelay, c.opts.RetryMaxDelay); berr != nil {
+				return wireResponse{}, addr, berr
+			}
+			continue
+		}
+		return wireResponse{}, addr, err
 	}
-	if !resp.OK {
-		return resp, errOfKind(resp.ErrKind, resp.Error)
-	}
-	return resp, nil
 }
 
 // CreateSegment implements API.
@@ -440,33 +731,58 @@ func (c *RemoteClient) Servers() []Server {
 }
 
 // lock acquires a remote lock; the ctx bounds only the wait on our
-// side (the request itself blocks server-side until granted).
+// side (the request itself blocks server-side until granted). The
+// unlock closure is pinned to the endpoint that granted the lock —
+// tokens are server-local state, so failing over an unlock to a
+// different replica would leak the lock instead of releasing it.
 func (c *RemoteClient) lock(ctx context.Context, op, name string) (func(), error) {
 	type result struct {
 		resp wireResponse
+		addr string
 		err  error
 	}
 	ch := make(chan result, 1)
 	go func() {
-		resp, err := c.call(&wireRequest{Op: op, Name: name})
-		ch <- result{resp, err}
+		resp, addr, err := c.callAddr(&wireRequest{Op: op, Name: name})
+		ch <- result{resp, addr, err}
 	}()
 	select {
 	case r := <-ch:
 		if r.err != nil {
 			return nil, r.err
 		}
-		token := r.resp.Token
-		return func() { c.call(&wireRequest{Op: "unlock", Token: token}) }, nil
+		token, addr := r.resp.Token, r.addr
+		return func() { c.unlockAt(addr, token) }, nil
 	case <-ctx.Done():
 		// The server may still grant the lock; release it when it
 		// arrives so it is not leaked.
 		go func() {
 			if r := <-ch; r.err == nil {
-				c.call(&wireRequest{Op: "unlock", Token: r.resp.Token})
+				c.unlockAt(r.addr, r.resp.Token)
 			}
 		}()
 		return nil, ctx.Err()
+	}
+}
+
+// unlockAt releases a lock token at the endpoint that issued it, with
+// a few same-endpoint retries (unlock is idempotent: an unknown token
+// just errors).
+func (c *RemoteClient) unlockAt(addr, token string) {
+	for attempt := 0; ; attempt++ {
+		_, _, err := c.roundTripTo(addr, &wireRequest{Op: "unlock", Token: token})
+		if err == nil {
+			c.reportSuccess(addr)
+			return
+		}
+		c.reportFailure(addr)
+		if attempt >= c.opts.MaxRetries {
+			return
+		}
+		if transport.BackoffFullJitter(context.Background(), attempt,
+			c.opts.RetryBaseDelay, c.opts.RetryMaxDelay) != nil {
+			return
+		}
 	}
 }
 

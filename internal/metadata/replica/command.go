@@ -1,0 +1,84 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/metadata"
+)
+
+// Command is one deterministic state-machine operation: the
+// metadata.Store mutations re-expressed as log payloads. Every node
+// applies the same command sequence to its metadata.Service, so the
+// services converge byte-for-byte (Service ops are deterministic —
+// version bumps derive from stored state, never from clocks).
+//
+// Reads are deliberately absent: lookups are served from the local
+// service after a read-index check, and locks are leader-local
+// runtime state (see Node.LockRead).
+type Command struct {
+	Op      string            `json:"op"` // opNoop, opCreate, opUpdate, opDelete, opRegister, opUnregister
+	Segment *metadata.Segment `json:"segment,omitempty"`
+	Server  *metadata.Server  `json:"server,omitempty"`
+	Name    string            `json:"name,omitempty"`
+}
+
+// Command ops. opNoop is appended by a freshly elected leader so its
+// term commits an entry immediately (the standard guard that lets
+// read-index confirm the commit frontier).
+const (
+	opNoop       = "noop"
+	opCreate     = "create"
+	opUpdate     = "update"
+	opDelete     = "delete"
+	opRegister   = "register"
+	opUnregister = "unregister"
+)
+
+// encodeCommand renders a command for the log.
+func encodeCommand(c Command) ([]byte, error) {
+	body, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("replica: encoding command: %w", err)
+	}
+	if len(body) > maxCommandBytes {
+		return nil, fmt.Errorf("replica: command %d bytes exceeds cap", len(body))
+	}
+	return body, nil
+}
+
+// applyCommand decodes and applies one committed log payload to svc,
+// returning the operation's result error (e.g. ErrSegmentExists),
+// which the proposing node relays to the client. A payload that does
+// not decode is a corrupt log, not an operation failure.
+func applyCommand(svc *metadata.Service, payload []byte) (error, error) {
+	var c Command
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return nil, fmt.Errorf("replica: decoding committed command: %w", err)
+	}
+	switch c.Op {
+	case opNoop:
+		return nil, nil
+	case opCreate:
+		if c.Segment == nil {
+			return nil, fmt.Errorf("replica: %s command without segment", c.Op)
+		}
+		return svc.CreateSegment(*c.Segment), nil
+	case opUpdate:
+		if c.Segment == nil {
+			return nil, fmt.Errorf("replica: %s command without segment", c.Op)
+		}
+		return svc.UpdateSegment(*c.Segment), nil
+	case opDelete:
+		return svc.DeleteSegment(c.Name), nil
+	case opRegister:
+		if c.Server == nil {
+			return nil, fmt.Errorf("replica: %s command without server", c.Op)
+		}
+		return svc.RegisterServer(*c.Server), nil
+	case opUnregister:
+		return svc.UnregisterServer(c.Name), nil
+	default:
+		return nil, fmt.Errorf("replica: unknown command op %q", c.Op)
+	}
+}

@@ -1,0 +1,49 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/metadata"
+)
+
+// hardState is the consensus state that must survive a restart: the
+// highest term seen and who received this node's vote in it. It is
+// persisted (fsync + atomic rename) before any RPC reply that
+// promises either, so a rebooted node can never vote twice in one
+// term or regress its term.
+type hardState struct {
+	Term     uint64 `json:"term"`
+	VotedFor int    `json:"voted_for"`
+}
+
+// saveHardState atomically writes hs to path.
+func saveHardState(path string, hs hardState) error {
+	err := metadata.SaveFileAtomic(path, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(hs)
+	})
+	if err != nil {
+		return fmt.Errorf("replica: saving hard state: %w", err)
+	}
+	return nil
+}
+
+// loadHardState reads path; a missing file is the zero state.
+func loadHardState(path string) (hardState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return hardState{}, nil
+		}
+		return hardState{}, fmt.Errorf("replica: opening hard state: %w", err)
+	}
+	defer f.Close()
+	var hs hardState
+	if err := json.NewDecoder(f).Decode(&hs); err != nil {
+		return hardState{}, fmt.Errorf("replica: decoding hard state: %w", err)
+	}
+	return hs, nil
+}

@@ -1,0 +1,240 @@
+package replica
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Peer RPC: JSON bodies in 4-byte-length-prefixed frames over a
+// persistent TCP connection per peer, one request/response in flight
+// at a time (consensus traffic is sequential per peer by
+// construction). Every call carries a deadline, so a partitioned or
+// wedged peer costs one RPC timeout, never a stuck goroutine.
+
+// rpc kinds.
+const (
+	rpcVote      = "vote"
+	rpcAppend    = "append"
+	rpcSnapshot  = "snapshot"
+	rpcProbe     = "probe"
+	rpcReadIndex = "read-index"
+)
+
+// rpcRequest is the union request for all peer RPCs.
+type rpcRequest struct {
+	Kind string `json:"kind"`
+	From int    `json:"from"`
+	Term uint64 `json:"term"`
+
+	// vote
+	LastLogIndex uint64 `json:"last_log_index,omitempty"`
+	LastLogTerm  uint64 `json:"last_log_term,omitempty"`
+
+	// append
+	PrevLogIndex uint64  `json:"prev_log_index,omitempty"`
+	PrevLogTerm  uint64  `json:"prev_log_term,omitempty"`
+	Entries      []Entry `json:"entries,omitempty"`
+	LeaderCommit uint64  `json:"leader_commit,omitempty"`
+
+	// snapshot
+	SnapIndex uint64 `json:"snap_index,omitempty"`
+	SnapTerm  uint64 `json:"snap_term,omitempty"`
+	SnapState []byte `json:"snap_state,omitempty"`
+}
+
+// rpcResponse is the union response.
+type rpcResponse struct {
+	Term          uint64 `json:"term"`
+	VoteGranted   bool   `json:"vote_granted,omitempty"`
+	Success       bool   `json:"success,omitempty"`
+	MatchIndex    uint64 `json:"match_index,omitempty"`
+	ConflictIndex uint64 `json:"conflict_index,omitempty"`
+	ReadIndex     uint64 `json:"read_index,omitempty"`
+	Error         string `json:"error,omitempty"`
+}
+
+// rpcMaxFrame bounds one peer frame: an append batch or a whole
+// snapshot plus envelope slack.
+const rpcMaxFrame = maxSnapshotBytes + (1 << 20)
+
+func writeRPCFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > rpcMaxFrame {
+		return fmt.Errorf("replica: rpc frame too large (%d bytes)", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readRPCFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > rpcMaxFrame {
+		return fmt.Errorf("replica: inbound rpc frame too large (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// dialFunc dials a peer; tests substitute partition-aware dialers.
+type dialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+func defaultDial(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// peerClient is the calling half toward one peer.
+type peerClient struct {
+	addr    string
+	dial    dialFunc
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+}
+
+var errPeerClosed = errors.New("replica: peer client closed")
+
+func newPeerClient(addr string, dial dialFunc, timeout time.Duration) *peerClient {
+	if dial == nil {
+		dial = defaultDial
+	}
+	return &peerClient{addr: addr, dial: dial, timeout: timeout}
+}
+
+// call performs one RPC round trip under the client's deadline. Any
+// transport error drops the cached connection so the next call
+// redials; the caller's retry cadence (heartbeats, election rounds)
+// provides the spacing.
+func (p *peerClient) call(req *rpcRequest) (*rpcResponse, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, errPeerClosed
+	}
+	if p.conn == nil {
+		ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+		conn, err := p.dial(ctx, p.addr)
+		cancel()
+		if err != nil {
+			return nil, err
+		}
+		p.conn = conn
+	}
+	conn := p.conn
+	if err := conn.SetDeadline(time.Now().Add(p.timeout)); err != nil {
+		p.dropLocked()
+		return nil, err
+	}
+	if err := writeRPCFrame(conn, req); err != nil {
+		p.dropLocked()
+		return nil, err
+	}
+	var resp rpcResponse
+	if err := readRPCFrame(conn, &resp); err != nil {
+		p.dropLocked()
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	return &resp, nil
+}
+
+func (p *peerClient) dropLocked() {
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+}
+
+func (p *peerClient) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.dropLocked()
+	p.mu.Unlock()
+}
+
+// serveRPC runs the accept loop for the node's consensus listener.
+func (n *Node) serveRPC(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stopc:
+			default:
+				n.logf("rpc accept: %v", err)
+			}
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.rpcConns[conn] = struct{}{}
+		n.mu.Unlock()
+		n.spawn(func() { n.serveRPCConn(conn) })
+	}
+}
+
+func (n *Node) serveRPCConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.rpcConns, conn)
+		n.mu.Unlock()
+	}()
+	for {
+		var req rpcRequest
+		if err := readRPCFrame(conn, &req); err != nil {
+			return
+		}
+		resp := n.handleRPC(&req)
+		if err := writeRPCFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handleRPC dispatches one inbound peer request.
+func (n *Node) handleRPC(req *rpcRequest) *rpcResponse {
+	switch req.Kind {
+	case rpcVote:
+		return n.handleVote(req)
+	case rpcAppend:
+		return n.handleAppend(req)
+	case rpcSnapshot:
+		return n.handleSnapshot(req)
+	case rpcProbe:
+		return n.handleProbe(req)
+	case rpcReadIndex:
+		return n.handleReadIndex(req)
+	default:
+		return &rpcResponse{Error: fmt.Sprintf("replica: unknown rpc kind %q", req.Kind)}
+	}
+}

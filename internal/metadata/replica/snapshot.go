@@ -1,0 +1,123 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/metadata"
+)
+
+// Snapshot format: a small binary envelope around the existing
+// metadata.Service JSON snapshot (persist.go), so the state payload
+// stays inspectable and version-gated by the metadata package while
+// the envelope pins the log position it covers and a whole-file
+// checksum:
+//
+//	[magic "RMS1":4][lastIndex:8][lastTerm:8][stateLen:4][state JSON][crc32c:4]
+//
+// The CRC covers everything before it. Files are written with the
+// temp-fsync-rename-fsync-dir discipline, so a torn write never
+// replaces a good snapshot.
+
+// ErrCorruptSnapshot marks a snapshot file whose envelope is invalid.
+var ErrCorruptSnapshot = errors.New("replica: corrupt snapshot")
+
+var snapshotMagic = [4]byte{'R', 'M', 'S', '1'}
+
+// maxSnapshotBytes bounds the embedded state payload (64 MiB — far
+// above any realistic metadata volume, low enough to reject a
+// nonsense length field before allocating).
+const maxSnapshotBytes = 64 << 20
+
+// snapshot is a decoded snapshot envelope.
+type snapshot struct {
+	LastIndex uint64
+	LastTerm  uint64
+	State     []byte // metadata.Service snapshot JSON
+}
+
+// encodeSnapshot renders the envelope.
+func encodeSnapshot(s snapshot) ([]byte, error) {
+	if len(s.State) > maxSnapshotBytes {
+		return nil, fmt.Errorf("replica: snapshot state %d bytes exceeds cap", len(s.State))
+	}
+	buf := make([]byte, 0, 4+8+8+4+len(s.State)+4)
+	buf = append(buf, snapshotMagic[:]...)
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], s.LastIndex)
+	buf = append(buf, n[:]...)
+	binary.BigEndian.PutUint64(n[:], s.LastTerm)
+	buf = append(buf, n[:]...)
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(s.State)))
+	buf = append(buf, l[:]...)
+	buf = append(buf, s.State...)
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], crc32.Checksum(buf, crcTable))
+	return append(buf, tail[:]...), nil
+}
+
+// decodeSnapshot parses and verifies an envelope.
+func decodeSnapshot(raw []byte) (snapshot, error) {
+	const hdrLen = 4 + 8 + 8 + 4
+	if len(raw) < hdrLen+4 {
+		return snapshot{}, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCorruptSnapshot, len(raw))
+	}
+	if !bytes.Equal(raw[:4], snapshotMagic[:]) {
+		return snapshot{}, fmt.Errorf("%w: bad magic %q", ErrCorruptSnapshot, raw[:4])
+	}
+	stateLen := binary.BigEndian.Uint32(raw[20:24])
+	if stateLen > maxSnapshotBytes {
+		return snapshot{}, fmt.Errorf("%w: state length %d exceeds cap", ErrCorruptSnapshot, stateLen)
+	}
+	if uint64(len(raw)) != uint64(hdrLen)+uint64(stateLen)+4 {
+		return snapshot{}, fmt.Errorf("%w: length %d does not match state length %d", ErrCorruptSnapshot, len(raw), stateLen)
+	}
+	body := raw[:len(raw)-4]
+	want := binary.BigEndian.Uint32(raw[len(raw)-4:])
+	if crc32.Checksum(body, crcTable) != want {
+		return snapshot{}, fmt.Errorf("%w: checksum mismatch", ErrCorruptSnapshot)
+	}
+	s := snapshot{
+		LastIndex: binary.BigEndian.Uint64(raw[4:12]),
+		LastTerm:  binary.BigEndian.Uint64(raw[12:20]),
+		State:     append([]byte(nil), raw[hdrLen:hdrLen+int(stateLen)]...),
+	}
+	if (s.LastIndex == 0) != (s.LastTerm == 0) {
+		return snapshot{}, fmt.Errorf("%w: index %d / term %d must be zero together", ErrCorruptSnapshot, s.LastIndex, s.LastTerm)
+	}
+	return s, nil
+}
+
+// saveSnapshot atomically writes the envelope to path.
+func saveSnapshot(path string, s snapshot) error {
+	raw, err := encodeSnapshot(s)
+	if err != nil {
+		return err
+	}
+	err = metadata.SaveFileAtomic(path, func(w io.Writer) error {
+		_, werr := w.Write(raw)
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("replica: saving snapshot: %w", err)
+	}
+	return nil
+}
+
+// loadSnapshot reads path; a missing file returns a zero snapshot.
+func loadSnapshot(path string) (snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return snapshot{}, nil
+		}
+		return snapshot{}, fmt.Errorf("replica: reading snapshot: %w", err)
+	}
+	return decodeSnapshot(raw)
+}

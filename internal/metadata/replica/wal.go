@@ -1,0 +1,111 @@
+package replica
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/metadata"
+)
+
+// wal is the append-only durable half of the consensus log: every
+// entry is fsynced to disk before the node acknowledges it (to a
+// client as leader, to the leader as follower), so a majority of
+// disks always holds every acknowledged record. Truncation (conflict
+// resolution, snapshot compaction) rewrites the file atomically via
+// the metadata temp-fsync-rename helper.
+type wal struct {
+	path string
+	f    *os.File
+}
+
+// openWAL opens (creating if absent) the log file at path and replays
+// its records. A torn tail — a partial or corrupt final record, the
+// signature of a crash mid-append — is truncated away; corruption
+// *before* the tail record is an error, because entries after it
+// were acknowledged and must not be silently dropped.
+func openWAL(path string) (*wal, []Entry, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("replica: opening wal: %w", err)
+	}
+	var entries []Entry
+	var good int64 // offset after the last fully-valid record
+	br := bufio.NewReader(io.NewSectionReader(f, 0, 1<<62))
+	for {
+		e, err := readEntryRecord(br)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			// Torn tail: drop everything at and after the bad record.
+			if terr := f.Truncate(good); terr != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("replica: truncating torn wal tail: %w", terr)
+			}
+			if serr := f.Sync(); serr != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("replica: syncing truncated wal: %w", serr)
+			}
+			break
+		}
+		entries = append(entries, e)
+		good += int64(entryHeaderLen + len(e.Command) + 4)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("replica: seeking wal: %w", err)
+	}
+	return &wal{path: path, f: f}, entries, nil
+}
+
+// append durably appends entries: one buffered write, then fsync.
+func (w *wal) append(entries ...Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, e := range entries {
+		buf = appendEntryRecord(buf, e)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("replica: appending wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("replica: syncing wal: %w", err)
+	}
+	return nil
+}
+
+// rewrite atomically replaces the whole file with the given entries —
+// used when a follower truncates a conflicting suffix and when
+// snapshot compaction drops the applied prefix.
+func (w *wal) rewrite(entries []Entry) error {
+	err := metadata.SaveFileAtomic(w.path, func(out io.Writer) error {
+		var buf []byte
+		for _, e := range entries {
+			buf = appendEntryRecord(buf, e)
+		}
+		_, werr := out.Write(buf)
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("replica: rewriting wal: %w", err)
+	}
+	// The old handle now points at an unlinked inode; reopen the new
+	// file for appends.
+	f, err := os.OpenFile(w.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("replica: reopening wal: %w", err)
+	}
+	w.f.Close()
+	w.f = f
+	return nil
+}
+
+// Close closes the underlying file.
+func (w *wal) Close() error {
+	return w.f.Close()
+}

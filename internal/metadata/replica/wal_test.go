@@ -1,0 +1,170 @@
+package replica
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestWAL(t *testing.T, path string) (*wal, []Entry) {
+	t.Helper()
+	w, entries, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, entries
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, entries := openTestWAL(t, path)
+	if len(entries) != 0 {
+		t.Fatalf("fresh wal replayed %d entries", len(entries))
+	}
+	want := []Entry{testEntry(1, 1, "a"), testEntry(2, 1, "bb"), testEntry(3, 2, "ccc")}
+	if err := w.append(want...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, got := openTestWAL(t, path)
+	defer w2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Index != want[i].Index || !bytes.Equal(got[i].Command, want[i].Command) {
+			t.Fatalf("entry %d: %+v want %+v", i, got[i], want[i])
+		}
+	}
+	// Appending after replay must continue the file, not clobber it.
+	if err := w2.append(testEntry(4, 2, "dddd")); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	w3, got3 := openTestWAL(t, path)
+	defer w3.Close()
+	if len(got3) != 4 || got3[3].Index != 4 {
+		t.Fatalf("after post-replay append: %d entries", len(got3))
+	}
+}
+
+// TestWALTornTail crashes mid-append: the file ends in a partial
+// record, which replay must truncate away — keeping every fully
+// written entry — and subsequent appends must land cleanly where the
+// good prefix ends.
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openTestWAL(t, path)
+	if err := w.append(testEntry(1, 1, "aa"), testEntry(2, 1, "bb"), testEntry(3, 1, "cc")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Tear the final record at several depths.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := int64(entryHeaderLen + 2 + 4)
+	for _, tear := range []int64{1, recLen / 2, recLen - 1} {
+		if err := os.Truncate(path, info.Size()-tear); err != nil {
+			t.Fatal(err)
+		}
+		w2, entries := openTestWAL(t, path)
+		if len(entries) != 2 || entries[1].Index != 2 {
+			t.Fatalf("tear %d: replayed %d entries", tear, len(entries))
+		}
+		// The torn bytes must be gone so a new append forms a valid
+		// record.
+		if err := w2.append(testEntry(3, 2, "replacement")); err != nil {
+			t.Fatal(err)
+		}
+		w2.Close()
+		w3, entries3 := openTestWAL(t, path)
+		if len(entries3) != 3 || string(entries3[2].Command) != "replacement" {
+			t.Fatalf("tear %d: after re-append got %d entries", tear, len(entries3))
+		}
+		w3.Close()
+		// Restore the original three-entry file for the next tear depth.
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+		w4, _ := openTestWAL(t, path)
+		if err := w4.append(testEntry(1, 1, "aa"), testEntry(2, 1, "bb"), testEntry(3, 1, "cc")); err != nil {
+			t.Fatal(err)
+		}
+		w4.Close()
+	}
+}
+
+// TestWALCorruptTailBitFlip flips a bit inside the final record; the
+// replay must keep the clean prefix and drop the corrupt tail.
+func TestWALCorruptTailBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openTestWAL(t, path)
+	if err := w.append(testEntry(1, 1, "aa"), testEntry(2, 1, "bb")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF // corrupt the final record's checksum
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, entries := openTestWAL(t, path)
+	defer w2.Close()
+	if len(entries) != 1 || entries[0].Index != 1 {
+		t.Fatalf("replayed %d entries after tail corruption", len(entries))
+	}
+}
+
+func TestWALRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openTestWAL(t, path)
+	if err := w.append(testEntry(1, 1, "a"), testEntry(2, 1, "b"), testEntry(3, 1, "c")); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate-style rewrite: keep a prefix, replace the tail.
+	kept := []Entry{testEntry(1, 1, "a"), testEntry(2, 2, "B")}
+	if err := w.rewrite(kept); err != nil {
+		t.Fatal(err)
+	}
+	// Appends after a rewrite must go to the new file.
+	if err := w.append(testEntry(3, 2, "C")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, entries := openTestWAL(t, path)
+	defer w2.Close()
+	if len(entries) != 3 || entries[1].Term != 2 || string(entries[2].Command) != "C" {
+		t.Fatalf("after rewrite+append: %+v", entries)
+	}
+}
+
+func TestHardStateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	hs, err := loadHardState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Term != 0 || hs.VotedFor != 0 {
+		t.Fatalf("missing file should read zero state, got %+v", hs)
+	}
+	if err := saveHardState(path, hardState{Term: 9, VotedFor: 2}); err != nil {
+		t.Fatal(err)
+	}
+	hs, err = loadHardState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Term != 9 || hs.VotedFor != 2 {
+		t.Fatalf("round trip = %+v", hs)
+	}
+}

@@ -386,9 +386,18 @@ func retryable(ctx context.Context, err error) bool {
 // honoring ctx: a uniformly random duration in [0, min(retryMax,
 // retryBase·2^attempt)].
 func (c *Client) backoff(ctx context.Context, attempt int) error {
-	ceil := c.retryMax
+	return BackoffFullJitter(ctx, attempt, c.retryBase, c.retryMax)
+}
+
+// BackoffFullJitter sleeps a uniformly random duration in
+// [0, min(max, base·2^attempt)], honoring ctx — the retry spacing the
+// transport client uses between idempotent-op attempts, exported so
+// other client layers (the metadata failover client) retry with the
+// same fleet-safe jitter instead of inventing their own.
+func BackoffFullJitter(ctx context.Context, attempt int, base, maxDelay time.Duration) error {
+	ceil := maxDelay
 	if attempt < 20 { // beyond 2^20 the shift is surely past the cap
-		if d := c.retryBase << attempt; d < ceil {
+		if d := base << attempt; d < ceil {
 			ceil = d
 		}
 	}

@@ -70,10 +70,13 @@ go test -race -count=1 -timeout 10m \
     ./internal/lint/ \
     ./internal/ltcode/ \
     ./internal/metadata/ \
+    ./internal/metadata/replica/ \
     ./internal/obs/
 
 echo "==> chaos suite under -race"
-go test -race -count=1 -timeout 10m -run 'TestChaos' ./internal/robust/
+go test -race -count=1 -timeout 10m -run 'TestChaos' \
+    ./internal/robust/ \
+    ./internal/metadata/replica/
 
 echo "==> bench smoke (client overhead + headline metrics, 1 iteration)"
 go test -bench . -benchtime 1x -run '^$' ./internal/robust/
