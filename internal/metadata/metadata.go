@@ -90,6 +90,11 @@ var (
 	// perform an operation only the group leader may serve. Wrap it in
 	// a NotLeaderError to attach the leader's client address.
 	ErrNotLeader = errors.New("metadata: not the leader")
+	// ErrAmbiguous reports that a write's fate is unknown: it reached
+	// the service, but the link died before the answer came back. The
+	// caller must not blindly re-issue a non-idempotent operation; it
+	// should read back the record to learn what happened.
+	ErrAmbiguous = errors.New("metadata: operation result unknown")
 )
 
 // NotLeaderError reports that the contacted replica is not the group

@@ -64,6 +64,7 @@ const (
 	errKindNoSeg     = "no-segment"
 	errKindNoServer  = "no-server"
 	errKindNotLeader = "not-leader"
+	errKindAmbiguous = "ambiguous"
 )
 
 func kindOf(err error) string {
@@ -76,6 +77,8 @@ func kindOf(err error) string {
 		return errKindNoServer
 	case errors.Is(err, ErrNotLeader):
 		return errKindNotLeader
+	case errors.Is(err, ErrAmbiguous):
+		return errKindAmbiguous
 	default:
 		return ""
 	}
@@ -91,6 +94,8 @@ func errOfKind(kind, msg, leader string) error {
 		return ErrServerNotFound
 	case errKindNotLeader:
 		return &NotLeaderError{Leader: leader}
+	case errKindAmbiguous:
+		return fmt.Errorf("%w: %s", ErrAmbiguous, msg)
 	default:
 		return errors.New(msg)
 	}
@@ -272,9 +277,23 @@ func (s *NetworkServer) maybeForward(req *wireRequest, resp wireResponse) (wireR
 	}
 	fwd := *req
 	fwd.Forwarded = true
-	fresp, err := fc.roundTrip(&fwd)
+	fresp, sent, err := fc.roundTripTo(resp.Leader, &fwd)
 	if err != nil {
-		return wireResponse{}, false // fall back to the redirect answer
+		if !sent || idempotentOps[req.Op] {
+			// The dial failed (the leader never saw the request) or the
+			// op is safe to re-issue, so the original redirect answer is
+			// still accurate: let the client chase the hint itself.
+			return wireResponse{}, false
+		}
+		// The forward died mid-flight: the leader may or may not have
+		// executed the write. A not-leader answer would invite the
+		// client to blindly re-issue it, so report the ambiguity
+		// instead.
+		return wireResponse{
+			Error: fmt.Sprintf("forwarded %s to leader %s failed mid-flight: %v",
+				req.Op, resp.Leader, err),
+			ErrKind: errKindAmbiguous,
+		}, true
 	}
 	return fresp, true
 }
@@ -560,14 +579,6 @@ func (c *RemoteClient) release(addr string, conn net.Conn) {
 	c.mu.Unlock()
 }
 
-// roundTrip performs one attempt against the current target (used by
-// the NetworkServer's one-shot forwarding path, which must not itself
-// retry).
-func (c *RemoteClient) roundTrip(req *wireRequest) (wireResponse, error) {
-	resp, _, err := c.roundTripTo(c.target(), req)
-	return resp, err
-}
-
 // roundTripTo performs one attempt against addr. sent reports whether
 // the request could have reached the server: false only for dial
 // failures, so callers know a non-idempotent request is safe to
@@ -590,11 +601,16 @@ func (c *RemoteClient) roundTripTo(addr string, req *wireRequest) (resp wireResp
 }
 
 // idempotentOps may be reissued even when a transport error leaves it
-// unknown whether the first attempt executed.
+// unknown whether the first attempt executed. Deliberately absent:
+// "delete" and "unregister-server" — re-issuing one after an unknown
+// outcome races a concurrent re-create (the retry would remove the
+// *new* record), and a retry of an already-executed delete reports
+// not-found for an operation that in fact succeeded. Their ambiguous
+// failures surface to the caller. "register-server" stays: it is a
+// pure upsert. "unlock" stays: an unknown token is a no-op error.
 var idempotentOps = map[string]bool{
 	"ping": true, "lookup": true, "list": true, "servers": true,
-	"register-server": true, "unregister-server": true, "delete": true,
-	"unlock": true,
+	"register-server": true, "unlock": true,
 }
 
 // maxRedirects bounds leader-hint hops per call, so a flapping

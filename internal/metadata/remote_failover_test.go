@@ -383,3 +383,62 @@ func TestRemoteClientNonIdempotentNotRetriedMidFlight(t *testing.T) {
 		t.Fatalf("non-idempotent create took %v (looks retried)", elapsed)
 	}
 }
+
+// TestForwardMidFlightAmbiguous: a follower whose proxied write to
+// the leader dies after the request was sent must answer an explicit
+// ambiguous-result error — not the not-leader redirect, which the
+// client would read as "nothing executed" and blindly re-issue.
+func TestForwardMidFlightAmbiguous(t *testing.T) {
+	leaderSvc := NewService()
+	_, leaderAddr := serveAPI(t, leaderSvc)
+	// Every forward through the proxy dies mid-flight.
+	proxyAddr := startFlakyProxy(t, leaderAddr, 1000)
+	follower := &followerStub{Service: NewService(), leaderAddr: proxyAddr}
+	_, followerAddr := serveAPI(t, follower)
+
+	client, err := DialRemoteMulti([]string{followerAddr}, fastRemoteOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	cerr := client.CreateSegment(validSegment("maybe-applied"))
+	if cerr == nil {
+		t.Fatal("create with severed forward succeeded")
+	}
+	if !errors.Is(cerr, ErrAmbiguous) {
+		t.Fatalf("severed forward = %v, want ErrAmbiguous", cerr)
+	}
+	if errors.Is(cerr, ErrNotLeader) {
+		t.Fatalf("severed forward leaked a not-leader redirect: %v", cerr)
+	}
+}
+
+// TestRemoteClientDeleteNotRetriedMidFlight: delete is not in the
+// blind-retry set — a retry after an unknown outcome races a
+// concurrent re-create and misreports an executed delete as
+// not-found — so a severed delete surfaces the transport error.
+func TestRemoteClientDeleteNotRetriedMidFlight(t *testing.T) {
+	svc := NewService()
+	if err := svc.CreateSegment(validSegment("keep")); err != nil {
+		t.Fatal(err)
+	}
+	_, backend := serveAPI(t, svc)
+	proxy := startFlakyProxy(t, backend, 1000) // every exchange dies
+
+	client := newRemoteClient([]string{proxy}, fastRemoteOptions())
+	defer client.Close()
+	start := time.Now()
+	err := client.DeleteSegment("keep")
+	if err == nil {
+		t.Fatal("delete through always-killing proxy succeeded")
+	}
+	if errors.Is(err, ErrSegmentNotFound) {
+		t.Fatalf("unexpected protocol error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("delete took %v (looks retried)", elapsed)
+	}
+	if _, err := svc.LookupSegment("keep"); err != nil {
+		t.Fatalf("segment vanished without reaching the service: %v", err)
+	}
+}

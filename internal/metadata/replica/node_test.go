@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -199,5 +200,105 @@ func TestClusterRestartPreservesState(t *testing.T) {
 		if _, err := n.LookupSegment(fmt.Sprintf("stable-%d", i)); err != nil {
 			t.Fatalf("stable-%d lost across full restart: %v", i, err)
 		}
+	}
+}
+
+// TestStepDownRefusesUndurableTerm: a node that cannot persist a
+// newly seen higher term must reject the RPC at its old term rather
+// than acknowledge at a term that would roll back across a crash
+// (and permit a second vote in it).
+func TestStepDownRefusesUndurableTerm(t *testing.T) {
+	dir := t.TempDir()
+	n, err := Open(Config{ID: 1, Peers: []Peer{{ID: 1}, {ID: 2}}, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// Point hard-state persistence into a missing directory so the
+	// atomic save fails.
+	orig := n.hsPath
+	n.hsPath = filepath.Join(dir, "missing", "state.json")
+
+	req := &rpcRequest{Kind: rpcVote, From: 2, Term: 7}
+	resp := n.handleVote(req)
+	if resp.VoteGranted {
+		t.Fatal("vote granted despite undurable term adoption")
+	}
+	if resp.Error == "" {
+		t.Fatal("no error reported for refused term adoption")
+	}
+	if got := n.termNow(); got != 0 {
+		t.Fatalf("in-memory term = %d after refused adoption, want 0", got)
+	}
+	if hs, err := loadHardState(orig); err != nil || hs.Term != 0 {
+		t.Fatalf("durable hard state = %+v, %v; want zero term", hs, err)
+	}
+
+	// With persistence healed the same request must go through.
+	n.hsPath = orig
+	resp = n.handleVote(req)
+	if !resp.VoteGranted || resp.Term != 7 {
+		t.Fatalf("healed vote = %+v, want grant at term 7", resp)
+	}
+	if hs, err := loadHardState(orig); err != nil || hs.Term != 7 || hs.VotedFor != 2 {
+		t.Fatalf("durable hard state = %+v, %v; want term 7 vote for 2", hs, err)
+	}
+}
+
+// TestConflictRewriteFailureKeepsOldLog: when the conflict-truncation
+// WAL rewrite fails, the in-memory log must keep the old suffix so
+// memory and disk agree — not adopt a suffix the disk never saw.
+func TestConflictRewriteFailureKeepsOldLog(t *testing.T) {
+	dir := t.TempDir()
+	n, err := Open(Config{ID: 1, Peers: []Peer{{ID: 1}, {ID: 2}}, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop, err := encodeCommand(Command{Op: opNoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents := func(term uint64, count int) []Entry {
+		out := make([]Entry, count)
+		for i := range out {
+			out[i] = Entry{Index: uint64(i + 1), Term: term, Command: noop}
+		}
+		return out
+	}
+
+	resp := n.handleAppend(&rpcRequest{Kind: rpcAppend, From: 2, Term: 1, Entries: ents(1, 3)})
+	if !resp.Success {
+		t.Fatalf("initial append = %+v", resp)
+	}
+
+	// Break the WAL rewrite path, then deliver a conflicting suffix.
+	walPath := n.wal.path
+	n.wal.path = filepath.Join(dir, "missing", "wal.log")
+	resp = n.handleAppend(&rpcRequest{Kind: rpcAppend, From: 2, Term: 2, Entries: ents(2, 2)})
+	if resp.Success || resp.Error == "" {
+		t.Fatalf("conflicting append with broken WAL = %+v, want error", resp)
+	}
+	n.mu.Lock()
+	logLen, t1 := len(n.log), n.termAtLocked(1)
+	n.mu.Unlock()
+	if logLen != 3 || t1 != 1 {
+		t.Fatalf("in-memory log mutated on failed rewrite: len=%d termAt(1)=%d", logLen, t1)
+	}
+
+	// Disk must agree with memory: closing and replaying the WAL
+	// yields the original three term-1 entries.
+	n.wal.path = walPath
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, replayed, err := openWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(replayed) != 3 || replayed[0].Term != 1 {
+		t.Fatalf("WAL replay = %d entries (term %d), want 3 of term 1",
+			len(replayed), replayed[0].Term)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"repro/internal/metadata"
 )
 
 // This file is the consensus core: term-based leader election with
@@ -139,12 +141,23 @@ func (n *Node) becomeLeaderLocked() {
 // stepDownLocked reverts to follower, adopting term if newer. A
 // deposed leader fails its outstanding proposals: their entries may
 // yet commit, so the result is reported unknown. Callers hold n.mu.
-func (n *Node) stepDownLocked(term uint64) {
+//
+// It reports whether the term was adopted. When the newer term cannot
+// be made durable the node refuses it — memory reverts to the old
+// term so memory and disk agree, and the caller must reject the RPC
+// rather than acknowledge anything: acking in a term that rolls back
+// across a crash would let this member vote or ack twice. The node
+// still drops to follower, which is always safe.
+func (n *Node) stepDownLocked(term uint64) bool {
+	adopted := true
 	if term > n.term {
+		prevTerm, prevVote := n.term, n.votedFor
 		n.term = term
 		n.votedFor = 0
 		if err := n.persistHardStateLocked(); err != nil {
-			n.logf("step-down persist failed: %v", err)
+			n.term, n.votedFor = prevTerm, prevVote
+			n.logf("step-down persist failed, refusing term %d: %v", term, err)
+			adopted = false
 		}
 	}
 	if n.role == leader {
@@ -153,6 +166,7 @@ func (n *Node) stepDownLocked(term uint64) {
 	n.role = follower
 	n.m.isLeader.Set(0)
 	n.rotateProgressLocked()
+	return adopted
 }
 
 // appendLocalLocked appends one command to the leader's own log,
@@ -313,7 +327,10 @@ func (n *Node) handleVote(req *rpcRequest) *rpcResponse {
 		return resp
 	}
 	if req.Term > n.term {
-		n.stepDownLocked(req.Term)
+		if !n.stepDownLocked(req.Term) {
+			resp.Error = "replica: cannot durably adopt term"
+			return resp
+		}
 		resp.Term = n.term
 	}
 	last := n.lastIndexLocked()
@@ -346,7 +363,10 @@ func (n *Node) handleAppend(req *rpcRequest) *rpcResponse {
 		return resp
 	}
 	if req.Term > n.term || n.role != follower {
-		n.stepDownLocked(req.Term)
+		if !n.stepDownLocked(req.Term) {
+			resp.Error = "replica: cannot durably adopt term"
+			return resp
+		}
 	}
 	resp.Term = n.term
 	n.leaderID = req.From
@@ -389,14 +409,18 @@ func (n *Node) handleAppend(req *rpcRequest) *rpcResponse {
 	if writeFrom >= 0 {
 		first := req.Entries[writeFrom]
 		if first.Index <= last {
-			// Conflict: truncate our suffix, then append. Rewrite is
-			// atomic, so a crash leaves either log.
-			n.log = n.log[:first.Index-n.snapIndex-1]
-			n.log = append(n.log, req.Entries[writeFrom:]...)
-			if err := n.wal.rewrite(n.log); err != nil {
+			// Conflict: truncate our suffix, then append. The rewrite
+			// is atomic and goes to disk first — n.log adopts the
+			// candidate only once it is durable, so a rewrite failure
+			// leaves memory and WAL agreeing on the old log instead of
+			// acking future appends on top of a divergent file.
+			cand := append([]Entry(nil), n.log[:first.Index-n.snapIndex-1]...)
+			cand = append(cand, req.Entries[writeFrom:]...)
+			if err := n.wal.rewrite(cand); err != nil {
 				resp.Error = err.Error()
 				return resp
 			}
+			n.log = cand
 		} else {
 			if err := n.wal.append(req.Entries[writeFrom:]...); err != nil {
 				resp.Error = err.Error()
@@ -432,7 +456,10 @@ func (n *Node) handleSnapshot(req *rpcRequest) *rpcResponse {
 		return resp
 	}
 	if req.Term > n.term || n.role != follower {
-		n.stepDownLocked(req.Term)
+		if !n.stepDownLocked(req.Term) {
+			resp.Error = "replica: cannot durably adopt term"
+			return resp
+		}
 	}
 	resp.Term = n.term
 	n.leaderID = req.From
@@ -443,7 +470,11 @@ func (n *Node) handleSnapshot(req *rpcRequest) *rpcResponse {
 		resp.MatchIndex = n.commitIndex
 		return resp
 	}
-	if err := n.svc.Load(bytes.NewReader(req.SnapState)); err != nil {
+	// Validate the state against a scratch service first, then persist
+	// snapshot + emptied WAL, and only then touch the live state
+	// machine — so a failure at any step leaves memory, disk, and the
+	// applied index agreeing on the pre-install state.
+	if err := metadata.NewService().Load(bytes.NewReader(req.SnapState)); err != nil {
 		resp.Error = fmt.Sprintf("replica: rejecting snapshot state: %v", err)
 		return resp
 	}
@@ -452,11 +483,18 @@ func (n *Node) handleSnapshot(req *rpcRequest) *rpcResponse {
 		resp.Error = err.Error()
 		return resp
 	}
-	n.log = nil
 	if err := n.wal.rewrite(nil); err != nil {
 		resp.Error = err.Error()
 		return resp
 	}
+	if err := n.svc.Load(bytes.NewReader(req.SnapState)); err != nil {
+		// Unreachable after the scratch validation (Load is
+		// all-or-nothing over the same bytes), but refuse the install
+		// rather than desync state from the applied index.
+		resp.Error = fmt.Sprintf("replica: loading snapshot state: %v", err)
+		return resp
+	}
+	n.log = nil
 	n.snapIndex, n.snapTerm, n.snapState = req.SnapIndex, req.SnapTerm, req.SnapState
 	n.commitIndex, n.applied = req.SnapIndex, req.SnapIndex
 	n.sinceSnap = 0
@@ -477,7 +515,10 @@ func (n *Node) handleProbe(req *rpcRequest) *rpcResponse {
 		return resp
 	}
 	if req.Term > n.term || n.role != follower {
-		n.stepDownLocked(req.Term)
+		if !n.stepDownLocked(req.Term) {
+			resp.Error = "replica: cannot durably adopt term"
+			return resp
+		}
 	}
 	resp.Term = n.term
 	n.leaderID = req.From
@@ -513,6 +554,14 @@ func (n *Node) termNow() uint64 {
 
 // applyLoop applies committed entries to the state machine, resolves
 // proposal waiters, and compacts the log behind periodic snapshots.
+//
+// Each apply runs under n.mu and targets exactly index applied+1, so
+// it can never interleave with a concurrent snapshot install
+// (handleSnapshot mutates the service and raises applied under the
+// same lock): after an install, applied == snapIndex and the next
+// iteration re-reads the frontier instead of replaying entries the
+// snapshot already covers. Commands are in-memory map operations, so
+// holding the lock across one apply is cheap.
 func (n *Node) applyLoop() {
 	for {
 		select {
@@ -535,44 +584,34 @@ func (n *Node) applyLoop() {
 				n.mu.Unlock()
 				break
 			}
-			batch := n.entriesFromLocked(n.applied + 1)
-			if len(batch) == 0 {
+			// applied >= snapIndex always holds, so the next entry (if
+			// present) sits at this offset of the in-memory log.
+			off := n.applied - n.snapIndex
+			if off >= uint64(len(n.log)) {
 				n.mu.Unlock()
 				break
 			}
-			n.mu.Unlock()
-			for _, e := range batch {
-				if e.Index > n.commitIndexNow() {
-					break
-				}
-				res, aerr := applyCommand(n.svc, e.Command)
-				if aerr != nil {
-					n.logf("apply %d: %v", e.Index, aerr)
-					res = aerr
-				}
-				n.mu.Lock()
-				n.applied = e.Index
-				n.sinceSnap++
-				n.m.appliedIndex.Set(float64(n.applied))
-				if w, ok := n.waiters[e.Index]; ok {
-					delete(n.waiters, e.Index)
-					if w.term == e.Term {
-						w.ch <- res
-					} else {
-						w.ch <- ErrLeadershipLost
-					}
-				}
-				n.rotateProgressLocked()
-				n.mu.Unlock()
+			e := n.log[off]
+			res, aerr := applyCommand(n.svc, e.Command)
+			if aerr != nil {
+				n.logf("apply %d: %v", e.Index, aerr)
+				res = aerr
 			}
+			n.applied = e.Index
+			n.sinceSnap++
+			n.m.appliedIndex.Set(float64(n.applied))
+			if w, ok := n.waiters[e.Index]; ok {
+				delete(n.waiters, e.Index)
+				if w.term == e.Term {
+					w.ch <- res
+				} else {
+					w.ch <- ErrLeadershipLost
+				}
+			}
+			n.rotateProgressLocked()
+			n.mu.Unlock()
 		}
 	}
-}
-
-func (n *Node) commitIndexNow() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.commitIndex
 }
 
 // snapshotLocked serializes the state machine at the applied index,
