@@ -13,21 +13,35 @@
 //	robustore -servers ...                         scrub [name]
 //	robustore -servers ...                         repair --all
 //	robustore -servers ...                         daemon
+//	robustore -meta-server ...                     drain addr
+//	robustore -meta-server ...                     undrain addr
+//	robustore -meta-server ...                     remove-server addr
+//	robustore -servers ...                         rebalance
+//	robustore                                      servers
 //
 // The daemon command runs the self-healing control plane in the
 // foreground until interrupted: a prober feeds the failure detector
 // (Down servers leave write placement and read fan-out, rejoining on
 // a successful probe) while the scrub daemon walks all segments,
 // deletes scrub-condemned shares, and drains the repair queue under
-// the -repair-rate bandwidth budget. -metrics-listen exposes the
-// health_*, scrub_*, and repair_queue_* series over HTTP.
+// the -repair-rate bandwidth budget; with -rebalance it also migrates
+// shares off draining/over-full servers each pass, under the same
+// budget. -metrics-listen exposes the health_*, scrub_*,
+// repair_queue_*, placement_*, and rebalance_* series over HTTP.
+//
+// Server lifecycle: drain marks a server Draining (excluded from new
+// placements, still readable; the rebalancer migrates its shares
+// off), undrain returns it to Active (a rejoin — the rebalancer
+// converges load back onto it), and remove-server tombstones it.
+// Against a replicated -meta-server group the state change is a
+// consensus-log command, so it survives leader failover.
 //
 // Flags -meta (snapshot path), -meta-server (one address or a
 // comma-separated replicated group; the client fails over between
-// endpoints and follows leader redirects), -redundancy, -block tune
-// behaviour;
-// -scrub-interval, -probe-interval, -repair-rate, -metrics-listen
-// tune the daemon.
+// endpoints and follows leader redirects), -redundancy, -block,
+// -max-zone-share tune behaviour;
+// -scrub-interval, -probe-interval, -repair-rate, -rebalance,
+// -metrics-listen tune the daemon.
 package main
 
 import (
@@ -61,7 +75,9 @@ func main() {
 		timeout       = flag.Duration("timeout", 5*time.Minute, "operation timeout")
 		scrubInterval = flag.Duration("scrub-interval", 30*time.Second, "daemon: pause between scrub passes")
 		probeInterval = flag.Duration("probe-interval", time.Second, "daemon: pause between liveness probe rounds")
-		repairRate    = flag.Int64("repair-rate", 0, "daemon: repair bandwidth budget in bytes/sec (0 = unlimited)")
+		repairRate    = flag.Int64("repair-rate", 0, "daemon: repair+rebalance bandwidth budget in bytes/sec (0 = unlimited)")
+		rebalance     = flag.Bool("rebalance", false, "daemon: migrate shares off draining/over-full servers each pass")
+		maxZoneShare  = flag.Float64("max-zone-share", 0, "cap on the fraction of a segment's shares per zone (0 = uncapped)")
 		metricsListen = flag.String("metrics-listen", "", "daemon: serve /metrics on this HTTP address (\":port\" binds loopback; empty disables)")
 	)
 	flag.Parse()
@@ -119,9 +135,10 @@ func main() {
 		}
 	}
 	copts := robust.Options{
-		Redundancy: *redundancy,
-		BlockBytes: *blockKB << 10,
-		Obs:        reg,
+		Redundancy:   *redundancy,
+		BlockBytes:   *blockKB << 10,
+		MaxZoneShare: *maxZoneShare,
+		Obs:          reg,
 	}
 	if tracker != nil {
 		copts.Health = tracker
@@ -278,6 +295,52 @@ func main() {
 			fmt.Printf("%s: %d/%d shares live, %d corrupt, %d missing (deficit %d) %s\n",
 				name, audit.Live, audit.N, audit.Corrupt, audit.Missing, audit.Deficit(), status)
 		}
+	case "drain", "undrain", "remove-server":
+		if len(args) != 2 {
+			usage()
+		}
+		state := map[string]metadata.ServerState{
+			"drain":         metadata.ServerDraining,
+			"undrain":       metadata.ServerActive,
+			"remove-server": metadata.ServerRemoved,
+		}[args[0]]
+		if err := meta.SetServerState(args[1], state); err != nil {
+			fatal(err)
+		}
+		saveMeta()
+		st, err := client.DrainProgress(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s is now %s; %d shares still placed here\n", args[1], st.State, st.Shares)
+		if st.Shares > 0 && state != metadata.ServerActive {
+			fmt.Println("run `robustore rebalance` (or the daemon with -rebalance) to migrate them off")
+		}
+	case "rebalance":
+		if len(args) != 1 {
+			usage()
+		}
+		d := robust.NewDaemon(client, robust.DaemonOptions{
+			RepairRateBytesPerSec: *repairRate,
+			Rebalance:             true,
+			MaxZoneShare:          *maxZoneShare,
+		})
+		stats, err := d.RebalanceOnce(ctx)
+		saveMeta() // partial progress is still progress
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("planned %d moves over %d segments: %d moved (%d bytes), %d skipped, %d failed, throttled %v\n",
+			stats.Planned, stats.Scanned, stats.Moved, stats.Bytes, stats.Skipped, stats.Failed,
+			stats.Throttled.Round(time.Millisecond))
+	case "servers":
+		if len(args) != 1 {
+			usage()
+		}
+		for _, srv := range meta.Servers() {
+			fmt.Printf("%-24s zone=%-12q state=%-9s %.0f MBps\n",
+				srv.Addr, srv.Zone, srv.State.Normalize(), srv.ExpectedMBps)
+		}
 	case "daemon":
 		if len(args) != 1 {
 			usage()
@@ -286,6 +349,8 @@ func main() {
 			scrubInterval: *scrubInterval,
 			probeInterval: *probeInterval,
 			repairRate:    *repairRate,
+			rebalance:     *rebalance,
+			maxZoneShare:  *maxZoneShare,
 			metricsListen: *metricsListen,
 		})
 	default:
@@ -299,6 +364,8 @@ type daemonConfig struct {
 	scrubInterval time.Duration
 	probeInterval time.Duration
 	repairRate    int64
+	rebalance     bool
+	maxZoneShare  float64
 	metricsListen string
 }
 
@@ -327,6 +394,8 @@ func runDaemon(client *robust.Client, tracker *health.Tracker, reg *obs.Registry
 	daemon := robust.NewDaemon(client, robust.DaemonOptions{
 		ScrubInterval:         cfg.scrubInterval,
 		RepairRateBytesPerSec: cfg.repairRate,
+		Rebalance:             cfg.rebalance,
+		MaxZoneShare:          cfg.maxZoneShare,
 		Obs:                   reg,
 	})
 	daemon.Start()
@@ -368,8 +437,13 @@ commands:
   repair --all          one scrub+repair pass over every segment
   scrub [name]          integrity audit (live/corrupt/missing shares)
   daemon                run the self-healing prober + scrub/repair loop
-flags: -servers -meta -meta-server -redundancy -block -timeout
-       -scrub-interval -probe-interval -repair-rate -metrics-listen (see -h)`)
+  drain <addr>          mark a server Draining (no new placements; still readable)
+  undrain <addr>        return a server to Active (rejoin)
+  remove-server <addr>  tombstone a server (never placed on again)
+  rebalance             one pass migrating shares off draining/over-full servers
+  servers               list registered servers with zone and lifecycle state
+flags: -servers -meta -meta-server -redundancy -block -max-zone-share -timeout
+       -scrub-interval -probe-interval -repair-rate -rebalance -metrics-listen (see -h)`)
 	os.Exit(2)
 }
 

@@ -46,6 +46,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/blockstore"
 	"repro/internal/faultinject"
+	"repro/internal/metadata"
 	"repro/internal/obs"
 	"repro/internal/transport"
 )
@@ -62,6 +63,10 @@ func main() {
 		debugListen   = flag.String("debug-listen", "", "serve /metrics and /debug/trace on this HTTP address (\":port\" binds loopback; empty disables)")
 		faults        = flag.String("faults", "", "inject faults: a faultinject spec ('stall=50ms@0.2,corrupt=0.05') or ';'-separated 'AFTER:SPEC' phases (empty disables)")
 		faultSeed     = flag.Int64("fault-seed", 1, "seed for the deterministic fault stream")
+		metaServer    = flag.String("meta-server", "", "register with this metadata server (or comma-separated replicated group) on startup")
+		advertise     = flag.String("advertise", "", "address to register under (default: the -listen address)")
+		zone          = flag.String("zone", "", "failure domain to register under (placement spreads across zones)")
+		mbps          = flag.Float64("mbps", 0, "expected throughput hint to register (MB/s; 0 = unknown)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "robustored: ", log.LstdFlags)
@@ -162,6 +167,34 @@ func main() {
 	}
 	fmt.Printf("robustored listening on %s\n", ln.Addr())
 	ln = faultinject.WrapListener(ln, connInj) // no-op when -faults is unset
+
+	// Self-registration: announce this server (address, failure domain,
+	// performance hint) to the metadata plane so placement can weight
+	// it. A blank State on re-registration preserves any lifecycle
+	// state already recorded — a restart never silently undrains a
+	// Draining server; that takes an explicit `robustore undrain`.
+	if *metaServer != "" {
+		var endpoints []string
+		for _, a := range strings.Split(*metaServer, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				endpoints = append(endpoints, a)
+			}
+		}
+		remote, err := metadata.DialRemoteMulti(endpoints, metadata.RemoteOptions{})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		addr := *advertise
+		if addr == "" {
+			addr = ln.Addr().String()
+		}
+		err = remote.RegisterServer(metadata.Server{Addr: addr, Zone: *zone, ExpectedMBps: *mbps})
+		remote.Close()
+		if err != nil {
+			logger.Fatalf("registering with metadata server: %v", err)
+		}
+		logger.Printf("registered %s (zone %q) with metadata plane", addr, *zone)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

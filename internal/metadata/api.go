@@ -15,6 +15,7 @@ type API interface {
 
 	RegisterServer(info Server) error
 	UnregisterServer(addr string) error
+	SetServerState(addr string, state ServerState) error
 	Servers() []Server
 
 	LockRead(ctx context.Context, name string) (func(), error)

@@ -1,0 +1,107 @@
+package metadata
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestServerStateNormalizeAndValid(t *testing.T) {
+	if got := ServerState("").Normalize(); got != ServerActive {
+		t.Fatalf(`Normalize("") = %q, want active`, got)
+	}
+	if got := ServerDraining.Normalize(); got != ServerDraining {
+		t.Fatalf("Normalize(draining) = %q", got)
+	}
+	for _, s := range []ServerState{"", ServerActive, ServerDraining, ServerRemoved} {
+		if !s.Valid() {
+			t.Fatalf("state %q should be valid", s)
+		}
+	}
+	if ServerState("bogus").Valid() {
+		t.Fatal(`state "bogus" accepted`)
+	}
+}
+
+func TestSetServerStateLifecycle(t *testing.T) {
+	svc := NewService()
+	if err := svc.SetServerState("missing", ServerDraining); !errors.Is(err, ErrServerNotFound) {
+		t.Fatalf("unknown server = %v, want ErrServerNotFound", err)
+	}
+	if err := svc.RegisterServer(Server{Addr: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SetServerState("s1", "sideways"); err == nil {
+		t.Fatal("invalid state accepted")
+	}
+	// Walk the lifecycle; every step must be visible in the registry.
+	for _, want := range []ServerState{ServerDraining, ServerActive, ServerRemoved, ServerActive} {
+		if err := svc.SetServerState("s1", want); err != nil {
+			t.Fatalf("-> %s: %v", want, err)
+		}
+		if got := svc.Servers()[0].State; got != want {
+			t.Fatalf("state = %q, want %q", got, want)
+		}
+	}
+	// "" normalizes to Active on the way in, not just the way out.
+	if err := svc.SetServerState("s1", ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Servers()[0].State; got != ServerActive {
+		t.Fatalf(`SetServerState(""): state = %q, want active stored`, got)
+	}
+}
+
+func TestRegisterServerPreservesLifecycleState(t *testing.T) {
+	svc := NewService()
+	if err := svc.RegisterServer(Server{Addr: "s1", Zone: "z0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SetServerState("s1", ServerDraining); err != nil {
+		t.Fatal(err)
+	}
+	// A restart re-announces with no State; the drain must survive.
+	if err := svc.RegisterServer(Server{Addr: "s1", Zone: "z1", ExpectedMBps: 40}); err != nil {
+		t.Fatal(err)
+	}
+	got := svc.Servers()[0]
+	if got.State != ServerDraining {
+		t.Fatalf("re-registration undrained the server: %+v", got)
+	}
+	if got.Zone != "z1" || got.ExpectedMBps != 40 {
+		t.Fatalf("re-registration dropped updated fields: %+v", got)
+	}
+	// An explicit state on registration does win.
+	if err := svc.RegisterServer(Server{Addr: "s1", State: ServerActive}); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Servers()[0].State; got != ServerActive {
+		t.Fatalf("explicit state ignored: %q", got)
+	}
+	if err := svc.RegisterServer(Server{Addr: "s2", State: "junk"}); err == nil {
+		t.Fatal("invalid registration state accepted")
+	}
+}
+
+func TestRemoteSetServerState(t *testing.T) {
+	svc, rc := startNetworkService(t)
+	if err := rc.SetServerState("s1", ServerDraining); !errors.Is(err, ErrServerNotFound) {
+		t.Fatalf("remote unknown server = %v, want ErrServerNotFound", err)
+	}
+	if err := rc.RegisterServer(Server{Addr: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.SetServerState("s1", ServerDraining); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Servers()[0].State; got != ServerDraining {
+		t.Fatalf("service state after wire set = %q", got)
+	}
+	// The state travels back over the wire in Servers() too.
+	remote := rc.Servers()
+	if len(remote) != 1 || remote[0].State != ServerDraining {
+		t.Fatalf("remote Servers() = %+v", remote)
+	}
+	if err := rc.SetServerState("s1", "junk"); err == nil {
+		t.Fatal("invalid state crossed the wire unchecked")
+	}
+}

@@ -73,12 +73,52 @@ func (s *Segment) blockCount() int {
 	return n
 }
 
+// ServerState is a storage server's lifecycle state. The zero value
+// (an empty string — every record written before lifecycle states
+// existed) reads as Active.
+type ServerState string
+
+// The lifecycle states. Active servers take new placements. Draining
+// servers are excluded from new placements but their blocks remain
+// readable while the rebalancer migrates them off. Removed servers
+// are tombstones: never placed on, never re-admitted by placement
+// fallback; their record survives so the rebalancer can finish
+// evacuating any blocks still pointing at them.
+const (
+	ServerActive   ServerState = "active"
+	ServerDraining ServerState = "draining"
+	ServerRemoved  ServerState = "removed"
+)
+
+// Normalize maps the legacy empty value to Active.
+func (s ServerState) Normalize() ServerState {
+	if s == "" {
+		return ServerActive
+	}
+	return s
+}
+
+// Valid reports whether the state is one of the lifecycle states.
+func (s ServerState) Valid() bool {
+	switch s.Normalize() {
+	case ServerActive, ServerDraining, ServerRemoved:
+		return true
+	}
+	return false
+}
+
 // Server describes one registered storage server.
 type Server struct {
 	Addr          string
 	CapacityBytes int64
-	ExpectedMBps  float64
-	Zone          string
+	// UsedBytes is the server's self-reported fill (0 = unknown);
+	// placement weights lightly-filled servers higher.
+	UsedBytes    int64
+	ExpectedMBps float64
+	Zone         string
+	// State is the lifecycle state; empty means Active (records from
+	// before lifecycle states existed).
+	State ServerState
 }
 
 // Errors.
@@ -133,14 +173,42 @@ func NewService() *Service {
 	}
 }
 
-// RegisterServer adds or updates a storage server record.
+// RegisterServer adds or updates a storage server record. A
+// re-registration that does not set an explicit lifecycle state keeps
+// the existing one, so a routine re-register (a server announcing
+// itself on restart) cannot silently undrain or resurrect a removed
+// server; rejoin is the explicit SetServerState path.
 func (s *Service) RegisterServer(info Server) error {
 	if info.Addr == "" {
 		return fmt.Errorf("metadata: server with empty address")
 	}
+	if !info.State.Valid() {
+		return fmt.Errorf("metadata: invalid server state %q", info.State)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if old, ok := s.servers[info.Addr]; ok && info.State == "" {
+		info.State = old.State
+	}
 	s.servers[info.Addr] = info
+	return nil
+}
+
+// SetServerState moves a server through its lifecycle:
+// Active ⇄ Draining → Removed (any transition is allowed — undrain
+// and even re-activating a removed record are operator decisions).
+func (s *Service) SetServerState(addr string, state ServerState) error {
+	if !state.Normalize().Valid() {
+		return fmt.Errorf("metadata: invalid server state %q", state)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	srv, ok := s.servers[addr]
+	if !ok {
+		return ErrServerNotFound
+	}
+	srv.State = state.Normalize()
+	s.servers[addr] = srv
 	return nil
 }
 

@@ -37,6 +37,7 @@ type wireRequest struct {
 	Name    string   `json:"name,omitempty"`
 	Segment *Segment `json:"segment,omitempty"`
 	Server  *Server  `json:"server,omitempty"`
+	State   string   `json:"state,omitempty"`
 	Token   string   `json:"token,omitempty"`
 	// Forwarded marks a request a follower already proxied once; the
 	// receiving server must answer it itself (possibly with a
@@ -261,6 +262,7 @@ func (s *NetworkServer) handle(conn net.Conn) {
 var proxyableOps = map[string]bool{
 	"create": true, "update": true, "delete": true,
 	"register-server": true, "unregister-server": true,
+	"set-server-state": true,
 }
 
 // maybeForward proxies a not-leader-rejected write to the hinted
@@ -366,6 +368,11 @@ func (s *NetworkServer) dispatch(req *wireRequest) wireResponse {
 		return wireResponse{OK: true}
 	case "unregister-server":
 		if err := s.api.UnregisterServer(req.Name); err != nil {
+			return fail(err)
+		}
+		return wireResponse{OK: true}
+	case "set-server-state":
+		if err := s.api.SetServerState(req.Name, ServerState(req.State)); err != nil {
 			return fail(err)
 		}
 		return wireResponse{OK: true}
@@ -608,9 +615,11 @@ func (c *RemoteClient) roundTripTo(addr string, req *wireRequest) (resp wireResp
 // not-found for an operation that in fact succeeded. Their ambiguous
 // failures surface to the caller. "register-server" stays: it is a
 // pure upsert. "unlock" stays: an unknown token is a no-op error.
+// "set-server-state" is idempotent for the same reason as
+// "register-server": re-applying the same absolute state is a no-op.
 var idempotentOps = map[string]bool{
 	"ping": true, "lookup": true, "list": true, "servers": true,
-	"register-server": true, "unlock": true,
+	"register-server": true, "set-server-state": true, "unlock": true,
 }
 
 // maxRedirects bounds leader-hint hops per call, so a flapping
@@ -734,6 +743,12 @@ func (c *RemoteClient) RegisterServer(info Server) error {
 // UnregisterServer implements API.
 func (c *RemoteClient) UnregisterServer(addr string) error {
 	_, err := c.call(&wireRequest{Op: "unregister-server", Name: addr})
+	return err
+}
+
+// SetServerState implements API.
+func (c *RemoteClient) SetServerState(addr string, state ServerState) error {
+	_, err := c.call(&wireRequest{Op: "set-server-state", Name: addr, State: string(state)})
 	return err
 }
 

@@ -43,6 +43,12 @@ func (n *Node) UnregisterServer(addr string) error {
 	return n.proposeTimed(Command{Op: opUnregister, Name: addr})
 }
 
+// SetServerState implements metadata.API via the consensus log, so a
+// drain survives leader failover and is consistent across the group.
+func (n *Node) SetServerState(addr string, state metadata.ServerState) error {
+	return n.proposeTimed(Command{Op: opSetState, Name: addr, State: string(state)})
+}
+
 // proposeTimed proposes under the configured commit timeout (the API
 // methods carry no context).
 func (n *Node) proposeTimed(c Command) error {

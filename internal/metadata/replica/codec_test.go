@@ -186,6 +186,7 @@ func TestSnapshotMalformed(t *testing.T) {
 func FuzzReadEntryRecord(f *testing.F) {
 	f.Add(appendEntryRecord(nil, testEntry(1, 1, "hello")))
 	f.Add(appendEntryRecord(nil, testEntry(1<<40, 9, "")))
+	f.Add(appendEntryRecord(nil, testEntry(2, 1, `{"op":"set-state","name":"s1:7070","state":"draining"}`)))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, entryHeaderLen+8))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -17,10 +17,12 @@ import (
 // service after a read-index check, and locks are leader-local
 // runtime state (see Node.LockRead).
 type Command struct {
-	Op      string            `json:"op"` // opNoop, opCreate, opUpdate, opDelete, opRegister, opUnregister
+	Op      string            `json:"op"` // opNoop, opCreate, opUpdate, opDelete, opRegister, opUnregister, opSetState
 	Segment *metadata.Segment `json:"segment,omitempty"`
 	Server  *metadata.Server  `json:"server,omitempty"`
 	Name    string            `json:"name,omitempty"`
+	// State carries the lifecycle state for opSetState.
+	State string `json:"state,omitempty"`
 }
 
 // Command ops. opNoop is appended by a freshly elected leader so its
@@ -33,6 +35,7 @@ const (
 	opDelete     = "delete"
 	opRegister   = "register"
 	opUnregister = "unregister"
+	opSetState   = "set-state"
 )
 
 // encodeCommand renders a command for the log.
@@ -78,6 +81,11 @@ func applyCommand(svc *metadata.Service, payload []byte) (error, error) {
 		return svc.RegisterServer(*c.Server), nil
 	case opUnregister:
 		return svc.UnregisterServer(c.Name), nil
+	case opSetState:
+		// SetServerState is deterministic (a pure record mutation), so
+		// its error surface — ErrServerNotFound, invalid state —
+		// replicates like any other command result.
+		return svc.SetServerState(c.Name, metadata.ServerState(c.State)), nil
 	default:
 		return nil, fmt.Errorf("replica: unknown command op %q", c.Op)
 	}

@@ -1,0 +1,136 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/metadata"
+)
+
+func TestCommandCodecSetState(t *testing.T) {
+	cmd := Command{Op: opSetState, Name: "srv-1:7070", State: string(metadata.ServerDraining)}
+	payload, err := encodeCommand(cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := metadata.NewService()
+	if err := svc.RegisterServer(metadata.Server{Addr: "srv-1:7070"}); err != nil {
+		t.Fatal(err)
+	}
+	opErr, fatalErr := applyCommand(svc, payload)
+	if fatalErr != nil || opErr != nil {
+		t.Fatalf("apply: op=%v fatal=%v", opErr, fatalErr)
+	}
+	if got := svc.Servers()[0].State; got != metadata.ServerDraining {
+		t.Fatalf("state after apply = %q", got)
+	}
+	// The op's error surface replicates as a command result, not a log
+	// fault: an unknown server is the proposer's problem.
+	missing, _ := encodeCommand(Command{Op: opSetState, Name: "ghost", State: string(metadata.ServerRemoved)})
+	opErr, fatalErr = applyCommand(svc, missing)
+	if fatalErr != nil {
+		t.Fatalf("unknown-server apply treated as log fault: %v", fatalErr)
+	}
+	if !errors.Is(opErr, metadata.ErrServerNotFound) {
+		t.Fatalf("opErr = %v, want ErrServerNotFound", opErr)
+	}
+	bad, _ := encodeCommand(Command{Op: opSetState, Name: "srv-1:7070", State: "sideways"})
+	opErr, fatalErr = applyCommand(svc, bad)
+	if fatalErr != nil || opErr == nil {
+		t.Fatalf("invalid state: op=%v fatal=%v, want op error", opErr, fatalErr)
+	}
+}
+
+// TestEntryRecordSetStateTruncation runs the byte-by-byte truncation
+// sweep over a WAL record carrying a real lifecycle command, the same
+// guarantee the generic sweep proves for synthetic payloads: a torn
+// tail is always ErrCorruptEntry, a clean boundary always io.EOF.
+func TestEntryRecordSetStateTruncation(t *testing.T) {
+	payload, err := encodeCommand(Command{
+		Op: opSetState, Name: "srv-9:7070", State: string(metadata.ServerDraining),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := appendEntryRecord(nil, Entry{Index: 12, Term: 3, Command: payload})
+	for cut := 0; cut < len(rec); cut++ {
+		_, err := readEntryRecord(bytes.NewReader(rec[:cut]))
+		if cut == 0 {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("cut 0: want io.EOF, got %v", err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrCorruptEntry) {
+			t.Fatalf("cut %d: want ErrCorruptEntry, got %v", cut, err)
+		}
+	}
+	got, err := readEntryRecord(bytes.NewReader(rec))
+	if err != nil || !bytes.Equal(got.Command, payload) {
+		t.Fatalf("full record: %v", err)
+	}
+}
+
+// TestClusterDrainSurvivesFailover proves the lifecycle state is a
+// replicated log command, not leader-local soft state: drain through
+// the leader, kill it, and the new leader (and the failover client)
+// must still report the server Draining.
+func TestClusterDrainSurvivesFailover(t *testing.T) {
+	c := newCluster(t, 3)
+	c.startAll()
+	leader := c.waitLeader()
+
+	client := failoverClient(t, c)
+	if err := client.RegisterServer(metadata.Server{Addr: "data-1:7070", Zone: "z0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetServerState("data-1:7070", metadata.ServerDraining); err != nil {
+		t.Fatal(err)
+	}
+
+	c.stop(leader)
+	next := c.waitLeader()
+	if next == leader {
+		t.Fatalf("stopped leader %d still leads", leader)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		servers := client.Servers()
+		if len(servers) == 1 && servers[0].State == metadata.ServerDraining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain state lost across failover: %+v", servers)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The restarted old leader replays the same log and converges too.
+	c.start(leader)
+	st := c.get(next).node.Status()
+	c.waitApplied(leader, st.Applied)
+	svcServers := c.get(leader).node.Servers()
+	if len(svcServers) != 1 || svcServers[0].State != metadata.ServerDraining {
+		t.Fatalf("restarted node replayed to %+v", svcServers)
+	}
+
+	// And an undrain through the new leader propagates the same way.
+	if err := client.SetServerState("data-1:7070", metadata.ServerActive); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		servers := client.Servers()
+		if len(servers) == 1 && servers[0].State == metadata.ServerActive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("undrain never converged: %+v", servers)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

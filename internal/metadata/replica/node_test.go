@@ -116,7 +116,7 @@ func TestLeaderLocksRedirectOnFollower(t *testing.T) {
 	c.startAll()
 	lead := c.waitLeader()
 
-	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	unlock, err := c.get(lead).node.LockWrite(ctx, "seg")
 	if err != nil {
@@ -128,13 +128,23 @@ func TestLeaderLocksRedirectOnFollower(t *testing.T) {
 		if p.ID == lead {
 			continue
 		}
-		_, err := c.get(p.ID).node.LockWrite(ctx, "seg")
-		if !errors.Is(err, metadata.ErrNotLeader) {
-			t.Fatalf("follower %d lock = %v, want ErrNotLeader", p.ID, err)
-		}
-		var nle *metadata.NotLeaderError
-		if !errors.As(err, &nle) || nle.Leader != c.peer(lead).ClientAddr {
-			t.Fatalf("follower %d hint = %v, want leader client addr", p.ID, err)
+		// The leader hint rides the heartbeat: a follower asked before
+		// the first AppendEntries of the term arrives legitimately
+		// answers "leader unknown", so poll until the hint lands.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			_, err := c.get(p.ID).node.LockWrite(ctx, "seg")
+			if !errors.Is(err, metadata.ErrNotLeader) {
+				t.Fatalf("follower %d lock = %v, want ErrNotLeader", p.ID, err)
+			}
+			var nle *metadata.NotLeaderError
+			if errors.As(err, &nle) && nle.Leader == c.peer(lead).ClientAddr {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("follower %d hint = %v, want leader client addr", p.ID, err)
+			}
+			time.Sleep(5 * time.Millisecond)
 		}
 	}
 }

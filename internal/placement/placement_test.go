@@ -1,0 +1,257 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/metadata"
+)
+
+func cand(addr, zone string, state metadata.ServerState, down bool) Candidate {
+	return Candidate{Addr: addr, Zone: zone, State: state, Down: down}
+}
+
+func TestSelectLadderPrefersActive(t *testing.T) {
+	cands := []Candidate{
+		cand("a", "", metadata.ServerActive, false),
+		cand("b", "", metadata.ServerDraining, false),
+		cand("c", "", metadata.ServerActive, true),
+		cand("d", "", metadata.ServerRemoved, false),
+	}
+	sel, err := Select(cands, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Tier != TierActive || len(sel.Servers) != 1 || sel.Servers[0] != "a" {
+		t.Fatalf("selection = %+v, want only the Active server", sel)
+	}
+}
+
+func TestSelectLadderDegrades(t *testing.T) {
+	// No healthy Active server: Draining is next, then Down servers
+	// re-admitted last, Removed never.
+	cases := []struct {
+		name  string
+		cands []Candidate
+		want  []string
+		tier  Tier
+	}{
+		{
+			name: "draining before down",
+			cands: []Candidate{
+				cand("dr", "", metadata.ServerDraining, false),
+				cand("dn", "", metadata.ServerActive, true),
+				cand("rm", "", metadata.ServerRemoved, false),
+			},
+			want: []string{"dr"}, tier: TierDraining,
+		},
+		{
+			name: "down active re-admitted last",
+			cands: []Candidate{
+				cand("dn", "", metadata.ServerActive, true),
+				cand("rm", "", metadata.ServerRemoved, false),
+			},
+			want: []string{"dn"}, tier: TierDownActive,
+		},
+		{
+			name: "down draining is the last rung",
+			cands: []Candidate{
+				cand("dd", "", metadata.ServerDraining, true),
+				cand("rm", "", metadata.ServerRemoved, true),
+			},
+			want: []string{"dd"}, tier: TierDownDraining,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sel, err := Select(tc.cands, Policy{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sel.Tier != tc.tier {
+				t.Fatalf("tier = %v, want %v", sel.Tier, tc.tier)
+			}
+			if len(sel.Servers) != len(tc.want) || sel.Servers[0] != tc.want[0] {
+				t.Fatalf("servers = %v, want %v", sel.Servers, tc.want)
+			}
+		})
+	}
+}
+
+func TestSelectRemovedNeverAdmitted(t *testing.T) {
+	cands := []Candidate{
+		cand("a", "", metadata.ServerRemoved, false),
+		cand("b", "", metadata.ServerRemoved, true),
+	}
+	if _, err := Select(cands, Policy{}); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+	if _, err := Select(nil, Policy{}); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("empty candidates: err = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestSelectLegacyEmptyStateIsActive(t *testing.T) {
+	// Records written before lifecycle states existed carry "".
+	sel, err := Select([]Candidate{cand("old", "", "", false)}, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Tier != TierActive {
+		t.Fatalf("legacy empty state landed in tier %v", sel.Tier)
+	}
+}
+
+func TestSelectZoneSpreadAndCap(t *testing.T) {
+	var cands []Candidate
+	zones := []string{"z0", "z1", "z2"}
+	for i := 0; i < 9; i++ {
+		cands = append(cands, Candidate{
+			Addr: string(rune('a' + i)), Zone: zones[i%3],
+			State: metadata.ServerActive,
+		})
+	}
+	sel, err := Select(cands, Policy{Servers: 3, SpreadZones: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range sel.Servers {
+		seen[sel.ZoneOf[s]] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("3 servers landed in %d zones: %v", len(seen), sel.Servers)
+	}
+	// MaxZoneShare 0.4 of 6 -> ceil(2.4) = 3 per zone; with the
+	// interleave each zone contributes exactly 2.
+	sel, err = Select(cands, Policy{Servers: 6, SpreadZones: true, MaxZoneShare: 0.4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perZone := map[string]int{}
+	for _, s := range sel.Servers {
+		perZone[sel.ZoneOf[s]]++
+	}
+	for z, n := range perZone {
+		if n > 3 {
+			t.Fatalf("zone %s got %d servers over the cap", z, n)
+		}
+	}
+	if len(sel.Servers) != 6 {
+		t.Fatalf("selected %d servers, want 6", len(sel.Servers))
+	}
+}
+
+func TestSelectZoneCapShortensRatherThanFails(t *testing.T) {
+	// 2 zones, cap 1 server per zone, 4 requested: the selection
+	// shortens to 2 — a smaller valid placement beats an error.
+	cands := []Candidate{
+		cand("a", "z0", metadata.ServerActive, false),
+		cand("b", "z0", metadata.ServerActive, false),
+		cand("c", "z1", metadata.ServerActive, false),
+		cand("d", "z1", metadata.ServerActive, false),
+	}
+	sel, err := Select(cands, Policy{Servers: 4, SpreadZones: true, MaxZoneShare: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Servers) != 2 {
+		t.Fatalf("selected %v, want one server per zone", sel.Servers)
+	}
+	if sel.ZoneOf[sel.Servers[0]] == sel.ZoneOf[sel.Servers[1]] {
+		t.Fatalf("both selections in zone %s", sel.ZoneOf[sel.Servers[0]])
+	}
+}
+
+func TestSelectPreferFast(t *testing.T) {
+	cands := []Candidate{
+		{Addr: "slow", State: metadata.ServerActive, ExpectedMBps: 10},
+		{Addr: "mid", State: metadata.ServerActive, ExpectedMBps: 50},
+		{Addr: "fast", State: metadata.ServerActive, ExpectedMBps: 90},
+	}
+	sel, err := Select(cands, Policy{Servers: 2, PreferFast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Servers[0] != "fast" || sel.Servers[1] != "mid" {
+		t.Fatalf("PreferFast order = %v", sel.Servers)
+	}
+}
+
+func TestSelectDeterministicSeed(t *testing.T) {
+	var cands []Candidate
+	for i := 0; i < 8; i++ {
+		cands = append(cands, Candidate{Addr: string(rune('a' + i)), State: metadata.ServerActive})
+	}
+	a, _ := Select(cands, Policy{Servers: 5, Seed: 42})
+	b, _ := Select(cands, Policy{Servers: 5, Seed: 42})
+	for i := range a.Servers {
+		if a.Servers[i] != b.Servers[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a.Servers, b.Servers)
+		}
+	}
+	// Caller ordering must not matter: the draw canonicalizes first.
+	rev := append([]Candidate(nil), cands...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	c, _ := Select(rev, Policy{Servers: 5, Seed: 42})
+	for i := range a.Servers {
+		if a.Servers[i] != c.Servers[i] {
+			t.Fatalf("input order changed the draw: %v vs %v", a.Servers, c.Servers)
+		}
+	}
+}
+
+func TestSelectWeightsFavorHeadroom(t *testing.T) {
+	// A nearly full server should lead the order far less often than an
+	// empty one across many seeds.
+	cands := []Candidate{
+		{Addr: "full", State: metadata.ServerActive, CapacityBytes: 100, UsedBytes: 99},
+		{Addr: "empty", State: metadata.ServerActive, CapacityBytes: 100, UsedBytes: 0},
+	}
+	fullFirst := 0
+	for seed := int64(0); seed < 200; seed++ {
+		sel, err := Select(cands, Policy{Servers: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Servers[0] == "full" {
+			fullFirst++
+		}
+	}
+	if fullFirst > 40 { // weight ratio is 100:1; even 20% would be wildly off
+		t.Fatalf("nearly-full server led %d/200 draws", fullFirst)
+	}
+}
+
+func TestZoneCapShares(t *testing.T) {
+	cases := []struct {
+		frac  float64
+		total int
+		want  int
+	}{
+		{0, 40, 40},    // disabled
+		{0.25, 40, 10}, // exact
+		{0.3, 40, 12},  // ceil
+		{0.001, 40, 1}, // floor of 1
+		{1.5, 40, 60},  // nonsense fraction still monotone
+	}
+	for _, tc := range cases {
+		if got := ZoneCapShares(tc.frac, tc.total); got != tc.want {
+			t.Fatalf("ZoneCapShares(%v, %d) = %d, want %d", tc.frac, tc.total, got, tc.want)
+		}
+	}
+}
+
+func TestTierString(t *testing.T) {
+	for tier, want := range map[Tier]string{
+		TierActive: "active", TierDraining: "draining",
+		TierDownActive: "down-active", TierDownDraining: "down-draining",
+		Tier(99): "unknown",
+	} {
+		if tier.String() != want {
+			t.Fatalf("Tier(%d).String() = %q, want %q", tier, tier.String(), want)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Rebalance planning: given one segment's current share placement and
+// the cluster's candidates, compute the migrations that bring the
+// placement back into policy. Planning is pure and deterministic —
+// the scrub daemon executes the moves under its token-bucket rate
+// limit, so planning cost is never the throttle.
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/metadata"
+)
+
+// Move is one planned share migration.
+type Move struct {
+	Segment string
+	Index   int // share index within the segment
+	From    string
+	To      string
+	// Reason labels the pass that produced the move: "lifecycle"
+	// (evacuating a Draining/Removed holder), "zone" (shedding a zone
+	// above the share cap), or "balance" (converging per-server counts
+	// after a rejoin).
+	Reason string
+}
+
+// Move reasons.
+const (
+	MoveLifecycle = "lifecycle"
+	MoveZone      = "zone"
+	MoveBalance   = "balance"
+)
+
+// RebalancePolicy bounds a segment rebalance plan.
+type RebalancePolicy struct {
+	// MaxZoneShare re-applies the write path's per-zone share cap
+	// (0 = skip the zone pass).
+	MaxZoneShare float64
+	// BalanceSlack is how many shares above the fair per-server count
+	// a holder may keep before the balance pass sheds the surplus.
+	// Zero means the default of 2: converging the last share or two is
+	// churn, not balance.
+	BalanceSlack int
+}
+
+// PlanSegment computes the moves that bring one segment's placement
+// back into policy. holders maps server address to the share indices
+// it stores. Three passes, in priority order:
+//
+//  1. lifecycle — every share on a Draining or Removed holder moves
+//     to a writable target (this is what lets a drain finish);
+//  2. zone — zones holding more than the MaxZoneShare fraction of the
+//     segment's shares shed the surplus to under-cap zones;
+//  3. balance — holders carrying more than fair-share+slack shed to
+//     the lightest writable targets, which converges placement onto a
+//     rejoined (empty) server.
+//
+// Targets are always writable candidates (Active, not Down) that do
+// not already hold the share being moved; among those the lightest
+// planned load wins, ties broken by address, so plans are
+// deterministic. When no admissible target exists a share simply
+// stays put — the planner degrades by planning less, never by
+// planning onto a draining or down server.
+func PlanSegment(segment string, holders map[string][]int, cands []Candidate, p RebalancePolicy) []Move {
+	s := newPlanState(segment, holders, cands, p)
+	if len(s.targets) == 0 {
+		return nil
+	}
+	s.lifecyclePass()
+	s.zonePass()
+	s.balancePass()
+	return s.moves
+}
+
+// planState tracks the evolving placement while passes plan moves.
+type planState struct {
+	segment string
+	policy  RebalancePolicy
+	byAddr  map[string]Candidate
+	targets []string         // writable target addrs, sorted
+	load    map[string]int   // planned share count per addr
+	held    map[string][]int // planned share indices per addr, sorted
+	total   int
+	moves   []Move
+}
+
+func newPlanState(segment string, holders map[string][]int, cands []Candidate, p RebalancePolicy) *planState {
+	s := &planState{
+		segment: segment,
+		policy:  p,
+		byAddr:  make(map[string]Candidate, len(cands)),
+		load:    map[string]int{},
+		held:    map[string][]int{},
+	}
+	if s.policy.BalanceSlack <= 0 {
+		s.policy.BalanceSlack = 2
+	}
+	for _, c := range cands {
+		s.byAddr[c.Addr] = c
+		if Writable(c) {
+			s.targets = append(s.targets, c.Addr)
+			s.load[c.Addr] = 0 // admissible even when holding nothing
+		}
+	}
+	sort.Strings(s.targets)
+	for addr, idxs := range holders {
+		held := append([]int(nil), idxs...)
+		sort.Ints(held)
+		s.held[addr] = held
+		s.load[addr] = len(held)
+		s.total += len(held)
+	}
+	return s
+}
+
+// holdsIndex reports whether addr already stores share idx (hedged
+// writes can briefly duplicate a share; never co-locate another copy).
+func (s *planState) holdsIndex(addr string, idx int) bool {
+	for _, h := range s.held[addr] {
+		if h == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// pickTarget chooses the destination for one share: the writable
+// candidate with the lowest planned load that doesn't hold the share,
+// optionally restricted by a zone predicate. Ties break by address.
+func (s *planState) pickTarget(idx int, exclude string, zoneOK func(zone string) bool) (string, bool) {
+	best, found := "", false
+	for _, t := range s.targets {
+		if t == exclude || s.holdsIndex(t, idx) {
+			continue
+		}
+		if zoneOK != nil && !zoneOK(s.byAddr[t].Zone) {
+			continue
+		}
+		if !found || s.load[t] < s.load[best] {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// move records one migration and updates the planned placement.
+func (s *planState) move(idx int, from, to, reason string) {
+	s.moves = append(s.moves, Move{Segment: s.segment, Index: idx, From: from, To: to, Reason: reason})
+	held := s.held[from][:0]
+	for _, h := range s.held[from] {
+		if h != idx {
+			held = append(held, h)
+		}
+	}
+	s.held[from] = held
+	s.held[to] = append(s.held[to], idx)
+	s.load[from]--
+	s.load[to]++
+}
+
+// sortedHolders returns the addresses currently holding shares, in
+// deterministic order.
+func (s *planState) sortedHolders() []string {
+	addrs := make([]string, 0, len(s.held))
+	for addr, idxs := range s.held {
+		if len(idxs) > 0 {
+			addrs = append(addrs, addr)
+		}
+	}
+	sort.Strings(addrs)
+	return addrs
+}
+
+// lifecyclePass evacuates every share held by a non-Active server.
+// Down-but-Active holders stay: their shares can't be read for a
+// migration, and regenerating lost shares is the repair daemon's job,
+// not the rebalancer's. Holders missing from the registry entirely
+// read as removed and are evacuated.
+func (s *planState) lifecyclePass() {
+	for _, addr := range s.sortedHolders() {
+		c, known := s.byAddr[addr]
+		if known && c.State.Normalize() == metadata.ServerActive {
+			continue
+		}
+		for _, idx := range append([]int(nil), s.held[addr]...) {
+			if to, ok := s.pickTarget(idx, addr, nil); ok {
+				s.move(idx, addr, to, MoveLifecycle)
+			}
+		}
+	}
+}
+
+// zonePass sheds shares from zones above the MaxZoneShare cap into
+// zones with headroom. Shares leave the most-loaded holder in the
+// over-cap zone first.
+func (s *planState) zonePass() {
+	if s.policy.MaxZoneShare <= 0 || s.total == 0 {
+		return
+	}
+	cap := ZoneCapShares(s.policy.MaxZoneShare, s.total)
+	for {
+		zoneLoad := s.zoneLoads()
+		over, surplus := "", 0
+		for _, z := range sortedKeys(zoneLoad) {
+			if zoneLoad[z] > cap && zoneLoad[z]-cap > surplus {
+				over, surplus = z, zoneLoad[z]-cap
+			}
+		}
+		if over == "" {
+			return
+		}
+		idx, from, ok := s.heaviestShareInZone(over)
+		if !ok {
+			return
+		}
+		to, ok := s.pickTarget(idx, from, func(zone string) bool {
+			return zone != over && zoneLoad[zone] < cap
+		})
+		if !ok {
+			return // no under-cap destination; leave the imbalance to repair-time placement
+		}
+		s.move(idx, from, to, MoveZone)
+	}
+}
+
+// zoneLoads sums planned shares per zone (holders missing from the
+// registry count toward the empty zone, which is also what unzoned
+// clusters use).
+func (s *planState) zoneLoads() map[string]int {
+	loads := map[string]int{}
+	for addr, idxs := range s.held {
+		loads[s.byAddr[addr].Zone] += len(idxs)
+	}
+	return loads
+}
+
+// heaviestShareInZone picks the next share to evict from an over-cap
+// zone: the highest-index share on the most-loaded holder.
+func (s *planState) heaviestShareInZone(zone string) (int, string, bool) {
+	from, found := "", false
+	for _, addr := range s.sortedHolders() {
+		if s.byAddr[addr].Zone != zone {
+			continue
+		}
+		if !found || s.load[addr] > s.load[from] {
+			from, found = addr, true
+		}
+	}
+	if !found {
+		return 0, "", false
+	}
+	idxs := s.held[from]
+	return idxs[len(idxs)-1], from, true
+}
+
+// balancePass converges per-server share counts: holders above
+// fair+slack shed their highest-index shares to the lightest targets.
+// A freshly rejoined server starts at load 0, so it soaks up the
+// surplus first.
+func (s *planState) balancePass() {
+	if s.total == 0 || len(s.targets) == 0 {
+		return
+	}
+	fair := (s.total + len(s.targets) - 1) / len(s.targets)
+	limit := fair + s.policy.BalanceSlack
+	for _, addr := range s.sortedHolders() {
+		if !Writable(s.byAddr[addr]) {
+			continue // lifecycle pass owns non-writable holders
+		}
+		for s.load[addr] > limit {
+			idxs := s.held[addr]
+			idx := idxs[len(idxs)-1]
+			to, ok := s.pickTarget(idx, addr, nil)
+			if !ok || s.load[to]+1 >= s.load[addr] {
+				break // no move that actually improves balance
+			}
+			s.move(idx, addr, to, MoveBalance)
+		}
+	}
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,209 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/metadata"
+)
+
+func activeCands(addrs ...string) []Candidate {
+	out := make([]Candidate, 0, len(addrs))
+	for _, a := range addrs {
+		out = append(out, Candidate{Addr: a, State: metadata.ServerActive})
+	}
+	return out
+}
+
+// applyMoves replays a plan against a placement copy so tests can
+// assert on the end state rather than the move list.
+func applyMoves(holders map[string][]int, moves []Move) map[string][]int {
+	out := map[string][]int{}
+	for a, idxs := range holders {
+		out[a] = append([]int(nil), idxs...)
+	}
+	for _, m := range moves {
+		kept := out[m.From][:0]
+		for _, i := range out[m.From] {
+			if i != m.Index {
+				kept = append(kept, i)
+			}
+		}
+		out[m.From] = kept
+		if len(out[m.From]) == 0 {
+			delete(out, m.From)
+		}
+		out[m.To] = append(out[m.To], m.Index)
+	}
+	return out
+}
+
+func TestPlanSegmentEvacuatesDraining(t *testing.T) {
+	cands := []Candidate{
+		{Addr: "a", State: metadata.ServerActive},
+		{Addr: "b", State: metadata.ServerActive},
+		{Addr: "drain", State: metadata.ServerDraining},
+	}
+	holders := map[string][]int{
+		"a":     {0, 1},
+		"b":     {2},
+		"drain": {3, 4, 5},
+	}
+	moves := PlanSegment("seg", holders, cands, RebalancePolicy{})
+	if len(moves) != 3 {
+		t.Fatalf("planned %d moves, want 3: %v", len(moves), moves)
+	}
+	for _, m := range moves {
+		if m.From != "drain" || m.Reason != MoveLifecycle {
+			t.Fatalf("unexpected move %+v", m)
+		}
+		if m.To == "drain" {
+			t.Fatalf("move back onto the draining server: %+v", m)
+		}
+	}
+	end := applyMoves(holders, moves)
+	if len(end["drain"]) != 0 {
+		t.Fatalf("draining server still holds %v", end["drain"])
+	}
+}
+
+func TestPlanSegmentEvacuatesUnknownHolder(t *testing.T) {
+	// A holder missing from the registry reads as removed.
+	moves := PlanSegment("seg", map[string][]int{
+		"ghost": {0, 1},
+		"a":     {2},
+	}, activeCands("a", "b"), RebalancePolicy{})
+	if len(moves) != 2 {
+		t.Fatalf("planned %d moves, want 2", len(moves))
+	}
+	for _, m := range moves {
+		if m.From != "ghost" {
+			t.Fatalf("unexpected move %+v", m)
+		}
+	}
+}
+
+func TestPlanSegmentLeavesDownHoldersToRepair(t *testing.T) {
+	// Down-but-Active holders can't serve a migration read; their
+	// shares are the repair daemon's problem, not the rebalancer's.
+	cands := []Candidate{
+		{Addr: "a", State: metadata.ServerActive},
+		{Addr: "b", State: metadata.ServerActive},
+		{Addr: "down", State: metadata.ServerActive, Down: true},
+	}
+	moves := PlanSegment("seg", map[string][]int{
+		"a": {0}, "b": {1}, "down": {2, 3},
+	}, cands, RebalancePolicy{})
+	if len(moves) != 0 {
+		t.Fatalf("planned %v for a down-but-active holder", moves)
+	}
+}
+
+func TestPlanSegmentNoWritableTargets(t *testing.T) {
+	cands := []Candidate{
+		{Addr: "drain", State: metadata.ServerDraining},
+		{Addr: "rm", State: metadata.ServerRemoved},
+	}
+	if moves := PlanSegment("seg", map[string][]int{"drain": {0, 1}}, cands, RebalancePolicy{}); moves != nil {
+		t.Fatalf("planned %v with nowhere to go", moves)
+	}
+}
+
+func TestPlanSegmentNeverDuplicatesShare(t *testing.T) {
+	// The only target already holds share 0, so that share must stay.
+	cands := activeCands("a")
+	cands = append(cands, Candidate{Addr: "drain", State: metadata.ServerDraining})
+	moves := PlanSegment("seg", map[string][]int{
+		"drain": {0, 1},
+		"a":     {0},
+	}, cands, RebalancePolicy{})
+	for _, m := range moves {
+		if m.Index == 0 && m.To == "a" {
+			t.Fatalf("share 0 co-located on a: %+v", moves)
+		}
+	}
+	end := applyMoves(map[string][]int{"drain": {0, 1}, "a": {0}}, moves)
+	if got := len(end["a"]); got != 2 {
+		t.Fatalf("a holds %v, want shares 0 and 1", end["a"])
+	}
+}
+
+func TestPlanSegmentZonePass(t *testing.T) {
+	cands := []Candidate{
+		{Addr: "a", Zone: "z0", State: metadata.ServerActive},
+		{Addr: "b", Zone: "z0", State: metadata.ServerActive},
+		{Addr: "c", Zone: "z1", State: metadata.ServerActive},
+		{Addr: "d", Zone: "z2", State: metadata.ServerActive},
+	}
+	// 10 shares, 8 in z0: a 0.4 cap allows ceil(4) per zone.
+	holders := map[string][]int{
+		"a": {0, 1, 2, 3},
+		"b": {4, 5, 6, 7},
+		"c": {8},
+		"d": {9},
+	}
+	moves := PlanSegment("seg", holders, cands, RebalancePolicy{MaxZoneShare: 0.4})
+	end := applyMoves(holders, moves)
+	zone := map[string]string{"a": "z0", "b": "z0", "c": "z1", "d": "z2"}
+	loads := map[string]int{}
+	total := 0
+	for addr, idxs := range end {
+		loads[zone[addr]] += len(idxs)
+		total += len(idxs)
+	}
+	if total != 10 {
+		t.Fatalf("shares leaked: %d of 10 after %v", total, moves)
+	}
+	if loads["z0"] > 4 {
+		t.Fatalf("z0 still holds %d/10 after zone pass (cap 4): %v", loads["z0"], moves)
+	}
+	for _, m := range moves {
+		if m.Reason != MoveZone {
+			t.Fatalf("unexpected reason in %+v", m)
+		}
+	}
+}
+
+func TestPlanSegmentBalanceConvergesOntoRejoined(t *testing.T) {
+	// One server holds everything; a freshly rejoined (empty) server
+	// should soak up the surplus.
+	cands := activeCands("packed", "rejoined")
+	holders := map[string][]int{"packed": {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}
+	moves := PlanSegment("seg", holders, cands, RebalancePolicy{BalanceSlack: 1})
+	if len(moves) == 0 {
+		t.Fatal("no balance moves planned for a maximally skewed placement")
+	}
+	end := applyMoves(holders, moves)
+	if got := len(end["rejoined"]); got < 3 {
+		t.Fatalf("rejoined server got %d shares: %v", got, moves)
+	}
+	for _, m := range moves {
+		if m.Reason != MoveBalance {
+			t.Fatalf("unexpected reason in %+v", m)
+		}
+	}
+}
+
+func TestPlanSegmentBalancedPlacementPlansNothing(t *testing.T) {
+	cands := activeCands("a", "b", "c")
+	holders := map[string][]int{"a": {0, 1}, "b": {2, 3}, "c": {4, 5}}
+	if moves := PlanSegment("seg", holders, cands, RebalancePolicy{}); len(moves) != 0 {
+		t.Fatalf("balanced placement planned %v", moves)
+	}
+}
+
+func TestPlanSegmentDeterministic(t *testing.T) {
+	cands := []Candidate{
+		{Addr: "a", Zone: "z0", State: metadata.ServerActive},
+		{Addr: "b", Zone: "z1", State: metadata.ServerActive},
+		{Addr: "drain", Zone: "z0", State: metadata.ServerDraining},
+	}
+	holders := map[string][]int{"drain": {5, 1, 3}, "a": {0}}
+	first := PlanSegment("seg", holders, cands, RebalancePolicy{MaxZoneShare: 0.5})
+	for i := 0; i < 10; i++ {
+		again := PlanSegment("seg", holders, cands, RebalancePolicy{MaxZoneShare: 0.5})
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("plan diverged: %v vs %v", first, again)
+		}
+	}
+}

@@ -23,10 +23,20 @@ type DaemonOptions struct {
 	// rate). A repair larger than the burst still runs — it just waits
 	// for the debt to amortize.
 	RepairBurstBytes int64
+	// Rebalance enables the rebalance phase: after each scrub/repair
+	// pass the daemon plans share migrations off Draining/Removed and
+	// over-full servers (and back onto rejoined ones) and executes
+	// them under the same token bucket as repairs. Off by default.
+	Rebalance bool
+	// MaxZoneShare is the per-failure-domain share fraction the
+	// rebalancer restores (0 = inherit the client's
+	// Options.MaxZoneShare; both zero skips the zone pass).
+	MaxZoneShare float64
 	// Now is the clock (default time.Now); tests inject a fake so
 	// throttle arithmetic is deterministic.
 	Now func() time.Time
-	// Obs, when non-nil, receives scrub_* and repair_queue_* metrics.
+	// Obs, when non-nil, receives scrub_*, repair_queue_*, and
+	// rebalance_* metrics.
 	Obs *obs.Registry
 }
 
@@ -56,6 +66,13 @@ type daemonMetrics struct {
 	repaired       *obs.Counter
 	repairErrors   *obs.Counter
 	throttleSecond *obs.Histogram
+
+	rebalancePasses     *obs.Counter
+	rebalanceMoves      *obs.Counter
+	rebalanceMoveErrors *obs.Counter
+	rebalanceBytes      *obs.Counter
+	rebalanceQueueDepth *obs.Gauge
+	rebalanceThrottle   *obs.Histogram
 }
 
 func newDaemonMetrics(r *obs.Registry) daemonMetrics {
@@ -70,6 +87,13 @@ func newDaemonMetrics(r *obs.Registry) daemonMetrics {
 		repaired:       r.Counter("repair_queue_repaired_total"),
 		repairErrors:   r.Counter("repair_queue_errors_total"),
 		throttleSecond: r.Histogram("repair_throttle_seconds"),
+
+		rebalancePasses:     r.Counter("rebalance_passes_total"),
+		rebalanceMoves:      r.Counter("rebalance_moves_total"),
+		rebalanceMoveErrors: r.Counter("rebalance_move_errors_total"),
+		rebalanceBytes:      r.Counter("rebalance_bytes_total"),
+		rebalanceQueueDepth: r.Gauge("rebalance_queue_depth"),
+		rebalanceThrottle:   r.Histogram("rebalance_throttle_seconds"),
 	}
 }
 
@@ -383,7 +407,16 @@ func (d *Daemon) Start() {
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
-			d.RunOnce(ctx)
+			// Repair before rebalance: migrations plan against the
+			// placement, so letting repair prune dead holders first
+			// keeps the rebalancer from planning moves off ghosts.
+			pass := func() {
+				d.RunOnce(ctx)
+				if d.opts.Rebalance && ctx.Err() == nil {
+					d.RebalanceOnce(ctx)
+				}
+			}
+			pass()
 			ticker := time.NewTicker(d.opts.ScrubInterval)
 			defer ticker.Stop()
 			for {
@@ -391,7 +424,7 @@ func (d *Daemon) Start() {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					d.RunOnce(ctx)
+					pass()
 				}
 			}
 		}()

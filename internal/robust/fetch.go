@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metadata"
 )
 
 // latencyTracker keeps a bounded reservoir of completed share-fetch
@@ -74,6 +76,11 @@ type fetcher struct {
 	corrupt   atomic.Int64
 	hedges    atomic.Int64
 	hedgeWins atomic.Int64
+
+	// Lifecycle states are loaded lazily on the first hedge: the
+	// fault-free read path never pays the registry round trip.
+	statesOnce sync.Once
+	states     map[string]metadata.ServerState
 }
 
 func newFetcher(c *Client, name string, sealed bool, placement map[string][]int) *fetcher {
@@ -366,18 +373,47 @@ func (f *fetcher) fetchBatch(ctx context.Context, addr string, store storeGetter
 	return deliverWindow(ctx, indices, winner.datas, winner.errs, deliver)
 }
 
+// serverStates returns the registry's lifecycle states, fetched once
+// per access on first use (hedge decisions only — never the fault-free
+// path).
+func (f *fetcher) serverStates() map[string]metadata.ServerState {
+	f.statesOnce.Do(func() {
+		srvs := f.c.meta.Servers()
+		f.states = make(map[string]metadata.ServerState, len(srvs))
+		for _, s := range srvs {
+			f.states[s.Addr] = s.State.Normalize()
+		}
+	})
+	return f.states
+}
+
 // altStore picks a different, non-evicted holder of idx when the
-// placement has one; otherwise the hedge goes back to the same store,
-// where a fresh connection from the pool dodges per-connection
+// placement has one — preferring Active holders, since a Draining
+// server is being evacuated and a Removed one is on its way out of
+// the placement entirely; otherwise the hedge goes back to the same
+// store, where a fresh connection from the pool dodges per-connection
 // stalls.
 func (f *fetcher) altStore(primaryAddr string, idx int, primary storeGetter) (string, storeGetter) {
+	states := f.serverStates()
+	var fallbackAddr string
+	var fallback storeGetter
 	for _, addr := range f.holders[idx] {
 		if addr == primaryAddr || f.c.excluded(addr) {
 			continue
 		}
-		if st, ok := f.c.store(addr); ok {
+		st, ok := f.c.store(addr)
+		if !ok {
+			continue
+		}
+		if states[addr] == "" || states[addr] == metadata.ServerActive {
 			return addr, st
 		}
+		if fallback == nil {
+			fallbackAddr, fallback = addr, st
+		}
+	}
+	if fallback != nil {
+		return fallbackAddr, fallback
 	}
 	return primaryAddr, primary
 }

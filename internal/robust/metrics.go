@@ -30,6 +30,8 @@ import "repro/internal/obs"
 //	robust_repair_promoted_total      degraded segments restored to full N
 //	robust_repair_latency_seconds
 //	robust_health_checks_total
+//	placement_selections_total        placement decisions served
+//	placement_fallback_total          selections served from a degraded tier
 type clientMetrics struct {
 	reads              *obs.Counter
 	readErrors         *obs.Counter
@@ -59,6 +61,9 @@ type clientMetrics struct {
 	repairLatency     *obs.Histogram
 
 	healthChecks *obs.Counter
+
+	placementSelections *obs.Counter
+	placementFallbacks  *obs.Counter
 }
 
 // newClientMetrics resolves every handle against r; a nil r yields
@@ -93,5 +98,8 @@ func newClientMetrics(r *obs.Registry) clientMetrics {
 		repairLatency:     r.Histogram("robust_repair_latency_seconds"),
 
 		healthChecks: r.Counter("robust_health_checks_total"),
+
+		placementSelections: r.Counter("placement_selections_total"),
+		placementFallbacks:  r.Counter("placement_fallback_total"),
 	}
 }

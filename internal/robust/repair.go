@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/ltcode"
+	"repro/internal/placement"
 )
 
 // HealthReport describes a segment's redundancy state.
@@ -161,15 +162,21 @@ func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, er
 		tr.Stagef("audit", "lost=%d pruned=%d", len(lost), stats.Pruned)
 	}
 
-	// Re-place lost blocks round-robin on healthy servers that do not
-	// already hold them. Repairs re-seal with the segment's recorded
-	// share format so readers keep verifying a uniform envelope.
-	// Servers the failure detector has evicted are skipped — repairing
-	// onto a dying server just schedules the next repair.
-	healthy := c.healthyServers()
-	if len(healthy) == 0 {
+	// Re-place lost blocks round-robin through the placement manager:
+	// the target list is the degrade ladder's admitted tier (Draining
+	// and Removed servers excluded, failure-detector-Down ones last),
+	// zone-interleaved so regenerated shares restore failure-domain
+	// diversity instead of piling onto whichever server sorts first.
+	// Repairs re-seal with the segment's recorded share format so
+	// readers keep verifying a uniform envelope.
+	sel, err := c.placementSelect(placement.Policy{
+		SpreadZones: true,
+		Seed:        seg.Coding.GraphSeed,
+	})
+	if err != nil {
 		return stats, ErrNoServers
 	}
+	healthy := sel.Servers
 	hi := 0
 	place := func(idx int) error {
 		if err := ctx.Err(); err != nil {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/ltcode"
 	"repro/internal/metadata"
 	"repro/internal/obs"
+	"repro/internal/placement"
 )
 
 // Options configure a Client.
@@ -56,6 +57,16 @@ type Options struct {
 	// e.g. 0.25 forces at least four holders. Zero disables the cap
 	// (the paper's pure speculative semantics).
 	MaxServerShare float64
+	// MaxZoneShare, when positive, caps the fraction of a segment's
+	// committed shares any single failure domain (metadata zone) may
+	// hold — the hard constraint that makes SpreadZones placement
+	// survive the loss of a whole zone. Enforced during the rateless
+	// write exactly like MaxServerShare (atomic reservation against
+	// ceil(MaxZoneShare·N) per zone) and restored by the rebalancer
+	// when drains or rejoins skew the spread. Zero disables the cap.
+	// Servers absent from the metadata registry share the unnamed
+	// zone.
+	MaxZoneShare float64
 	// HedgeReads enables hedged block fetches (§2.2.3/§6: speculative
 	// access masks stragglers): when a share request has been
 	// outstanding for a p99-ish delay, a second request for the same
@@ -297,26 +308,63 @@ func (c *Client) excluded(addr string) bool {
 	return c.health != nil && c.health.Excluded(addr)
 }
 
-// healthyServers returns the attached backends minus any the failure
-// detector has evicted. If the exclusion would empty the set entirely
-// the full set is returned: attempting a doomed write produces a
-// clean error (and fresh detector evidence), silently targeting
-// nothing produces ErrNoServers on a cluster that merely flapped.
-func (c *Client) healthyServers() []string {
-	all := c.Servers()
-	if c.health == nil {
-		return all
+// placementCandidates joins the attached backends with the metadata
+// registry (zone, lifecycle state, capacity, performance) and the
+// failure detector's verdicts — the full picture the placement
+// manager selects from. Attached servers missing from the registry
+// are still candidates (unknown zone, Active, zero hints), so a
+// registry-less deployment keeps working.
+func (c *Client) placementCandidates() []placement.Candidate {
+	info := map[string]metadata.Server{}
+	for _, srv := range c.meta.Servers() {
+		info[srv.Addr] = srv
 	}
-	out := make([]string, 0, len(all))
-	for _, addr := range all {
-		if !c.health.Excluded(addr) {
-			out = append(out, addr)
-		}
+	attached := c.Servers()
+	cands := make([]placement.Candidate, 0, len(attached))
+	for _, addr := range attached {
+		srv := info[addr]
+		cands = append(cands, placement.Candidate{
+			Addr:          addr,
+			Zone:          srv.Zone,
+			State:         srv.State,
+			ExpectedMBps:  srv.ExpectedMBps,
+			CapacityBytes: srv.CapacityBytes,
+			UsedBytes:     srv.UsedBytes,
+			Down:          c.excluded(addr),
+		})
 	}
-	if len(out) == 0 {
-		return all
+	return cands
+}
+
+// placementSelect runs one placement decision and records the
+// placement_* metrics: every selection counts, and any selection the
+// ladder had to serve from a degraded tier counts as a fallback.
+func (c *Client) placementSelect(p placement.Policy) (placement.Selection, error) {
+	sel, err := placement.Select(c.placementCandidates(), p)
+	if err != nil {
+		return sel, err
 	}
-	return out
+	c.m.placementSelections.Inc()
+	if sel.Tier != placement.TierActive {
+		c.m.placementFallbacks.Inc()
+	}
+	return sel, nil
+}
+
+// writableServers returns the write-eligible attached backends: the
+// first non-empty tier of the placement degrade ladder (Active and
+// healthy; then Draining; then failure-detector-Down servers
+// re-admitted last — attempting a doomed write produces a clean error
+// and fresh detector evidence, while silently targeting nothing
+// produces ErrNoServers on a cluster that merely flapped). Removed
+// servers are never returned; an all-Removed cluster yields nil and
+// the write fails with ErrNoServers, which is the point of removal.
+func (c *Client) writableServers() []string {
+	sel, err := c.placementSelect(placement.Policy{})
+	if err != nil {
+		return nil
+	}
+	return sel.Servers
 }
 
 // Pinger is the optional liveness probe a backend may offer;

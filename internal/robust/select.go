@@ -2,11 +2,9 @@ package robust
 
 import (
 	"context"
-	"fmt"
-	"math/rand"
-	"sort"
+	"errors"
 
-	"repro/internal/metadata"
+	"repro/internal/placement"
 )
 
 // QoS expresses the Appendix B open-options that matter to placement:
@@ -26,69 +24,38 @@ type QoS struct {
 	// in the metadata registry (the §5.3.1 "lightly-loaded disks"
 	// heuristic, using the registry's performance hints).
 	PreferFast bool
+	// MaxZoneShare, when positive, caps the fraction of the selection
+	// any single zone may contribute (the failure-domain hard
+	// constraint; the write path enforces the same fraction on
+	// committed shares via Options.MaxZoneShare).
+	MaxZoneShare float64
 	// Seed randomizes ties deterministically (0 = unseeded default).
 	Seed int64
 }
 
-// SelectServers picks a server subset per the QoS policy, drawing on
-// the metadata registry for zone and performance hints; attached
-// servers missing from the registry are still eligible (unknown zone,
-// zero expected bandwidth).
+// SelectServers picks a server subset per the QoS policy through the
+// placement manager: registry zone/capacity/performance hints weight
+// the draw, lifecycle states and the failure detector gate admission,
+// and the degrade ladder guarantees a non-empty result whenever any
+// non-Removed server is attached — health exclusion alone never
+// yields ErrNoServers (Down servers are re-admitted last; see
+// internal/placement). Attached servers missing from the registry are
+// still eligible (unknown zone, zero expected bandwidth).
 func (c *Client) SelectServers(q QoS) ([]string, error) {
-	attached := c.Servers()
-	if len(attached) == 0 {
-		return nil, ErrNoServers
-	}
-	n := q.Servers
-	if n <= 0 || n > len(attached) {
-		n = len(attached)
-	}
-	// Gather registry hints.
-	info := map[string]metadata.Server{}
-	for _, srv := range c.meta.Servers() {
-		info[srv.Addr] = srv
-	}
-	rng := rand.New(rand.NewSource(q.Seed + 0x5ee1ec7))
-	// Shuffle first so ties break randomly but deterministically.
-	rng.Shuffle(len(attached), func(i, j int) { attached[i], attached[j] = attached[j], attached[i] })
-	if q.PreferFast {
-		sort.SliceStable(attached, func(i, j int) bool {
-			return info[attached[i]].ExpectedMBps > info[attached[j]].ExpectedMBps
-		})
-	}
-	if !q.SpreadZones {
-		return attached[:n], nil
-	}
-	// Round-robin across zones, preserving the (possibly
-	// performance-sorted) order within each zone.
-	zones := map[string][]string{}
-	var zoneOrder []string
-	for _, addr := range attached {
-		z := info[addr].Zone
-		if _, ok := zones[z]; !ok {
-			zoneOrder = append(zoneOrder, z)
+	sel, err := c.placementSelect(placement.Policy{
+		Servers:      q.Servers,
+		SpreadZones:  q.SpreadZones,
+		PreferFast:   q.PreferFast,
+		MaxZoneShare: q.MaxZoneShare,
+		Seed:         q.Seed,
+	})
+	if err != nil {
+		if errors.Is(err, placement.ErrNoCandidates) {
+			return nil, ErrNoServers
 		}
-		zones[z] = append(zones[z], addr)
+		return nil, err
 	}
-	var out []string
-	for len(out) < n {
-		progressed := false
-		for _, z := range zoneOrder {
-			if len(zones[z]) == 0 {
-				continue
-			}
-			out = append(out, zones[z][0])
-			zones[z] = zones[z][1:]
-			progressed = true
-			if len(out) == n {
-				break
-			}
-		}
-		if !progressed {
-			return nil, fmt.Errorf("robust: zone spread exhausted at %d of %d servers", len(out), n)
-		}
-	}
-	return out, nil
+	return sel.Servers, nil
 }
 
 // WriteWithQoS is Write with placement driven by a QoS policy instead

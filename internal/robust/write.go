@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/blockstore"
 	"repro/internal/metadata"
+	"repro/internal/placement"
 )
 
 // Write stores data as an erasure-coded segment, speculatively and
@@ -39,7 +40,7 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 		return WriteStats{}, fmt.Errorf("robust: empty data")
 	}
 	if servers == nil {
-		servers = c.healthyServers()
+		servers = c.writableServers()
 	}
 	if len(servers) == 0 {
 		return WriteStats{}, ErrNoServers
@@ -139,8 +140,31 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 			perServerCap = 1
 		}
 	}
+	// The zone cap is the same reservation discipline one level up:
+	// servers in the same failure domain share one atomic counter, so
+	// no zone can absorb more than ceil(MaxZoneShare·n) of the
+	// committed shares no matter how the speculative race lands.
+	var (
+		perZoneCap int64
+		zoneCounts map[string]*int64
+		zoneOf     map[string]string
+	)
+	if c.opts.MaxZoneShare > 0 {
+		perZoneCap = int64(placement.ZoneCapShares(c.opts.MaxZoneShare, n))
+		zoneOf = make(map[string]string, len(servers))
+		for _, srv := range c.meta.Servers() {
+			zoneOf[srv.Addr] = srv.Zone
+		}
+		zoneCounts = make(map[string]*int64)
+		for _, addr := range servers {
+			z := zoneOf[addr]
+			if zoneCounts[z] == nil {
+				zoneCounts[z] = new(int64)
+			}
+		}
+	}
 	placeMu := sync.Mutex{}
-	placement := make(map[string][]int, len(servers))
+	placed := make(map[string][]int, len(servers))
 	serverCount := make(map[string]*int64, len(servers))
 	for _, addr := range servers {
 		var zero int64
@@ -155,6 +179,10 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 	for _, addr := range servers {
 		store, _ := c.store(addr)
 		count := serverCount[addr]
+		var zcount *int64
+		if zoneCounts != nil {
+			zcount = zoneCounts[zoneOf[addr]]
+		}
 		for w := 0; w < c.opts.PerServerParallel; w++ {
 			wg.Add(1)
 			go func(addr string, store storePutter) {
@@ -206,9 +234,24 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 						atomic.AddInt64(count, -over)
 						reserved -= int(over)
 					}
+					if zcount != nil {
+						if over := atomic.AddInt64(zcount, int64(reserved)) - perZoneCap; over > 0 {
+							if over >= int64(reserved) {
+								atomic.AddInt64(zcount, -int64(reserved))
+								atomic.AddInt64(count, -int64(reserved))
+								return // this failure domain has its share
+							}
+							atomic.AddInt64(zcount, -over)
+							atomic.AddInt64(count, -over)
+							reserved -= int(over)
+						}
+					}
 					indices = takeIndices(indices, reserved)
-					if give := reserved - len(indices); give > 0 {
-						atomic.AddInt64(count, -int64(give))
+					if give := int64(reserved - len(indices)); give > 0 {
+						atomic.AddInt64(count, -give)
+						if zcount != nil {
+							atomic.AddInt64(zcount, -give)
+						}
 					}
 					if len(indices) == 0 {
 						return // write ended while waiting for work
@@ -248,6 +291,9 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 					for j := range puts {
 						if err := errs[j]; err != nil {
 							atomic.AddInt64(count, -1)
+							if zcount != nil {
+								atomic.AddInt64(zcount, -1)
+							}
 							if canceled || overBudget {
 								continue
 							}
@@ -263,7 +309,7 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 							tr.StageDetail("first-commit", addr)
 						}
 						placeMu.Lock()
-						placement[addr] = append(placement[addr], puts[j].Index)
+						placed[addr] = append(placed[addr], puts[j].Index)
 						placeMu.Unlock()
 						if atomic.AddInt64(&committed, 1) >= int64(n) {
 							if !targetReached.Swap(true) {
@@ -287,7 +333,7 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 		Committed:  int(atomic.LoadInt64(&committed)),
 		BytesSent:  atomic.LoadInt64(&bytesSent),
 		Duration:   time.Since(start),
-		PerServer:  countPlacement(placement),
+		PerServer:  countPlacement(placed),
 		FailedPuts: int(atomic.LoadInt64(&failed)),
 	}
 	if tr != nil {
@@ -323,7 +369,7 @@ func (c *Client) Write(ctx context.Context, name string, data []byte, servers []
 			GraphN:     graphN,
 			ShareCRC:   sealed,
 		},
-		Placement: placement,
+		Placement: placed,
 		Degraded:  stats.Degraded,
 	}
 	if err := c.meta.CreateSegment(seg); err != nil {
