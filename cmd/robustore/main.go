@@ -49,6 +49,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -72,6 +73,7 @@ func main() {
 		metaServer    = flag.String("meta-server", "", "networked metadata server address(es), comma-separated for a replicated group (overrides -meta)")
 		redundancy    = flag.Float64("redundancy", 3, "data redundancy D (stored = (1+D) x data)")
 		blockKB       = flag.Int64("block", 1024, "coded block size in KB")
+		chunkMB       = flag.Int64("chunk-size", 0, "put: streaming chunk size in MB (0 = whole-segment single chunk)")
 		timeout       = flag.Duration("timeout", 5*time.Minute, "operation timeout")
 		scrubInterval = flag.Duration("scrub-interval", 30*time.Second, "daemon: pause between scrub passes")
 		probeInterval = flag.Duration("probe-interval", time.Second, "daemon: pause between liveness probe rounds")
@@ -137,6 +139,7 @@ func main() {
 	copts := robust.Options{
 		Redundancy:   *redundancy,
 		BlockBytes:   *blockKB << 10,
+		ChunkBytes:   *chunkMB << 20,
 		MaxZoneShare: *maxZoneShare,
 		Obs:          reg,
 	}
@@ -180,17 +183,35 @@ func main() {
 		if len(args) != 3 {
 			usage()
 		}
-		data, err := os.ReadFile(args[2])
-		if err != nil {
-			fatal(err)
+		// Stream the source through the chunked write path: "-" reads
+		// stdin to EOF; a regular file declares its size so a
+		// truncated source fails the write instead of storing a short
+		// segment. With -chunk-size each chunk encodes and spreads
+		// while the next is still being read.
+		var src io.Reader
+		size := int64(-1)
+		if args[2] == "-" {
+			src = os.Stdin
+		} else {
+			f, err := os.Open(args[2])
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if fi, err := f.Stat(); err == nil && fi.Mode().IsRegular() {
+				size = fi.Size()
+			}
+			src = f
 		}
-		stats, err := client.Write(ctx, args[1], data, nil)
+		cr := &countReader{r: src}
+		stats, err := client.WriteFrom(ctx, args[1], cr, size, nil)
 		if err != nil {
 			fatal(err)
 		}
 		saveMeta()
-		fmt.Printf("stored %s: %d bytes, K=%d N=%d, %d blocks committed in %v\n",
-			args[1], len(data), stats.K, stats.N, stats.Committed, stats.Duration.Round(time.Millisecond))
+		fmt.Printf("stored %s: %d bytes, K=%d N=%d, %d blocks committed in %v (first block %v)\n",
+			args[1], cr.n, stats.K, stats.N, stats.Committed,
+			stats.Duration.Round(time.Millisecond), stats.FirstCommit.Round(time.Millisecond))
 		printPerServer(stats.PerServer)
 	case "get":
 		if len(args) < 2 || len(args) > 3 {
@@ -427,7 +448,8 @@ func printPerServer(per map[string]int) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: robustore [flags] <command>
 commands:
-  put <name> <file>     store a file as an erasure-coded segment
+  put <name> <file>     store a file ("-" = stdin) as an erasure-coded segment,
+                        streamed chunk-by-chunk with -chunk-size
   get <name> [outfile]  reconstruct a segment
   stat <name>           show segment metadata
   ls                    list segments
@@ -442,7 +464,7 @@ commands:
   remove-server <addr>  tombstone a server (never placed on again)
   rebalance             one pass migrating shares off draining/over-full servers
   servers               list registered servers with zone and lifecycle state
-flags: -servers -meta -meta-server -redundancy -block -max-zone-share -timeout
+flags: -servers -meta -meta-server -redundancy -block -chunk-size -max-zone-share -timeout
        -scrub-interval -probe-interval -repair-rate -rebalance -metrics-listen (see -h)`)
 	os.Exit(2)
 }
@@ -450,4 +472,17 @@ flags: -servers -meta -meta-server -redundancy -block -max-zone-share -timeout
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "robustore: %v\n", err)
 	os.Exit(1)
+}
+
+// countReader counts bytes read, so put can report the stored size
+// without buffering the stream.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }

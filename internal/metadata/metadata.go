@@ -50,6 +50,18 @@ func (c Coding) Validate() error {
 	return nil
 }
 
+// Chunk describes one chunk of a streamed (pipelined) write: a
+// contiguous slice of the segment, coded with its own graph. Chunk c
+// owns the global coded-index range [c*ChunkStride, (c+1)*ChunkStride);
+// its local index i appears on the wire as c*ChunkStride+i.
+type Chunk struct {
+	Size      int64 // original bytes in this chunk
+	K         int   // original blocks
+	N         int   // redundancy target (stored coded blocks)
+	GraphSeed int64 // seed for this chunk's coding graph
+	GraphN    int   // this chunk's graph size (N <= GraphN <= ChunkStride)
+}
+
 // Segment is the stored description of one data object.
 type Segment struct {
 	Name      string
@@ -62,6 +74,48 @@ type Segment struct {
 	// the data is decodable but under-replicated, and Repair should
 	// promote it back to N blocks and clear the flag.
 	Degraded bool
+	// Chunks, when non-empty, records a streamed multi-chunk write:
+	// each chunk was coded independently and Coding holds the totals
+	// (K = sum of chunk Ks, N = sum of chunk Ns). Absent (the common
+	// single-graph case) the record reads exactly as it always has —
+	// omitempty keeps legacy segments byte-identical on the wire.
+	Chunks []Chunk `json:",omitempty"`
+	// ChunkStride is the width of each chunk's global coded-index
+	// range; non-zero exactly when Chunks is non-empty.
+	ChunkStride int `json:",omitempty"`
+}
+
+// validateChunks checks the chunk table against the top-level record:
+// the per-chunk geometry must be sane, fit inside the stride, and sum
+// to the segment's size and coding totals.
+func (s *Segment) validateChunks() error {
+	if len(s.Chunks) == 0 {
+		if s.ChunkStride != 0 {
+			return fmt.Errorf("metadata: chunk stride %d without chunks", s.ChunkStride)
+		}
+		return nil
+	}
+	if s.ChunkStride < 1 {
+		return fmt.Errorf("metadata: %d chunks without a stride", len(s.Chunks))
+	}
+	var size int64
+	k, n := 0, 0
+	for i, c := range s.Chunks {
+		if c.Size < 1 || c.K < 1 || c.N < c.K {
+			return fmt.Errorf("metadata: inconsistent chunk %d geometry size=%d K=%d N=%d", i, c.Size, c.K, c.N)
+		}
+		if c.GraphN < c.N || c.GraphN > s.ChunkStride {
+			return fmt.Errorf("metadata: chunk %d GraphN %d outside [N=%d, stride=%d]", i, c.GraphN, c.N, s.ChunkStride)
+		}
+		size += c.Size
+		k += c.K
+		n += c.N
+	}
+	if size != s.Size || k != s.Coding.K || n != s.Coding.N {
+		return fmt.Errorf("metadata: chunks sum to size=%d K=%d N=%d, segment says size=%d K=%d N=%d",
+			size, k, n, s.Size, s.Coding.K, s.Coding.N)
+	}
+	return nil
 }
 
 // blockCount returns the total placed blocks.
@@ -246,6 +300,9 @@ func (s *Service) CreateSegment(seg Segment) error {
 	if seg.Size < 0 {
 		return fmt.Errorf("metadata: negative segment size")
 	}
+	if err := (&seg).validateChunks(); err != nil {
+		return err
+	}
 	// A degraded segment legitimately holds fewer than N blocks — the
 	// write-path floor (≥ decode threshold) is enforced by the robust
 	// client; metadata only insists on the weakest sane bound, K.
@@ -262,6 +319,7 @@ func (s *Service) CreateSegment(seg Segment) error {
 	seg.Version = 1
 	cp := seg
 	cp.Placement = clonePlacement(seg.Placement)
+	cp.Chunks = cloneChunks(seg.Chunks)
 	s.segments[seg.Name] = &cp
 	return nil
 }
@@ -269,6 +327,9 @@ func (s *Service) CreateSegment(seg Segment) error {
 // UpdateSegment replaces a segment's record, bumping its version.
 func (s *Service) UpdateSegment(seg Segment) error {
 	if err := seg.Coding.Validate(); err != nil {
+		return err
+	}
+	if err := (&seg).validateChunks(); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -280,6 +341,7 @@ func (s *Service) UpdateSegment(seg Segment) error {
 	seg.Version = old.Version + 1
 	cp := seg
 	cp.Placement = clonePlacement(seg.Placement)
+	cp.Chunks = cloneChunks(seg.Chunks)
 	s.segments[seg.Name] = &cp
 	return nil
 }
@@ -294,6 +356,7 @@ func (s *Service) LookupSegment(name string) (Segment, error) {
 	}
 	cp := *seg
 	cp.Placement = clonePlacement(seg.Placement)
+	cp.Chunks = cloneChunks(seg.Chunks)
 	return cp, nil
 }
 
@@ -318,6 +381,13 @@ func (s *Service) ListSegments() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+func cloneChunks(c []Chunk) []Chunk {
+	if c == nil {
+		return nil
+	}
+	return append([]Chunk(nil), c...)
 }
 
 func clonePlacement(p map[string][]int) map[string][]int {

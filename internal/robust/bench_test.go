@@ -1,6 +1,7 @@
 package robust
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"testing"
@@ -66,6 +67,53 @@ func BenchmarkClientWriteSteady16MB(b *testing.B) {
 		}
 		b.StartTimer()
 	}
+}
+
+// BenchmarkClientWriteStream16MB measures the pipelined streaming
+// write path at steady state: 16 MB arriving through an io.Reader in
+// 2 MB chunks, each chunk encoded and spread while the next is still
+// being ingested, with warm graph cache and share-buffer pool (the
+// WriteSteady methodology). stream_first_commit_ms is the write-path
+// first-byte latency — how long until the first block is durable —
+// and the headline the streaming path exists for: it must sit well
+// below the whole-segment faultfree_write_bare_ms, which cannot
+// commit anything until the entire segment has been encoded.
+func BenchmarkClientWriteStream16MB(b *testing.B) {
+	meta := metadata.NewService()
+	c, err := NewClient(meta, Options{BlockBytes: 256 << 10, ChunkBytes: 2 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.AttachStore(fmt.Sprintf("s%d", i), blockstore.NewMemStore()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data := randData(16<<20, 7)
+	ctx := context.Background()
+	b.SetBytes(16 << 20)
+	var first, total time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		ws, err := c.WriteFrom(ctx, "stream", bytes.NewReader(data), int64(len(data)), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += time.Since(t0)
+		first += ws.FirstCommit
+		b.StopTimer()
+		if err := c.Delete(ctx, "stream"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	perOpMs := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / 1000 / float64(b.N)
+	}
+	b.ReportMetric(perOpMs(total), "stream_write_16mb_ms")
+	b.ReportMetric(perOpMs(first), "stream_first_commit_ms")
 }
 
 func BenchmarkClientRead16MB(b *testing.B) {

@@ -1,0 +1,60 @@
+package robust
+
+import "repro/internal/metadata"
+
+// chunkView is the per-chunk geometry the read, repair, and update
+// paths iterate over. A chunked segment (written by the streaming
+// path with ChunkBytes set) stores one coding graph per chunk, each
+// owning a fixed stride of the global coded-index space; a legacy
+// whole-segment record yields exactly one view covering everything,
+// so every consumer handles both layouts with the same loop.
+type chunkView struct {
+	index  int             // chunk ordinal
+	base   int             // first global coded index (index * stride)
+	orig   int             // first original block ordinal
+	offset int64           // first payload byte
+	size   int64           // payload bytes in this chunk
+	coding metadata.Coding // per-chunk coding record, graph-buildable
+}
+
+// segmentChunks expands a segment record into its chunk views.
+func segmentChunks(seg metadata.Segment) []chunkView {
+	if len(seg.Chunks) == 0 {
+		return []chunkView{{size: seg.Size, coding: seg.Coding}}
+	}
+	out := make([]chunkView, len(seg.Chunks))
+	base, orig := 0, 0
+	off := int64(0)
+	for i, ch := range seg.Chunks {
+		cod := seg.Coding
+		cod.K, cod.N = ch.K, ch.N
+		cod.GraphSeed, cod.GraphN = ch.GraphSeed, ch.GraphN
+		out[i] = chunkView{
+			index: i, base: base, orig: orig,
+			offset: off, size: ch.Size, coding: cod,
+		}
+		base += seg.ChunkStride
+		orig += ch.K
+		off += ch.Size
+	}
+	return out
+}
+
+// chunkFor maps a global coded index to its chunk and local graph
+// index. stride is seg.ChunkStride (zero for legacy single-graph
+// segments, whose only view spans the whole index space). ok is
+// false for indices outside every chunk's graph — corrupt metadata
+// or placement.
+func chunkFor(views []chunkView, stride, idx int) (ci, local int, ok bool) {
+	if idx < 0 {
+		return 0, 0, false
+	}
+	if stride == 0 {
+		return 0, idx, true // the view's decoder range-checks idx
+	}
+	ci = idx / stride
+	if ci >= len(views) {
+		return 0, 0, false
+	}
+	return ci, idx - ci*stride, true
+}

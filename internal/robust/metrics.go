@@ -19,6 +19,7 @@ import "repro/internal/obs"
 //	robust_write_failed_puts_total failed block PUTs retried elsewhere
 //	robust_write_bytes_total       coded bytes shipped to servers
 //	robust_write_latency_seconds
+//	robust_write_first_commit_seconds latency to the first committed block
 //	robust_read_corrupt_shares_total  shares rejected by CRC verification
 //	robust_read_rejected_shares_total shares the decoder refused (bad index)
 //	robust_read_hedges_total          hedge requests issued
@@ -45,13 +46,14 @@ type clientMetrics struct {
 	readHedgeWins      *obs.Counter
 	readHedgeLosses    *obs.Counter
 
-	writes          *obs.Counter
-	writeErrors     *obs.Counter
-	writeBlocks     *obs.Counter
-	writeFailedPuts *obs.Counter
-	writeBytes      *obs.Counter
-	writeLatency    *obs.Histogram
-	writeDegraded   *obs.Counter
+	writes           *obs.Counter
+	writeErrors      *obs.Counter
+	writeBlocks      *obs.Counter
+	writeFailedPuts  *obs.Counter
+	writeBytes       *obs.Counter
+	writeLatency     *obs.Histogram
+	writeFirstCommit *obs.Histogram
+	writeDegraded    *obs.Counter
 
 	repairs           *obs.Counter
 	repairErrors      *obs.Counter
@@ -82,13 +84,14 @@ func newClientMetrics(r *obs.Registry) clientMetrics {
 		readHedgeWins:      r.Counter("robust_read_hedge_wins_total"),
 		readHedgeLosses:    r.Counter("robust_read_hedge_losses_total"),
 
-		writes:          r.Counter("robust_writes_total"),
-		writeErrors:     r.Counter("robust_write_errors_total"),
-		writeBlocks:     r.Counter("robust_write_blocks_total"),
-		writeFailedPuts: r.Counter("robust_write_failed_puts_total"),
-		writeBytes:      r.Counter("robust_write_bytes_total"),
-		writeLatency:    r.Histogram("robust_write_latency_seconds"),
-		writeDegraded:   r.Counter("robust_write_degraded_total"),
+		writes:           r.Counter("robust_writes_total"),
+		writeErrors:      r.Counter("robust_write_errors_total"),
+		writeBlocks:      r.Counter("robust_write_blocks_total"),
+		writeFailedPuts:  r.Counter("robust_write_failed_puts_total"),
+		writeBytes:       r.Counter("robust_write_bytes_total"),
+		writeLatency:     r.Histogram("robust_write_latency_seconds"),
+		writeFirstCommit: r.Histogram("robust_write_first_commit_seconds"),
+		writeDegraded:    r.Counter("robust_write_degraded_total"),
 
 		repairs:           r.Counter("robust_repairs_total"),
 		repairErrors:      r.Counter("robust_repair_errors_total"),

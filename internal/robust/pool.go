@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ltcode"
 )
@@ -20,8 +21,16 @@ import (
 // (repairing a segment written with different options) still pool.
 var shareBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
+// shareBufLeases counts outstanding leased buffers. The regression
+// tests pin this to zero after every write outcome — success, short
+// write, early cancel — proving no error path strands a lease; the
+// cost is one atomic add per lease, which the encode that follows
+// dwarfs.
+var shareBufLeases atomic.Int64
+
 // getShareBuf returns a buffer with capacity >= n, length n.
 func getShareBuf(n int) *[]byte {
+	shareBufLeases.Add(1)
 	b := shareBufPool.Get().(*[]byte)
 	if cap(*b) < n {
 		*b = make([]byte, n)
@@ -31,7 +40,10 @@ func getShareBuf(n int) *[]byte {
 }
 
 // putShareBuf recycles a buffer.
-func putShareBuf(b *[]byte) { shareBufPool.Put(b) }
+func putShareBuf(b *[]byte) {
+	shareBufLeases.Add(-1)
+	shareBufPool.Put(b)
+}
 
 // encodeShareInto encodes coded block idx into a pooled buffer and
 // seals it in place when the segment uses share checksums. The

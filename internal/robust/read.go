@@ -46,15 +46,22 @@ func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stat
 		return nil, ReadStats{}, err
 	}
 	tr.Stage("lookup")
-	graph, err := c.cachedGraph(seg.Coding)
-	if err != nil {
-		return nil, ReadStats{}, err
+	// One decoder per chunk: a chunked segment decodes each chunk's
+	// graph independently (shares route to their chunk by index
+	// stride), a legacy segment is a single chunk covering everything.
+	views := segmentChunks(seg)
+	decs := make([]*ltcode.Decoder, len(views))
+	for i, v := range views {
+		graph, gerr := c.cachedGraph(v.coding)
+		if gerr != nil {
+			return nil, ReadStats{}, gerr
+		}
+		decs[i] = ltcode.NewDecoder(graph)
 	}
 	if tr != nil {
-		tr.Stagef("graph", "K=%d N=%d", seg.Coding.K, seg.Coding.N)
+		tr.Stagef("graph", "K=%d N=%d chunks=%d", seg.Coding.K, seg.Coding.N, len(views))
 	}
 
-	dec := ltcode.NewDecoder(graph)
 	fx := newFetcher(c, name, seg.Coding.ShareCRC, seg.Placement)
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -113,23 +120,34 @@ func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stat
 	var decComplete atomic.Bool
 	go func() {
 		defer close(decodeDone)
+		remaining := len(views)
 		for s := range shares {
+			ci, local, ok := chunkFor(views, seg.ChunkStride, s.idx)
+			if !ok {
+				// No chunk owns this index (corrupt metadata or
+				// placement). Neither a failed GET nor a CRC reject;
+				// count it instead of dropping it silently.
+				rejected++
+				c.m.readRejectedShares.Inc()
+				continue
+			}
+			dec := decs[ci]
 			if dec.Complete() {
 				continue // drain so no worker blocks on send
 			}
-			if _, aerr := dec.AddData(s.idx, s.payload); aerr != nil {
-				// The graph cannot place this share (corrupt metadata
-				// or placement). Neither a failed GET nor a CRC reject;
-				// count it instead of dropping it silently.
+			if _, aerr := dec.AddData(local, s.payload); aerr != nil {
+				// The chunk's graph cannot place this share either.
 				rejected++
 				c.m.readRejectedShares.Inc()
 				continue
 			}
 			received[s.addr]++
 			if dec.Complete() {
-				decComplete.Store(true)
-				tr.Stage("decode-complete")
-				cancel()
+				if remaining--; remaining == 0 {
+					decComplete.Store(true)
+					tr.Stage("decode-complete")
+					cancel()
+				}
 			}
 		}
 	}()
@@ -177,14 +195,21 @@ func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stat
 	close(shares)
 	<-decodeDone
 
+	totalReceived, totalUsed := 0, 0
+	complete := true
+	for _, dec := range decs {
+		totalReceived += dec.Received()
+		totalUsed += dec.UsedBlocks()
+		complete = complete && dec.Complete()
+	}
 	stats = ReadStats{
 		K:              seg.Coding.K,
-		Received:       dec.Received(),
-		Reception:      dec.ReceptionOverhead(),
+		Received:       totalReceived,
+		Reception:      float64(totalReceived)/float64(seg.Coding.K) - 1,
 		Duration:       time.Since(start),
 		PerServer:      received,
 		FailedGets:     int(failed.Load()),
-		UsedDecoder:    dec.UsedBlocks(),
+		UsedDecoder:    totalUsed,
 		CorruptShares:  int(fx.corrupt.Load()),
 		RejectedShares: rejected,
 		Hedges:         int(fx.hedges.Load()),
@@ -197,23 +222,29 @@ func (c *Client) readLocked(ctx context.Context, name string) (data []byte, stat
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}
-	if !dec.Complete() {
+	if !complete {
 		return nil, stats, ErrUnrecoverable
 	}
-	blocks, err := dec.Data()
-	if err != nil {
-		return nil, stats, err
-	}
+	// Concatenate the decoded chunks, truncating each to its own
+	// payload length (the last block of every chunk is zero-padded).
 	out := make([]byte, 0, seg.Size)
-	for _, b := range blocks {
-		need := seg.Size - int64(len(out))
-		if need <= 0 {
-			break
+	for i, v := range views {
+		blocks, derr := decs[i].Data()
+		if derr != nil {
+			return nil, stats, derr
 		}
-		if need > int64(len(b)) {
-			need = int64(len(b))
+		var got int64
+		for _, b := range blocks {
+			need := v.size - got
+			if need <= 0 {
+				break
+			}
+			if need > int64(len(b)) {
+				need = int64(len(b))
+			}
+			out = append(out, b[:need]...)
+			got += need
 		}
-		out = append(out, b[:need]...)
 	}
 	return out, stats, nil
 }

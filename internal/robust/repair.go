@@ -30,12 +30,18 @@ func (c *Client) Health(ctx context.Context, name string) (HealthReport, error) 
 	if err != nil {
 		return HealthReport{}, err
 	}
-	graph, err := c.cachedGraph(seg.Coding)
-	if err != nil {
-		return HealthReport{}, err
+	// One symbolic decoder per chunk: the segment is readable only if
+	// every chunk's graph decodes from its reachable shares.
+	views := segmentChunks(seg)
+	decs := make([]*ltcode.Decoder, len(views))
+	for i, v := range views {
+		graph, gerr := c.cachedGraph(v.coding)
+		if gerr != nil {
+			return HealthReport{}, gerr
+		}
+		decs[i] = ltcode.NewSymbolicDecoder(graph)
 	}
 	rep := HealthReport{Name: name, K: seg.Coding.K, N: seg.Coding.N, CheckedAt: time.Now()}
-	dec := ltcode.NewSymbolicDecoder(graph)
 	for addr, indices := range seg.Placement {
 		if cerr := ctx.Err(); cerr != nil {
 			return HealthReport{}, cerr
@@ -59,14 +65,19 @@ func (c *Client) Health(ctx context.Context, name string) (HealthReport, error) 
 		for _, i := range indices {
 			if have[i] {
 				rep.Reachable++
-				dec.Add(i)
+				if ci, local, ok := chunkFor(views, seg.ChunkStride, i); ok {
+					decs[ci].Add(local)
+				}
 			} else {
 				rep.Missing++
 			}
 		}
 	}
 	sort.Strings(rep.DeadAddrs)
-	rep.Decodable = dec.Complete()
+	rep.Decodable = true
+	for _, dec := range decs {
+		rep.Decodable = rep.Decodable && dec.Complete()
+	}
 	return rep, nil
 }
 
@@ -119,11 +130,18 @@ func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, er
 		return RepairStats{}, fmt.Errorf("robust: repair read: %w", err)
 	}
 	tr.Stage("reconstruct")
-	graph, err := c.cachedGraph(seg.Coding)
-	if err != nil {
-		return RepairStats{}, err
+	// Per-chunk graphs and blocks: regeneration encodes a lost global
+	// index against its own chunk's graph and payload slice.
+	views := segmentChunks(seg)
+	graphs := make([]*ltcode.Graph, len(views))
+	chunkBlocks := make([][][]byte, len(views))
+	for i, v := range views {
+		graphs[i], err = c.cachedGraph(v.coding)
+		if err != nil {
+			return RepairStats{}, err
+		}
+		chunkBlocks[i] = splitBlocks(data[v.offset:v.offset+v.size], seg.Coding.BlockBytes)
 	}
-	blocks := splitBlocks(data, seg.Coding.BlockBytes)
 
 	// Determine which placed blocks are gone and which remain.
 	newPlacement := make(map[string][]int)
@@ -182,7 +200,11 @@ func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, er
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		coded := graph.EncodeBlock(idx, blocks)
+		ci, local, ok := chunkFor(views, seg.ChunkStride, idx)
+		if !ok {
+			return fmt.Errorf("robust: repair: block %d outside every chunk graph", idx)
+		}
+		coded := graphs[ci].EncodeBlock(local, chunkBlocks[ci])
 		if seg.Coding.ShareCRC {
 			coded = sealShare(coded)
 		}
@@ -213,41 +235,47 @@ func (c *Client) Repair(ctx context.Context, name string) (stats RepairStats, er
 		}
 	}
 
-	// Promotion: a degraded commit (or cumulative attrition) leaves the
-	// segment holding fewer than N blocks even after every originally
-	// placed block is restored. Top up with fresh, unused graph indices
-	// until the commit target holds again.
-	total := 0
+	// Promotion: a degraded commit (or cumulative attrition) leaves a
+	// chunk holding fewer than its N blocks even after every originally
+	// placed block is restored. Top up each short chunk with fresh,
+	// unused indices from its own graph until its target holds again.
+	totals := make([]int, len(views))
 	used := make(map[int]bool)
 	for _, indices := range newPlacement {
-		total += len(indices)
 		for _, i := range indices {
 			used[i] = true
+			if ci, _, ok := chunkFor(views, seg.ChunkStride, i); ok {
+				totals[ci]++
+			}
 		}
 	}
-	if total < seg.Coding.N {
-		graphN := seg.Coding.GraphN
-		if graphN < seg.Coding.N {
-			graphN = seg.Coding.N
+	added := 0
+	for ci, v := range views {
+		if totals[ci] >= v.coding.N {
+			continue
 		}
-		added := 0
-		for idx := 0; idx < graphN && total < seg.Coding.N; idx++ {
+		graphN := v.coding.GraphN
+		if graphN < v.coding.N {
+			graphN = v.coding.N
+		}
+		for local := 0; local < graphN && totals[ci] < v.coding.N; local++ {
+			idx := v.base + local
 			if used[idx] {
 				continue
 			}
 			if err := place(idx); err != nil {
 				return stats, err
 			}
-			total++
+			totals[ci]++
 			added++
 		}
-		if total < seg.Coding.N {
-			return stats, fmt.Errorf("robust: repair exhausted the coding graph at %d of %d blocks", total, seg.Coding.N)
+		if totals[ci] < v.coding.N {
+			return stats, fmt.Errorf("robust: repair exhausted the coding graph at %d of %d blocks", totals[ci], v.coding.N)
 		}
 		stats.Promoted = true
-		if tr != nil {
-			tr.Stagef("promote", "topped-up=%d", added)
-		}
+	}
+	if stats.Promoted && tr != nil {
+		tr.Stagef("promote", "topped-up=%d", added)
 	}
 	if stats.Promoted || seg.Degraded {
 		seg.Degraded = false

@@ -39,6 +39,16 @@ type Options struct {
 	Redundancy float64
 	// BlockBytes is the coded block size (default 1 MB).
 	BlockBytes int64
+	// ChunkBytes, when positive, splits each segment into fixed-size
+	// chunks that are encoded and spread independently — the streaming
+	// write path (WriteFrom) encodes one chunk while the next is still
+	// arriving from the reader, so peak client buffering is O(chunk),
+	// not O(segment), and the first block commits after one chunk's
+	// worth of input instead of the whole segment. Each chunk owns a
+	// fixed stride of the coded-index space and its own coding graph;
+	// reads decode chunks independently. Zero (the default) keeps the
+	// whole-segment single-graph layout. Must be at least BlockBytes.
+	ChunkBytes int64
 	// LTC and LTDelta are the robust-soliton parameters (default 1.0
 	// and 0.1: ~0.3-0.5 reception overhead, per §5.2.4).
 	LTC, LTDelta float64
@@ -172,6 +182,9 @@ func (o Options) Validate() error {
 	}
 	if o.BlockBytes < 1 {
 		return fmt.Errorf("robust: non-positive block size")
+	}
+	if o.ChunkBytes != 0 && o.ChunkBytes < o.BlockBytes {
+		return fmt.Errorf("robust: chunk size %d below block size %d", o.ChunkBytes, o.BlockBytes)
 	}
 	p := ltcode.Params{K: 2, C: o.LTC, Delta: o.LTDelta}
 	return p.Validate()
@@ -502,6 +515,11 @@ type WriteStats struct {
 	Duration   time.Duration
 	PerServer  map[string]int
 	FailedPuts int
+	// FirstCommit is the latency to the first block landing on any
+	// server — the write path's first-byte metric. A chunked streaming
+	// write commits its first block after one chunk of input, long
+	// before the segment finishes arriving.
+	FirstCommit time.Duration
 	// Degraded reports a graceful-degradation commit: Committed is
 	// below N but at/above the degraded floor and the segment was
 	// created marked Degraded.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"repro/internal/ltcode"
 )
 
 // Update overwrites [offset, offset+len(patch)) of a stored segment
@@ -41,19 +43,36 @@ func (c *Client) Update(ctx context.Context, name string, offset int64, patch []
 	}
 	copy(data[offset:], patch)
 
-	graph, err := c.cachedGraph(seg.Coding)
-	if err != nil {
-		return err
-	}
-	blocks := splitBlocks(data, seg.Coding.BlockBytes)
-
-	// Which originals changed?
-	firstOrig := int(offset / seg.Coding.BlockBytes)
-	lastOrig := int((offset + int64(len(patch)) - 1) / seg.Coding.BlockBytes)
+	// Per-chunk graphs and blocks: the patched byte range touches only
+	// the chunks it overlaps, and each chunk's graph localizes the
+	// affected coded blocks within that chunk's index stride.
+	views := segmentChunks(seg)
+	graphs := make([]*ltcode.Graph, len(views))
+	chunkBlocks := make([][][]byte, len(views))
 	affected := map[int]bool{}
-	for o := firstOrig; o <= lastOrig; o++ {
-		for _, ci := range graph.AffectedCoded(o) {
-			affected[ci] = true
+	end := offset + int64(len(patch))
+	for i, v := range views {
+		graphs[i], err = c.cachedGraph(v.coding)
+		if err != nil {
+			return err
+		}
+		chunkBlocks[i] = splitBlocks(data[v.offset:v.offset+v.size], seg.Coding.BlockBytes)
+		lo, hi := offset, end
+		if lo < v.offset {
+			lo = v.offset
+		}
+		if hi > v.offset+v.size {
+			hi = v.offset + v.size
+		}
+		if lo >= hi {
+			continue // patch does not touch this chunk
+		}
+		firstOrig := int((lo - v.offset) / seg.Coding.BlockBytes)
+		lastOrig := int((hi - 1 - v.offset) / seg.Coding.BlockBytes)
+		for o := firstOrig; o <= lastOrig; o++ {
+			for _, ci := range graphs[i].AffectedCoded(o) {
+				affected[v.base+ci] = true
+			}
 		}
 	}
 
@@ -77,7 +96,11 @@ func (c *Client) Update(ctx context.Context, name string, offset int64, patch []
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
 		}
-		coded := graph.EncodeBlock(i, blocks)
+		ci, local, ok := chunkFor(views, seg.ChunkStride, i)
+		if !ok {
+			return fmt.Errorf("robust: update: block %d outside every chunk graph", i)
+		}
+		coded := graphs[ci].EncodeBlock(local, chunkBlocks[ci])
 		if seg.Coding.ShareCRC {
 			coded = sealShare(coded)
 		}
@@ -110,23 +133,36 @@ func (c *Client) AffectedBlocks(name string, offset, length int64) (int, error) 
 	if length <= 0 {
 		return 0, nil
 	}
-	graph, err := c.cachedGraph(seg.Coding)
-	if err != nil {
-		return 0, err
-	}
 	stored := map[int]bool{}
 	for _, indices := range seg.Placement {
 		for _, i := range indices {
 			stored[i] = true
 		}
 	}
-	firstOrig := int(offset / seg.Coding.BlockBytes)
-	lastOrig := int((offset + length - 1) / seg.Coding.BlockBytes)
 	affected := map[int]bool{}
-	for o := firstOrig; o <= lastOrig && o < seg.Coding.K; o++ {
-		for _, ci := range graph.AffectedCoded(o) {
-			if stored[ci] {
-				affected[ci] = true
+	end := offset + length
+	for _, v := range segmentChunks(seg) {
+		lo, hi := offset, end
+		if lo < v.offset {
+			lo = v.offset
+		}
+		if hi > v.offset+v.size {
+			hi = v.offset + v.size
+		}
+		if lo >= hi {
+			continue
+		}
+		graph, err := c.cachedGraph(v.coding)
+		if err != nil {
+			return 0, err
+		}
+		firstOrig := int((lo - v.offset) / seg.Coding.BlockBytes)
+		lastOrig := int((hi - 1 - v.offset) / seg.Coding.BlockBytes)
+		for o := firstOrig; o <= lastOrig && o < v.coding.K; o++ {
+			for _, ci := range graph.AffectedCoded(o) {
+				if stored[v.base+ci] {
+					affected[v.base+ci] = true
+				}
 			}
 		}
 	}

@@ -4,385 +4,37 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sync"
-	"sync/atomic"
-	"time"
 
 	"repro/internal/blockstore"
-	"repro/internal/metadata"
-	"repro/internal/placement"
 )
 
 // Write stores data as an erasure-coded segment, speculatively and
 // ratelessly (§4.3.2): every server absorbs freshly generated coded
 // blocks at its own pace until N = (1+D)·K blocks have committed
 // globally, at which point remaining work is canceled. servers
-// selects the target set; nil means all attached backends.
-func (c *Client) Write(ctx context.Context, name string, data []byte, servers []string) (stats WriteStats, err error) {
-	start := time.Now()
-	tr := c.obs.StartTrace("write", name)
-	defer func() {
-		c.m.writes.Inc()
-		c.m.writeBlocks.Add(int64(stats.Committed))
-		c.m.writeBytes.Add(stats.BytesSent)
-		c.m.writeFailedPuts.Add(int64(stats.FailedPuts))
-		c.m.writeLatency.Observe(time.Since(start).Seconds())
-		if err != nil {
-			c.m.writeErrors.Inc()
+// selects the target set; nil means all attached backends. With
+// ChunkBytes set the segment is written as independent chunks —
+// Write is a slicing caller of the same streaming core WriteFrom
+// pipelines a reader through.
+func (c *Client) Write(ctx context.Context, name string, data []byte, servers []string) (WriteStats, error) {
+	chunk := c.opts.ChunkBytes
+	off := 0
+	next := func() ([]byte, error) {
+		if off >= len(data) {
+			return nil, io.EOF
 		}
-		tr.End(err)
-	}()
-	if name == "" {
-		return WriteStats{}, fmt.Errorf("robust: empty segment name")
-	}
-	if len(data) == 0 {
-		return WriteStats{}, fmt.Errorf("robust: empty data")
-	}
-	if servers == nil {
-		servers = c.writableServers()
-	}
-	if len(servers) == 0 {
-		return WriteStats{}, ErrNoServers
-	}
-	for _, addr := range servers {
-		if _, ok := c.store(addr); !ok {
-			return WriteStats{}, fmt.Errorf("robust: server %q not attached", addr)
+		end := len(data)
+		if chunk > 0 && int64(end-off) > chunk {
+			end = off + int(chunk)
 		}
+		piece := data[off:end]
+		off = end
+		return piece, nil
 	}
-	unlock, err := c.meta.LockWrite(ctx, name)
-	if err != nil {
-		return WriteStats{}, err
-	}
-	defer unlock()
-	if _, err := c.meta.LookupSegment(name); err == nil {
-		return WriteStats{}, metadata.ErrSegmentExists
-	}
-	tr.Stage("lock")
-
-	// Plan the code.
-	blocks := splitBlocks(data, c.opts.BlockBytes)
-	k := len(blocks)
-	n := int(math.Ceil((1 + c.opts.Redundancy) * float64(k)))
-	graphN := n + c.opts.GraphSlack*len(servers)
-	seed := graphSeed(name, int64(len(data)))
-	graph, err := c.cachedGraph(metadata.Coding{
-		K: k, C: c.opts.LTC, Delta: c.opts.LTDelta, GraphSeed: seed, GraphN: graphN,
-	})
-	if err != nil {
-		return WriteStats{}, err
-	}
-	if tr != nil {
-		tr.Stagef("plan", "K=%d N=%d graphN=%d servers=%d", k, n, graphN, len(servers))
-	}
-
-	// Rateless speculative spread. Fresh block indices come from an
-	// atomic cursor; an index whose put fails goes to a shared retry
-	// queue so another (healthier) server picks it up. A global
-	// failure budget bounds the retry churn when everything is down.
-	sealed := !c.opts.DisableShareChecksums
-	wctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		next      int64 = -1 // atomically incremented block cursor
-		committed int64
-		inflight  int64 // indices claimed by workers, not yet resolved
-		bytesSent int64
-		failed    int64
-		// Stage markers raced for by the rateless workers: the first
-		// block landing on a server and the commit target being reached.
-		firstCommit, targetReached atomic.Bool
-	)
-	failureBudget := int64(4*graphN + 64)
-	retry := make(chan int, graphN)
-	// takeIndices claims up to want indices: queued retries first, then
-	// a fresh run off the cursor, then it blocks until a retry appears
-	// or the write ends. An empty result means the write is over.
-	takeIndices := func(dst []int, want int) []int {
-		dst = dst[:0]
-	drain:
-		for len(dst) < want {
-			select {
-			case i := <-retry:
-				dst = append(dst, i)
-			default:
-				break drain
-			}
-		}
-		if m := int64(want - len(dst)); m > 0 {
-			end := atomic.AddInt64(&next, m)
-			for i := end - m + 1; i <= end; i++ {
-				if i < int64(graphN) {
-					dst = append(dst, int(i))
-				}
-			}
-		}
-		if len(dst) > 0 {
-			return dst
-		}
-		select {
-		case i := <-retry:
-			return append(dst, i)
-		case <-wctx.Done():
-			return dst
-		}
-	}
-	// The share cap is a fraction of the commit target n, not of the
-	// (larger) graph: capping against graphN lets a fast server absorb
-	// share·graphN of the n committed blocks, which under adversarial
-	// scheduling concentrates the segment on fewer holders than the
-	// placement-diversity option promises and can make the loss of two
-	// servers unrecoverable.
-	perServerCap := int64(graphN)
-	if c.opts.MaxServerShare > 0 {
-		perServerCap = int64(math.Ceil(c.opts.MaxServerShare * float64(n)))
-		if perServerCap < 1 {
-			perServerCap = 1
-		}
-	}
-	// The zone cap is the same reservation discipline one level up:
-	// servers in the same failure domain share one atomic counter, so
-	// no zone can absorb more than ceil(MaxZoneShare·n) of the
-	// committed shares no matter how the speculative race lands.
-	var (
-		perZoneCap int64
-		zoneCounts map[string]*int64
-		zoneOf     map[string]string
-	)
-	if c.opts.MaxZoneShare > 0 {
-		perZoneCap = int64(placement.ZoneCapShares(c.opts.MaxZoneShare, n))
-		zoneOf = make(map[string]string, len(servers))
-		for _, srv := range c.meta.Servers() {
-			zoneOf[srv.Addr] = srv.Zone
-		}
-		zoneCounts = make(map[string]*int64)
-		for _, addr := range servers {
-			z := zoneOf[addr]
-			if zoneCounts[z] == nil {
-				zoneCounts[z] = new(int64)
-			}
-		}
-	}
-	placeMu := sync.Mutex{}
-	placed := make(map[string][]int, len(servers))
-	serverCount := make(map[string]*int64, len(servers))
-	for _, addr := range servers {
-		var zero int64
-		serverCount[addr] = &zero
-	}
-	batchRun := c.opts.BatchBlocks
-	if batchRun < 1 {
-		batchRun = 1
-	}
-	bufLen := shareBufLen(c.opts.BlockBytes)
-	var wg sync.WaitGroup
-	for _, addr := range servers {
-		store, _ := c.store(addr)
-		count := serverCount[addr]
-		var zcount *int64
-		if zoneCounts != nil {
-			zcount = zoneCounts[zoneOf[addr]]
-		}
-		for w := 0; w < c.opts.PerServerParallel; w++ {
-			wg.Add(1)
-			go func(addr string, store storePutter) {
-				defer wg.Done()
-				batcher, _ := store.(putBatcher)
-				maxRun := batchRun
-				if batcher == nil {
-					maxRun = 1 // no batch fast path: keep the per-block pipeline
-				}
-				indices := make([]int, 0, maxRun)
-				puts := make([]blockstore.BatchPut, 0, maxRun)
-				singleErrs := make([]error, maxRun)
-				// Share buffers are leased from the pool once per worker
-				// lifetime and reused across runs — safe because
-				// Store.Put must not retain data — so a warm pool is
-				// touched a handful of times per write, not per block.
-				bufs := make([]*[]byte, 0, maxRun)
-				defer func() {
-					for _, b := range bufs {
-						putShareBuf(b)
-					}
-				}()
-				for {
-					if wctx.Err() != nil {
-						return
-					}
-					// Size the run by the outstanding commit need, so a
-					// batch never claims blocks nobody has to store: an
-					// unbounded run would overshoot the target by whole
-					// batches (the floor of 1 keeps each worker probing,
-					// exactly like the per-block pipeline, in case an
-					// in-flight put on another server fails).
-					want := int(int64(n) - atomic.LoadInt64(&committed) - atomic.LoadInt64(&inflight))
-					if want < 1 {
-						want = 1
-					}
-					if want > maxRun {
-						want = maxRun
-					}
-					// Reserve the run in this server's share before taking
-					// indices: a plain load-then-put check lets two
-					// pipeline workers race past the cap together.
-					reserved := want
-					if over := atomic.AddInt64(count, int64(want)) - perServerCap; over > 0 {
-						if over >= int64(want) {
-							atomic.AddInt64(count, -int64(want))
-							return // this server has its share
-						}
-						atomic.AddInt64(count, -over)
-						reserved -= int(over)
-					}
-					if zcount != nil {
-						if over := atomic.AddInt64(zcount, int64(reserved)) - perZoneCap; over > 0 {
-							if over >= int64(reserved) {
-								atomic.AddInt64(zcount, -int64(reserved))
-								atomic.AddInt64(count, -int64(reserved))
-								return // this failure domain has its share
-							}
-							atomic.AddInt64(zcount, -over)
-							atomic.AddInt64(count, -over)
-							reserved -= int(over)
-						}
-					}
-					indices = takeIndices(indices, reserved)
-					if give := int64(reserved - len(indices)); give > 0 {
-						atomic.AddInt64(count, -give)
-						if zcount != nil {
-							atomic.AddInt64(zcount, -give)
-						}
-					}
-					if len(indices) == 0 {
-						return // write ended while waiting for work
-					}
-					atomic.AddInt64(&inflight, int64(len(indices)))
-					// Encode the run into this worker's leased buffers.
-					for len(bufs) < len(indices) {
-						bufs = append(bufs, getShareBuf(bufLen))
-					}
-					puts = puts[:0]
-					for bi, i := range indices {
-						puts = append(puts, blockstore.BatchPut{
-							Index: i,
-							Data:  encodeShareInto(*bufs[bi], graph, i, blocks, sealed),
-						})
-					}
-					// One health outcome per wire operation: the batch is
-					// one round trip, the fallback loop stays one per put.
-					var errs []error
-					if batcher != nil && len(puts) > 1 {
-						errs = batcher.PutBatch(wctx, name, puts)
-						c.reportOutcome(addr, c.batchOutcome(errs))
-					} else {
-						errs = singleErrs[:len(puts)]
-						for j := range puts {
-							if cerr := wctx.Err(); cerr != nil {
-								errs[j] = cerr // commit target reached or caller gone
-								continue
-							}
-							errs[j] = store.Put(wctx, name, puts[j].Index, puts[j].Data)
-							c.reportOutcome(addr, errs[j])
-						}
-					}
-					atomic.AddInt64(&inflight, -int64(len(puts)))
-					canceled := wctx.Err() != nil
-					overBudget := false
-					for j := range puts {
-						if err := errs[j]; err != nil {
-							atomic.AddInt64(count, -1)
-							if zcount != nil {
-								atomic.AddInt64(zcount, -1)
-							}
-							if canceled || overBudget {
-								continue
-							}
-							if atomic.AddInt64(&failed, 1) > failureBudget {
-								overBudget = true
-								continue
-							}
-							retry <- puts[j].Index // hand it to a healthier worker
-							continue
-						}
-						atomic.AddInt64(&bytesSent, int64(len(puts[j].Data)))
-						if !firstCommit.Swap(true) {
-							tr.StageDetail("first-commit", addr)
-						}
-						placeMu.Lock()
-						placed[addr] = append(placed[addr], puts[j].Index)
-						placeMu.Unlock()
-						if atomic.AddInt64(&committed, 1) >= int64(n) {
-							if !targetReached.Swap(true) {
-								tr.Stage("commit-target")
-							}
-							cancel() // enough blocks on disk: stop the rest
-						}
-					}
-					if overBudget {
-						cancel()
-						return
-					}
-				}
-			}(addr, store)
-		}
-	}
-	wg.Wait()
-
-	stats = WriteStats{
-		K: k, N: n,
-		Committed:  int(atomic.LoadInt64(&committed)),
-		BytesSent:  atomic.LoadInt64(&bytesSent),
-		Duration:   time.Since(start),
-		PerServer:  countPlacement(placed),
-		FailedPuts: int(atomic.LoadInt64(&failed)),
-	}
-	if tr != nil {
-		tr.Stagef("per-server", "blocks=%v failed-puts=%d", stats.PerServer, stats.FailedPuts)
-	}
-	if err := ctx.Err(); err != nil {
-		return stats, err
-	}
-	if stats.Committed < n {
-		// Graceful degradation (opt-in): commit what survived when it
-		// still clears the degraded floor — comfortably above the LT
-		// decode threshold — rather than discarding a recoverable
-		// segment because some servers were down. The segment is
-		// marked Degraded so Repair can later restore full redundancy.
-		if !c.opts.DegradedWrites || stats.Committed < floorInt(k, c.opts.DegradedFloor) {
-			return stats, fmt.Errorf("%w: %d of %d (%d puts failed)",
-				ErrShortWrite, stats.Committed, n, stats.FailedPuts)
-		}
-		stats.Degraded = true
-	}
-
-	seg := metadata.Segment{
-		Name: name,
-		Size: int64(len(data)),
-		Coding: metadata.Coding{
-			Algorithm:  "lt",
-			K:          k,
-			N:          n,
-			BlockBytes: c.opts.BlockBytes,
-			C:          c.opts.LTC,
-			Delta:      c.opts.LTDelta,
-			GraphSeed:  seed,
-			GraphN:     graphN,
-			ShareCRC:   sealed,
-		},
-		Placement: placed,
-		Degraded:  stats.Degraded,
-	}
-	if err := c.meta.CreateSegment(seg); err != nil {
-		return stats, err
-	}
-	tr.Stage("metadata")
-	if stats.Degraded {
-		c.m.writeDegraded.Inc()
-		tr.StageDetail("degraded-commit", fmt.Sprintf("%d/%d", stats.Committed, n))
-		return stats, fmt.Errorf("%w: %d of %d blocks (floor %d)",
-			ErrDegradedWrite, stats.Committed, n, floorInt(k, c.opts.DegradedFloor))
-	}
-	return stats, nil
+	return c.writeSegment(ctx, name, int64(len(data)), next, nil, servers)
 }
 
 // floorInt is the degraded-commit floor ceil((1+floor)·K).

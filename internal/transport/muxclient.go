@@ -2,11 +2,15 @@ package transport
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/blockstore"
 )
 
 // ErrMuxUnavailable reports that a streaming operation needs the
@@ -58,10 +62,15 @@ type muxStream struct {
 	mu        sync.Mutex
 	status    byte
 	gotStatus bool
-	buf       []byte
-	finished  bool
-	err       error
-	done      chan struct{}
+	// onData, when set (under mu, before the request goes out),
+	// receives OK-status response chunks as they arrive instead of
+	// buffering them in buf — the streaming-ack fast path. The chunk
+	// aliases the frame body and is valid only during the call.
+	onData   func(chunk []byte)
+	buf      []byte
+	finished bool
+	err      error
+	done     chan struct{}
 }
 
 // finish completes a stream exactly once.
@@ -332,13 +341,23 @@ func (m *muxConn) demux() {
 				s.status = f.status
 				s.gotStatus = true
 			}
-			if len(s.buf)+len(f.chunk) > MaxFrame {
+			onData := s.onData
+			if onData != nil && s.status == statusOK {
 				s.mu.Unlock()
-				m.fatal(fmt.Errorf("transport: mux stream %d exceeds %d bytes", f.id, MaxFrame))
-				return
+				if len(f.chunk) > 0 {
+					onData(f.chunk)
+				}
+			} else {
+				// Buffered path — also where a streaming op's error
+				// response lands, so statusToError sees the message.
+				if len(s.buf)+len(f.chunk) > MaxFrame {
+					s.mu.Unlock()
+					m.fatal(fmt.Errorf("transport: mux stream %d exceeds %d bytes", f.id, MaxFrame))
+					return
+				}
+				s.buf = append(s.buf, f.chunk...)
+				s.mu.Unlock()
 			}
-			s.buf = append(s.buf, f.chunk...)
-			s.mu.Unlock()
 			if len(f.chunk) > 0 {
 				// Return consumed credit via the async control queue so
 				// this read loop never blocks on the write side (see
@@ -552,5 +571,223 @@ func (c *Client) GetStream(ctx context.Context, segment string, indices []int, d
 		}(idx)
 	}
 	wg.Wait()
+	return nil
+}
+
+// PutStream ships many blocks over one pipelined PUTSTREAM stream:
+// the server stores and acknowledges each entry as its bytes arrive,
+// and acked(i, err) fires in order, exactly once per entry, as those
+// acks come back — so the caller learns of durable blocks while later
+// entries are still in flight. acked runs on transport goroutines and
+// must not block or call back into the Client. Entry data is not
+// retained after PutStream returns.
+//
+// The contract mirrors GetStream's: a non-nil return means acked was
+// never called — the server lacks the capability (ErrMuxUnavailable)
+// or the stream failed before any ack — and every entry may be safely
+// retried on the batch or single-op paths. Once the first ack lands,
+// PutStream returns nil and any mid-stream failure is delivered
+// through acked for the remaining entries instead.
+func (c *Client) PutStream(ctx context.Context, segment string, puts []blockstore.BatchPut, acked func(i int, err error)) error {
+	caps := c.capabilities(ctx)
+	if caps&capMux == 0 || caps&capPutStream == 0 {
+		return ErrMuxUnavailable
+	}
+	m := c.muxFor(ctx)
+	if m == nil {
+		return ErrMuxUnavailable
+	}
+	if len(segment) > 0xFFFF {
+		return fmt.Errorf("transport: segment name too long (%d bytes)", len(segment))
+	}
+	for _, p := range puts {
+		if p.Index < 0 {
+			return fmt.Errorf("transport: negative block index")
+		}
+	}
+	if len(puts) == 0 {
+		return nil
+	}
+	return m.putStream(ctx, segment, puts, acked)
+}
+
+// putStreamAcks parses the server's streamed ack entries and delivers
+// them in order. feed runs on the demux goroutine; the final drain
+// (after the stream closes) runs on the putStream goroutine — the
+// mutex plus the done flag serialize the two so acked never runs
+// twice for an entry or from two goroutines at once.
+type putStreamAcks struct {
+	m     *muxConn
+	s     *muxStream
+	puts  []blockstore.BatchPut
+	acked func(i int, err error)
+
+	progress atomic.Int64 // UnixNano of the last ack, for the stall watcher
+
+	mu   sync.Mutex
+	buf  []byte
+	pos  int  // entries acked so far
+	done bool // terminal drain started; drop late feeds
+}
+
+func (p *putStreamAcks) feed(chunk []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return
+	}
+	p.buf = append(p.buf, chunk...)
+	for len(p.buf) >= batchResultOverhead {
+		idx := int(binary.BigEndian.Uint32(p.buf[0:4]))
+		status := p.buf[4]
+		n := int(binary.BigEndian.Uint32(p.buf[5:9]))
+		if idx < 0 || n < 0 || n > MaxFrame {
+			p.fail(fmt.Errorf("transport: malformed put stream ack (index %d, %d bytes)", idx, n))
+			return
+		}
+		if len(p.buf) < batchResultOverhead+n {
+			return // wait for the rest of the message
+		}
+		if p.pos >= len(p.puts) || idx != p.puts[p.pos].Index {
+			p.fail(fmt.Errorf("transport: put stream ack for index %d, want %d", idx, p.puts[p.pos%len(p.puts)].Index))
+			return
+		}
+		err := batchEntryError(status, p.buf[batchResultOverhead:batchResultOverhead+n])
+		p.buf = p.buf[batchResultOverhead+n:]
+		i := p.pos
+		p.pos++
+		p.progress.Store(time.Now().UnixNano())
+		p.acked(i, err)
+	}
+}
+
+// fail abandons the stream on a protocol violation (called with p.mu
+// held); the terminal error reaches un-acked entries via the drain.
+func (p *putStreamAcks) fail(err error) {
+	p.done = true
+	p.m.abandon(p.s, err)
+}
+
+// putStream runs one PUTSTREAM exchange. Unlike exchange, the
+// per-stream timeout is progress-aware: it re-arms while acks keep
+// arriving, so a long stream only times out when it stalls.
+func (m *muxConn) putStream(ctx context.Context, segment string, puts []blockstore.BatchPut, acked func(i int, err error)) error {
+	select {
+	case m.slots <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-m.done:
+		return fmt.Errorf("%w: %w", errMuxConnClosed, m.connErr())
+	}
+	defer func() { <-m.slots }()
+
+	s, err := m.register()
+	if err != nil {
+		return err
+	}
+	m.c.m.muxStreams.Inc()
+	m.c.m.muxInflight.Add(1)
+	defer m.c.m.muxInflight.Add(-1)
+	start := time.Now()
+
+	p := &putStreamAcks{m: m, s: s, puts: puts, acked: acked}
+	p.progress.Store(start.UnixNano())
+	s.mu.Lock()
+	s.onData = p.feed
+	s.mu.Unlock()
+
+	var timeout <-chan time.Time
+	var timer *time.Timer
+	if m.c.reqTimeout > 0 {
+		timer = time.NewTimer(m.c.reqTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	watchDone := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				m.abandon(s, ctx.Err())
+				return
+			case <-timeout:
+				if idle := time.Since(time.Unix(0, p.progress.Load())); idle < m.c.reqTimeout {
+					timer.Reset(m.c.reqTimeout - idle)
+					continue
+				}
+				m.c.m.muxStreamTimeouts.Inc()
+				if m.c.health != nil {
+					m.c.health.ReportFailure(m.c.addr)
+				}
+				m.abandon(s, fmt.Errorf("%w after %v: mux stream %d stalled", ErrRequestTimeout, m.c.reqTimeout, s.id))
+				return
+			case <-s.done:
+				return
+			case <-watchDone:
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(watchDone)
+		watch.Wait()
+	}()
+
+	// The request reuses the PUTBATCH wire shape (header into pooled
+	// scratch, entry data referenced in place); only the op differs.
+	scratch := getScratch()
+	defer putScratch(scratch)
+	growScratch(scratch, requestHeaderLen(segment)+putBatchEntryOverhead*len(puts))
+	chunks := make([][]byte, 0, 1+2*len(puts))
+	*scratch = appendRequestHeader(*scratch, opPutStream, segment, len(puts))
+	chunks = append(chunks, *scratch)
+	for _, e := range puts {
+		off := len(*scratch)
+		*scratch = appendPutEntryHeader(*scratch, e.Index, len(e.Data))
+		chunks = append(chunks, (*scratch)[off:len(*scratch)])
+		if len(e.Data) > 0 {
+			chunks = append(chunks, e.Data)
+		}
+	}
+
+	werr := m.writeRequest(s, chunks)
+	<-s.done
+
+	var terminal error
+	switch {
+	case s.err != nil:
+		terminal = s.err
+	case !s.gotStatus:
+		terminal = errors.New("transport: empty mux response")
+	case s.status != statusOK:
+		terminal = statusToError(s.status, s.buf)
+	case werr != nil:
+		terminal = werr
+	}
+	p.mu.Lock()
+	p.done = true
+	pos := p.pos
+	p.mu.Unlock()
+	if terminal == nil && pos < len(puts) {
+		terminal = fmt.Errorf("transport: put stream truncated after %d of %d acks", pos, len(puts))
+	}
+	if pos == 0 && terminal != nil {
+		return terminal // nothing acked: the caller may retry every entry
+	}
+	for i := pos; i < len(puts); i++ {
+		acked(i, terminal)
+	}
+	if m.c.health != nil && terminal == nil {
+		m.c.health.ReportSuccess(m.c.addr)
+	}
+	var sent int64
+	for _, ch := range chunks {
+		sent += int64(len(ch))
+	}
+	m.c.m.bytesSent.Add(sent)
+	m.c.m.roundTrip.Observe(time.Since(start).Seconds())
 	return nil
 }

@@ -2,10 +2,15 @@ package transport
 
 import (
 	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/admission"
 )
 
 // serverMuxDefaults bound what a server will accept during MUXUP
@@ -72,7 +77,8 @@ type muxServerStream struct {
 	id     uint32
 	buf    []byte
 	fin    bool
-	send   *creditGate // response-direction flow control
+	stream *muxPutStream // non-nil once the stream switched to PUTSTREAM mode
+	send   *creditGate   // response-direction flow control
 	cancel context.CancelFunc
 	done   bool
 }
@@ -139,12 +145,30 @@ func (m *muxServerConn) handleReq(f muxFrame) {
 	}
 	m.mu.Unlock()
 
+	fin := f.flags&muxFlagFIN != 0
+	if st.stream != nil {
+		// PUTSTREAM mode: entry bytes flow straight to the consumer
+		// goroutine; it grants credit as it drains them, which is what
+		// bounds server-side buffering by the stream window.
+		if fin {
+			st.fin = true
+		}
+		if err := st.stream.feed(f.chunk, fin); err != nil {
+			m.resetStream(f.id, []byte(err.Error()))
+		}
+		return
+	}
 	if len(st.buf)+len(f.chunk) > MaxFrame {
 		m.resetStream(f.id, []byte("transport: mux request body overflow"))
 		return
 	}
+	prev := len(st.buf)
 	st.buf = append(st.buf, f.chunk...)
-	if f.flags&muxFlagFIN == 0 {
+	if op, hdrLen, ok := peekRequest(st.buf); ok && op == opPutStream {
+		m.startPutStream(st, hdrLen, prev, fin)
+		return
+	}
+	if !fin {
 		// Return the consumed credit (async, so the read loop never
 		// blocks on the write side) so the client keeps streaming.
 		if len(f.chunk) > 0 {
@@ -163,6 +187,37 @@ func (m *muxServerConn) handleReq(f muxFrame) {
 	m.s.m.muxStreams.Inc()
 	m.wg.Add(1)
 	go m.serveStream(sctx, st, req)
+}
+
+// startPutStream switches a stream into incremental PUTSTREAM mode
+// the moment its request header is complete: entry bytes already
+// buffered behind the header are handed to a consumer goroutine, and
+// later REQ chunks feed it directly without whole-request reassembly.
+func (m *muxServerConn) startPutStream(st *muxServerStream, hdrLen, prev int, fin bool) {
+	req, err := decodeRequest(st.buf[:hdrLen])
+	if err != nil {
+		m.resetStream(st.id, []byte(err.Error()))
+		return
+	}
+	ps := newMuxPutStream(req.segment, req.index)
+	st.stream = ps
+	st.fin = fin
+	// Chunks that arrived before the header completed were granted on
+	// receipt; of this chunk only the header bytes are consumed now —
+	// entry bytes are granted as the consumer drains them.
+	if hb := hdrLen - prev; hb > 0 && !fin {
+		m.ctl.grant(st.id, hb)
+	}
+	if err := ps.feed(st.buf[hdrLen:], fin); err != nil {
+		m.resetStream(st.id, []byte(err.Error()))
+		return
+	}
+	st.buf = nil
+	sctx, cancel := context.WithCancel(m.ctx)
+	st.cancel = cancel
+	m.s.m.muxStreams.Inc()
+	m.wg.Add(1)
+	go m.servePutStream(sctx, st, ps)
 }
 
 // sendReset tells the client to abandon one stream.
@@ -185,6 +240,9 @@ func (m *muxServerConn) resetStream(id uint32, msg []byte) {
 		return
 	}
 	st.send.close(fmt.Errorf("transport: mux stream %d reset", id))
+	if st.stream != nil {
+		st.stream.fail(fmt.Errorf("transport: mux stream %d reset", id))
+	}
 	if st.cancel != nil {
 		st.cancel()
 	}
@@ -199,6 +257,12 @@ func (m *muxServerConn) finishStream(st *muxServerStream) {
 	delete(m.streams, st.id)
 	m.mu.Unlock()
 	st.send.close(fmt.Errorf("transport: mux stream %d finished", st.id))
+	if st.stream != nil {
+		// If the consumer quit early (broken conn mid-ack) the read
+		// loop may still feed the stream; failing it makes feed drop
+		// further chunks instead of buffering them forever.
+		st.stream.fail(fmt.Errorf("transport: mux stream %d finished", st.id))
+	}
 	if st.cancel != nil {
 		st.cancel()
 	}
@@ -216,6 +280,9 @@ func (m *muxServerConn) teardown() {
 	m.mu.Unlock()
 	for _, st := range streams {
 		st.send.close(fmt.Errorf("transport: mux connection closed"))
+		if st.stream != nil {
+			st.stream.fail(fmt.Errorf("transport: mux connection closed"))
+		}
 		if st.cancel != nil {
 			st.cancel()
 		}
@@ -288,4 +355,179 @@ func (m *muxServerConn) writeResponse(st *muxServerStream, status byte, chunks [
 	if total == 0 {
 		writeMuxFrame(m.w, muxKindResp, st.id, []byte{muxFlagFIN, status}, nil)
 	}
+}
+
+// muxPutStream carries one PUTSTREAM request's entry bytes from the
+// connection read loop to its consumer goroutine. It holds only the
+// not-yet-consumed tail of the stream, which flow control keeps
+// window-sized; MaxFrame is the backstop against a client that sends
+// past its credit.
+type muxPutStream struct {
+	segment  string
+	declared int // entry count from the request header's index field
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []byte
+	fin  bool
+	err  error
+}
+
+func newMuxPutStream(segment string, declared int) *muxPutStream {
+	p := &muxPutStream{segment: segment, declared: declared}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// feed appends one REQ chunk's entry bytes. Chunks after a failure are
+// dropped — the reset is already on its way to the client.
+func (p *muxPutStream) feed(chunk []byte, fin bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return nil
+	}
+	if len(p.buf)+len(chunk) > MaxFrame {
+		p.err = errors.New("transport: mux request body overflow")
+		p.cond.Broadcast()
+		return p.err
+	}
+	p.buf = append(p.buf, chunk...)
+	if fin {
+		p.fin = true
+	}
+	p.cond.Broadcast()
+	return nil
+}
+
+// fail wakes the consumer with a terminal error (stream reset,
+// connection down). The first error wins.
+func (p *muxPutStream) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// next blocks until one complete entry is buffered and returns it,
+// with consumed the wire bytes it covered (header + data) — the
+// credit to hand back. The entry data is copied into dst (grown as
+// needed, reused across calls) because feed keeps appending into the
+// shared buffer after next reslices it. Returns io.EOF once the FIN
+// chunk arrived and the buffer drained.
+func (p *muxPutStream) next(dst []byte) (idx int, data []byte, consumed int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.err != nil {
+			return 0, nil, 0, p.err
+		}
+		if len(p.buf) >= putBatchEntryOverhead {
+			idx = int(binary.BigEndian.Uint32(p.buf[0:4]))
+			n := int(binary.BigEndian.Uint32(p.buf[4:8]))
+			if idx < 0 || n < 0 || n > MaxFrame {
+				return 0, nil, 0, fmt.Errorf("transport: malformed put stream entry (index %d, %d bytes)", idx, n)
+			}
+			if len(p.buf) >= putBatchEntryOverhead+n {
+				data = append(dst[:0], p.buf[putBatchEntryOverhead:putBatchEntryOverhead+n]...)
+				p.buf = p.buf[putBatchEntryOverhead+n:]
+				return idx, data, putBatchEntryOverhead + n, nil
+			}
+		}
+		if p.fin {
+			if len(p.buf) == 0 {
+				return 0, nil, 0, io.EOF
+			}
+			return 0, nil, 0, errors.New("transport: truncated put stream entry")
+		}
+		p.cond.Wait()
+	}
+}
+
+// servePutStream consumes one PUTSTREAM request's entries as they
+// arrive, storing and acking each one immediately — the server half
+// of the pipelined write path. Credit is granted per consumed entry,
+// so a stalled store backpressures the client instead of buffering
+// the request.
+func (m *muxServerConn) servePutStream(ctx context.Context, st *muxServerStream, ps *muxPutStream) {
+	defer m.wg.Done()
+	defer m.finishStream(st)
+	m.s.m.muxInflight.Add(1)
+	defer m.s.m.muxInflight.Add(-1)
+	start := time.Now()
+	m.s.m.ops[opPutStream].Inc()
+	defer func() {
+		m.s.m.opSeconds[opPutStream].Observe(time.Since(start).Seconds())
+	}()
+	var entryBuf, ackBuf []byte
+	count := 0
+	for {
+		if ctx.Err() != nil {
+			return // connection tearing down; finishStream fails the feed
+		}
+		idx, data, consumed, err := ps.next(entryBuf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			m.s.m.errors.Inc()
+			m.resetStream(st.id, []byte(err.Error()))
+			return
+		}
+		entryBuf = data
+		m.ctl.grant(st.id, consumed)
+		count++
+		if count > ps.declared {
+			m.s.m.errors.Inc()
+			m.resetStream(st.id, []byte("transport: put stream entries exceed declared count"))
+			return
+		}
+		m.s.m.batchBlocks.Inc()
+		status, msg := m.putStreamEntry(ctx, ps.segment, idx, data)
+		ackBuf = appendBatchResultHeader(ackBuf[:0], idx, status, len(msg))
+		ackBuf = append(ackBuf, msg...)
+		if !m.writeAck(st, ackBuf) {
+			return
+		}
+	}
+	if count != ps.declared {
+		m.s.m.errors.Inc()
+		m.resetStream(st.id, []byte(fmt.Sprintf("transport: put stream ended after %d of %d entries", count, ps.declared)))
+		return
+	}
+	writeMuxFrame(m.w, muxKindResp, st.id, []byte{muxFlagFIN, statusOK}, nil)
+}
+
+// putStreamEntry stores one streamed entry under the same admission
+// gate as the other data-path ops, sized by the entry rather than the
+// whole (unbounded) stream.
+func (m *muxServerConn) putStreamEntry(ctx context.Context, segment string, idx int, data []byte) (byte, []byte) {
+	if m.s.opts.Admission != nil {
+		release, err := m.s.opts.Admission.Admit(ctx, admission.Request{Bytes: int64(len(data))})
+		if err != nil {
+			m.s.m.busy.Inc()
+			return statusBusy, []byte(err.Error())
+		}
+		defer release()
+	}
+	return batchStatus(m.s.store.Put(ctx, segment, idx, data))
+}
+
+// writeAck streams one ack entry as credit-gated RESP chunks, FIN-less
+// — the response half closes with an empty FIN after the last entry.
+func (m *muxServerConn) writeAck(st *muxServerStream, ack []byte) bool {
+	stalled := func() { m.s.m.muxStalls.Inc() }
+	for len(ack) > 0 {
+		n, err := st.send.take(len(ack), stalled)
+		if err != nil {
+			return false // stream reset or connection down
+		}
+		if err := writeMuxFrame(m.w, muxKindResp, st.id, []byte{0, statusOK}, ack[:n]); err != nil {
+			return false
+		}
+		ack = ack[n:]
+	}
+	return true
 }

@@ -29,6 +29,17 @@
 // ([4B bitmask] response) lets new clients probe for batch support;
 // servers that predate it answer with an error status and the client
 // degrades to single-block operations.
+//
+// PUTSTREAM (mux-only) is the pipelined write op: its request body is
+// the standard header (index = declared entry count) followed by
+// PUTBATCH-shaped entries, but the server consumes the entries
+// incrementally as REQ chunks arrive — each entry is stored as soon
+// as it is complete and acknowledged immediately with one
+// batch-result-shaped entry ([4B index][1B status][4B length][bytes])
+// streamed back as RESP chunks, so the client learns of durable
+// blocks long before the stream finishes. Flow-control credit is
+// granted only as entries are consumed, bounding server buffering by
+// the stream window instead of the request size.
 package transport
 
 import (
@@ -51,6 +62,7 @@ const (
 	opDeleteBatch = byte(9)
 	opCaps        = byte(10) // capability probe: which batch ops the server speaks
 	opMuxUpgrade  = byte(11) // upgrade this connection to the multiplexed v2 framing
+	opPutStream   = byte(12) // pipelined put over one mux stream with per-entry acks
 )
 
 // Capability bits returned by CAPS.
@@ -59,6 +71,7 @@ const (
 	capGetBatch    = uint32(1 << 1)
 	capDeleteBatch = uint32(1 << 2)
 	capMux         = uint32(1 << 3) // server accepts opMuxUpgrade (transport v2)
+	capPutStream   = uint32(1 << 4) // server handles opPutStream incrementally on mux streams
 )
 
 // Response status codes.
@@ -182,6 +195,21 @@ func appendRequestHeader(dst []byte, op byte, segment string, index int) []byte 
 	dst = append(dst, segment...)
 	binary.BigEndian.PutUint32(h[3:7], uint32(index))
 	return append(dst, h[3:7]...)
+}
+
+// peekRequest reports a request body's op and header length once
+// enough of it has arrived to read them — how the mux server spots a
+// PUTSTREAM stream before its body is complete.
+func peekRequest(buf []byte) (op byte, hdrLen int, ok bool) {
+	if len(buf) < 3 {
+		return 0, 0, false
+	}
+	segLen := int(binary.BigEndian.Uint16(buf[1:3]))
+	hdrLen = 3 + segLen + 4
+	if len(buf) < hdrLen {
+		return 0, 0, false
+	}
+	return buf[0], hdrLen, true
 }
 
 // decodeRequest parses a request frame body.

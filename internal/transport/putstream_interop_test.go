@@ -1,0 +1,90 @@
+package transport_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/blockstore"
+	"repro/internal/metadata"
+	"repro/internal/robust"
+	"repro/internal/transport"
+)
+
+// TestPutStreamAgainstLegacyServerFallsBack: PutStream against a
+// v1-only server must return ErrMuxUnavailable without delivering a
+// single ack — the contract the robust write path's per-op fallback
+// relies on.
+func TestPutStreamAgainstLegacyServerFallsBack(t *testing.T) {
+	srv := startLegacyServer(t)
+	client, err := transport.Dial(srv.ln.Addr().String(), transport.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	puts := []blockstore.BatchPut{
+		{Index: 0, Data: []byte("alpha")},
+		{Index: 1, Data: []byte("beta")},
+	}
+	acks := 0
+	err = client.PutStream(context.Background(), "seg", puts, func(i int, err error) { acks++ })
+	if !errors.Is(err, transport.ErrMuxUnavailable) {
+		t.Fatalf("PutStream err = %v, want ErrMuxUnavailable", err)
+	}
+	if acks != 0 {
+		t.Fatalf("PutStream delivered %d acks despite failing", acks)
+	}
+}
+
+// TestStreamingWriteOverLegacyServers: a chunked streaming write
+// against v1-only servers must fall back to single-op PUTs and still
+// commit and round-trip — mixed-version clusters mid-upgrade keep
+// working.
+func TestStreamingWriteOverLegacyServers(t *testing.T) {
+	c, err := robust.NewClient(metadata.NewService(), robust.Options{BlockBytes: 8 << 10, ChunkBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*legacyServer, 3)
+	for i := range servers {
+		servers[i] = startLegacyServer(t)
+		store, err := transport.Dial(servers[i].ln.Addr().String(), transport.ClientOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		if err := c.AttachStore(fmt.Sprintf("legacy%d", i), store); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	data := make([]byte, 100<<10) // 3 full chunks + a tail
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	ws, err := c.WriteFrom(ctx, "obj", bytes.NewReader(data), int64(len(data)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Committed < ws.N {
+		t.Fatalf("committed %d < N %d over legacy servers", ws.Committed, ws.N)
+	}
+	puts := 0
+	for _, srv := range servers {
+		puts += srv.served(1) // op 1 = PUT
+	}
+	if puts < ws.Committed {
+		t.Fatalf("legacy servers saw %d PUTs for %d committed blocks", puts, ws.Committed)
+	}
+	got, _, err := c.Read(ctx, "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("streamed data corrupted through the legacy fallback")
+	}
+}

@@ -61,8 +61,8 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 	if r != nil {
 		// Metric names are spelled out as literals (not assembled at
 		// runtime) so the obshygiene analyzer can vet the namespace.
-		m.ops = make(map[byte]*obs.Counter, 10)
-		m.opSeconds = make(map[byte]*obs.Histogram, 10)
+		m.ops = make(map[byte]*obs.Counter, 12)
+		m.opSeconds = make(map[byte]*obs.Histogram, 12)
 		reg := func(op byte, total *obs.Counter, seconds *obs.Histogram) {
 			m.ops[op] = total
 			m.opSeconds[op] = seconds
@@ -78,6 +78,7 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		reg(opDeleteBatch, r.Counter("transport_server_delete_batch_total"), r.Histogram("transport_server_delete_batch_seconds"))
 		reg(opCaps, r.Counter("transport_server_caps_total"), r.Histogram("transport_server_caps_seconds"))
 		reg(opMuxUpgrade, r.Counter("transport_server_mux_upgrade_total"), r.Histogram("transport_server_mux_upgrade_seconds"))
+		reg(opPutStream, r.Counter("transport_server_put_stream_total"), r.Histogram("transport_server_put_stream_seconds"))
 	}
 	return m
 }
@@ -275,7 +276,7 @@ func batchStatus(err error) (byte, []byte) {
 // already referencing it); entry bytes are referenced in place.
 func (s *Server) dispatchBatch(ctx context.Context, req request, scratch *[]byte) (byte, [][]byte) {
 	if req.op == opCaps {
-		return statusOK, [][]byte{encodeCaps(capPutBatch | capGetBatch | capDeleteBatch | capMux)}
+		return statusOK, [][]byte{encodeCaps(capPutBatch | capGetBatch | capDeleteBatch | capMux | capPutStream)}
 	}
 	// Admission control guards the batch data paths exactly like the
 	// single-block ones: one admit per request, sized by its payload.

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench_baseline.sh — regenerate the repo's benchmark baseline.
 #
-# Usage: ./scripts/bench_baseline.sh [output.json]   (default BENCH_9.json)
+# Usage: ./scripts/bench_baseline.sh [output.json]   (default BENCH_10.json)
 #
 # Runs the headline reproduction benchmarks once (-benchtime 1x) and
 # writes their b.ReportMetric values as a JSON baseline: LT decode
@@ -13,7 +13,9 @@
 # daemon fault-free benchmark to record read/write latency with and
 # without the self-healing control plane enabled, and the client
 # read/write benchmarks under -benchmem to record hot-path
-# allocations per op (DESIGN.md §10 budgets them). Absolute
+# allocations per op (DESIGN.md §10 budgets them), and the streaming
+# write benchmark to record pipelined write latency and first-commit
+# (write first-byte) latency (DESIGN.md §15). Absolute
 # values are machine-dependent; the committed baseline records the
 # metric *set* and one reference machine's numbers, and CI's
 # bench-smoke job re-runs this script and diffs the result against
@@ -22,10 +24,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 bench='BenchmarkFig53DecodeBandwidth|BenchmarkFig66ReadVsDisks|BenchmarkHeadline'
 chaos_bench='BenchmarkChaosStalledRead'
 daemon_bench='BenchmarkDaemonFaultFree'
+stream_bench='BenchmarkClientWriteStream16MB'
 alloc_bench='BenchmarkClientWriteSteady16MB$|BenchmarkClientWrite16MB$|BenchmarkClientRead16MB$'
 
 raw=$(go test -bench "$bench" -benchtime 1x -run '^$' .)
@@ -34,11 +37,14 @@ raw_chaos=$(go test -bench "$chaos_bench" -benchtime 10x -run '^$' ./internal/ro
 echo "$raw_chaos" >&2
 raw_daemon=$(go test -bench "$daemon_bench" -benchtime 10x -run '^$' ./internal/robust/)
 echo "$raw_daemon" >&2
+raw_stream=$(go test -bench "$stream_bench" -benchtime 10x -run '^$' ./internal/robust/)
+echo "$raw_stream" >&2
 raw_alloc=$(go test -bench "$alloc_bench" -benchmem -benchtime 10x -run '^$' ./internal/robust/)
 echo "$raw_alloc" >&2
 raw="$raw
 $raw_chaos
-$raw_daemon"
+$raw_daemon
+$raw_stream"
 
 # Benchmark output lines look like:
 #   BenchmarkFoo-8  1  123 ns/op  45.6 some-metric  7.8 other-metric
@@ -77,7 +83,7 @@ fi
 {
     printf '{\n'
     printf '  "schema": 1,\n'
-    printf '  "bench_filter": "%s",\n' "$bench|$chaos_bench|$daemon_bench|$alloc_bench"
+    printf '  "bench_filter": "%s",\n' "$bench|$chaos_bench|$daemon_bench|$stream_bench|$alloc_bench"
     printf '  "benchtime": "1x",\n'
     printf '  "metrics": {\n'
     i=0

@@ -24,9 +24,9 @@
 #      control plane (kill -> evict -> repair -> rejoin)
 #   8. bench smoke: every benchmark once (client overhead + headline
 #      reproduction metrics; see scripts/bench_baseline.sh for the
-#      committed BENCH_9.json baseline)
+#      committed BENCH_10.json baseline)
 #   9. benchdiff: regenerate the baseline into /tmp and diff it
-#      against the committed BENCH_9.json with cmd/benchdiff
+#      against the committed BENCH_10.json with cmd/benchdiff
 #      (per-metric tolerances, non-zero exit on regression)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -84,10 +84,10 @@ go test -bench . -benchtime 1x -run '^$' ./internal/robust/
 go test -bench 'BenchmarkFig53DecodeBandwidth|BenchmarkFig66ReadVsDisks|BenchmarkHeadline' \
     -benchtime 1x -run '^$' .
 
-echo "==> benchdiff against committed BENCH_9.json"
-./scripts/bench_baseline.sh /tmp/BENCH_9.fresh.json >/dev/null
+echo "==> benchdiff against committed BENCH_10.json"
+./scripts/bench_baseline.sh /tmp/BENCH_10.fresh.json >/dev/null
 # Local machines vary from the committed baseline's reference machine,
 # so tolerances are scaled up; metric-set drift is still exact.
-go run ./cmd/benchdiff -baseline BENCH_9.json -fresh /tmp/BENCH_9.fresh.json -scale 4
+go run ./cmd/benchdiff -baseline BENCH_10.json -fresh /tmp/BENCH_10.fresh.json -scale 4
 
 echo "==> all checks passed"
